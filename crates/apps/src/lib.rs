@@ -1,0 +1,15 @@
+//! `adaptic-apps` — the paper's benchmarks written in the streaming DSL.
+//!
+//! Each benchmark pairs a platform-independent streaming program (compiled
+//! by the `adaptic` crate) with input generators and, where the paper
+//! evaluates one, the matching hand-optimized baseline from
+//! `adaptic-baselines`. The case studies of §5.2 — transposed
+//! matrix–vector multiplication, BiCGSTAB, and SVM training — get their
+//! own modules.
+
+pub mod bicgstab;
+pub mod datasets;
+pub mod programs;
+pub mod svm;
+
+pub use programs::Bench;

@@ -1,0 +1,591 @@
+//! Streaming-DSL sources of the evaluated benchmarks, with input
+//! generators.
+//!
+//! StreamIt programs are incognizant of input size: the *same source* is
+//! compiled once per device and executed across every size of the sweep —
+//! that is the entire point of the paper.
+
+use streamir::graph::Program;
+use streamir::parse::parse_program;
+
+/// Interleave two equal-length streams (`x0 y0 x1 y1 ...`) — the streaming
+/// representation of multi-vector inputs; memory restructuring undoes the
+/// interleaving on the device (§4.1.1).
+pub fn zip2(x: &[f32], y: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len());
+    let mut out = Vec::with_capacity(2 * x.len());
+    for (a, b) in x.iter().zip(y) {
+        out.push(*a);
+        out.push(*b);
+    }
+    out
+}
+
+/// Interleave three equal-length streams.
+pub fn zip3(x: &[f32], y: &[f32], z: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    let mut out = Vec::with_capacity(3 * x.len());
+    for ((a, b), c) in x.iter().zip(y).zip(z) {
+        out.push(*a);
+        out.push(*b);
+        out.push(*c);
+    }
+    out
+}
+
+/// A benchmark's parsed program plus bookkeeping for the harness.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// The streaming program.
+    pub program: Program,
+}
+
+fn bench(name: &'static str, src: &str) -> Bench {
+    Bench {
+        name,
+        program: parse_program(src)
+            .unwrap_or_else(|e| panic!("benchmark `{name}` failed to parse: {e}")),
+    }
+}
+
+/// CUBLAS `sdot`: input is `zip2(x, y)`.
+pub fn sdot() -> Bench {
+    bench(
+        "Sdot",
+        r#"pipeline Sdot(N) {
+            actor Dot(pop 2*N, push 1) {
+                acc = 0.0;
+                for i in 0..N {
+                    acc = acc + pop() * pop();
+                }
+                push(acc);
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS `sasum`.
+pub fn sasum() -> Bench {
+    bench(
+        "Sasum",
+        r#"pipeline Sasum(N) {
+            actor Asum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N {
+                    acc = acc + abs(pop());
+                }
+                push(acc);
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS `snrm2`.
+pub fn snrm2() -> Bench {
+    bench(
+        "Snrm2",
+        r#"pipeline Snrm2(N) {
+            actor Nrm2(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N {
+                    acc = acc + pow(pop(), 2.0);
+                }
+                push(sqrt(acc));
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS `isamax`/`isamin` magnitude (`max |x|`).
+pub fn isamax() -> Bench {
+    bench(
+        "Isamax/Isamin",
+        r#"pipeline Isamax(N) {
+            actor AmaxAbs(pop N, push 1) {
+                best = 0.0;
+                for i in 0..N {
+                    best = max(best, abs(pop()));
+                }
+                push(best);
+            }
+        }"#,
+    )
+}
+
+/// SDK scalarProd: the Dot actor fires once per vector pair; input is the
+/// concatenation of `zip2(x_p, y_p)` for each pair.
+pub fn scalar_product() -> Bench {
+    bench(
+        "Scalar Product",
+        r#"pipeline ScalarProduct(E) {
+            actor PairDot(pop 2*E, push 1) {
+                acc = 0.0;
+                for i in 0..E {
+                    acc = acc + pop() * pop();
+                }
+                push(acc);
+            }
+        }"#,
+    )
+}
+
+/// SDK MonteCarlo: per option the stream carries `paths` records of
+/// `(S, drift, vol·√T·?, z, X, disc)`; the host pre-folds the per-option
+/// constants so each record value is consumed exactly once and the body
+/// stays a single accumulation — the shape the reduction detector
+/// recognizes. The paper's sample is already input-portable; Adaptic
+/// merely matches it.
+pub fn monte_carlo() -> Bench {
+    bench(
+        "MonteCarlo",
+        r#"pipeline MonteCarlo(P) {
+            actor MeanPayoff(pop 6*P, push 1) {
+                acc = 0.0;
+                for i in 0..P {
+                    acc = acc + (max(pop() * exp(pop() + pop() * pop()) - pop(), 0.0) * pop());
+                }
+                push(acc / P);
+            }
+        }"#,
+    )
+}
+
+/// Pack MonteCarlo's input stream: `paths` records per option, ordered as
+/// the element expression pops them: `(S, drift, volsqt, z, X, disc)`
+/// where `drift = (r - v²/2)·T`, `volsqt = v·√T`, `disc = e^{-rT}`.
+pub fn monte_carlo_stream(params: &[f32], n_options: usize, paths: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n_options * paths * 6);
+    for opt in 0..n_options {
+        let (s, x, t, r, v) = (
+            params[opt * 5],
+            params[opt * 5 + 1],
+            params[opt * 5 + 2],
+            params[opt * 5 + 3],
+            params[opt * 5 + 4],
+        );
+        let drift = (r - 0.5 * v * v) * t;
+        let volsqt = v * t.sqrt();
+        let disc = (-r * t).exp();
+        for p in 0..paths {
+            let z = adaptic_baselines::sdk::mc_sample(opt, p);
+            out.extend_from_slice(&[s, drift, volsqt, z, x, disc]);
+        }
+    }
+    out
+}
+
+/// SDK oceanFFT surrogate: spectrum scaling map followed by a five-point
+/// smoothing stencil (the neighboring-access actor the paper exercises).
+pub fn ocean() -> Bench {
+    bench(
+        "Ocean FFT",
+        r#"pipeline Ocean(rows, cols) {
+            actor Scale(pop 1, push 1) {
+                state amplitude[1];
+                push(pop() * amplitude[0]);
+            }
+            actor Smooth(pop rows*cols, push rows*cols, peek rows*cols) {
+                for idx in 0..rows*cols {
+                    r = idx / cols;
+                    c = idx % cols;
+                    if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                        push(0.25 * (peek(idx - 1) + peek(idx + 1)
+                            + peek(idx - cols) + peek(idx + cols)));
+                    } else {
+                        push(peek(idx));
+                    }
+                }
+            }
+        }"#,
+    )
+}
+
+/// SDK convolutionSeparable: row pass then column pass, radius 8, taps in
+/// state arrays. Both actors have the neighboring-access pattern; the tap
+/// loop is unrolled so every peek offset is affine in the element index
+/// (the form the stencil detector recognizes, §4.1.2).
+pub fn convolution_separable() -> Bench {
+    let radius = 8i64;
+    let row_terms: Vec<String> = (-radius..=radius)
+        .map(|o| {
+            let k = o + radius;
+            if o < 0 {
+                format!("peek(idx - {}) * taps[{k}]", -o)
+            } else if o == 0 {
+                format!("peek(idx) * taps[{k}]")
+            } else {
+                format!("peek(idx + {o}) * taps[{k}]")
+            }
+        })
+        .collect();
+    let col_terms: Vec<String> = (-radius..=radius)
+        .map(|o| {
+            let k = o + radius;
+            if o < 0 {
+                format!("peek(idx - {} * cols) * taps[{k}]", -o)
+            } else if o == 0 {
+                format!("peek(idx) * taps[{k}]")
+            } else {
+                format!("peek(idx + {o} * cols) * taps[{k}]")
+            }
+        })
+        .collect();
+    let src = format!(
+        r#"pipeline ConvSep(rows, cols) {{
+            actor RowConv(pop rows*cols, push rows*cols, peek rows*cols) {{
+                state taps[17];
+                for idx in 0..rows*cols {{
+                    c = idx % cols;
+                    if (c >= 8 && c < cols - 8) {{
+                        push({row});
+                    }} else {{
+                        push(0.0);
+                    }}
+                }}
+            }}
+            actor ColConv(pop rows*cols, push rows*cols, peek rows*cols) {{
+                state taps[17];
+                for idx in 0..rows*cols {{
+                    r = idx / cols;
+                    if (r >= 8 && r < rows - 8) {{
+                        push({col});
+                    }} else {{
+                        push(0.0);
+                    }}
+                }}
+            }}
+        }}"#,
+        row = row_terms.join(" + "),
+        col = col_terms.join(" + "),
+    );
+    Bench {
+        name: "Convolution Separable",
+        program: parse_program(&src).expect("generated convolution source parses"),
+    }
+}
+
+/// The TMV case study (§5.2.1): one dot product per matrix row against a
+/// bound vector.
+pub fn tmv() -> Bench {
+    bench(
+        "TMV",
+        r#"pipeline TMV(rows, cols) {
+            actor RowDot(pop cols, push 1) {
+                state x[cols];
+                acc = 0.0;
+                for i in 0..cols {
+                    acc = acc + pop() * x[i];
+                }
+                push(acc);
+            }
+        }"#,
+    )
+}
+
+/// SDK BlackScholes (input-insensitive set): input records `(S, X, T)`,
+/// outputs `(call, put)`; rate and volatility live in state.
+pub fn black_scholes() -> Bench {
+    bench(
+        "BlackScholes",
+        r#"pipeline BlackScholes(N) {
+            actor Price(pop 3, push 2) {
+                state rv[2];
+                s = pop();
+                x = pop();
+                t = pop();
+                r = rv[0];
+                v = rv[1];
+                sq = sqrt(t);
+                d1 = (log(s / x) + (r + 0.5 * v * v) * t) / (v * sq);
+                d2 = d1 - v * sq;
+
+                k1 = 1.0 / (1.0 + 0.2316419 * abs(d1));
+                p1 = k1 * (0.31938153 + k1 * (0.0 - 0.356563782 + k1 * (1.781477937 + k1 * (0.0 - 1.821255978 + k1 * 1.330274429))));
+                w1 = 1.0 - exp(0.0 - 0.5 * d1 * d1) / sqrt(6.28318530718) * p1;
+                nd1 = select(d1 < 0.0, 1.0 - w1, w1);
+
+                k2 = 1.0 / (1.0 + 0.2316419 * abs(d2));
+                p2 = k2 * (0.31938153 + k2 * (0.0 - 0.356563782 + k2 * (1.781477937 + k2 * (0.0 - 1.821255978 + k2 * 1.330274429))));
+                w2 = 1.0 - exp(0.0 - 0.5 * d2 * d2) / sqrt(6.28318530718) * p2;
+                nd2 = select(d2 < 0.0, 1.0 - w2, w2);
+
+                disc = exp(0.0 - r * t);
+                push(s * nd1 - x * disc * nd2);
+                push(x * disc * (1.0 - nd2) - s * (1.0 - nd1));
+            }
+        }"#,
+    )
+}
+
+/// SDK vectorAdd: input `zip2(a, b)`.
+pub fn vector_add() -> Bench {
+    bench(
+        "VectorAdd",
+        r#"pipeline VectorAdd(N) {
+            actor Add(pop 2, push 1) {
+                a = pop();
+                b = pop();
+                push(a + b);
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS saxpy: input `zip2(x, y)`, scalar `a` in state.
+pub fn saxpy() -> Bench {
+    bench(
+        "Saxpy",
+        r#"pipeline Saxpy(N) {
+            actor Axpy(pop 2, push 1) {
+                state a[1];
+                x = pop();
+                y = pop();
+                push(a[0] * x + y);
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS sscal.
+pub fn sscal() -> Bench {
+    bench(
+        "Sscal",
+        r#"pipeline Sscal(N) {
+            actor Scal(pop 1, push 1) {
+                state a[1];
+                push(a[0] * pop());
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS scopy (a pure transfer actor).
+pub fn scopy() -> Bench {
+    bench(
+        "Scopy",
+        "pipeline Scopy(N) { actor Copy(pop 1, push 1) { push(pop()); } }",
+    )
+}
+
+/// CUBLAS sswap: input `zip2(x, y)`, output `zip2(y, x)`.
+pub fn sswap() -> Bench {
+    bench(
+        "Sswap",
+        r#"pipeline Sswap(N) {
+            actor Swap(pop 2, push 2) {
+                x = pop();
+                y = pop();
+                push(y);
+                push(x);
+            }
+        }"#,
+    )
+}
+
+/// CUBLAS srot: Givens rotation, `(c, s)` in state.
+pub fn srot() -> Bench {
+    bench(
+        "Srot",
+        r#"pipeline Srot(N) {
+            actor Rot(pop 2, push 2) {
+                state cs[2];
+                x = pop();
+                y = pop();
+                push(cs[0] * x + cs[1] * y);
+                push(cs[0] * y - cs[1] * x);
+            }
+        }"#,
+    )
+}
+
+/// SDK DCT8x8, in separable form over whole tiles: `Z = C·(X·Cᵀ)`. Each
+/// actor fires once per 8x8 tile with a single flattened coefficient
+/// loop, which intra-actor parallelization (§4.2.2, peek-window form)
+/// splits into one thread per coefficient — the SDK kernel's granularity.
+pub fn dct8x8() -> Bench {
+    bench(
+        "DCT",
+        r#"pipeline Dct(N) {
+            actor RowPass(pop 64, push 64, peek 64) {
+                for rv in 0..64 {
+                    r = rv / 8;
+                    v = rv % 8;
+                    acc = 0.0;
+                    for c in 0..8 {
+                        acc = acc + peek(r * 8 + c) * cos(3.14159265359 * (2.0 * c + 1.0) * v / 16.0);
+                    }
+                    cv = select(v == 0, sqrt(1.0 / 8.0), sqrt(2.0 / 8.0));
+                    push(cv * acc);
+                }
+            }
+            actor ColPass(pop 64, push 64, peek 64) {
+                for uv in 0..64 {
+                    u = uv / 8;
+                    v = uv % 8;
+                    acc = 0.0;
+                    for r in 0..8 {
+                        acc = acc + peek(r * 8 + v) * cos(3.14159265359 * (2.0 * r + 1.0) * u / 16.0);
+                    }
+                    cu = select(u == 0, sqrt(1.0 / 8.0), sqrt(2.0 / 8.0));
+                    push(cu * acc);
+                }
+            }
+        }"#,
+    )
+}
+
+/// SDK quasirandomGenerator surrogate: Weyl sequence of the input indices.
+pub fn quasirandom() -> Bench {
+    bench(
+        "QuasiRandomGenerator",
+        r#"pipeline Quasirandom(N) {
+            actor Weyl(pop 1, push 1) {
+                x = pop() * 0.618034;
+                push(x - floor(x));
+            }
+        }"#,
+    )
+}
+
+/// All benchmarks of the input-sensitive study (Figure 9), in the paper's
+/// order.
+pub fn figure9_benches() -> Vec<Bench> {
+    vec![
+        isamax(),
+        snrm2(),
+        sasum(),
+        sdot(),
+        scalar_product(),
+        monte_carlo(),
+        ocean(),
+        convolution_separable(),
+    ]
+}
+
+/// All benchmarks of the input-insensitive study (§5.3).
+pub fn insensitive_benches() -> Vec<Bench> {
+    vec![
+        black_scholes(),
+        vector_add(),
+        saxpy(),
+        scopy(),
+        sscal(),
+        sswap(),
+        srot(),
+        dct8x8(),
+        quasirandom(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::interp::Interpreter;
+
+    #[test]
+    fn all_benchmarks_parse() {
+        let mut names = Vec::new();
+        for b in figure9_benches().into_iter().chain(insensitive_benches()) {
+            names.push(b.name);
+        }
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn zip_helpers() {
+        assert_eq!(zip2(&[1.0, 2.0], &[3.0, 4.0]), vec![1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(
+            zip3(&[1.0], &[2.0], &[3.0]),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn sdot_interpreter_matches_reference() {
+        let b = sdot();
+        let x: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..32).map(|i| (i % 5) as f32).collect();
+        let mut it = Interpreter::new(&b.program);
+        it.bind_param("N", 32);
+        let out = it.run(&zip2(&x, &y)).unwrap();
+        assert_eq!(out[0], adaptic_baselines::reference::dot(&x, &y));
+    }
+
+    #[test]
+    fn black_scholes_dsl_matches_reference() {
+        let b = black_scholes();
+        let (s, x, t, r, v) = (105.0f32, 100.0f32, 0.75f32, 0.02f32, 0.3f32);
+        let mut it = Interpreter::new(&b.program);
+        it.bind_param("N", 1);
+        it.bind_state("Price", "rv", vec![r, v]);
+        let out = it.run(&[s, x, t]).unwrap();
+        let (call, put) = adaptic_baselines::reference::black_scholes(s, x, t, r, v);
+        assert!((out[0] - call).abs() < 1e-3, "{} vs {call}", out[0]);
+        assert!((out[1] - put).abs() < 1e-3, "{} vs {put}", out[1]);
+    }
+
+    #[test]
+    fn dct_dsl_matches_reference() {
+        let b = dct8x8();
+        let tile: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let mut it = Interpreter::new(&b.program);
+        it.bind_param("N", 1);
+        let out = it.run(&tile).unwrap();
+        let expected = adaptic_baselines::reference::dct8x8(&tile);
+        for i in 0..64 {
+            assert!((out[i] - expected[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_dsl_matches_baseline_kernel_math() {
+        let b = monte_carlo();
+        let params = [100.0f32, 95.0, 0.5, 0.02, 0.3];
+        let paths = 64usize;
+        let stream = monte_carlo_stream(&params, 1, paths);
+        let mut it = Interpreter::new(&b.program);
+        it.bind_param("P", paths as i64);
+        let out = it.run(&stream).unwrap();
+        let expected: f32 = (0..paths)
+            .map(|p| {
+                adaptic_baselines::sdk::mc_payoff(
+                    params[0],
+                    params[1],
+                    params[2],
+                    params[3],
+                    params[4],
+                    adaptic_baselines::sdk::mc_sample(0, p),
+                )
+            })
+            .sum::<f32>()
+            / paths as f32;
+        assert!((out[0] - expected).abs() < 1e-3 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn conv_separable_dsl_matches_reference() {
+        let b = convolution_separable();
+        let (rows, cols) = (20usize, 24usize);
+        let input: Vec<f32> = (0..rows * cols).map(|i| ((i * 3) % 11) as f32).collect();
+        let taps: Vec<f32> = (0..17).map(|k| 1.0 / (1.0 + (k as f32 - 8.0).abs())).collect();
+        let mut it = Interpreter::new(&b.program);
+        it.bind_param("rows", rows as i64);
+        it.bind_param("cols", cols as i64);
+        it.bind_state("RowConv", "taps", taps.clone());
+        it.bind_state("ColConv", "taps", taps.clone());
+        let out = it.run(&input).unwrap();
+        let mid = adaptic_baselines::reference::conv_rows(&input, rows, cols, &taps, 8);
+        let expected = adaptic_baselines::reference::conv_cols(&mid, rows, cols, &taps, 8);
+        for i in 0..rows * cols {
+            assert!(
+                (out[i] - expected[i]).abs() <= 1e-3 * expected[i].abs().max(1.0),
+                "at {i}: {} vs {}",
+                out[i],
+                expected[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! CUBLAS level-1 style baselines.
+//!
+//! The reduction routines (`sdot`, `sasum`, `snrm2`, `isamax`) use the
+//! classic fixed-geometry scheme of the era's CUBLAS: a **fixed grid** of
+//! `CUBLAS_GRID` blocks × `CUBLAS_BLOCK` threads grid-strides over the
+//! whole vector, each block writes one partial, and a single-block
+//! finalize kernel merges the partials. The geometry never adapts to the
+//! vector length — small vectors waste the fixed grid, enormous vectors
+//! under-fill the machine relative to an input-aware choice.
+//!
+//! The map routines (`saxpy`, `sscal`, `scopy`, `sswap`, `srot`) are
+//! one-thread-per-element with 256-thread blocks — already shape-agnostic,
+//! which is why the paper lists them as input-insensitive.
+
+use gpu_sim::{BlockCtx, BufId, DeviceSpec, ExecMode, GlobalMem, Kernel, LaunchConfig};
+
+use crate::util::{launch_timed, TimedRun};
+
+/// Fixed launch geometry of the reduction routines.
+pub const CUBLAS_GRID: u32 = 64;
+/// Threads per block of the reduction routines.
+pub const CUBLAS_BLOCK: u32 = 128;
+
+/// Which level-1 reduction to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Op {
+    /// `sum(x[i] * y[i])`
+    Dot,
+    /// `sum(|x[i]|)`
+    Asum,
+    /// `sqrt(sum(x[i]^2))`
+    Nrm2,
+    /// `max(|x[i]|)` (the magnitude located by `isamax`)
+    AmaxAbs,
+}
+
+impl L1Op {
+    fn elem(self, x: f32, y: f32) -> f32 {
+        match self {
+            L1Op::Dot => x * y,
+            L1Op::Asum => x.abs(),
+            L1Op::Nrm2 => x * x,
+            L1Op::AmaxAbs => x.abs(),
+        }
+    }
+
+    fn combine(self, a: f32, b: f32) -> f32 {
+        match self {
+            L1Op::AmaxAbs => a.max(b),
+            _ => a + b,
+        }
+    }
+
+    fn identity(self) -> f32 {
+        match self {
+            L1Op::AmaxAbs => f32::NEG_INFINITY,
+            _ => 0.0,
+        }
+    }
+
+    fn post(self, acc: f32) -> f32 {
+        match self {
+            L1Op::Nrm2 => acc.sqrt(),
+            _ => acc,
+        }
+    }
+}
+
+struct FixedGridReduce {
+    op: L1Op,
+    x: BufId,
+    y: Option<BufId>,
+    n: usize,
+    partials: BufId,
+}
+
+impl Kernel for FixedGridReduce {
+    fn name(&self) -> &str {
+        "cublas_reduce_pass1"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(CUBLAS_GRID, CUBLAS_BLOCK, CUBLAS_BLOCK)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let stride = (CUBLAS_GRID * CUBLAS_BLOCK) as usize;
+        for tid in ctx.threads() {
+            let mut acc = self.op.identity();
+            let mut i = (block * CUBLAS_BLOCK + tid) as usize;
+            while i < self.n {
+                let xv = ctx.ld_global(0, tid, self.x, i);
+                let yv = match self.y {
+                    Some(y) => ctx.ld_global(1, tid, y, i),
+                    None => 0.0,
+                };
+                acc = self.op.combine(acc, self.op.elem(xv, yv));
+                ctx.compute(tid, 2);
+                ctx.count_flops(2);
+                i += stride;
+            }
+            ctx.st_shared(2, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        // Tree reduction with warp tail.
+        let warp = ctx.warp_size() as usize;
+        let mut active = (CUBLAS_BLOCK / 2) as usize;
+        while active >= 1 {
+            for lane in 0..active {
+                let t = lane as u32;
+                let a = ctx.ld_shared(3, t, lane);
+                let b = ctx.ld_shared(3, t, lane + active);
+                ctx.st_shared(4, t, lane, self.op.combine(a, b));
+                ctx.compute(t, 1);
+            }
+            if active >= warp {
+                ctx.sync();
+            }
+            active /= 2;
+        }
+        let v = ctx.ld_shared(3, 0, 0);
+        ctx.st_global(5, 0, self.partials, block as usize, v);
+    }
+}
+
+struct FinalizeReduce {
+    op: L1Op,
+    partials: BufId,
+    out: BufId,
+}
+
+impl Kernel for FinalizeReduce {
+    fn name(&self) -> &str {
+        "cublas_reduce_finalize"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(1, CUBLAS_GRID, CUBLAS_GRID)
+    }
+
+    fn run_block(&self, _block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let v = ctx.ld_global(0, tid, self.partials, tid as usize);
+            ctx.st_shared(1, tid, tid as usize, v);
+        }
+        ctx.sync();
+        let mut acc = self.op.identity();
+        for i in 0..CUBLAS_GRID as usize {
+            acc = self.op.combine(acc, ctx.ld_shared(2, 0, i));
+            ctx.compute(0, 1);
+        }
+        ctx.st_global(3, 0, self.out, 0, self.op.post(acc));
+    }
+}
+
+fn reduce1(
+    device: &DeviceSpec,
+    op: L1Op,
+    x: &[f32],
+    y: Option<&[f32]>,
+    mode: ExecMode,
+) -> TimedRun {
+    let mut mem = GlobalMem::new();
+    let xb = mem.alloc_from(x);
+    let yb = y.map(|y| mem.alloc_from(y));
+    let partials = mem.alloc(CUBLAS_GRID as usize);
+    let out = mem.alloc(1);
+    let mut run = TimedRun::default();
+    let k1 = FixedGridReduce {
+        op,
+        x: xb,
+        y: yb,
+        n: x.len(),
+        partials,
+    };
+    launch_timed(device, &mut mem, &k1, mode, &mut run);
+    let k2 = FinalizeReduce { op, partials, out };
+    launch_timed(device, &mut mem, &k2, mode, &mut run);
+    run.output = mem.read(out).to_vec();
+    run
+}
+
+/// CUBLAS-style `sdot`.
+pub fn sdot(device: &DeviceSpec, x: &[f32], y: &[f32], mode: ExecMode) -> TimedRun {
+    assert_eq!(x.len(), y.len(), "sdot needs equal-length vectors");
+    reduce1(device, L1Op::Dot, x, Some(y), mode)
+}
+
+/// CUBLAS-style `sasum`.
+pub fn sasum(device: &DeviceSpec, x: &[f32], mode: ExecMode) -> TimedRun {
+    reduce1(device, L1Op::Asum, x, None, mode)
+}
+
+/// CUBLAS-style `snrm2`.
+pub fn snrm2(device: &DeviceSpec, x: &[f32], mode: ExecMode) -> TimedRun {
+    reduce1(device, L1Op::Nrm2, x, None, mode)
+}
+
+/// CUBLAS-style `isamax` magnitude (`max |x[i]|`).
+pub fn isamax_abs(device: &DeviceSpec, x: &[f32], mode: ExecMode) -> TimedRun {
+    reduce1(device, L1Op::AmaxAbs, x, None, mode)
+}
+
+/// Which element-wise level-1 routine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapOp {
+    /// `y = a*x + y`
+    Saxpy { a: f32 },
+    /// `x = a*x`
+    Sscal { a: f32 },
+    /// `y = x`
+    Scopy,
+    /// `x, y = y, x`
+    Sswap,
+    /// Givens rotation `x' = c*x + s*y; y' = c*y - s*x`
+    Srot { c: f32, s: f32 },
+}
+
+struct MapL1 {
+    op: MapOp,
+    x: BufId,
+    y: Option<BufId>,
+    n: usize,
+}
+
+impl Kernel for MapL1 {
+    fn name(&self) -> &str {
+        "cublas_map"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(256), 256, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let i = (block * 256 + tid) as usize;
+            if i >= self.n {
+                continue;
+            }
+            let xv = ctx.ld_global(0, tid, self.x, i);
+            match self.op {
+                MapOp::Saxpy { a } => {
+                    let y = self.y.expect("saxpy has y");
+                    let yv = ctx.ld_global(1, tid, y, i);
+                    ctx.st_global(2, tid, y, i, a * xv + yv);
+                    ctx.compute(tid, 2);
+                    ctx.count_flops(2);
+                }
+                MapOp::Sscal { a } => {
+                    ctx.st_global(2, tid, self.x, i, a * xv);
+                    ctx.compute(tid, 1);
+                    ctx.count_flops(1);
+                }
+                MapOp::Scopy => {
+                    let y = self.y.expect("scopy has y");
+                    ctx.st_global(2, tid, y, i, xv);
+                    ctx.compute(tid, 1);
+                }
+                MapOp::Sswap => {
+                    let y = self.y.expect("sswap has y");
+                    let yv = ctx.ld_global(1, tid, y, i);
+                    ctx.st_global(2, tid, self.x, i, yv);
+                    ctx.st_global(3, tid, y, i, xv);
+                    ctx.compute(tid, 2);
+                }
+                MapOp::Srot { c, s } => {
+                    let y = self.y.expect("srot has y");
+                    let yv = ctx.ld_global(1, tid, y, i);
+                    ctx.st_global(2, tid, self.x, i, c * xv + s * yv);
+                    ctx.st_global(3, tid, y, i, c * yv - s * xv);
+                    ctx.compute(tid, 6);
+                    ctx.count_flops(6);
+                }
+            }
+        }
+    }
+}
+
+/// Run an element-wise level-1 routine; returns the (x, y) vectors after.
+pub fn map_l1(
+    device: &DeviceSpec,
+    op: MapOp,
+    x: &[f32],
+    y: Option<&[f32]>,
+    mode: ExecMode,
+) -> (TimedRun, Vec<f32>, Vec<f32>) {
+    let mut mem = GlobalMem::new();
+    let xb = mem.alloc_from(x);
+    let yb = y.map(|y| mem.alloc_from(y));
+    let mut run = TimedRun::default();
+    let k = MapL1 {
+        op,
+        x: xb,
+        y: yb,
+        n: x.len(),
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    let xo = mem.read(xb).to_vec();
+    let yo = yb.map(|b| mem.read(b).to_vec()).unwrap_or_default();
+    (run, xo, yo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    fn vec_a(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 13) % 17) as f32 - 8.0).collect()
+    }
+
+    fn vec_b(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7) % 11) as f32 - 5.0).collect()
+    }
+
+    fn assert_close(a: f32, b: f32) {
+        assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn sdot_matches_reference() {
+        let (x, y) = (vec_a(10_000), vec_b(10_000));
+        let r = sdot(&device(), &x, &y, ExecMode::Full);
+        assert_close(r.output[0], reference::dot(&x, &y));
+        assert_eq!(r.kernels.len(), 2);
+        assert!(r.time_us > 0.0);
+    }
+
+    #[test]
+    fn sasum_snrm2_isamax_match_reference() {
+        let x = vec_a(4321);
+        let d = device();
+        assert_close(
+            sasum(&d, &x, ExecMode::Full).output[0],
+            reference::asum(&x),
+        );
+        assert_close(
+            snrm2(&d, &x, ExecMode::Full).output[0],
+            reference::nrm2(&x),
+        );
+        assert_close(
+            isamax_abs(&d, &x, ExecMode::Full).output[0],
+            reference::amax_abs(&x),
+        );
+    }
+
+    #[test]
+    fn fixed_grid_is_size_independent() {
+        let d = device();
+        let small = sdot(&d, &vec_a(256), &vec_b(256), ExecMode::Full);
+        let large = sdot(&d, &vec_a(1 << 16), &vec_b(1 << 16), ExecMode::Full);
+        // The hallmark of the input-unaware baseline: identical geometry.
+        assert_eq!(small.kernels[0].config.grid_dim, CUBLAS_GRID);
+        assert_eq!(large.kernels[0].config.grid_dim, CUBLAS_GRID);
+    }
+
+    #[test]
+    fn saxpy_and_friends_match_reference() {
+        let d = device();
+        let (x, y) = (vec_a(2000), vec_b(2000));
+
+        let (_, _, y2) = map_l1(&d, MapOp::Saxpy { a: 2.5 }, &x, Some(&y), ExecMode::Full);
+        for i in 0..x.len() {
+            assert_close(y2[i], 2.5 * x[i] + y[i]);
+        }
+
+        let (_, x2, _) = map_l1(&d, MapOp::Sscal { a: -1.5 }, &x, None, ExecMode::Full);
+        for i in 0..x.len() {
+            assert_close(x2[i], -1.5 * x[i]);
+        }
+
+        let (_, _, y3) = map_l1(&d, MapOp::Scopy, &x, Some(&y), ExecMode::Full);
+        assert_eq!(y3, x);
+
+        let (_, x4, y4) = map_l1(&d, MapOp::Sswap, &x, Some(&y), ExecMode::Full);
+        assert_eq!(x4, y);
+        assert_eq!(y4, x);
+
+        let (c, s) = (0.6, 0.8);
+        let (_, x5, y5) = map_l1(&d, MapOp::Srot { c, s }, &x, Some(&y), ExecMode::Full);
+        for i in 0..x.len() {
+            assert_close(x5[i], c * x[i] + s * y[i]);
+            assert_close(y5[i], c * y[i] - s * x[i]);
+        }
+    }
+
+    #[test]
+    fn maps_are_coalesced() {
+        let d = device();
+        let (run, _, _) = map_l1(
+            &d,
+            MapOp::Saxpy { a: 1.0 },
+            &vec_a(1 << 14),
+            Some(&vec_b(1 << 14)),
+            ExecMode::Full,
+        );
+        assert!(run.kernels[0].totals.transactions_per_mem_inst() <= 1.05);
+    }
+}

@@ -1,0 +1,485 @@
+//! GPUSVM-style nonlinear SVM trainer (§5.2.3 of the paper).
+//!
+//! Reproduces the structure of Catanzaro et al.'s GPUSVM trainer: each
+//! iteration selects the most violating sample pair with GPU reductions,
+//! computes the two RBF kernel rows with a map kernel over all samples,
+//! and updates the gradient with another map. The defining feature for
+//! the paper's Figure 12 is the **application-specific kernel-row cache**:
+//! GPUSVM keeps computed kernel rows in otherwise-unused GPU memory, so
+//! datasets that revisit the same working-set rows (Adult, USPS) skip the
+//! most expensive kernel entirely — an optimization outside Adaptic's
+//! compiler-level scope, which is why Adaptic reaches only ~65% of GPUSVM
+//! on average.
+//!
+//! The trainer is a deterministic kernel-adatron variant: simple enough to
+//! reproduce bit-for-bit on the CPU (see [`train_reference`]) yet with the
+//! same kernel structure as the real system.
+
+use std::collections::HashMap;
+
+use gpu_sim::{BlockCtx, BufId, DeviceSpec, ExecMode, GlobalMem, Kernel, LaunchConfig};
+
+use crate::util::{launch_timed, TimedRun};
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmConfig {
+    /// RBF width.
+    pub gamma: f32,
+    /// Box constraint.
+    pub c: f32,
+    /// Learning rate of the adatron update.
+    pub lr: f32,
+    /// Training iterations (two kernel rows each).
+    pub iterations: usize,
+    /// Kernel-row cache capacity (0 disables the cache — the Adaptic
+    /// version cannot express it).
+    pub cache_rows: usize,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            gamma: 0.05,
+            c: 1.0,
+            lr: 0.5,
+            iterations: 16,
+            cache_rows: 64,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone)]
+pub struct SvmRun {
+    /// Final dual coefficients.
+    pub alphas: Vec<f32>,
+    /// Device time (µs).
+    pub time_us: f64,
+    /// Kernel launches performed.
+    pub launches: usize,
+    /// Kernel-row cache hits.
+    pub cache_hits: usize,
+}
+
+/// RBF kernel row kernel: `out[s] = exp(-gamma * ||x_i - x_s||^2)` with
+/// feature-major (column-major) data for coalesced access.
+struct KernelRow {
+    data: BufId, // d x n, feature-major
+    out: BufId,
+    row: usize,
+    n: usize,
+    d: usize,
+    gamma: f32,
+}
+
+impl Kernel for KernelRow {
+    fn name(&self) -> &str {
+        "gpusvm_kernel_row"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(128), 128, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let s = (block * 128 + tid) as usize;
+            if s >= self.n {
+                continue;
+            }
+            let mut dist = 0.0f32;
+            for j in 0..self.d {
+                let xi = ctx.ld_global(0, tid, self.data, j * self.n + self.row);
+                let xs = ctx.ld_global(1, tid, self.data, j * self.n + s);
+                let diff = xi - xs;
+                dist += diff * diff;
+                ctx.compute(tid, 3);
+                ctx.count_flops(3);
+            }
+            ctx.st_global(2, tid, self.out, s, (-self.gamma * dist).exp());
+            ctx.compute(tid, 9);
+            ctx.count_flops(9);
+        }
+    }
+}
+
+/// Gradient update kernel: `f[s] += delta * y_i * k[s]`.
+struct GradUpdate {
+    f: BufId,
+    k: BufId,
+    n: usize,
+    scale: f32,
+}
+
+impl Kernel for GradUpdate {
+    fn name(&self) -> &str {
+        "gpusvm_grad_update"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(256), 256, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let s = (block * 256 + tid) as usize;
+            if s >= self.n {
+                continue;
+            }
+            let fv = ctx.ld_global(0, tid, self.f, s);
+            let kv = ctx.ld_global(1, tid, self.k, s);
+            ctx.st_global(2, tid, self.f, s, fv + self.scale * kv);
+            ctx.compute(tid, 2);
+            ctx.count_flops(2);
+        }
+    }
+}
+
+/// Violation reduction kernel: block maxima of `y[s] * f[s]` written to
+/// partials (GPUSVM's working-set selection reduction).
+struct ViolationReduce {
+    f: BufId,
+    y: BufId,
+    partials: BufId,
+    n: usize,
+    negate: bool,
+}
+
+impl Kernel for ViolationReduce {
+    fn name(&self) -> &str {
+        "gpusvm_select"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(64, 128, 128)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let stride = 64 * 128;
+        for tid in ctx.threads() {
+            let mut best = f32::NEG_INFINITY;
+            let mut i = (block * 128 + tid) as usize;
+            while i < self.n {
+                let fv = ctx.ld_global(0, tid, self.f, i);
+                let yv = ctx.ld_global(1, tid, self.y, i);
+                let v = if self.negate { -yv * fv } else { yv * fv };
+                best = best.max(v);
+                ctx.compute(tid, 2);
+                i += stride;
+            }
+            ctx.st_shared(2, tid, tid as usize, best);
+        }
+        ctx.sync();
+        let warp = ctx.warp_size() as usize;
+        let mut active = 64usize;
+        while active >= 1 {
+            for lane in 0..active {
+                let t = lane as u32;
+                let a = ctx.ld_shared(3, t, lane);
+                let b = ctx.ld_shared(3, t, lane + active);
+                ctx.st_shared(4, t, lane, a.max(b));
+                ctx.compute(t, 1);
+            }
+            if active >= warp {
+                ctx.sync();
+            }
+            active /= 2;
+        }
+        let v = ctx.ld_shared(3, 0, 0);
+        ctx.st_global(5, 0, self.partials, block as usize, v);
+    }
+}
+
+/// Host-side state of the deterministic adatron step.
+fn select_and_update(
+    alphas: &mut [f32],
+    f: &[f32],
+    y: &[f32],
+    cfg: &SvmConfig,
+    pick_max: bool,
+) -> (usize, f32) {
+    // Most violating sample: the one whose margin y*f is smallest
+    // (pick_max=false) or largest among bounded ones. Samples whose dual
+    // variable cannot move in the violation's direction (alpha pinned at 0
+    // or C) are excluded, as in SMO working-set selection — otherwise the
+    // search would stall on a saturated sample.
+    let mut best = 0usize;
+    let mut best_v = f32::INFINITY;
+    for s in 0..f.len() {
+        let margin = y[s] * f[s];
+        let step = cfg.lr * (1.0 - margin);
+        let movable = if step > 0.0 {
+            alphas[s] < cfg.c
+        } else {
+            alphas[s] > 0.0
+        };
+        if !movable {
+            continue;
+        }
+        let v = if pick_max { -margin } else { margin };
+        if v < best_v {
+            best_v = v;
+            best = s;
+        }
+    }
+    let old = alphas[best];
+    let updated = (old + cfg.lr * (1.0 - y[best] * f[best])).clamp(0.0, cfg.c);
+    let delta = updated - old;
+    alphas[best] = updated;
+    (best, delta)
+}
+
+/// Train with the GPUSVM strategy (kernel-row cache enabled by config).
+///
+/// `data` is sample-major `n x d`; it is transposed internally to the
+/// feature-major device layout. Labels must be ±1.
+pub fn train(
+    device: &DeviceSpec,
+    data: &[f32],
+    labels: &[f32],
+    n: usize,
+    d: usize,
+    cfg: &SvmConfig,
+    mode: ExecMode,
+) -> SvmRun {
+    assert_eq!(data.len(), n * d);
+    assert_eq!(labels.len(), n);
+    let mut mem = GlobalMem::new();
+    // Feature-major transpose (done host-side at load time, like GPUSVM).
+    let mut colmajor = vec![0.0f32; n * d];
+    for s in 0..n {
+        for j in 0..d {
+            colmajor[j * n + s] = data[s * d + j];
+        }
+    }
+    let db = mem.alloc_from(&colmajor);
+    let yb = mem.alloc_from(labels);
+    // f starts at -y (gradient of the dual at alpha = 0).
+    let f0: Vec<f32> = labels.iter().map(|y| -y).collect();
+    let fb = mem.alloc_from(&f0);
+    let kb = mem.alloc(n);
+    let partials = mem.alloc(64);
+
+    let mut run = TimedRun::default();
+    let mut alphas = vec![0.0f32; n];
+    let mut f_host = f0;
+    let mut cache: HashMap<usize, Vec<f32>> = HashMap::new();
+    let mut cache_hits = 0usize;
+    // Authoritative kernel row computed on the host: keeps the training
+    // trajectory exact even when kernels run in a sampled mode for
+    // timing-only sweeps.
+    let host_row = |i: usize| -> Vec<f32> {
+        (0..n)
+            .map(|s| {
+                let dist: f32 = (0..d)
+                    .map(|j| {
+                        let diff = data[i * d + j] - data[s * d + j];
+                        diff * diff
+                    })
+                    .sum();
+                (-cfg.gamma * dist).exp()
+            })
+            .collect()
+    };
+
+    for it in 0..cfg.iterations {
+        for phase in 0..2 {
+            // Selection reduction on the GPU (value only; the index scan
+            // runs on the host as in our simplified GPUSVM).
+            let sel = ViolationReduce {
+                f: fb,
+                y: yb,
+                partials,
+                n,
+                negate: phase == 1,
+            };
+            launch_timed(device, &mut mem, &sel, mode, &mut run);
+            let (idx, delta) =
+                select_and_update(&mut alphas, &f_host, labels, cfg, phase == 1);
+            if delta == 0.0 {
+                continue;
+            }
+            // Kernel row: cached or computed (the device kernel is
+            // launched for the timing; the host mirror keeps state exact).
+            let row = if let Some(row) = cache.get(&idx) {
+                cache_hits += 1;
+                row.clone()
+            } else {
+                let kr = KernelRow {
+                    data: db,
+                    out: kb,
+                    row: idx,
+                    n,
+                    d,
+                    gamma: cfg.gamma,
+                };
+                launch_timed(device, &mut mem, &kr, mode, &mut run);
+                let row = host_row(idx);
+                if cfg.cache_rows > 0 {
+                    if cache.len() >= cfg.cache_rows {
+                        // Evict an arbitrary (oldest-inserted-ish) row.
+                        if let Some(&k) = cache.keys().next() {
+                            cache.remove(&k);
+                        }
+                    }
+                    cache.insert(idx, row.clone());
+                }
+                row
+            };
+            // Gradient update.
+            let scale = delta * labels[idx];
+            let gu = GradUpdate {
+                f: fb,
+                k: kb,
+                n,
+                scale,
+            };
+            launch_timed(device, &mut mem, &gu, mode, &mut run);
+            for s in 0..n {
+                f_host[s] += scale * row[s];
+            }
+        }
+        let _ = it;
+    }
+
+    SvmRun {
+        alphas,
+        time_us: run.time_us,
+        launches: run.kernels.len(),
+        cache_hits,
+    }
+}
+
+/// CPU reference of exactly the same training rule (for differential
+/// tests of both the baseline and the Adaptic-compiled version).
+pub fn train_reference(
+    data: &[f32],
+    labels: &[f32],
+    n: usize,
+    d: usize,
+    cfg: &SvmConfig,
+) -> Vec<f32> {
+    let mut alphas = vec![0.0f32; n];
+    let mut f: Vec<f32> = labels.iter().map(|y| -y).collect();
+    let kernel_row = |i: usize| -> Vec<f32> {
+        (0..n)
+            .map(|s| {
+                let dist: f32 = (0..d)
+                    .map(|j| {
+                        let diff = data[i * d + j] - data[s * d + j];
+                        diff * diff
+                    })
+                    .sum();
+                (-cfg.gamma * dist).exp()
+            })
+            .collect()
+    };
+    for _ in 0..cfg.iterations {
+        for phase in 0..2 {
+            let (idx, delta) = select_and_update(&mut alphas, &f, labels, cfg, phase == 1);
+            if delta == 0.0 {
+                continue;
+            }
+            let row = kernel_row(idx);
+            let scale = delta * labels[idx];
+            for s in 0..n {
+                f[s] += scale * row[s];
+            }
+        }
+    }
+    alphas
+}
+
+/// Synthetic dataset with the shape of a published benchmark set and a
+/// controllable clustering factor: low `spread` clusters samples tightly,
+/// so selection revisits rows and the cache hit-rate climbs (the paper's
+/// Adult/USPS behaviour).
+pub fn synth_dataset(n: usize, d: usize, spread: f32, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    // Small deterministic LCG; no external entropy needed.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    let mut data = vec![0.0f32; n * d];
+    let mut labels = vec![0.0f32; n];
+    for s in 0..n {
+        let class = if s % 2 == 0 { 1.0 } else { -1.0 };
+        labels[s] = class;
+        for j in 0..d {
+            let center = class * if j % 3 == 0 { 1.0 } else { -0.5 };
+            data[s * d + j] = center + spread * next();
+        }
+    }
+    (data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    #[test]
+    fn gpu_training_matches_cpu_reference() {
+        let (data, labels) = synth_dataset(200, 16, 0.3, 7);
+        let cfg = SvmConfig {
+            iterations: 8,
+            cache_rows: 0,
+            ..SvmConfig::default()
+        };
+        let gpu = train(&device(), &data, &labels, 200, 16, &cfg, ExecMode::Full);
+        let cpu = train_reference(&data, &labels, 200, 16, &cfg);
+        for (a, b) in gpu.alphas.iter().zip(&cpu) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cache_reduces_launches_not_results() {
+        let (data, labels) = synth_dataset(300, 8, 0.05, 3); // tight clusters
+        let base_cfg = SvmConfig {
+            iterations: 24,
+            cache_rows: 0,
+            ..SvmConfig::default()
+        };
+        let cached_cfg = SvmConfig {
+            cache_rows: 64,
+            ..base_cfg
+        };
+        let d = device();
+        let uncached = train(&d, &data, &labels, 300, 8, &base_cfg, ExecMode::Full);
+        let cached = train(&d, &data, &labels, 300, 8, &cached_cfg, ExecMode::Full);
+        assert_eq!(uncached.alphas, cached.alphas);
+        assert!(cached.cache_hits > 0, "expected cache hits on clustered data");
+        assert!(cached.launches < uncached.launches);
+        assert!(cached.time_us < uncached.time_us);
+    }
+
+    #[test]
+    fn training_improves_margins() {
+        let (data, labels) = synth_dataset(150, 12, 0.2, 11);
+        let cfg = SvmConfig {
+            iterations: 20,
+            ..SvmConfig::default()
+        };
+        let run = train(&device(), &data, &labels, 150, 12, &cfg, ExecMode::Full);
+        // Some support vectors must have been found.
+        let active = run.alphas.iter().filter(|a| **a > 0.0).count();
+        assert!(active > 0);
+        assert!(run.time_us > 0.0);
+    }
+
+    #[test]
+    fn synthetic_dataset_is_deterministic_and_labeled() {
+        let (d1, l1) = synth_dataset(64, 4, 0.5, 42);
+        let (d2, _) = synth_dataset(64, 4, 0.5, 42);
+        assert_eq!(d1, d2);
+        assert!(l1.iter().all(|y| *y == 1.0 || *y == -1.0));
+    }
+}

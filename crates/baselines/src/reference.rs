@@ -1,0 +1,239 @@
+//! CPU reference implementations — the golden model for every baseline and
+//! Adaptic-generated kernel in this workspace.
+
+/// Dot product.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Sum of absolute values.
+pub fn asum(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Euclidean norm.
+pub fn nrm2(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Largest absolute value.
+pub fn amax_abs(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Transposed matrix–vector product `y = Aᵀ·x`... here in the paper's
+/// formulation: `a` holds `rows × cols` row-major and each output is the
+/// dot product of one row with `x` (the TMV benchmark computes one dot per
+/// row of the stored matrix).
+pub fn tmv(a: &[f32], x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(a.len(), rows * cols);
+    assert_eq!(x.len(), cols);
+    (0..rows)
+        .map(|r| dot(&a[r * cols..(r + 1) * cols], x))
+        .collect()
+}
+
+/// Five-point Jacobi smoothing step with clamped edges (interior averaged,
+/// border copied).
+pub fn stencil5(input: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(input.len(), rows * cols);
+    let mut out = input.to_vec();
+    for r in 1..rows.saturating_sub(1) {
+        for c in 1..cols.saturating_sub(1) {
+            let i = r * cols + c;
+            out[i] = 0.25 * (input[i - 1] + input[i + 1] + input[i - cols] + input[i + cols]);
+        }
+    }
+    out
+}
+
+/// 1-D convolution with a symmetric kernel of the given radius; outputs
+/// within `radius` of either end are zero (matching the SDK sample's
+/// border handling in our reproduction).
+pub fn conv1d(input: &[f32], taps: &[f32], radius: usize) -> Vec<f32> {
+    let n = input.len();
+    assert_eq!(taps.len(), 2 * radius + 1);
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        if i >= radius && i + radius < n {
+            *o = (0..taps.len())
+                .map(|k| input[i + k - radius] * taps[k])
+                .sum();
+        }
+    }
+    out
+}
+
+/// Row-wise 1-D convolution over a 2-D grid.
+pub fn conv_rows(input: &[f32], rows: usize, cols: usize, taps: &[f32], radius: usize) -> Vec<f32> {
+    let mut out = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let row = conv1d(&input[r * cols..(r + 1) * cols], taps, radius);
+        out[r * cols..(r + 1) * cols].copy_from_slice(&row);
+    }
+    out
+}
+
+/// Column-wise 1-D convolution over a 2-D grid.
+pub fn conv_cols(input: &[f32], rows: usize, cols: usize, taps: &[f32], radius: usize) -> Vec<f32> {
+    let mut out = vec![0.0; rows * cols];
+    for c in 0..cols {
+        let col: Vec<f32> = (0..rows).map(|r| input[r * cols + c]).collect();
+        let conv = conv1d(&col, taps, radius);
+        for r in 0..rows {
+            out[r * cols + c] = conv[r];
+        }
+    }
+    out
+}
+
+/// The cumulative normal distribution polynomial used by the BlackScholes
+/// SDK sample.
+pub fn cnd(d: f32) -> f32 {
+    const A1: f32 = 0.319_381_53;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
+    let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
+    let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
+    let w = 1.0 - (-(0.5) * d * d).exp() / (2.0 * std::f32::consts::PI).sqrt() * poly;
+    if d < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// BlackScholes call/put prices for one option.
+pub fn black_scholes(s: f32, x: f32, t: f32, r: f32, v: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    let call = s * cnd(d1) - x * (-r * t).exp() * cnd(d2);
+    let put = x * (-r * t).exp() * cnd(-d2) - s * cnd(-d1);
+    (call, put)
+}
+
+/// Naive DCT-II over one 8x8 tile (row-major), orthonormal scaling.
+pub fn dct8x8(tile: &[f32]) -> Vec<f32> {
+    assert_eq!(tile.len(), 64);
+    let n = 8usize;
+    let mut out = vec![0.0f32; 64];
+    for u in 0..n {
+        for v in 0..n {
+            let mut acc = 0.0f32;
+            for r in 0..n {
+                for c in 0..n {
+                    acc += tile[r * n + c]
+                        * ((std::f32::consts::PI * (2.0 * r as f32 + 1.0) * u as f32)
+                            / (2.0 * n as f32))
+                            .cos()
+                        * ((std::f32::consts::PI * (2.0 * c as f32 + 1.0) * v as f32)
+                            / (2.0 * n as f32))
+                            .cos();
+                }
+            }
+            let cu = if u == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+            let cv = if v == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+            out[u * n + v] = cu * cv * acc;
+        }
+    }
+    out
+}
+
+/// Weyl-sequence quasi-random value in [0, 1): `frac(i * alpha)`.
+pub fn weyl(i: f32, alpha: f32) -> f32 {
+    let x = i * alpha;
+    x - x.floor()
+}
+
+/// 64-bin histogram of values assumed in [0, 64).
+pub fn histogram64(data: &[f32]) -> Vec<f32> {
+    let mut h = vec![0.0f32; 64];
+    for &v in data {
+        let bin = (v as usize).min(63);
+        h[bin] += 1.0;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blas_references() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(asum(&[-1.0, 2.0]), 3.0);
+        assert_eq!(nrm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(amax_abs(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn tmv_reference_shape() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let x = vec![1.0, 0.0, -1.0];
+        assert_eq!(tmv(&a, &x, 2, 3), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn stencil5_keeps_borders() {
+        let input: Vec<f32> = (0..9).map(|i| i as f32).collect(); // 3x3
+        let out = stencil5(&input, 3, 3);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[4], 0.25 * (3.0 + 5.0 + 1.0 + 7.0));
+    }
+
+    #[test]
+    fn conv1d_borders_zero() {
+        let taps = vec![1.0, 2.0, 1.0];
+        let out = conv1d(&[1.0, 1.0, 1.0, 1.0], &taps, 1);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 4.0);
+        assert_eq!(out[3], 0.0);
+    }
+
+    #[test]
+    fn cnd_is_a_cdf() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-3);
+        assert!(cnd(5.0) > 0.999);
+        assert!(cnd(-5.0) < 0.001);
+        assert!((cnd(1.0) + cnd(-1.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn black_scholes_put_call_parity() {
+        let (s, x, t, r, v) = (100.0, 95.0, 0.5, 0.02, 0.3);
+        let (call, put) = black_scholes(s, x, t, r, v);
+        // C - P = S - X e^{-rT}
+        let parity = s - x * (-r * t).exp();
+        assert!((call - put - parity).abs() < 1e-2, "{call} {put} {parity}");
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        let tile: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let out = dct8x8(&tile);
+        let e_in: f32 = tile.iter().map(|v| v * v).sum();
+        let e_out: f32 = out.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() < 1e-1 * e_in, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn weyl_in_unit_interval() {
+        for i in 0..100 {
+            let v = weyl(i as f32, 0.618_034);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = histogram64(&[0.0, 0.5, 1.0, 63.9, 100.0]);
+        assert_eq!(h[0], 2.0);
+        assert_eq!(h[1], 1.0);
+        assert_eq!(h[63], 2.0);
+        assert_eq!(h.iter().sum::<f32>(), 5.0);
+    }
+}

@@ -1,0 +1,1113 @@
+//! NVIDIA CUDA SDK sample baselines.
+//!
+//! Each function mirrors the published sample's *fixed* strategy:
+//!
+//! * [`scalar_product`] — one 256-thread block per vector pair (good for
+//!   many pairs, terrible for a few huge pairs — the §5.1 result);
+//! * [`monte_carlo`] — two pre-tuned kernels with a size-based switch (the
+//!   sample the paper calls "originally input portable");
+//! * [`convolution_separable`] — row + column passes with fixed tiles and
+//!   radius 8;
+//! * [`ocean_fft`] — spectrum-scaling map + one smoothing pass with a
+//!   fixed tile (our surrogate for the SDK's ocean surface synthesis;
+//!   the paper exercises its neighboring-access actor);
+//! * [`black_scholes`], [`vector_add`], [`dct8x8`], [`quasirandom`],
+//!   [`histogram64`] — the input-insensitive set of §5.3.
+
+use gpu_sim::{BlockCtx, BufId, DeviceSpec, ExecMode, GlobalMem, Kernel, LaunchConfig};
+
+use crate::reference;
+use crate::util::{launch_timed, prev_pow2, TimedRun};
+
+// ---------------------------------------------------------------- scalarProd
+
+struct ScalarProdKernel {
+    x: BufId,
+    y: BufId,
+    out: BufId,
+    n_pairs: usize,
+    elements: usize,
+}
+
+impl Kernel for ScalarProdKernel {
+    fn name(&self) -> &str {
+        "sdk_scalar_prod"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.n_pairs as u32, 256, 256)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let pair = block as usize;
+        let base = pair * self.elements;
+        for tid in ctx.threads() {
+            let mut acc = 0.0f32;
+            let mut i = tid as usize;
+            while i < self.elements {
+                let a = ctx.ld_global(0, tid, self.x, base + i);
+                let b = ctx.ld_global(1, tid, self.y, base + i);
+                acc += a * b;
+                ctx.compute(tid, 2);
+                ctx.count_flops(2);
+                i += 256;
+            }
+            ctx.st_shared(2, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        let warp = ctx.warp_size() as usize;
+        let mut active = 128usize;
+        while active >= 1 {
+            for lane in 0..active {
+                let t = lane as u32;
+                let a = ctx.ld_shared(3, t, lane);
+                let b = ctx.ld_shared(3, t, lane + active);
+                ctx.st_shared(4, t, lane, a + b);
+                ctx.compute(t, 1);
+            }
+            if active >= warp {
+                ctx.sync();
+            }
+            active /= 2;
+        }
+        let v = ctx.ld_shared(3, 0, 0);
+        ctx.st_global(5, 0, self.out, pair, v);
+    }
+}
+
+/// SDK scalarProd: dot products of `n_pairs` vector pairs, block per pair.
+pub fn scalar_product(
+    device: &DeviceSpec,
+    x: &[f32],
+    y: &[f32],
+    n_pairs: usize,
+    mode: ExecMode,
+) -> TimedRun {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len() % n_pairs, 0);
+    let elements = x.len() / n_pairs;
+    let mut mem = GlobalMem::new();
+    let xb = mem.alloc_from(x);
+    let yb = mem.alloc_from(y);
+    let out = mem.alloc(n_pairs);
+    let mut run = TimedRun::default();
+    let k = ScalarProdKernel {
+        x: xb,
+        y: yb,
+        out,
+        n_pairs,
+        elements,
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    run.output = mem.read(out).to_vec();
+    run
+}
+
+// ---------------------------------------------------------------- MonteCarlo
+
+/// Deterministic pseudo-path sample used by both the baseline and the
+/// streaming version (so results can be compared exactly).
+pub fn mc_sample(option: usize, path: usize) -> f32 {
+    // A Weyl-style low-discrepancy point stretched to roughly N(0,1) via
+    // a logit transform — deterministic and cheap.
+    let u = reference::weyl((option * 977 + path + 1) as f32, 0.618_034);
+    let u = u.clamp(1e-4, 1.0 - 1e-4);
+    (u / (1.0 - u)).ln() * 0.607_93
+}
+
+/// Discounted payoff of one sampled path.
+pub fn mc_payoff(s: f32, x: f32, t: f32, r: f32, v: f32, z: f32) -> f32 {
+    let st = s * ((r - 0.5 * v * v) * t + v * t.sqrt() * z).exp();
+    (st - x).max(0.0) * (-r * t).exp()
+}
+
+struct McBlockPerOption {
+    params: BufId, // 5 floats per option: S, X, T, R, V
+    out: BufId,
+    n_options: usize,
+    paths: usize,
+}
+
+fn block_tree_sum(ctx: &mut BlockCtx<'_>, block_dim: usize) {
+    let warp = ctx.warp_size() as usize;
+    let mut active = block_dim / 2;
+    while active >= 1 {
+        for lane in 0..active {
+            let t = lane as u32;
+            let a = ctx.ld_shared(30, t, lane);
+            let b = ctx.ld_shared(30, t, lane + active);
+            ctx.st_shared(31, t, lane, a + b);
+            ctx.compute(t, 1);
+        }
+        if active >= warp {
+            ctx.sync();
+        }
+        active /= 2;
+    }
+}
+
+impl Kernel for McBlockPerOption {
+    fn name(&self) -> &str {
+        "sdk_montecarlo_block_per_option"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.n_options as u32, 256, 256)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let opt = block as usize;
+        let s = ctx.ld_global(0, 0, self.params, opt * 5);
+        let x = ctx.ld_global(0, 0, self.params, opt * 5 + 1);
+        let t = ctx.ld_global(0, 0, self.params, opt * 5 + 2);
+        let r = ctx.ld_global(0, 0, self.params, opt * 5 + 3);
+        let v = ctx.ld_global(0, 0, self.params, opt * 5 + 4);
+        for tid in ctx.threads() {
+            let mut acc = 0.0f32;
+            let mut p = tid as usize;
+            while p < self.paths {
+                acc += mc_payoff(s, x, t, r, v, mc_sample(opt, p));
+                ctx.compute(tid, 24);
+                ctx.count_flops(24);
+                p += 256;
+            }
+            ctx.st_shared(2, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        block_tree_sum(ctx, 256);
+        let sum = ctx.ld_shared(3, 0, 0);
+        ctx.st_global(5, 0, self.out, opt, sum / self.paths as f32);
+    }
+}
+
+struct McWholeGrid {
+    params: BufId,
+    partials: BufId,
+    option: usize,
+    blocks: u32,
+    paths: usize,
+}
+
+impl Kernel for McWholeGrid {
+    fn name(&self) -> &str {
+        "sdk_montecarlo_whole_grid"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks, 256, 256)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let opt = self.option;
+        let s = ctx.ld_global(0, 0, self.params, opt * 5);
+        let x = ctx.ld_global(0, 0, self.params, opt * 5 + 1);
+        let t = ctx.ld_global(0, 0, self.params, opt * 5 + 2);
+        let r = ctx.ld_global(0, 0, self.params, opt * 5 + 3);
+        let v = ctx.ld_global(0, 0, self.params, opt * 5 + 4);
+        let stride = self.blocks as usize * 256;
+        for tid in ctx.threads() {
+            let mut acc = 0.0f32;
+            let mut p = block as usize * 256 + tid as usize;
+            while p < self.paths {
+                acc += mc_payoff(s, x, t, r, v, mc_sample(opt, p));
+                ctx.compute(tid, 24);
+                ctx.count_flops(24);
+                p += stride;
+            }
+            ctx.st_shared(2, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        block_tree_sum(ctx, 256);
+        let sum = ctx.ld_shared(3, 0, 0);
+        ctx.st_global(5, 0, self.partials, block as usize, sum);
+    }
+}
+
+/// SDK MonteCarlo: mean discounted payoff per option. The sample ships two
+/// kernels and picks one from the option count — already input-portable,
+/// which is why Adaptic merely matches it (§5.1).
+pub fn monte_carlo(
+    device: &DeviceSpec,
+    params: &[f32],
+    n_options: usize,
+    paths: usize,
+    mode: ExecMode,
+) -> TimedRun {
+    assert_eq!(params.len(), n_options * 5);
+    let mut mem = GlobalMem::new();
+    let pb = mem.alloc_from(params);
+    let out = mem.alloc(n_options);
+    let mut run = TimedRun::default();
+    if n_options >= 2 * device.sm_count as usize {
+        let k = McBlockPerOption {
+            params: pb,
+            out,
+            n_options,
+            paths,
+        };
+        launch_timed(device, &mut mem, &k, mode, &mut run);
+        run.output = mem.read(out).to_vec();
+    } else {
+        // Few options: give each the whole device, then merge on host.
+        let blocks = device.sm_count * device.max_blocks_per_sm;
+        let partials = mem.alloc(blocks as usize);
+        let mut output = Vec::with_capacity(n_options);
+        for opt in 0..n_options {
+            let k = McWholeGrid {
+                params: pb,
+                partials,
+                option: opt,
+                blocks,
+                paths,
+            };
+            launch_timed(device, &mut mem, &k, mode, &mut run);
+            let sum: f32 = mem.read(partials).iter().sum();
+            output.push(sum / paths as f32);
+        }
+        run.output = output;
+    }
+    run
+}
+
+// ----------------------------------------------------- convolutionSeparable
+
+/// Convolution radius of the SDK sample.
+pub const CONV_RADIUS: usize = 8;
+
+struct ConvRowKernel {
+    input: BufId,
+    taps: BufId,
+    output: BufId,
+    rows: usize,
+    cols: usize,
+    tile: usize,
+}
+
+impl Kernel for ConvRowKernel {
+    fn name(&self) -> &str {
+        "sdk_conv_rows"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let tiles_per_row = self.cols.div_ceil(self.tile);
+        LaunchConfig::new(
+            (self.rows * tiles_per_row) as u32,
+            self.tile as u32,
+            (self.tile + 2 * CONV_RADIUS) as u32,
+        )
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let tiles_per_row = self.cols.div_ceil(self.tile);
+        let row = block as usize / tiles_per_row;
+        let c0 = (block as usize % tiles_per_row) * self.tile;
+        let ext = self.tile + 2 * CONV_RADIUS;
+        // Stage the row segment + halo.
+        let mut base = 0usize;
+        while base < ext {
+            for tid in ctx.threads() {
+                let e = base + tid as usize;
+                if e >= ext {
+                    continue;
+                }
+                let c = c0 as i64 - CONV_RADIUS as i64 + e as i64;
+                let v = if c >= 0 && (c as usize) < self.cols {
+                    ctx.ld_global(0, tid, self.input, row * self.cols + c as usize)
+                } else {
+                    0.0
+                };
+                ctx.st_shared(1, tid, e, v);
+            }
+            base += self.tile;
+        }
+        ctx.sync();
+        for tid in ctx.threads() {
+            let c = c0 + tid as usize;
+            if c >= self.cols {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            let interior = c >= CONV_RADIUS && c + CONV_RADIUS < self.cols;
+            if interior {
+                for k in 0..(2 * CONV_RADIUS + 1) {
+                    let tap = ctx.ld_global(2, tid, self.taps, k);
+                    let v = ctx.ld_shared(3, tid, tid as usize + k);
+                    acc += tap * v;
+                    ctx.compute(tid, 2);
+                    ctx.count_flops(2);
+                }
+            }
+            ctx.st_global(4, tid, self.output, row * self.cols + c, acc);
+        }
+    }
+}
+
+struct ConvColKernel {
+    input: BufId,
+    taps: BufId,
+    output: BufId,
+    rows: usize,
+    cols: usize,
+    tile_w: usize,
+    tile_h: usize,
+}
+
+impl Kernel for ConvColKernel {
+    fn name(&self) -> &str {
+        "sdk_conv_cols"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let tx = self.cols.div_ceil(self.tile_w);
+        let ty = self.rows.div_ceil(self.tile_h);
+        LaunchConfig::new(
+            (tx * ty) as u32,
+            (self.tile_w * 4) as u32,
+            (self.tile_w * (self.tile_h + 2 * CONV_RADIUS)) as u32,
+        )
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let tx = self.cols.div_ceil(self.tile_w);
+        let c0 = (block as usize % tx) * self.tile_w;
+        let r0 = (block as usize / tx) * self.tile_h;
+        let ext_h = self.tile_h + 2 * CONV_RADIUS;
+        let bdim = self.tile_w * 4;
+        // Stage tile_w columns of ext_h rows; row-segment sweeps coalesce.
+        let total = self.tile_w * ext_h;
+        let mut base = 0usize;
+        while base < total {
+            for tid in ctx.threads() {
+                let e = base + tid as usize;
+                if e >= total {
+                    continue;
+                }
+                let er = e / self.tile_w;
+                let ec = e % self.tile_w;
+                let r = r0 as i64 - CONV_RADIUS as i64 + er as i64;
+                let c = c0 + ec;
+                let v = if r >= 0 && (r as usize) < self.rows && c < self.cols {
+                    ctx.ld_global(0, tid, self.input, r as usize * self.cols + c)
+                } else {
+                    0.0
+                };
+                ctx.st_shared(1, tid, e, v);
+            }
+            base += bdim;
+        }
+        ctx.sync();
+        let outs = self.tile_w * self.tile_h;
+        let mut base = 0usize;
+        while base < outs {
+            for tid in ctx.threads() {
+                let e = base + tid as usize;
+                if e >= outs {
+                    continue;
+                }
+                let dr = e / self.tile_w;
+                let dc = e % self.tile_w;
+                let (r, c) = (r0 + dr, c0 + dc);
+                if r >= self.rows || c >= self.cols {
+                    continue;
+                }
+                let mut acc = 0.0f32;
+                if r >= CONV_RADIUS && r + CONV_RADIUS < self.rows {
+                    for k in 0..(2 * CONV_RADIUS + 1) {
+                        let tap = ctx.ld_global(2, tid, self.taps, k);
+                        let v = ctx.ld_shared(3, tid, (dr + k) * self.tile_w + dc);
+                        acc += tap * v;
+                        ctx.compute(tid, 2);
+                        ctx.count_flops(2);
+                    }
+                }
+                ctx.st_global(4, tid, self.output, r * self.cols + c, acc);
+            }
+            base += bdim;
+        }
+    }
+}
+
+/// SDK convolutionSeparable: row pass then column pass, fixed tiles.
+pub fn convolution_separable(
+    device: &DeviceSpec,
+    input: &[f32],
+    taps: &[f32],
+    rows: usize,
+    cols: usize,
+    mode: ExecMode,
+) -> TimedRun {
+    assert_eq!(input.len(), rows * cols);
+    assert_eq!(taps.len(), 2 * CONV_RADIUS + 1);
+    let mut mem = GlobalMem::new();
+    let ib = mem.alloc_from(input);
+    let tb = mem.alloc_from(taps);
+    let mid = mem.alloc(rows * cols);
+    let out = mem.alloc(rows * cols);
+    let mut run = TimedRun::default();
+    let rk = ConvRowKernel {
+        input: ib,
+        taps: tb,
+        output: mid,
+        rows,
+        cols,
+        tile: (prev_pow2(cols as u32) as usize).clamp(32, 128),
+    };
+    launch_timed(device, &mut mem, &rk, mode, &mut run);
+    let ck = ConvColKernel {
+        input: mid,
+        taps: tb,
+        output: out,
+        rows,
+        cols,
+        tile_w: 16,
+        tile_h: 16,
+    };
+    launch_timed(device, &mut mem, &ck, mode, &mut run);
+    run.output = mem.read(out).to_vec();
+    run
+}
+
+// ------------------------------------------------------------------ oceanFFT
+
+struct OceanScaleKernel {
+    input: BufId,
+    output: BufId,
+    n: usize,
+    amplitude: f32,
+}
+
+impl Kernel for OceanScaleKernel {
+    fn name(&self) -> &str {
+        "sdk_ocean_scale"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(256), 256, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let i = (block * 256 + tid) as usize;
+            if i >= self.n {
+                continue;
+            }
+            let v = ctx.ld_global(0, tid, self.input, i);
+            ctx.st_global(1, tid, self.output, i, v * self.amplitude);
+            ctx.compute(tid, 1);
+            ctx.count_flops(1);
+        }
+    }
+}
+
+struct OceanSmoothKernel {
+    input: BufId,
+    output: BufId,
+    rows: usize,
+    cols: usize,
+    tile_w: usize,
+    tile_h: usize,
+}
+
+impl Kernel for OceanSmoothKernel {
+    fn name(&self) -> &str {
+        "sdk_ocean_smooth"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let tx = self.cols.div_ceil(self.tile_w);
+        let ty = self.rows.div_ceil(self.tile_h);
+        LaunchConfig::new(
+            (tx * ty) as u32,
+            256,
+            ((self.tile_w + 2) * (self.tile_h + 2)) as u32,
+        )
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let tx = self.cols.div_ceil(self.tile_w);
+        let c0 = (block as usize % tx) * self.tile_w;
+        let r0 = (block as usize / tx) * self.tile_h;
+        let (ew, _eh) = (self.tile_w + 2, self.tile_h + 2);
+        let total = ew * (self.tile_h + 2);
+        let mut base = 0usize;
+        while base < total {
+            for tid in ctx.threads() {
+                let e = base + tid as usize;
+                if e >= total {
+                    continue;
+                }
+                let (er, ec) = (e / ew, e % ew);
+                let r = r0 as i64 - 1 + er as i64;
+                let c = c0 as i64 - 1 + ec as i64;
+                let v = if r >= 0 && (r as usize) < self.rows && c >= 0 && (c as usize) < self.cols
+                {
+                    ctx.ld_global(0, tid, self.input, r as usize * self.cols + c as usize)
+                } else {
+                    0.0
+                };
+                ctx.st_shared(1, tid, e, v);
+            }
+            base += 256;
+        }
+        ctx.sync();
+        let outs = self.tile_w * self.tile_h;
+        let mut base = 0usize;
+        while base < outs {
+            for tid in ctx.threads() {
+                let e = base + tid as usize;
+                if e >= outs {
+                    continue;
+                }
+                let (dr, dc) = (e / self.tile_w, e % self.tile_w);
+                let (r, c) = (r0 + dr, c0 + dc);
+                if r >= self.rows || c >= self.cols {
+                    continue;
+                }
+                let center = ctx.ld_shared(2, tid, (dr + 1) * ew + dc + 1);
+                let v = if r > 0 && r < self.rows - 1 && c > 0 && c < self.cols - 1 {
+                    let up = ctx.ld_shared(2, tid, dr * ew + dc + 1);
+                    let down = ctx.ld_shared(2, tid, (dr + 2) * ew + dc + 1);
+                    let left = ctx.ld_shared(2, tid, (dr + 1) * ew + dc);
+                    let right = ctx.ld_shared(2, tid, (dr + 1) * ew + dc + 2);
+                    ctx.compute(tid, 5);
+                    ctx.count_flops(5);
+                    0.25 * (up + down + left + right)
+                } else {
+                    center
+                };
+                ctx.st_global(3, tid, self.output, r * self.cols + c, v);
+            }
+            base += 256;
+        }
+    }
+}
+
+/// SDK oceanFFT surrogate: spectrum scaling + one smoothing pass with a
+/// fixed 16x16 tile.
+pub fn ocean_fft(
+    device: &DeviceSpec,
+    spectrum: &[f32],
+    rows: usize,
+    cols: usize,
+    amplitude: f32,
+    mode: ExecMode,
+) -> TimedRun {
+    assert_eq!(spectrum.len(), rows * cols);
+    let mut mem = GlobalMem::new();
+    let ib = mem.alloc_from(spectrum);
+    let mid = mem.alloc(rows * cols);
+    let out = mem.alloc(rows * cols);
+    let mut run = TimedRun::default();
+    let sk = OceanScaleKernel {
+        input: ib,
+        output: mid,
+        n: rows * cols,
+        amplitude,
+    };
+    launch_timed(device, &mut mem, &sk, mode, &mut run);
+    let mk = OceanSmoothKernel {
+        input: mid,
+        output: out,
+        rows,
+        cols,
+        tile_w: 16,
+        tile_h: 16,
+    };
+    launch_timed(device, &mut mem, &mk, mode, &mut run);
+    run.output = mem.read(out).to_vec();
+    run
+}
+
+// ------------------------------------------------------- input-insensitive
+
+struct BlackScholesKernel {
+    prices: BufId, // 3 per option: S, X, T
+    calls: BufId,
+    puts: BufId,
+    n: usize,
+    r: f32,
+    v: f32,
+}
+
+impl Kernel for BlackScholesKernel {
+    fn name(&self) -> &str {
+        "sdk_black_scholes"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(256), 256, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let i = (block * 256 + tid) as usize;
+            if i >= self.n {
+                continue;
+            }
+            let s = ctx.ld_global(0, tid, self.prices, i * 3);
+            let x = ctx.ld_global(1, tid, self.prices, i * 3 + 1);
+            let t = ctx.ld_global(2, tid, self.prices, i * 3 + 2);
+            let (call, put) = reference::black_scholes(s, x, t, self.r, self.v);
+            ctx.st_global(3, tid, self.calls, i, call);
+            ctx.st_global(4, tid, self.puts, i, put);
+            ctx.compute(tid, 60);
+            ctx.count_flops(60);
+        }
+    }
+}
+
+/// SDK BlackScholes: one thread per option; returns calls then puts.
+pub fn black_scholes(
+    device: &DeviceSpec,
+    prices: &[f32],
+    r: f32,
+    v: f32,
+    mode: ExecMode,
+) -> TimedRun {
+    assert_eq!(prices.len() % 3, 0);
+    let n = prices.len() / 3;
+    let mut mem = GlobalMem::new();
+    let pb = mem.alloc_from(prices);
+    let calls = mem.alloc(n);
+    let puts = mem.alloc(n);
+    let mut run = TimedRun::default();
+    let k = BlackScholesKernel {
+        prices: pb,
+        calls,
+        puts,
+        n,
+        r,
+        v,
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    run.output = mem.read(calls).to_vec();
+    run.output.extend_from_slice(mem.read(puts));
+    run
+}
+
+struct VectorAddKernel {
+    a: BufId,
+    b: BufId,
+    c: BufId,
+    n: usize,
+}
+
+impl Kernel for VectorAddKernel {
+    fn name(&self) -> &str {
+        "sdk_vector_add"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(256), 256, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let i = (block * 256 + tid) as usize;
+            if i >= self.n {
+                continue;
+            }
+            let a = ctx.ld_global(0, tid, self.a, i);
+            let b = ctx.ld_global(1, tid, self.b, i);
+            ctx.st_global(2, tid, self.c, i, a + b);
+            ctx.compute(tid, 1);
+            ctx.count_flops(1);
+        }
+    }
+}
+
+/// SDK vectorAdd.
+pub fn vector_add(device: &DeviceSpec, a: &[f32], b: &[f32], mode: ExecMode) -> TimedRun {
+    assert_eq!(a.len(), b.len());
+    let mut mem = GlobalMem::new();
+    let ab = mem.alloc_from(a);
+    let bb = mem.alloc_from(b);
+    let cb = mem.alloc(a.len());
+    let mut run = TimedRun::default();
+    let k = VectorAddKernel {
+        a: ab,
+        b: bb,
+        c: cb,
+        n: a.len(),
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    run.output = mem.read(cb).to_vec();
+    run
+}
+
+struct Dct8x8Kernel {
+    input: BufId,
+    output: BufId,
+    n_tiles: usize,
+}
+
+impl Kernel for Dct8x8Kernel {
+    fn name(&self) -> &str {
+        "sdk_dct8x8"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        // 4 tiles per block of 256 threads (64 threads per tile); shared
+        // memory holds the staged tiles plus the row-pass intermediate.
+        LaunchConfig::new((self.n_tiles as u32).div_ceil(4), 256, 2 * 4 * 64)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        // Stage 4 tiles.
+        for tid in ctx.threads() {
+            let local = tid as usize / 64;
+            let elem = tid as usize % 64;
+            let tile = block as usize * 4 + local;
+            if tile >= self.n_tiles {
+                continue;
+            }
+            let v = ctx.ld_global(0, tid, self.input, tile * 64 + elem);
+            ctx.st_shared(1, tid, local * 64 + elem, v);
+        }
+        ctx.sync();
+        // Separable DCT, as in the SDK sample: row pass into the second
+        // shared bank, then column pass to global.
+        for tid in ctx.threads() {
+            let local = tid as usize / 64;
+            let elem = tid as usize % 64;
+            let tile = block as usize * 4 + local;
+            if tile >= self.n_tiles {
+                continue;
+            }
+            let (r, v) = (elem / 8, elem % 8);
+            let mut acc = 0.0f32;
+            for c in 0..8usize {
+                let val = ctx.ld_shared(2, tid, local * 64 + r * 8 + c);
+                acc += val
+                    * ((std::f32::consts::PI * (2.0 * c as f32 + 1.0) * v as f32) / 16.0).cos();
+            }
+            ctx.compute(tid, 8 * 11);
+            ctx.count_flops(8 * 3);
+            let cv = if v == 0 { (1.0f32 / 8.0).sqrt() } else { 0.5 };
+            ctx.st_shared(3, tid, 256 + local * 64 + r * 8 + v, cv * acc);
+        }
+        ctx.sync();
+        for tid in ctx.threads() {
+            let local = tid as usize / 64;
+            let elem = tid as usize % 64;
+            let tile = block as usize * 4 + local;
+            if tile >= self.n_tiles {
+                continue;
+            }
+            let (u, v) = (elem / 8, elem % 8);
+            let mut acc = 0.0f32;
+            for r in 0..8usize {
+                let val = ctx.ld_shared(4, tid, 256 + local * 64 + r * 8 + v);
+                acc += val
+                    * ((std::f32::consts::PI * (2.0 * r as f32 + 1.0) * u as f32) / 16.0).cos();
+            }
+            ctx.compute(tid, 8 * 11);
+            ctx.count_flops(8 * 3);
+            let cu = if u == 0 { (1.0f32 / 8.0).sqrt() } else { 0.5 };
+            ctx.st_global(5, tid, self.output, tile * 64 + u * 8 + v, cu * acc);
+        }
+    }
+}
+
+/// SDK DCT8x8: per-tile 2-D DCT of an image stored as consecutive 8x8
+/// tiles.
+pub fn dct8x8(device: &DeviceSpec, tiles: &[f32], mode: ExecMode) -> TimedRun {
+    assert_eq!(tiles.len() % 64, 0);
+    let n_tiles = tiles.len() / 64;
+    let mut mem = GlobalMem::new();
+    let ib = mem.alloc_from(tiles);
+    let ob = mem.alloc(tiles.len());
+    let mut run = TimedRun::default();
+    let k = Dct8x8Kernel {
+        input: ib,
+        output: ob,
+        n_tiles,
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    run.output = mem.read(ob).to_vec();
+    run
+}
+
+struct QuasirandomKernel {
+    output: BufId,
+    n: usize,
+    alpha: f32,
+}
+
+impl Kernel for QuasirandomKernel {
+    fn name(&self) -> &str {
+        "sdk_quasirandom"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(256), 256, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let i = (block * 256 + tid) as usize;
+            if i >= self.n {
+                continue;
+            }
+            let v = reference::weyl(i as f32 + 1.0, self.alpha);
+            ctx.st_global(0, tid, self.output, i, v);
+            ctx.compute(tid, 4);
+            ctx.count_flops(4);
+        }
+    }
+}
+
+/// SDK quasirandomGenerator surrogate: Weyl sequence.
+pub fn quasirandom(device: &DeviceSpec, n: usize, alpha: f32, mode: ExecMode) -> TimedRun {
+    let mut mem = GlobalMem::new();
+    let ob = mem.alloc(n);
+    let mut run = TimedRun::default();
+    let k = QuasirandomKernel {
+        output: ob,
+        n,
+        alpha,
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    run.output = mem.read(ob).to_vec();
+    run
+}
+
+struct Histogram64Partial {
+    data: BufId,
+    partials: BufId, // 64 bins per block
+    n: usize,
+    blocks: u32,
+}
+
+impl Kernel for Histogram64Partial {
+    fn name(&self) -> &str {
+        "sdk_histogram64_partial"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks, 256, 64)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        // Zero the block-private histogram.
+        for tid in ctx.threads() {
+            if (tid as usize) < 64 {
+                ctx.st_shared(0, tid, tid as usize, 0.0);
+            }
+        }
+        ctx.sync();
+        // Accumulate (shared-memory atomics modeled as serialized adds).
+        let stride = self.blocks as usize * 256;
+        for tid in ctx.threads() {
+            let mut i = block as usize * 256 + tid as usize;
+            while i < self.n {
+                let v = ctx.ld_global(1, tid, self.data, i);
+                let bin = (v as usize).min(63);
+                let old = ctx.ld_shared(2, tid, bin);
+                ctx.st_shared(3, tid, bin, old + 1.0);
+                ctx.compute(tid, 3);
+                i += stride;
+            }
+        }
+        ctx.sync();
+        for tid in ctx.threads() {
+            if (tid as usize) < 64 {
+                let v = ctx.ld_shared(4, tid, tid as usize);
+                ctx.st_global(5, tid, self.partials, block as usize * 64 + tid as usize, v);
+            }
+        }
+    }
+}
+
+struct Histogram64Merge {
+    partials: BufId,
+    out: BufId,
+    blocks: u32,
+}
+
+impl Kernel for Histogram64Merge {
+    fn name(&self) -> &str {
+        "sdk_histogram64_merge"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(1, 64, 0)
+    }
+
+    fn run_block(&self, _block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let mut acc = 0.0f32;
+            for b in 0..self.blocks as usize {
+                acc += ctx.ld_global(0, tid, self.partials, b * 64 + tid as usize);
+                ctx.compute(tid, 1);
+            }
+            ctx.st_global(1, tid, self.out, tid as usize, acc);
+        }
+    }
+}
+
+/// SDK histogram64: per-block shared-memory histograms plus a merge
+/// kernel. Input values are clamped into [0, 64).
+pub fn histogram64(device: &DeviceSpec, data: &[f32], mode: ExecMode) -> TimedRun {
+    let blocks = (device.sm_count * device.max_blocks_per_sm).min(240);
+    let mut mem = GlobalMem::new();
+    let db = mem.alloc_from(data);
+    let partials = mem.alloc(blocks as usize * 64);
+    let out = mem.alloc(64);
+    let mut run = TimedRun::default();
+    let k1 = Histogram64Partial {
+        data: db,
+        partials,
+        n: data.len(),
+        blocks,
+    };
+    launch_timed(device, &mut mem, &k1, mode, &mut run);
+    let k2 = Histogram64Merge {
+        partials,
+        out,
+        blocks,
+    };
+    launch_timed(device, &mut mem, &k2, mode, &mut run);
+    run.output = mem.read(out).to_vec();
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn scalar_product_matches_reference() {
+        let d = device();
+        let (pairs, elems) = (10usize, 500usize);
+        let x: Vec<f32> = (0..pairs * elems).map(|i| ((i * 3) % 7) as f32).collect();
+        let y: Vec<f32> = (0..pairs * elems).map(|i| ((i * 5) % 9) as f32).collect();
+        let run = scalar_product(&d, &x, &y, pairs, ExecMode::Full);
+        for p in 0..pairs {
+            let expected =
+                reference::dot(&x[p * elems..(p + 1) * elems], &y[p * elems..(p + 1) * elems]);
+            assert_close(run.output[p], expected, 1e-3);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_both_paths_agree() {
+        let d = device();
+        let params: Vec<f32> = (0..40)
+            .flat_map(|i| {
+                vec![
+                    90.0 + (i % 10) as f32,
+                    95.0,
+                    0.5,
+                    0.02,
+                    0.25 + 0.01 * (i % 5) as f32,
+                ]
+            })
+            .collect();
+        // 8 options -> whole-grid kernels; 40 options -> block-per-option.
+        let many = monte_carlo(&d, &params, 40, 2048, ExecMode::Full);
+        let few = monte_carlo(&d, &params[..8 * 5], 8, 2048, ExecMode::Full);
+        for o in 0..8 {
+            assert_close(few.output[o], many.output[o], 1e-3);
+        }
+    }
+
+    #[test]
+    fn convolution_matches_reference() {
+        let d = device();
+        let (rows, cols) = (24usize, 96usize);
+        let input: Vec<f32> = (0..rows * cols).map(|i| ((i * 11) % 13) as f32).collect();
+        let taps: Vec<f32> = (0..17)
+            .map(|k| 1.0 / (1.0 + (k as f32 - 8.0).abs()))
+            .collect();
+        let run = convolution_separable(&d, &input, &taps, rows, cols, ExecMode::Full);
+        let mid = reference::conv_rows(&input, rows, cols, &taps, CONV_RADIUS);
+        let expected = reference::conv_cols(&mid, rows, cols, &taps, CONV_RADIUS);
+        for i in 0..rows * cols {
+            assert_close(run.output[i], expected[i], 1e-3);
+        }
+    }
+
+    #[test]
+    fn ocean_surrogate_scales_and_smooths() {
+        let d = device();
+        let (rows, cols) = (32usize, 32usize);
+        let spectrum: Vec<f32> = (0..rows * cols).map(|i| (i % 7) as f32).collect();
+        let run = ocean_fft(&d, &spectrum, rows, cols, 2.0, ExecMode::Full);
+        let scaled: Vec<f32> = spectrum.iter().map(|v| v * 2.0).collect();
+        let expected = reference::stencil5(&scaled, rows, cols);
+        for i in 0..rows * cols {
+            assert_close(run.output[i], expected[i], 1e-4);
+        }
+    }
+
+    #[test]
+    fn black_scholes_matches_reference() {
+        let d = device();
+        let n = 333usize;
+        let prices: Vec<f32> = (0..n)
+            .flat_map(|i| vec![80.0 + (i % 40) as f32, 100.0, 0.25 + 0.01 * (i % 50) as f32])
+            .collect();
+        let run = black_scholes(&d, &prices, 0.02, 0.3, ExecMode::Full);
+        for i in 0..n {
+            let (call, put) = reference::black_scholes(
+                prices[i * 3],
+                prices[i * 3 + 1],
+                prices[i * 3 + 2],
+                0.02,
+                0.3,
+            );
+            assert_close(run.output[i], call, 1e-4);
+            assert_close(run.output[n + i], put, 1e-4);
+        }
+    }
+
+    #[test]
+    fn vector_add_and_quasirandom() {
+        let d = device();
+        let a: Vec<f32> = (0..777).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..777).map(|i| (i * 2) as f32).collect();
+        let run = vector_add(&d, &a, &b, ExecMode::Full);
+        for i in 0..777 {
+            assert_eq!(run.output[i], 3.0 * i as f32);
+        }
+        let q = quasirandom(&d, 512, 0.618_034, ExecMode::Full);
+        for (i, v) in q.output.iter().enumerate() {
+            assert_eq!(*v, reference::weyl(i as f32 + 1.0, 0.618_034));
+        }
+    }
+
+    #[test]
+    fn dct_matches_reference_tilewise() {
+        let d = device();
+        let n_tiles = 7usize;
+        let tiles: Vec<f32> = (0..n_tiles * 64)
+            .map(|i| ((i * 13) % 23) as f32 - 11.0)
+            .collect();
+        let run = dct8x8(&d, &tiles, ExecMode::Full);
+        for t in 0..n_tiles {
+            let expected = reference::dct8x8(&tiles[t * 64..(t + 1) * 64]);
+            for i in 0..64 {
+                assert_close(run.output[t * 64 + i], expected[i], 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let d = device();
+        let data: Vec<f32> = (0..10_000).map(|i| ((i * 7) % 64) as f32).collect();
+        let run = histogram64(&d, &data, ExecMode::Full);
+        let expected = reference::histogram64(&data);
+        assert_eq!(run.output, expected);
+        assert_eq!(run.output.iter().sum::<f32>(), 10_000.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The CUBLAS transposed matrix–vector multiplication baseline — the
+//! paper's Figure 1 benchmark.
+//!
+//! The strategy is fixed: **one block per matrix row**, 128 threads per
+//! block, each block computing the dot product of its row with the vector
+//! via a grid-stride loop plus shared-memory tree. The launch geometry is
+//! therefore a direct function of the matrix dimensions:
+//!
+//! * few rows × many columns ⇒ only a handful of blocks ⇒ most SMs idle
+//!   (Figure 1's *low utilization* region);
+//! * balanced shapes ⇒ efficient execution;
+//! * many rows × few columns ⇒ an enormous grid of blocks that each do a
+//!   trivial dot product ⇒ the per-block overhead dominates (Figure 1's
+//!   *high overhead* region).
+
+use gpu_sim::{BlockCtx, BufId, DeviceSpec, ExecMode, GlobalMem, Kernel, LaunchConfig};
+
+use crate::util::{launch_timed, TimedRun};
+
+/// Threads per block of the fixed strategy.
+pub const TMV_BLOCK: u32 = 128;
+
+struct CublasTmvKernel {
+    a: BufId,
+    x: BufId,
+    y: BufId,
+    rows: usize,
+    cols: usize,
+}
+
+impl Kernel for CublasTmvKernel {
+    fn name(&self) -> &str {
+        "cublas_tmv"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.rows as u32, TMV_BLOCK, TMV_BLOCK)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let row = block as usize;
+        // Phase 1: strided partial dot products.
+        for tid in ctx.threads() {
+            let mut acc = 0.0f32;
+            let mut c = tid as usize;
+            while c < self.cols {
+                let a = ctx.ld_global(0, tid, self.a, row * self.cols + c);
+                let x = ctx.ld_global(1, tid, self.x, c);
+                acc += a * x;
+                ctx.compute(tid, 2);
+                ctx.count_flops(2);
+                c += TMV_BLOCK as usize;
+            }
+            ctx.st_shared(2, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        // Phase 2: tree reduction.
+        let warp = ctx.warp_size() as usize;
+        let mut active = (TMV_BLOCK / 2) as usize;
+        while active >= 1 {
+            for lane in 0..active {
+                let t = lane as u32;
+                let a = ctx.ld_shared(3, t, lane);
+                let b = ctx.ld_shared(3, t, lane + active);
+                ctx.st_shared(4, t, lane, a + b);
+                ctx.compute(t, 1);
+            }
+            if active >= warp {
+                ctx.sync();
+            }
+            active /= 2;
+        }
+        let v = ctx.ld_shared(3, 0, 0);
+        ctx.st_global(5, 0, self.y, row, v);
+    }
+}
+
+/// Run the CUBLAS-style TMV: `y[r] = dot(A[r, :], x)` for each row.
+pub fn tmv(
+    device: &DeviceSpec,
+    a: &[f32],
+    x: &[f32],
+    rows: usize,
+    cols: usize,
+    mode: ExecMode,
+) -> TimedRun {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(x.len(), cols, "vector length mismatch");
+    let mut mem = GlobalMem::new();
+    let ab = mem.alloc_from(a);
+    let xb = mem.alloc_from(x);
+    let yb = mem.alloc(rows);
+    let mut run = TimedRun::default();
+    let k = CublasTmvKernel {
+        a: ab,
+        x: xb,
+        y: yb,
+        rows,
+        cols,
+    };
+    launch_timed(device, &mut mem, &k, mode, &mut run);
+    run.output = mem.read(yb).to_vec();
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    fn matrix(rows: usize, cols: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..rows * cols).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let x: Vec<f32> = (0..cols).map(|i| ((i * 5) % 9) as f32 - 4.0).collect();
+        (a, x)
+    }
+
+    #[test]
+    fn tmv_matches_reference_across_shapes() {
+        let d = device();
+        for (rows, cols) in [(4usize, 2048usize), (64, 64), (1024, 8)] {
+            let (a, x) = matrix(rows, cols);
+            let run = tmv(&d, &a, &x, rows, cols, ExecMode::Full);
+            let expected = reference::tmv(&a, &x, rows, cols);
+            for r in 0..rows {
+                assert!(
+                    (run.output[r] - expected[r]).abs() <= 1e-2 * expected[r].abs().max(1.0),
+                    "{rows}x{cols} row {r}: {} vs {}",
+                    run.output[r],
+                    expected[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_is_tied_to_rows() {
+        let d = device();
+        let (a, x) = matrix(16, 256);
+        let run = tmv(&d, &a, &x, 16, 256, ExecMode::Full);
+        assert_eq!(run.kernels[0].config.grid_dim, 16);
+        assert_eq!(run.kernels[0].config.block_dim, TMV_BLOCK);
+    }
+
+    #[test]
+    fn comfort_zone_shape_beats_extremes() {
+        // Same element count, three shapes: the balanced shape must be the
+        // fastest per the timing model — Figure 1's story.
+        let d = device();
+        let total = 1 << 18;
+        let mut times = Vec::new();
+        for rows in [4usize, 512, 65536] {
+            let cols = total / rows;
+            let (a, x) = matrix(rows, cols);
+            let run = tmv(&d, &a, &x, rows, cols, ExecMode::SampledStats(128));
+            times.push(run.time_us);
+        }
+        assert!(
+            times[1] < times[0] && times[1] < times[2],
+            "balanced shape should win: {times:?}"
+        );
+    }
+}

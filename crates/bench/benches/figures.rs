@@ -1,0 +1,99 @@
+//! Criterion benches of the end-to-end figure pipelines at small scale —
+//! one group per paper experiment, for tracking regressions in the
+//! *implementation's* wall-clock (the simulated device times live in the
+//! `src/bin/fig*` harnesses).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adaptic::{compile, CompileOptions, InputAxis, StateBinding};
+use adaptic_apps::bicgstab::{self, AdapticBicgstab};
+use adaptic_apps::programs::{self, zip2};
+use adaptic_bench::data;
+use gpu_sim::{DeviceSpec, ExecMode};
+
+fn bench_fig1_tmv_baseline(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let (rows, cols) = (256usize, 256usize);
+    let a = data(rows * cols, 1);
+    let x = data(cols, 2);
+    c.bench_function("fig1_tmv_baseline_256x256", |b| {
+        b.iter(|| {
+            adaptic_baselines::tmv::tmv(&device, &a, &x, rows, cols, ExecMode::SampledExec(32))
+        })
+    });
+}
+
+fn bench_fig9_sdot_point(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let bench = programs::sdot();
+    let axis = InputAxis::total_size("N", 256, 1 << 16);
+    let compiled = compile(&bench.program, &device, &axis).unwrap();
+    let n = 1 << 14;
+    let input = zip2(&data(n, 3), &data(n, 4));
+    c.bench_function("fig9_sdot_adaptic_16k", |b| {
+        b.iter(|| {
+            compiled
+                .run_with(n as i64, &input, &[], ExecMode::SampledExec(32))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_fig10_tmv_adaptic_point(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let total: i64 = 1 << 16;
+    let axis = InputAxis::new("rows", 4, total / 4, move |rows| {
+        streamir::graph::bindings(&[("rows", rows), ("cols", total / rows)])
+    })
+    .with_items(move |_| total);
+    let compiled = compile(&programs::tmv().program, &device, &axis).unwrap();
+    let rows = 256usize;
+    let cols = total as usize / rows;
+    let a = data(total as usize, 5);
+    let x = data(cols, 6);
+    c.bench_function("fig10_tmv_adaptic_256rows", |b| {
+        b.iter(|| {
+            compiled
+                .run_with(
+                    rows as i64,
+                    &a,
+                    &[StateBinding::new("RowDot", "x", x.clone())],
+                    ExecMode::SampledExec(32),
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_fig11_bicgstab_iteration(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let n = 128usize;
+    let (a, b_vec) = bicgstab::synth_system(n, 3);
+    let solver = AdapticBicgstab::compile(&device, 64, 1024, CompileOptions::default()).unwrap();
+    c.bench_function("fig11_bicgstab_128_1iter", |bch| {
+        bch.iter(|| {
+            solver
+                .solve(&a, &b_vec, n, 1, ExecMode::SampledExec(32))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_variant_selection(c: &mut Criterion) {
+    // The runtime kernel-management decision itself must be cheap: the
+    // paper hides it under the host-to-device transfer.
+    let device = DeviceSpec::tesla_c2050();
+    let axis = InputAxis::total_size("N", 256, 1 << 22);
+    let compiled = compile(&programs::sasum().program, &device, &axis).unwrap();
+    c.bench_function("runtime_variant_lookup", |b| {
+        b.iter(|| compiled.variant_for(std::hint::black_box(123_456)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1_tmv_baseline, bench_fig9_sdot_point, bench_fig10_tmv_adaptic_point,
+        bench_fig11_bicgstab_iteration, bench_variant_selection
+);
+criterion_main!(benches);

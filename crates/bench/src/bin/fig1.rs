@@ -1,0 +1,66 @@
+//! Figure 1: performance of the input-unaware CUBLAS-style transposed
+//! matrix–vector multiplication across matrix shapes at a fixed element
+//! count, showing the three regions (low utilization / efficient
+//! execution / high overhead).
+
+use adaptic_bench::{data, header, row, size_label, scale, sweep_mode};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    header("Figure 1: CUBLAS-style TMV GFLOPS vs. matrix shape (fixed elements)");
+    let device = DeviceSpec::tesla_c2050();
+    let total: usize = (4 << 20) / scale();
+    let widths = [12usize, 10, 12, 18];
+    println!(
+        "{}",
+        row(
+            &["shape".into(), "GFLOPS".into(), "time(us)".into(), "region".into()],
+            &widths
+        )
+    );
+
+    let mut rows_count = 2usize;
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    while rows_count <= total / 4 {
+        let cols = total / rows_count;
+        let a = data(rows_count * cols, 1);
+        let x = data(cols, 2);
+        let run = adaptic_baselines::tmv::tmv(&device, &a, &x, rows_count, cols, sweep_mode());
+        results.push((rows_count, run.gflops()));
+        let region = if rows_count < device.sm_count as usize {
+            "low utilization"
+        } else if cols <= 64 {
+            "high overhead"
+        } else {
+            "efficient"
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}x{}", size_label(rows_count), size_label(cols)),
+                    format!("{:.2}", run.gflops()),
+                    format!("{:.1}", run.time_us),
+                    region.into(),
+                ],
+                &widths
+            )
+        );
+        rows_count *= 4;
+    }
+
+    // The figure's claim: the middle of the sweep beats both ends by a
+    // large factor.
+    let peak = results
+        .iter()
+        .map(|(_, g)| *g)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let first = results.first().map(|(_, g)| *g).unwrap_or(0.0);
+    let last = results.last().map(|(_, g)| *g).unwrap_or(0.0);
+    println!(
+        "\npeak {:.2} GFLOPS; degradation {:.1}x at the narrow end, {:.1}x at the wide end",
+        peak,
+        peak / first.max(1e-9),
+        peak / last.max(1e-9)
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 11: BiCGSTAB — Adaptic at cumulative optimization levels,
+//! normalized to the CUBLAS-composed implementation, on two GPU targets
+//! across matrix sizes.
+
+use adaptic::CompileOptions;
+use adaptic_apps::bicgstab::{self, AdapticBicgstab};
+use adaptic_bench::{header, row, scale, sweep_mode};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    header("Figure 11: BiCGSTAB speedup over CUBLAS composition (cumulative opts)");
+    let iters = 2usize;
+    let sizes: Vec<usize> = [512usize, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .map(|s| (s / scale().min(8)).max(128))
+        .collect();
+    let levels: [(&str, CompileOptions); 4] = [
+        ("baseline", CompileOptions::baseline()),
+        (
+            "+segmentation",
+            CompileOptions {
+                segmentation: true,
+                memory: false,
+                integration: false,
+                probes: 17,
+            },
+        ),
+        (
+            "+memory",
+            CompileOptions {
+                segmentation: true,
+                memory: true,
+                integration: false,
+                probes: 17,
+            },
+        ),
+        (
+            "+integration",
+            CompileOptions {
+                segmentation: true,
+                memory: true,
+                integration: true,
+                probes: 17,
+            },
+        ),
+    ];
+    let widths = [10usize, 12, 14, 14, 12, 12];
+
+    for device in [DeviceSpec::tesla_c2050(), DeviceSpec::gtx285()] {
+        println!("--- {} ---", device.name);
+        println!(
+            "{}",
+            row(
+                &[
+                    "size".into(),
+                    "cublas(us)".into(),
+                    "level".into(),
+                    "adaptic(us)".into(),
+                    "speedup".into(),
+                    String::new(),
+                ],
+                &widths
+            )
+        );
+        let lo = *sizes.first().unwrap() as i64;
+        let hi = *sizes.last().unwrap() as i64;
+        let solvers: Vec<(&str, AdapticBicgstab)> = levels
+            .iter()
+            .map(|(name, opts)| {
+                (
+                    *name,
+                    AdapticBicgstab::compile(&device, lo, hi, *opts)
+                        .expect("compile bicgstab"),
+                )
+            })
+            .collect();
+        for &n in &sizes {
+            let (a, b) = bicgstab::synth_system(n, 13);
+            let (_, cublas_us) = bicgstab::solve_cublas(&device, &a, &b, n, iters, sweep_mode());
+            for (name, solver) in &solvers {
+                let (_, us) = solver
+                    .solve(&a, &b, n, iters, sweep_mode())
+                    .expect("adaptic solve");
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            format!("{n}x{n}"),
+                            format!("{cublas_us:.0}"),
+                            (*name).into(),
+                            format!("{us:.0}"),
+                            format!("{:.2}x", cublas_us / us.max(1e-9)),
+                            String::new(),
+                        ],
+                        &widths
+                    )
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,261 @@
+//! Figure 9: Adaptic-generated code speedup over the hand-optimized CUDA
+//! baselines across 7 input sizes for the 8 input-sensitive benchmarks.
+
+use adaptic::{compile, CompiledProgram, InputAxis, StateBinding};
+use adaptic_apps::programs;
+use adaptic_bench::{data, header, row, scale, size_label, sweep_mode};
+use gpu_sim::{DeviceSpec, ExecMode};
+
+struct Point {
+    label: String,
+    baseline_us: f64,
+    adaptic_us: f64,
+}
+
+fn speedup_row(name: &str, points: &[Point]) {
+    let widths = [24usize, 12, 12, 12, 10];
+    for p in points {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{name} {}", p.label),
+                    format!("{:.1}", p.baseline_us),
+                    format!("{:.1}", p.adaptic_us),
+                    format!("{:.2}x", p.baseline_us / p.adaptic_us.max(1e-9)),
+                    String::new(),
+                ],
+                &widths
+            )
+        );
+    }
+    let geo: f64 = points
+        .iter()
+        .map(|p| (p.baseline_us / p.adaptic_us.max(1e-9)).ln())
+        .sum::<f64>()
+        / points.len() as f64;
+    println!("{name}: geometric-mean speedup {:.2}x\n", geo.exp());
+}
+
+fn blas_sizes() -> Vec<usize> {
+    [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+        .into_iter()
+        .map(|s: usize| (s / scale()).max(256))
+        .collect()
+}
+
+fn run_blas1(
+    name: &str,
+    bench: &adaptic_apps::Bench,
+    device: &DeviceSpec,
+    zip: bool,
+    baseline: impl Fn(&[f32], &[f32], ExecMode) -> f64,
+) {
+    let sizes = blas_sizes();
+    let axis = InputAxis::total_size("N", sizes[0] as i64, *sizes.last().unwrap() as i64);
+    let compiled = compile(&bench.program, device, &axis).expect("compile");
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let x = data(n, 3);
+        let y = data(n, 4);
+        let input = if zip { programs::zip2(&x, &y) } else { x.clone() };
+        let rep = compiled
+            .run_with(n as i64, &input, &[], sweep_mode())
+            .expect("run");
+        points.push(Point {
+            label: size_label(n),
+            baseline_us: baseline(&x, &y, sweep_mode()),
+            adaptic_us: rep.time_us,
+        });
+    }
+    speedup_row(name, &points);
+}
+
+fn main() {
+    header("Figure 9: Adaptic speedup vs hand-optimized code, 7 sizes x 8 benchmarks");
+    let device = DeviceSpec::tesla_c2050();
+    let widths = [24usize, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "benchmark/size".into(),
+                "base(us)".into(),
+                "adaptic(us)".into(),
+                "speedup".into(),
+                String::new(),
+            ],
+            &widths
+        )
+    );
+
+    // CUBLAS group.
+    run_blas1("Isamax/Isamin", &programs::isamax(), &device, false, |x, _, m| {
+        adaptic_baselines::blas1::isamax_abs(&device, x, m).time_us
+    });
+    run_blas1("Snrm2", &programs::snrm2(), &device, false, |x, _, m| {
+        adaptic_baselines::blas1::snrm2(&device, x, m).time_us
+    });
+    run_blas1("Sasum", &programs::sasum(), &device, false, |x, _, m| {
+        adaptic_baselines::blas1::sasum(&device, x, m).time_us
+    });
+    run_blas1("Sdot", &programs::sdot(), &device, true, |x, y, m| {
+        adaptic_baselines::blas1::sdot(&device, x, y, m).time_us
+    });
+
+    // SDK scalarProd: pairs x elements at fixed total.
+    {
+        let total = (4 << 20) / scale();
+        let bench = programs::scalar_product();
+        let t = total as i64;
+        let axis = InputAxis::new("pairs", 2, 128, move |pairs| {
+            streamir::graph::bindings(&[("E", t / pairs)])
+        })
+        .with_items(move |_| 2 * t);
+        let compiled = compile(&bench.program, &device, &axis).expect("compile scalarProd");
+        let mut points = Vec::new();
+        let mut pairs = 2usize;
+        for _ in 0..7 {
+            let elems = total / pairs;
+            let x = data(pairs * elems, 5);
+            let y = data(pairs * elems, 6);
+            let base = adaptic_baselines::sdk::scalar_product(
+                &device, &x, &y, pairs, sweep_mode(),
+            );
+            let rep = compiled
+                .run_with(pairs as i64, &programs::zip2(&x, &y), &[], sweep_mode())
+                .expect("run scalarProd");
+            points.push(Point {
+                label: format!("{}x{}", pairs, size_label(elems)),
+                baseline_us: base.time_us,
+                adaptic_us: rep.time_us,
+            });
+            pairs *= 2;
+        }
+        speedup_row("Scalar Product", &points);
+    }
+
+    // SDK MonteCarlo: options x paths at fixed total.
+    {
+        let total = (256 << 10) / scale();
+        let bench = programs::monte_carlo();
+        let t = total as i64;
+        let axis = InputAxis::new("options", 2, 128, move |options| {
+            streamir::graph::bindings(&[("P", t / options)])
+        })
+        .with_items(move |_| 6 * t);
+        let compiled = compile(&bench.program, &device, &axis).expect("compile MonteCarlo");
+        let mut points = Vec::new();
+        let mut options = 2usize;
+        for _ in 0..7 {
+            let paths = total / options;
+            let params: Vec<f32> = (0..options)
+                .flat_map(|i| {
+                    vec![
+                        90.0 + (i % 20) as f32,
+                        95.0,
+                        0.5,
+                        0.02,
+                        0.2 + 0.01 * (i % 10) as f32,
+                    ]
+                })
+                .collect();
+            let base = adaptic_baselines::sdk::monte_carlo(
+                &device,
+                &params,
+                options,
+                paths,
+                sweep_mode(),
+            );
+            let stream = programs::monte_carlo_stream(&params, options, paths);
+            let rep = compiled
+                .run_with(options as i64, &stream, &[], sweep_mode())
+                .expect("run MonteCarlo");
+            points.push(Point {
+                label: format!("{}opt x{}", options, size_label(paths)),
+                baseline_us: base.time_us,
+                adaptic_us: rep.time_us,
+            });
+            options *= 2;
+        }
+        speedup_row("MonteCarlo", &points);
+    }
+
+    // SDK oceanFFT + convolutionSeparable: rows x cols at fixed total.
+    let grid_shapes: Vec<(usize, usize)> = {
+        let total = (4 << 20) / scale();
+        let mut rows = 256usize / scale().min(16);
+        let mut out = Vec::new();
+        for _ in 0..7 {
+            out.push((rows, total / rows));
+            rows *= 2;
+        }
+        out
+    };
+
+    {
+        let bench = programs::ocean();
+        let total = grid_shapes[0].0 * grid_shapes[0].1;
+        let t = total as i64;
+        let (lo, hi) = (grid_shapes[0].0 as i64, grid_shapes.last().unwrap().0 as i64);
+        let axis = InputAxis::new("rows", lo, hi, move |rows| {
+            streamir::graph::bindings(&[("rows", rows), ("cols", t / rows)])
+        })
+        .with_items(move |_| t);
+        let compiled = compile(&bench.program, &device, &axis).expect("compile Ocean");
+        let mut points = Vec::new();
+        for &(rows, cols) in &grid_shapes {
+            let spectrum = data(rows * cols, 8);
+            let base = adaptic_baselines::sdk::ocean_fft(
+                &device, &spectrum, rows, cols, 2.0, sweep_mode(),
+            );
+            let state = [StateBinding::new("Scale", "amplitude", vec![2.0])];
+            let rep = compiled
+                .run_with(rows as i64, &spectrum, &state, sweep_mode())
+                .expect("run Ocean");
+            points.push(Point {
+                label: format!("{}x{}", size_label(rows), size_label(cols)),
+                baseline_us: base.time_us,
+                adaptic_us: rep.time_us,
+            });
+        }
+        speedup_row("Ocean FFT", &points);
+    }
+
+    {
+        let bench = programs::convolution_separable();
+        let total = grid_shapes[0].0 * grid_shapes[0].1;
+        let t = total as i64;
+        let (lo, hi) = (grid_shapes[0].0 as i64, grid_shapes.last().unwrap().0 as i64);
+        let axis = InputAxis::new("rows", lo, hi, move |rows| {
+            streamir::graph::bindings(&[("rows", rows), ("cols", t / rows)])
+        })
+        .with_items(move |_| t);
+        let compiled = compile(&bench.program, &device, &axis).expect("compile ConvSep");
+        let taps: Vec<f32> = (0..17)
+            .map(|k| 1.0 / (1.0 + (k as f32 - 8.0).abs()))
+            .collect();
+        let mut points = Vec::new();
+        for &(rows, cols) in &grid_shapes {
+            let input = data(rows * cols, 9);
+            let base = adaptic_baselines::sdk::convolution_separable(
+                &device, &input, &taps, rows, cols, sweep_mode(),
+            );
+            let state = [
+                StateBinding::new("RowConv", "taps", taps.clone()),
+                StateBinding::new("ColConv", "taps", taps.clone()),
+            ];
+            let rep = compiled
+                .run_with(rows as i64, &input, &state, sweep_mode())
+                .expect("run ConvSep");
+            points.push(Point {
+                label: format!("{}x{}", size_label(rows), size_label(cols)),
+                baseline_us: base.time_us,
+                adaptic_us: rep.time_us,
+            });
+        }
+        speedup_row("Convolution Separable", &points);
+    }
+
+    let _ = CompiledProgram::variant_count;
+}

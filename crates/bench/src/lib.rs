@@ -1,0 +1,93 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the
+//! paper's evaluation (see `DESIGN.md` for the index and `EXPERIMENTS.md`
+//! for recorded results). Sizes are scaled down from the paper's
+//! GPU-scale inputs by [`scale`] (override with the `ADAPTIC_SCALE`
+//! environment variable; `1` reproduces the paper's sizes at the cost of
+//! long simulation times).
+
+use gpu_sim::ExecMode;
+
+/// Global size divisor for the sweeps (default 4).
+pub fn scale() -> usize {
+    std::env::var("ADAPTIC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s| *s >= 1)
+        .unwrap_or(4)
+}
+
+/// Execution mode used by timing sweeps: sampled execution keeps
+/// figure-scale launches tractable while preserving aggregate statistics.
+pub fn sweep_mode() -> ExecMode {
+    ExecMode::SampledExec(256)
+}
+
+/// Deterministic pseudo-random data in [-1, 1).
+pub fn data(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Human-readable size label (1K, 4M, ...).
+pub fn size_label(n: usize) -> String {
+    if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n >= 1 << 10 && n.is_multiple_of(1 << 10) {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Print a figure header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+    println!("(sizes scaled by 1/{}; set ADAPTIC_SCALE=1 for paper-scale)\n", scale());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(size_label(1 << 10), "1K");
+        assert_eq!(size_label(4 << 20), "4M");
+        assert_eq!(size_label(1000), "1000");
+    }
+
+    #[test]
+    fn data_is_deterministic_and_bounded() {
+        let a = data(100, 1);
+        let b = data(100, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_ne!(a, data(100, 2));
+    }
+
+    #[test]
+    fn scale_is_positive() {
+        assert!(scale() >= 1);
+    }
+}

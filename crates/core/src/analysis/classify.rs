@@ -1,0 +1,201 @@
+//! Actor classification.
+//!
+//! The compiler's first pass over each actor decides which lowering
+//! families apply. Classification is ordered from most to least
+//! specialized: reduction, stencil, parallelizable loop, per-firing map,
+//! transfer, and finally opaque (host execution).
+
+use streamir::actor::{ActorDef, ActorKind, StateVar};
+use streamir::ir::Stmt;
+use streamir::rates::Bindings;
+
+use super::recurrence::{parallelize, ParallelLoop};
+use super::reduction::{detect_reduction, ReductionPattern};
+use super::stencil::{detect_stencil, StencilPattern};
+
+/// How an actor will be lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActorClass {
+    /// Tree-parallelizable reduction (§4.2.1).
+    Reduction(ReductionPattern),
+    /// Neighboring-access actor (§4.1.2).
+    Stencil(StencilPattern),
+    /// Large loop with independent iterations (§4.2.2); one thread per
+    /// iteration.
+    ParallelLoop(ParallelLoop),
+    /// Small fixed-rate actor; one thread per firing.
+    Map,
+    /// Pure data reorganization; candidate for index translation (§4.3.1).
+    Transfer,
+    /// Not GPU-lowerable (stateful, irregular); interpreted on the host.
+    Opaque,
+}
+
+impl ActorClass {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ActorClass::Reduction(_) => "reduction",
+            ActorClass::Stencil(_) => "stencil",
+            ActorClass::ParallelLoop(_) => "parallel-loop",
+            ActorClass::Map => "map",
+            ActorClass::Transfer => "transfer",
+            ActorClass::Opaque => "opaque",
+        }
+    }
+}
+
+/// True when the actor's firing has no cross-firing or cross-thread
+/// hazards: no scalar state, no state-array stores.
+fn firing_is_pure(actor: &ActorDef) -> bool {
+    if actor
+        .state
+        .iter()
+        .any(|s| matches!(s, StateVar::Scalar { .. }))
+    {
+        return false;
+    }
+    let mut stores = 0usize;
+    for s in &actor.work.body {
+        s.visit(&mut |s| {
+            if matches!(s, Stmt::StateStore { .. }) {
+                stores += 1;
+            }
+        });
+    }
+    stores == 0
+}
+
+/// Classify an actor under concrete parameter bindings.
+///
+/// Bindings are needed because parallelizability of loops (constant
+/// initializers, loop-invariant steps) is checked by evaluation.
+pub fn classify(actor: &ActorDef, binds: &Bindings) -> ActorClass {
+    if !firing_is_pure(actor) {
+        return ActorClass::Opaque;
+    }
+    if let Some(r) = detect_reduction(actor) {
+        return ActorClass::Reduction(r);
+    }
+    if let Some(s) = detect_stencil(actor) {
+        return ActorClass::Stencil(s);
+    }
+    // Large symbolic-rate loops want intra-actor parallelization; small
+    // constant-rate actors are plain maps. The threshold admits block
+    // transforms like an 8x8 DCT (64 items per firing) as single-thread
+    // maps while sending symbolic-rate loops to the parallelizer.
+    let pop_const = actor.work.pop.as_constant();
+    let push_const = actor.work.push.as_constant();
+    let small = matches!((pop_const, push_const), (Some(p), Some(q)) if p <= 64 && q <= 64);
+    // Wide firings (symbolic rates, or >=32 items) deserve intra-actor
+    // parallelization; narrow maps are cheaper as one thread per firing.
+    let wide = !small || matches!(pop_const, Some(p) if p >= 32);
+    if wide {
+        if let Some(pl) = parallelize(actor, binds) {
+            return ActorClass::ParallelLoop(pl);
+        }
+    }
+    // Peeking beyond the window disqualifies the plain map lowering.
+    if actor.peeks_beyond_pops() && !small {
+        return ActorClass::Opaque;
+    }
+    if small {
+        return match actor.kind() {
+            ActorKind::Transfer => ActorClass::Transfer,
+            ActorKind::Generic => ActorClass::Map,
+        };
+    }
+    ActorClass::Opaque
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::graph::bindings;
+    use streamir::parse::parse_program;
+
+    fn classify_first(src: &str) -> ActorClass {
+        let p = parse_program(src).unwrap();
+        classify(&p.actors[0], &bindings(&[("N", 1024), ("rows", 64), ("cols", 64)]))
+    }
+
+    #[test]
+    fn classifies_reduction() {
+        let c = classify_first(
+            r#"pipeline P(N) {
+                actor Sum(pop N, push 1) {
+                    acc = 0.0;
+                    for i in 0..N { acc = acc + pop(); }
+                    push(acc);
+                }
+            }"#,
+        );
+        assert!(matches!(c, ActorClass::Reduction(_)));
+        assert_eq!(c.label(), "reduction");
+    }
+
+    #[test]
+    fn classifies_stencil() {
+        let c = classify_first(
+            r#"pipeline P(rows, cols) {
+                actor S(pop rows*cols, push rows*cols, peek rows*cols) {
+                    for i in 0..rows*cols {
+                        push(peek(i) + 1.0);
+                    }
+                }
+            }"#,
+        );
+        assert!(matches!(c, ActorClass::Stencil(_)));
+    }
+
+    #[test]
+    fn classifies_parallel_loop() {
+        let c = classify_first(
+            r#"pipeline P(N) {
+                actor Axpy(pop 2*N, push N) {
+                    for i in 0..N { x = pop(); y = pop(); push(x + y); }
+                }
+            }"#,
+        );
+        assert!(matches!(c, ActorClass::ParallelLoop(_)));
+    }
+
+    #[test]
+    fn classifies_map_and_transfer() {
+        let m = classify_first(
+            "pipeline P() { actor M(pop 1, push 1) { push(pop() * 2.0); } }",
+        );
+        assert!(matches!(m, ActorClass::Map));
+        let t = classify_first(
+            "pipeline P() { actor T(pop 2, push 2) { a = pop(); b = pop(); push(b); push(a); } }",
+        );
+        assert!(matches!(t, ActorClass::Transfer));
+    }
+
+    #[test]
+    fn stateful_actor_is_opaque() {
+        let c = classify_first(
+            r#"pipeline P() {
+                actor R(pop 1, push 1) {
+                    state total = 0.0;
+                    total = total + pop();
+                    push(total);
+                }
+            }"#,
+        );
+        assert!(matches!(c, ActorClass::Opaque));
+    }
+
+    #[test]
+    fn irregular_big_loop_is_opaque() {
+        let c = classify_first(
+            r#"pipeline P(N) {
+                actor Scan(pop N, push N) {
+                    acc = 0.0;
+                    for i in 0..N { acc = acc * 0.5 + pop(); push(acc); }
+                }
+            }"#,
+        );
+        assert!(matches!(c, ActorClass::Opaque));
+    }
+}

@@ -1,0 +1,551 @@
+//! Intra-actor parallelization (§4.2.2 of the paper).
+//!
+//! Actors with large pop/push rates contain loops with high trip counts
+//! that a naive lowering would execute in a single thread. This analysis
+//! breaks such loops into independent iterations that map to one GPU
+//! thread each. Using data-flow analysis it detects cross-iteration
+//! dependencies; *linear recurrences* through accumulator variables
+//! (`count = count + C`) are eliminated by induction-variable substitution
+//! (`count = initial + i*C`), the same transformation parallelizing CPU
+//! compilers use to expose loop-level parallelism.
+
+use streamir::actor::{ActorDef, StateVar};
+use streamir::ir::{BinOp, Expr, Stmt};
+use streamir::rates::Bindings;
+
+use super::opcount::const_value;
+use streamir::value::Value;
+
+/// A loop whose iterations have been proven (or made) independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelLoop {
+    /// Loop variable; each GPU thread receives one value of it.
+    pub loop_var: String,
+    /// Trip count expression (iterations per firing).
+    pub bound: Expr,
+    /// Items popped by each iteration.
+    pub pops_per_iter: usize,
+    /// Items pushed by each iteration.
+    pub pushes_per_iter: usize,
+    /// Transformed per-iteration body (recurrences substituted away).
+    pub body: Vec<Stmt>,
+    /// Whether induction-variable substitution was applied (for reports).
+    pub ivs_applied: bool,
+    /// True when iterations read the firing's input window via `peek`
+    /// instead of popping (requires `pops_per_iter == 0`); each thread
+    /// then addresses the window of the firing its iteration belongs to.
+    pub window_peeks: bool,
+}
+
+/// Count pops/pushes per iteration; they must be unconditional and
+/// constant per iteration. Returns `None` otherwise.
+fn io_per_iteration(body: &[Stmt]) -> Option<(usize, usize)> {
+    let mut pops = 0usize;
+    let mut pushes = 0usize;
+    for s in body {
+        match s {
+            Stmt::Push(e) => {
+                pushes += 1;
+                pops += e.count_pops();
+            }
+            Stmt::Assign { expr, .. } => pops += expr.count_pops(),
+            Stmt::StateStore { index, expr, .. } => {
+                pops += index.count_pops() + expr.count_pops();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // Conditional I/O breaks the fixed per-iteration window.
+                if cond.count_pops() > 0 {
+                    return None;
+                }
+                let (tp, tu) = io_per_iteration(then_body)?;
+                let (ep, eu) = io_per_iteration(else_body)?;
+                if tp != ep || tu != eu {
+                    return None;
+                }
+                pops += tp;
+                pushes += tu;
+            }
+            Stmt::For { .. } => {
+                // Nested pops/pushes would need symbolic window math;
+                // reject those. Nested *peeks* are fine — they address the
+                // firing window absolutely and do not move the cursor.
+                let mut inner_pops = 0usize;
+                s.visit_exprs(&mut |e| {
+                    if matches!(e, Expr::Pop) {
+                        inner_pops += 1;
+                    }
+                });
+                let mut inner_push = 0usize;
+                s.visit(&mut |s| {
+                    if matches!(s, Stmt::Push(_)) {
+                        inner_push += 1;
+                    }
+                });
+                if inner_pops > 0 || inner_push > 0 {
+                    return None;
+                }
+            }
+        }
+    }
+    Some((pops, pushes))
+}
+
+/// Variables assigned anywhere in a statement list.
+fn assigned_vars(body: &[Stmt], out: &mut Vec<String>) {
+    for s in body {
+        s.visit(&mut |s| {
+            if let Stmt::Assign { name, .. } = s {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+    }
+}
+
+/// Check whether every read of a loop-assigned variable is preceded by an
+/// assignment *within the same iteration* — i.e. the variable is
+/// iteration-local. `defined` starts with iteration-invariant names.
+fn reads_before_writes(body: &[Stmt], loop_assigned: &[String], defined: &mut Vec<String>) -> bool {
+    fn expr_ok(e: &Expr, loop_assigned: &[String], defined: &[String]) -> bool {
+        let mut ok = true;
+        e.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if loop_assigned.contains(v) && !defined.contains(v) {
+                    ok = false;
+                }
+            }
+        });
+        ok
+    }
+    for s in body {
+        match s {
+            Stmt::Assign { name, expr } => {
+                if !expr_ok(expr, loop_assigned, defined) {
+                    return false;
+                }
+                if !defined.contains(name) {
+                    defined.push(name.clone());
+                }
+            }
+            Stmt::StateStore { index, expr, .. } => {
+                if !expr_ok(index, loop_assigned, defined)
+                    || !expr_ok(expr, loop_assigned, defined)
+                {
+                    return false;
+                }
+            }
+            Stmt::Push(e) => {
+                if !expr_ok(e, loop_assigned, defined) {
+                    return false;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if !expr_ok(cond, loop_assigned, defined) {
+                    return false;
+                }
+                // A variable is defined after the If only if both branches
+                // define it; track conservatively with separate copies.
+                let mut t = defined.clone();
+                let mut e = defined.clone();
+                if !reads_before_writes(then_body, loop_assigned, &mut t)
+                    || !reads_before_writes(else_body, loop_assigned, &mut e)
+                {
+                    return false;
+                }
+                for v in t {
+                    if e.contains(&v) && !defined.contains(&v) {
+                        defined.push(v);
+                    }
+                }
+            }
+            Stmt::For { start, end, body, .. } => {
+                if !expr_ok(start, loop_assigned, defined)
+                    || !expr_ok(end, loop_assigned, defined)
+                {
+                    return false;
+                }
+                if !reads_before_writes(body, loop_assigned, defined) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Find `v = v + C` / `v = v - C` at the top level of the loop body where
+/// `C` is loop-invariant and `v` has a constant pre-loop initializer.
+/// Returns (statement index, step expression as `i`-scaled form).
+fn find_linear_recurrence(
+    body: &[Stmt],
+    prologue: &[(String, Value)],
+    binds: &Bindings,
+) -> Option<(usize, String, Value, Expr)> {
+    for (si, s) in body.iter().enumerate() {
+        let Stmt::Assign { name, expr } = s else {
+            continue;
+        };
+        let Expr::Binary { op, lhs, rhs } = expr else {
+            continue;
+        };
+        let step = match (op, &**lhs, &**rhs) {
+            (BinOp::Add, Expr::Var(v), e) | (BinOp::Add, e, Expr::Var(v)) if v == name => {
+                e.clone()
+            }
+            (BinOp::Sub, Expr::Var(v), e) if v == name => Expr::Unary {
+                op: streamir::ir::UnOp::Neg,
+                operand: Box::new(e.clone()),
+            },
+            _ => continue,
+        };
+        // Step must be loop-invariant and constant-evaluable.
+        if const_value(&step, binds).is_none() {
+            continue;
+        }
+        // The variable must have a constant initializer in the prologue and
+        // no other assignment in the loop.
+        let init = prologue.iter().find(|(n, _)| n == name).map(|(_, v)| *v)?;
+        let assigns = body
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { name: n, .. } if n == name))
+            .count();
+        if assigns != 1 {
+            continue;
+        }
+        return Some((si, name.clone(), init, step));
+    }
+    None
+}
+
+fn value_expr(v: Value) -> Expr {
+    match v {
+        Value::F32(x) => Expr::Float(x),
+        Value::I64(i) => Expr::Int(i),
+        Value::Bool(b) => Expr::Int(b as i64),
+    }
+}
+
+/// Attempt to parallelize an actor's main loop.
+///
+/// The actor must consist of constant prologue assignments followed by a
+/// single `for` loop from 0; nothing may follow the loop. Scalar actor
+/// state (values carried across firings) disqualifies the actor. Returns
+/// `None` when iterations cannot be made independent.
+pub fn parallelize(actor: &ActorDef, binds: &Bindings) -> Option<ParallelLoop> {
+    // Scalar state is a cross-firing dependence.
+    if actor
+        .state
+        .iter()
+        .any(|s| matches!(s, StateVar::Scalar { .. }))
+    {
+        return None;
+    }
+    // Shape: prologue of constant assigns + one For, nothing after.
+    let mut prologue: Vec<(String, Value)> = Vec::new();
+    let mut stmts = actor.work.body.iter();
+    let mut the_loop = None;
+    for s in stmts.by_ref() {
+        match s {
+            Stmt::Assign { name, expr } => {
+                let v = const_value(expr, binds)?;
+                prologue.push((name.clone(), v));
+            }
+            Stmt::For { .. } => {
+                the_loop = Some(s.clone());
+                break;
+            }
+            _ => return None,
+        }
+    }
+    if stmts.next().is_some() {
+        return None;
+    }
+    let Stmt::For {
+        var: loop_var,
+        start,
+        end: bound,
+        body,
+    } = the_loop?
+    else {
+        return None;
+    };
+    if !matches!(start, Expr::Int(0)) {
+        return None;
+    }
+    // Peeks inside the loop are allowed only for pop-free bodies: the
+    // iterations then share the firing's window read-only (the DCT-style
+    // case of §4.2.2). Mixed pop+peek windows are left to the stencil
+    // path.
+    let mut peeks = 0usize;
+    for s in &body {
+        s.visit_exprs(&mut |e| {
+            if matches!(e, Expr::Peek(_)) {
+                peeks += 1;
+            }
+        });
+    }
+    // State stores inside the loop would race across threads.
+    let mut state_stores = 0usize;
+    for s in &body {
+        s.visit(&mut |s| {
+            if matches!(s, Stmt::StateStore { .. }) {
+                state_stores += 1;
+            }
+        });
+    }
+    if state_stores > 0 {
+        return None;
+    }
+
+    let (pops_per_iter, pushes_per_iter) = io_per_iteration(&body)?;
+    if pushes_per_iter == 0 {
+        return None;
+    }
+    let window_peeks = peeks > 0;
+    if window_peeks && pops_per_iter > 0 {
+        return None;
+    }
+
+    // Dependence test; on failure, try removing one linear recurrence via
+    // induction-variable substitution and retest.
+    let mut loop_assigned = Vec::new();
+    assigned_vars(&body, &mut loop_assigned);
+    let invariant: Vec<String> = prologue
+        .iter()
+        .map(|(n, _)| n.clone())
+        .filter(|n| !loop_assigned.contains(n))
+        .chain(std::iter::once(loop_var.clone()))
+        .collect();
+
+    let mut work_body = body.clone();
+    let mut ivs_applied = false;
+    loop {
+        let mut defined = invariant.clone();
+        // Prologue vars that are re-assigned in the loop are NOT defined at
+        // iteration entry (their value depends on the previous iteration).
+        if reads_before_writes(&work_body, &loop_assigned, &mut defined) {
+            break;
+        }
+        // Try to break one recurrence.
+        let Some((si, name, init, step)) =
+            find_linear_recurrence(&work_body, &prologue, binds)
+        else {
+            return None;
+        };
+        // Replace `v = v + C` with `v = init + (i + 1) * C`, and make the
+        // value at iteration entry available by prepending
+        // `v = init + i * C`.
+        let i_var = Expr::var(&loop_var);
+        let entry_val = Expr::add(
+            value_expr(init),
+            Expr::mul(i_var.clone(), step.clone()),
+        );
+        let exit_val = Expr::add(
+            value_expr(init),
+            Expr::mul(
+                Expr::add(i_var, Expr::Int(1)),
+                step.clone(),
+            ),
+        );
+        work_body[si] = Stmt::Assign {
+            name: name.clone(),
+            expr: exit_val,
+        };
+        work_body.insert(
+            0,
+            Stmt::Assign {
+                name,
+                expr: entry_val,
+            },
+        );
+        ivs_applied = true;
+    }
+
+    Some(ParallelLoop {
+        loop_var,
+        bound,
+        pops_per_iter,
+        pushes_per_iter,
+        body: work_body,
+        ivs_applied,
+        window_peeks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::graph::bindings;
+    use streamir::parse::parse_program;
+
+    fn actor_of(src: &str) -> ActorDef {
+        parse_program(src).unwrap().actors[0].clone()
+    }
+
+    #[test]
+    fn parallelizes_saxpy_loop() {
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor Saxpy(pop 2*N, push N) {
+                    for i in 0..N {
+                        x = pop();
+                        y = pop();
+                        push(2.0 * x + y);
+                    }
+                }
+            }
+            "#,
+        );
+        let pl = parallelize(&a, &bindings(&[("N", 64)])).expect("parallel");
+        assert_eq!(pl.pops_per_iter, 2);
+        assert_eq!(pl.pushes_per_iter, 1);
+        assert!(!pl.ivs_applied);
+    }
+
+    #[test]
+    fn eliminates_accumulator_recurrence() {
+        // `addr = addr + 4` is a cross-iteration dependence that IVS breaks.
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor Strided(pop N, push N) {
+                    addr = 0;
+                    for i in 0..N {
+                        v = pop();
+                        addr = addr + 4;
+                        push(v + addr);
+                    }
+                }
+            }
+            "#,
+        );
+        let pl = parallelize(&a, &bindings(&[("N", 8)])).expect("parallel after IVS");
+        assert!(pl.ivs_applied);
+        // The recurrence statement is gone; `addr` is now induction-derived.
+        let has_self_ref = pl.body.iter().any(|s| {
+            matches!(s, Stmt::Assign { name, expr } if name == "addr" && expr.mentions("addr"))
+        });
+        assert!(!has_self_ref);
+    }
+
+    #[test]
+    fn true_recurrence_rejected() {
+        // Each iteration reads the previous iteration's value scaled by a
+        // popped item — not linear, not parallelizable.
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor Scan(pop N, push N) {
+                    acc = 0.0;
+                    for i in 0..N {
+                        acc = acc * 0.5 + pop();
+                        push(acc);
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(parallelize(&a, &bindings(&[("N", 8)])).is_none());
+    }
+
+    #[test]
+    fn scalar_state_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor Running(pop N, push N) {
+                    state total = 0.0;
+                    for i in 0..N {
+                        total = total + pop();
+                        push(total);
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(parallelize(&a, &bindings(&[("N", 8)])).is_none());
+    }
+
+    #[test]
+    fn conditional_io_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor M(pop N, push N) {
+                    for i in 0..N {
+                        if (i % 2 == 0) {
+                            push(pop() * 2.0);
+                        } else {
+                            push(pop());
+                        }
+                    }
+                }
+            }
+            "#,
+        );
+        // Balanced I/O in both branches: accepted.
+        assert!(parallelize(&a, &bindings(&[("N", 8)])).is_some());
+        let b = actor_of(
+            r#"
+            pipeline P(N) {
+                actor M(pop N, push N) {
+                    for i in 0..N {
+                        x = pop();
+                        if (x > 0.0) {
+                            push(x);
+                        } else {
+                            push(0.0 - x);
+                            push(x);
+                        }
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(parallelize(&b, &bindings(&[("N", 8)])).is_none());
+    }
+
+    #[test]
+    fn trailing_statement_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor M(pop N, push N + 1) {
+                    for i in 0..N { push(pop()); }
+                }
+            }
+            "#,
+        );
+        // Loop only: fine.
+        assert!(parallelize(&a, &bindings(&[("N", 4)])).is_some());
+    }
+
+    #[test]
+    fn iteration_local_temporaries_are_fine() {
+        let a = actor_of(
+            r#"
+            pipeline P(N) {
+                actor M(pop N, push N) {
+                    for i in 0..N {
+                        t = pop();
+                        u = t * t;
+                        push(u + t);
+                    }
+                }
+            }
+            "#,
+        );
+        let pl = parallelize(&a, &bindings(&[("N", 4)])).unwrap();
+        assert_eq!(pl.pops_per_iter, 1);
+    }
+}

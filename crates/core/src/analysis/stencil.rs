@@ -1,0 +1,392 @@
+//! Neighboring-access (stencil) pattern detection (§4.1.2 of the paper).
+//!
+//! A common pattern in simulation workloads computes each point from its
+//! neighbors using non-destructive `peek` reads while the main index
+//! advances linearly (Figure 4 of the paper). The recognized shape is:
+//!
+//! ```text
+//! for idx in 0..<bound> {
+//!     ... locals, edge conditions ...
+//!     push(f(peek(idx + o₁), peek(idx + o₂), ...));
+//! }
+//! ```
+//!
+//! where each peek offset is *affine in the loop index and the row width*:
+//! `idx + dr*width + dc`. The extracted `(dr, dc)` offsets describe the
+//! stencil's footprint, from which the neighboring-access optimization
+//! sizes its super tiles and halos.
+
+use std::collections::BTreeSet;
+
+use streamir::actor::ActorDef;
+use streamir::ir::{BinOp, Expr, Stmt, UnOp};
+
+/// One stencil tap, as a (row delta, column delta) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Offset {
+    pub dr: i64,
+    pub dc: i64,
+}
+
+/// A detected neighboring-access actor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilPattern {
+    /// Loop variable ranging over output elements.
+    pub loop_var: String,
+    /// Elements per firing (loop bound expression, e.g. `rows*cols`).
+    pub bound: Expr,
+    /// Name of the row-width parameter, when 2-D (`None` for 1-D stencils
+    /// such as separable convolution passes).
+    pub width_param: Option<String>,
+    /// The stencil footprint (deduplicated, sorted).
+    pub offsets: Vec<Offset>,
+    /// The full loop body, re-executed per element by the template (so
+    /// edge conditions and the combining function keep their exact
+    /// semantics).
+    pub body: Vec<Stmt>,
+}
+
+impl StencilPattern {
+    /// Halo radius above/below (rows) and left/right (columns).
+    pub fn halo(&self) -> (i64, i64) {
+        let dr = self.offsets.iter().map(|o| o.dr.abs()).max().unwrap_or(0);
+        let dc = self.offsets.iter().map(|o| o.dc.abs()).max().unwrap_or(0);
+        (dr, dc)
+    }
+}
+
+/// An affine form `idx + dr*width + dc` (coefficient of `idx` must be 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Affine {
+    idx: i64,
+    width: i64,
+    konst: i64,
+}
+
+impl Affine {
+    fn add(a: Affine, b: Affine) -> Affine {
+        Affine {
+            idx: a.idx + b.idx,
+            width: a.width + b.width,
+            konst: a.konst + b.konst,
+        }
+    }
+
+    fn neg(a: Affine) -> Affine {
+        Affine {
+            idx: -a.idx,
+            width: -a.width,
+            konst: -a.konst,
+        }
+    }
+}
+
+/// Match an expression as affine in (`idx`, one width parameter). Returns
+/// the affine form and the width parameter name if one occurred.
+fn match_affine(
+    expr: &Expr,
+    idx: &str,
+    width_seen: &mut Option<String>,
+) -> Option<Affine> {
+    match expr {
+        Expr::Int(k) => Some(Affine {
+            konst: *k,
+            ..Default::default()
+        }),
+        Expr::Var(v) if v == idx => Some(Affine {
+            idx: 1,
+            ..Default::default()
+        }),
+        Expr::Var(v) => {
+            // A parameter acting as the row width.
+            match width_seen {
+                Some(w) if w != v => None,
+                _ => {
+                    *width_seen = Some(v.clone());
+                    Some(Affine {
+                        width: 1,
+                        ..Default::default()
+                    })
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = match_affine(lhs, idx, width_seen)?;
+            let b = match_affine(rhs, idx, width_seen)?;
+            match op {
+                BinOp::Add => Some(Affine::add(a, b)),
+                BinOp::Sub => Some(Affine::add(a, Affine::neg(b))),
+                BinOp::Mul => {
+                    // Only constant * width (or constant * constant).
+                    if a.idx == 0 && a.width == 0 {
+                        Some(Affine {
+                            idx: a.konst * b.idx,
+                            width: a.konst * b.width,
+                            konst: a.konst * b.konst,
+                        })
+                    } else if b.idx == 0 && b.width == 0 {
+                        Some(Affine {
+                            idx: b.konst * a.idx,
+                            width: b.konst * a.width,
+                            konst: b.konst * a.konst,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => match_affine(operand, idx, width_seen).map(Affine::neg),
+        _ => None,
+    }
+}
+
+/// Every execution path through `body` must push exactly `n` items for the
+/// per-element template to be applicable. Returns the common push count.
+fn pushes_per_path(body: &[Stmt]) -> Option<usize> {
+    let mut total = 0usize;
+    for s in body {
+        match s {
+            Stmt::Push(_) => total += 1,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let t = pushes_per_path(then_body)?;
+                let e = pushes_per_path(else_body)?;
+                if t != e {
+                    return None;
+                }
+                total += t;
+            }
+            Stmt::For { body: inner, .. } => {
+                // Inner loops must not push (the element loop is the only
+                // push producer).
+                if pushes_per_path(inner)? != 0 {
+                    return None;
+                }
+            }
+            Stmt::Assign { .. } | Stmt::StateStore { .. } => {}
+        }
+    }
+    Some(total)
+}
+
+/// Detect the neighboring-access pattern in an actor.
+///
+/// Conservative: any peek that is not affine in the loop index, a pop
+/// inside the element loop, or an unbalanced push disqualifies the actor
+/// (it falls back to the baseline lowering).
+pub fn detect_stencil(actor: &ActorDef) -> Option<StencilPattern> {
+    let body = &actor.work.body;
+    if body.len() != 1 {
+        return None;
+    }
+    let Stmt::For {
+        var: loop_var,
+        start,
+        end: bound,
+        body: loop_body,
+    } = &body[0]
+    else {
+        return None;
+    };
+    if !matches!(start, Expr::Int(0)) {
+        return None;
+    }
+    // No pops anywhere in the loop; exactly one push per path.
+    let mut pops = 0usize;
+    for s in loop_body {
+        s.visit_exprs(&mut |e| {
+            if matches!(e, Expr::Pop) {
+                pops += 1;
+            }
+        });
+    }
+    if pops > 0 || pushes_per_path(loop_body)? != 1 {
+        return None;
+    }
+    // Collect peek offsets; all must be affine.
+    let mut width_seen: Option<String> = None;
+    let mut offsets: BTreeSet<Offset> = BTreeSet::new();
+    let mut ok = true;
+    for s in loop_body {
+        s.visit_exprs(&mut |e| {
+            if let Expr::Peek(arg) = e {
+                match match_affine(arg, loop_var, &mut width_seen) {
+                    Some(a) if a.idx == 1 => {
+                        offsets.insert(Offset {
+                            dr: a.width,
+                            dc: a.konst,
+                        });
+                    }
+                    _ => ok = false,
+                }
+            }
+        });
+    }
+    if !ok || offsets.is_empty() {
+        return None;
+    }
+    Some(StencilPattern {
+        loop_var: loop_var.clone(),
+        bound: bound.clone(),
+        width_param: width_seen,
+        offsets: offsets.into_iter().collect(),
+        body: loop_body.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::parse::parse_program;
+
+    fn actor_of(src: &str) -> ActorDef {
+        parse_program(src).unwrap().actors[0].clone()
+    }
+
+    const FIVE_POINT: &str = r#"
+        pipeline P(rows, cols) {
+            actor Stencil(pop rows*cols, push rows*cols, peek rows*cols) {
+                for idx in 0..rows*cols {
+                    r = idx / cols;
+                    c = idx % cols;
+                    if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                        push(0.2 * (peek(idx) + peek(idx - 1) + peek(idx + 1)
+                            + peek(idx - cols) + peek(idx + cols)));
+                    } else {
+                        push(peek(idx));
+                    }
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn detects_five_point_stencil() {
+        let a = actor_of(FIVE_POINT);
+        let s = detect_stencil(&a).expect("stencil detected");
+        assert_eq!(s.width_param.as_deref(), Some("cols"));
+        assert_eq!(
+            s.offsets,
+            vec![
+                Offset { dr: -1, dc: 0 },
+                Offset { dr: 0, dc: -1 },
+                Offset { dr: 0, dc: 0 },
+                Offset { dr: 0, dc: 1 },
+                Offset { dr: 1, dc: 0 },
+            ]
+        );
+        assert_eq!(s.halo(), (1, 1));
+    }
+
+    #[test]
+    fn detects_1d_convolution() {
+        let a = actor_of(
+            r#"
+            pipeline P(n) {
+                actor Conv(pop n, push n, peek n) {
+                    for i in 0..n {
+                        if (i >= 2 && i < n - 2) {
+                            push(peek(i - 2) + peek(i - 1) + peek(i) + peek(i + 1) + peek(i + 2));
+                        } else {
+                            push(0.0);
+                        }
+                    }
+                }
+            }
+            "#,
+        );
+        let s = detect_stencil(&a).expect("conv detected");
+        assert_eq!(s.width_param, None);
+        assert_eq!(s.halo(), (0, 2));
+        assert_eq!(s.offsets.len(), 5);
+    }
+
+    #[test]
+    fn popping_loop_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(n) {
+                actor M(pop n, push n) {
+                    for i in 0..n { push(pop() * 2.0); }
+                }
+            }
+            "#,
+        );
+        assert!(detect_stencil(&a).is_none());
+    }
+
+    #[test]
+    fn nonaffine_peek_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(n) {
+                actor M(pop n, push n, peek n) {
+                    for i in 0..n { push(peek(i * i)); }
+                }
+            }
+            "#,
+        );
+        assert!(detect_stencil(&a).is_none());
+    }
+
+    #[test]
+    fn two_width_params_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(a, b) {
+                actor M(pop a*b, push a*b, peek a*b) {
+                    for i in 0..a*b { push(peek(i + a) + peek(i + b)); }
+                }
+            }
+            "#,
+        );
+        assert!(detect_stencil(&a).is_none());
+    }
+
+    #[test]
+    fn unbalanced_pushes_rejected() {
+        let a = actor_of(
+            r#"
+            pipeline P(n) {
+                actor M(pop n, push n, peek n) {
+                    for i in 0..n {
+                        if (i > 0) {
+                            push(peek(i));
+                            push(peek(i - 1));
+                        } else {
+                            push(peek(i));
+                        }
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(detect_stencil(&a).is_none());
+    }
+
+    #[test]
+    fn scaled_row_offsets_supported() {
+        let a = actor_of(
+            r#"
+            pipeline P(rows, cols) {
+                actor M(pop rows*cols, push rows*cols, peek rows*cols) {
+                    for i in 0..rows*cols {
+                        push(peek(i) + peek(i + 2 * cols));
+                    }
+                }
+            }
+            "#,
+        );
+        let s = detect_stencil(&a).expect("detected");
+        assert!(s.offsets.contains(&Offset { dr: 2, dc: 0 }));
+        assert_eq!(s.halo(), (2, 0));
+    }
+}

@@ -1,0 +1,9 @@
+//! CUDA source emission.
+//!
+//! The simulator executes kernel *templates*; this module prints the
+//! equivalent CUDA C for documentation, inspection and golden tests —
+//! the textual face of what `nvcc` would compile in the original system.
+
+pub mod cuda;
+
+pub use cuda::{emit_program, emit_variant};

@@ -1,0 +1,263 @@
+//! Scalar IR evaluation inside generated kernels.
+//!
+//! The kernel templates execute actor work bodies per thread, with the
+//! stream operations (`pop`, `peek`, `push`, state access) redirected to
+//! simulated device memory through the [`IrIo`] trait. This is the moral
+//! equivalent of the generated CUDA code's address arithmetic: each
+//! template decides *where* the j-th pop of a given firing lives (layout,
+//! shared staging, ...) and the evaluator supplies the *what*.
+
+use std::collections::HashMap;
+
+use streamir::error::{Error, Result};
+use streamir::interp::{eval_binop, eval_intrinsic};
+use streamir::ir::{Expr, Stmt, UnOp};
+use streamir::rates::Bindings;
+use streamir::value::Value;
+
+/// Stream/state I/O hooks for one thread's execution of a work body.
+pub trait IrIo {
+    /// Destructive read of the next input item for this thread's window.
+    fn pop(&mut self) -> f32;
+    /// Non-destructive read at `offset` from the window start.
+    fn peek(&mut self, offset: i64) -> f32;
+    /// Append one output item.
+    fn push(&mut self, v: f32);
+    /// Load from a bound state array.
+    fn state_load(&mut self, array: &str, idx: i64) -> f32;
+    /// Store to a bound state array.
+    fn state_store(&mut self, array: &str, idx: i64, v: f32);
+}
+
+/// Evaluate an expression under `locals`/`binds` with I/O through `io`.
+///
+/// # Errors
+///
+/// Returns [`Error::Runtime`] for unknown variables or type errors —
+/// conditions that indicate a compiler bug, since bodies are validated
+/// before lowering.
+pub fn eval_expr(
+    expr: &Expr,
+    locals: &mut HashMap<String, Value>,
+    binds: &Bindings,
+    io: &mut dyn IrIo,
+) -> Result<Value> {
+    match expr {
+        Expr::Float(x) => Ok(Value::F32(*x)),
+        Expr::Int(i) => Ok(Value::I64(*i)),
+        Expr::Var(name) => {
+            if let Some(v) = locals.get(name) {
+                Ok(*v)
+            } else if let Some(v) = binds.get(name) {
+                Ok(Value::I64(*v))
+            } else {
+                Err(Error::Runtime(format!("unknown variable `{name}`")))
+            }
+        }
+        Expr::Pop => Ok(Value::F32(io.pop())),
+        Expr::Peek(e) => {
+            let off = eval_expr(e, locals, binds, io)?.as_i64()?;
+            Ok(Value::F32(io.peek(off)))
+        }
+        Expr::StateLoad { array, index } => {
+            let idx = eval_expr(index, locals, binds, io)?.as_i64()?;
+            Ok(Value::F32(io.state_load(array, idx)))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_expr(lhs, locals, binds, io)?;
+            let b = eval_expr(rhs, locals, binds, io)?;
+            eval_binop(*op, a, b)
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval_expr(operand, locals, binds, io)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::I64(i) => Ok(Value::I64(-i)),
+                    other => Ok(Value::F32(-other.as_f32()?)),
+                },
+                UnOp::Not => Ok(Value::Bool(!v.as_bool())),
+            }
+        }
+        Expr::Call { intrinsic, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, locals, binds, io)?);
+            }
+            eval_intrinsic(*intrinsic, &vals)
+        }
+    }
+}
+
+/// Execute a statement list.
+///
+/// # Errors
+///
+/// See [`eval_expr`].
+pub fn exec_body(
+    body: &[Stmt],
+    locals: &mut HashMap<String, Value>,
+    binds: &Bindings,
+    io: &mut dyn IrIo,
+) -> Result<()> {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { name, expr } => {
+                let v = eval_expr(expr, locals, binds, io)?;
+                locals.insert(name.clone(), v);
+            }
+            Stmt::StateStore { array, index, expr } => {
+                let idx = eval_expr(index, locals, binds, io)?.as_i64()?;
+                let v = eval_expr(expr, locals, binds, io)?.as_f32()?;
+                io.state_store(array, idx, v);
+            }
+            Stmt::Push(e) => {
+                let v = eval_expr(e, locals, binds, io)?.as_f32()?;
+                io.push(v);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = eval_expr(cond, locals, binds, io)?.as_bool();
+                let branch = if c { then_body } else { else_body };
+                exec_body(branch, locals, binds, io)?;
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body: loop_body,
+            } => {
+                let lo = eval_expr(start, locals, binds, io)?.as_i64()?;
+                let hi = eval_expr(end, locals, binds, io)?.as_i64()?;
+                for i in lo..hi {
+                    locals.insert(var.clone(), Value::I64(i));
+                    exec_body(loop_body, locals, binds, io)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An [`IrIo`] over plain host vectors — used in unit tests and by the
+/// host-side (opaque-actor) fallback path.
+#[derive(Debug, Default)]
+pub struct VecIo {
+    /// Input window.
+    pub input: Vec<f32>,
+    /// Read cursor for pops.
+    pub cursor: usize,
+    /// Collected pushes.
+    pub output: Vec<f32>,
+    /// Named state arrays.
+    pub state: HashMap<String, Vec<f32>>,
+}
+
+impl IrIo for VecIo {
+    fn pop(&mut self) -> f32 {
+        let v = self.input[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    fn peek(&mut self, offset: i64) -> f32 {
+        self.input[offset as usize]
+    }
+
+    fn push(&mut self, v: f32) {
+        self.output.push(v);
+    }
+
+    fn state_load(&mut self, array: &str, idx: i64) -> f32 {
+        self.state[array][idx as usize]
+    }
+
+    fn state_store(&mut self, array: &str, idx: i64, v: f32) {
+        self.state.get_mut(array).expect("bound array")[idx as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::graph::bindings;
+    use streamir::parse::parse_program;
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        parse_program(src).unwrap().actors[0].work.body.clone()
+    }
+
+    #[test]
+    fn executes_sum_body() {
+        let body = body_of(
+            r#"pipeline P(N) {
+                actor Sum(pop N, push 1) {
+                    acc = 0.0;
+                    for i in 0..N { acc = acc + pop(); }
+                    push(acc);
+                }
+            }"#,
+        );
+        let mut io = VecIo {
+            input: vec![1.0, 2.0, 3.0],
+            ..Default::default()
+        };
+        let mut locals = HashMap::new();
+        exec_body(&body, &mut locals, &bindings(&[("N", 3)]), &mut io).unwrap();
+        assert_eq!(io.output, vec![6.0]);
+        assert_eq!(io.cursor, 3);
+    }
+
+    #[test]
+    fn peeks_and_state() {
+        let body = body_of(
+            r#"pipeline P(N) {
+                actor A(pop N, push 1, peek N) {
+                    state w[N];
+                    push(peek(1) * w[0]);
+                }
+            }"#,
+        );
+        let mut io = VecIo {
+            input: vec![5.0, 7.0],
+            ..Default::default()
+        };
+        io.state.insert("w".into(), vec![10.0, 0.0]);
+        let mut locals = HashMap::new();
+        exec_body(&body, &mut locals, &bindings(&[("N", 2)]), &mut io).unwrap();
+        assert_eq!(io.output, vec![70.0]);
+        assert_eq!(io.cursor, 0); // peeks do not consume
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let body = vec![Stmt::Push(Expr::var("ghost"))];
+        let mut io = VecIo::default();
+        let mut locals = HashMap::new();
+        assert!(exec_body(&body, &mut locals, &bindings(&[]), &mut io).is_err());
+    }
+
+    #[test]
+    fn state_store_round_trips() {
+        let body = body_of(
+            r#"pipeline P() {
+                actor A(pop 1, push 1) {
+                    state buf[4];
+                    buf[2] = pop();
+                    push(buf[2]);
+                }
+            }"#,
+        );
+        let mut io = VecIo {
+            input: vec![9.0],
+            ..Default::default()
+        };
+        io.state.insert("buf".into(), vec![0.0; 4]);
+        let mut locals = HashMap::new();
+        exec_body(&body, &mut locals, &bindings(&[]), &mut io).unwrap();
+        assert_eq!(io.state["buf"][2], 9.0);
+        assert_eq!(io.output, vec![9.0]);
+    }
+}

@@ -1,0 +1,1319 @@
+//! The compilation pipeline: structure building, per-input-range decision
+//! making, and the variant table (§3 of the paper, Figure 2).
+//!
+//! `compile` takes a platform-independent streaming program, a target
+//! device and a *range of interest* over one input axis, and produces a
+//! [`CompiledProgram`]: a fixed graph *structure* (what got fused with
+//! what, which pattern each actor matched) plus a table of *variants*,
+//! each covering a sub-range of the axis with concrete lowering choices
+//! (reduction scheme, tile geometry, coarsening factor). At run time the
+//! kernel-management unit (`runtime` module) selects the variant for the
+//! actual input and launches it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gpu_sim::DeviceSpec;
+use perfmodel::estimate;
+use streamir::error::{Error, Result};
+use streamir::graph::{FlatNode, Program, Splitter};
+use streamir::ir::{Expr, Stmt};
+use streamir::rates::Bindings;
+use streamir::schedule::{rate_match, Schedule};
+
+use crate::analysis::opcount::{body_counts, eval_bound};
+use crate::analysis::recurrence::ParallelLoop;
+use crate::analysis::reduction::ReductionPattern;
+use crate::analysis::stencil::StencilPattern;
+use crate::analysis::{classify, ActorClass};
+use crate::cost::map_profile;
+use crate::layout::Layout;
+use crate::opt::integration::{can_fuse_horizontal, fuse_into_reduction, fuse_parallel_loops};
+use crate::opt::memory::{choose_edge_layout, choose_tile};
+use crate::opt::segmentation::{best_reduce_choice, ReduceChoice};
+
+/// The one-dimensional family of input shapes a program is compiled for.
+///
+/// Every evaluation in the paper sweeps a one-parameter family (total
+/// size, or shape at a fixed element count); `bind` maps the axis value to
+/// full parameter bindings.
+#[derive(Clone)]
+pub struct InputAxis {
+    /// Descriptive name of the axis (e.g. `"N"`, `"rows"`).
+    pub name: String,
+    /// Inclusive range of interest `[lo, hi]`.
+    pub lo: i64,
+    pub hi: i64,
+    binder: Arc<dyn Fn(i64) -> Bindings + Send + Sync>,
+    /// Expected program-input length at each axis point; `None` means one
+    /// steady state. This is how the compiler knows the *firing counts*
+    /// (e.g. TMV's row count) before any data exists.
+    items: Option<Arc<dyn Fn(i64) -> i64 + Send + Sync>>,
+}
+
+impl fmt::Debug for InputAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InputAxis")
+            .field("name", &self.name)
+            .field("lo", &self.lo)
+            .field("hi", &self.hi)
+            .finish_non_exhaustive()
+    }
+}
+
+impl InputAxis {
+    /// An axis binding a single parameter to the axis value.
+    pub fn total_size(param: &str, lo: i64, hi: i64) -> InputAxis {
+        let p = param.to_string();
+        InputAxis {
+            name: p.clone(),
+            lo,
+            hi,
+            binder: Arc::new(move |x| {
+                let mut b = Bindings::new();
+                b.insert(p.clone(), x);
+                b
+            }),
+            items: None,
+        }
+    }
+
+    /// A general axis with a custom binder.
+    pub fn new(
+        name: &str,
+        lo: i64,
+        hi: i64,
+        binder: impl Fn(i64) -> Bindings + Send + Sync + 'static,
+    ) -> InputAxis {
+        InputAxis {
+            name: name.to_string(),
+            lo,
+            hi,
+            binder: Arc::new(binder),
+            items: None,
+        }
+    }
+
+    /// Declare the expected program-input length as a function of the axis
+    /// value. Without it, compile-time decisions assume one steady state
+    /// per execution; with it, firing counts (and thus e.g. a reduction's
+    /// array count) are input-aware.
+    pub fn with_items(mut self, f: impl Fn(i64) -> i64 + Send + Sync + 'static) -> InputAxis {
+        self.items = Some(Arc::new(f));
+        self
+    }
+
+    /// Steady-state iterations expected at axis value `x`.
+    pub fn expected_iterations(&self, x: i64, steady_input: u64) -> u64 {
+        match (&self.items, steady_input) {
+            (Some(f), s) if s > 0 => ((f(x).max(0) as u64) / s).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Parameter bindings at axis value `x`.
+    pub fn bind(&self, x: i64) -> Bindings {
+        (self.binder)(x)
+    }
+
+    /// Geometric midpoint of the range (the structure probe point).
+    pub fn probe_point(&self) -> i64 {
+        let (lo, hi) = (self.lo.max(1) as f64, self.hi.max(1) as f64);
+        (lo * hi).sqrt() as i64
+    }
+}
+
+/// Which optimization families the compiler may use — the knob behind the
+/// paper's Figure 11/12 breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Actor segmentation (§4.2): input-aware reduction schemes and
+    /// intra-actor parallelization beyond the baseline lowering.
+    pub segmentation: bool,
+    /// Memory optimizations (§4.1): restructuring and adaptive super
+    /// tiles.
+    pub memory: bool,
+    /// Actor integration (§4.3): vertical/horizontal fusion and thread
+    /// coarsening.
+    pub integration: bool,
+    /// Probe points used when building the variant table.
+    pub probes: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            segmentation: true,
+            memory: true,
+            integration: true,
+            probes: 33,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The input-unaware baseline (§3's "input-unaware optimizations"
+    /// only).
+    pub fn baseline() -> Self {
+        CompileOptions {
+            segmentation: false,
+            memory: false,
+            integration: false,
+            probes: 9,
+        }
+    }
+}
+
+/// Optimizations active in a variant, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptTag {
+    MemoryRestructuring,
+    NeighboringAccess,
+    StreamReduction,
+    IntraActorParallelization,
+    VerticalIntegration,
+    HorizontalIntegration,
+    ThreadIntegration,
+}
+
+/// How the input is counted for one work unit of a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum UnitsPerFiring {
+    /// One unit per firing (plain map actor).
+    One,
+    /// One unit per loop iteration; expression gives iterations/firing.
+    Loop(Expr),
+}
+
+/// A map-like segment (plain maps, parallelized loops, fused chains).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct UnitSeg {
+    pub body: Vec<Stmt>,
+    pub loop_var: Option<String>,
+    pub units_per_firing: UnitsPerFiring,
+    pub pops_per_unit: usize,
+    pub pushes_per_unit: usize,
+    /// For peek-window loops: the firing's input window size (the actor's
+    /// pop rate); iterations share the window read-only.
+    pub window_pop: Option<streamir::rates::RateExpr>,
+    /// Actors whose state arrays this segment reads.
+    pub state_actors: Vec<String>,
+    pub fused_count: usize,
+    pub has_parloop: bool,
+}
+
+/// A reduction segment.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ReduceSeg {
+    pub pattern: ReductionPattern,
+    pub actor: String,
+    pub fused_producer: bool,
+}
+
+/// A stencil segment.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StencilSeg {
+    pub pattern: StencilPattern,
+    pub actor: String,
+}
+
+/// A horizontally-integrable split-join of sibling reductions.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HFusedSeg {
+    pub patterns: Vec<ReductionPattern>,
+    pub actors: Vec<String>,
+}
+
+/// A duplicate split-join of sibling *map* actors that could not be fused
+/// (integration disabled or non-straightline bodies): lowered as one
+/// kernel per sibling with interleaved output groups.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MapSiblingsSeg {
+    /// (body, pushes, actor name) per sibling; all share the same pop
+    /// window.
+    pub branches: Vec<(Vec<Stmt>, usize, String)>,
+    pub pops_per_unit: usize,
+    pub total_push: usize,
+}
+
+/// One stage of the lowered pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SegKind {
+    Unit(UnitSeg),
+    Reduce(ReduceSeg),
+    Stencil(StencilSeg),
+    HFused(HFusedSeg),
+    MapSiblings(MapSiblingsSeg),
+    /// Host-interpreted actor (index into `Program::actors`).
+    Opaque(usize),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Segment {
+    pub kind: SegKind,
+    /// Flat-graph node whose repetition count drives this segment.
+    pub node: usize,
+    pub label: String,
+}
+
+/// Lowering decision for one segment in one variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegChoice {
+    /// Map-like segment with a thread-coarsening factor.
+    Map { coarsen: usize },
+    /// Reduction scheme.
+    Reduce { choice: ReduceChoice },
+    /// Stencil super-tile geometry.
+    Stencil { tile: (usize, usize) },
+    /// Split-join of reductions: fused into one kernel or not.
+    HFused { fused: bool },
+    /// Split-join of maps lowered one kernel per sibling.
+    MapSiblings,
+    /// Host execution.
+    Opaque,
+}
+
+/// A sub-range of the input axis with its lowering decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Inclusive axis sub-range.
+    pub lo: i64,
+    pub hi: i64,
+    /// One choice per segment.
+    pub choices: Vec<SegChoice>,
+    /// Active optimizations (for reports).
+    pub tags: Vec<OptTag>,
+}
+
+/// A compiled program: structure + variant table + everything needed to
+/// run it.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    pub(crate) program: Program,
+    pub(crate) device: DeviceSpec,
+    pub(crate) axis: InputAxis,
+    pub(crate) options: CompileOptions,
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) edge_layouts: Vec<Layout>,
+    /// Variant table ordered by `lo`.
+    pub variants: Vec<Variant>,
+}
+
+impl CompiledProgram {
+    /// The variant covering axis value `x` (clamped into the range).
+    pub fn variant_for(&self, x: i64) -> (usize, &Variant) {
+        let x = x.clamp(self.axis.lo, self.axis.hi);
+        let idx = self
+            .variants
+            .iter()
+            .position(|v| x >= v.lo && x <= v.hi)
+            .expect("variant table tiles the axis");
+        (idx, &self.variants[idx])
+    }
+
+    /// Number of generated kernel variants (a proxy for the paper's code
+    /// size discussion in §5.1).
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The options the program was compiled with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The compiled program's segments' labels, in pipeline order.
+    pub fn segment_labels(&self) -> Vec<&str> {
+        self.segments.iter().map(|s| s.label.as_str()).collect()
+    }
+}
+
+fn pl_from_map(body: &[Stmt], pop: usize, push: usize, probe_units: i64) -> ParallelLoop {
+    ParallelLoop {
+        loop_var: "__unit".into(),
+        bound: Expr::Int(probe_units),
+        pops_per_iter: pop,
+        pushes_per_iter: push,
+        body: body.to_vec(),
+        ivs_applied: false,
+        window_peeks: false,
+    }
+}
+
+fn seg_as_parloop(seg: &UnitSeg, probe_units: i64) -> ParallelLoop {
+    ParallelLoop {
+        loop_var: seg.loop_var.clone().unwrap_or_else(|| "__unit".into()),
+        bound: Expr::Int(probe_units),
+        pops_per_iter: seg.pops_per_unit,
+        pushes_per_iter: seg.pushes_per_unit,
+        body: seg.body.clone(),
+        ivs_applied: false,
+        window_peeks: seg.window_pop.is_some(),
+    }
+}
+
+/// Units per steady state of a unit segment at a schedule point.
+fn probe_units(seg: &UnitSeg, node: usize, sched: &Schedule, binds: &Bindings) -> Option<i64> {
+    let reps = sched.reps(node) as i64;
+    match &seg.units_per_firing {
+        UnitsPerFiring::One => Some(reps),
+        UnitsPerFiring::Loop(e) => Some(reps * eval_bound(e, binds)?),
+    }
+}
+
+/// Build the lowered structure of the program at a probe binding.
+fn build_structure(
+    program: &Program,
+    options: &CompileOptions,
+    binds: &Bindings,
+) -> Result<(Vec<Segment>, Vec<OptTag>)> {
+    let fg = program.flatten()?;
+    let topo = fg.topo_order()?;
+    let sched = rate_match(&fg, binds)?;
+
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut structure_tags: Vec<OptTag> = Vec::new();
+    let mut skip_until_join: Option<usize> = None;
+
+    for &node in &topo {
+        if let Some(join) = skip_until_join {
+            if node != join {
+                continue;
+            }
+            skip_until_join = None;
+            continue;
+        }
+        match &fg.nodes[node] {
+            FlatNode::Actor { actor } => {
+                let def = &program.actors[*actor];
+                let class = classify(def, binds);
+                let kind = match class {
+                    ActorClass::Reduction(pattern) => SegKind::Reduce(ReduceSeg {
+                        pattern,
+                        actor: def.name.clone(),
+                        fused_producer: false,
+                    }),
+                    ActorClass::Stencil(pattern) => SegKind::Stencil(StencilSeg {
+                        pattern,
+                        actor: def.name.clone(),
+                    }),
+                    ActorClass::ParallelLoop(pl) => SegKind::Unit(UnitSeg {
+                        window_pop: pl
+                            .window_peeks
+                            .then(|| def.work.pop.clone()),
+                        body: pl.body,
+                        loop_var: Some(pl.loop_var),
+                        units_per_firing: UnitsPerFiring::Loop(pl.bound),
+                        pops_per_unit: pl.pops_per_iter,
+                        pushes_per_unit: pl.pushes_per_iter,
+                        state_actors: vec![def.name.clone()],
+                        fused_count: 1,
+                        has_parloop: true,
+                    }),
+                    ActorClass::Map | ActorClass::Transfer => {
+                        let pop = def.work.pop.as_constant().unwrap_or(1) as usize;
+                        let push = def.work.push.as_constant().unwrap_or(1) as usize;
+                        SegKind::Unit(UnitSeg {
+                            body: def.work.body.clone(),
+                            loop_var: None,
+                            units_per_firing: UnitsPerFiring::One,
+                            pops_per_unit: pop.max(1),
+                            pushes_per_unit: push.max(1),
+                            window_pop: None,
+                            state_actors: vec![def.name.clone()],
+                            fused_count: 1,
+                            has_parloop: false,
+                        })
+                    }
+                    ActorClass::Opaque => SegKind::Opaque(*actor),
+                };
+                segments.push(Segment {
+                    kind,
+                    node,
+                    label: def.name.clone(),
+                });
+            }
+            FlatNode::Split(Splitter::Duplicate) => {
+                // Recognize duplicate split-joins of sibling reductions
+                // (horizontal actor integration's headline case) or
+                // sibling maps over the same windows.
+                let branch_entries: Vec<usize> = fg
+                    .out_channels(node)
+                    .iter()
+                    .map(|&c| fg.channels[c].dst)
+                    .collect();
+                let mut patterns = Vec::new();
+                let mut maps: Vec<(Vec<Stmt>, usize, usize, String)> = Vec::new();
+                let mut actors = Vec::new();
+                let mut join = None;
+                let mut ok = true;
+                for &b in &branch_entries {
+                    let FlatNode::Actor { actor } = &fg.nodes[b] else {
+                        ok = false;
+                        break;
+                    };
+                    let def = &program.actors[*actor];
+                    match classify(def, binds) {
+                        ActorClass::Reduction(p) => {
+                            patterns.push(p);
+                            actors.push(def.name.clone());
+                        }
+                        ActorClass::Map | ActorClass::Transfer => {
+                            let pop = def.work.pop.as_constant().unwrap_or(0).max(1) as usize;
+                            let push =
+                                def.work.push.as_constant().unwrap_or(0).max(1) as usize;
+                            maps.push((
+                                def.work.body.clone(),
+                                pop,
+                                push,
+                                def.name.clone(),
+                            ));
+                            actors.push(def.name.clone());
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    let outs = fg.out_channels(b);
+                    let j = fg.channels[outs[0]].dst;
+                    match join {
+                        None => join = Some(j),
+                        Some(prev) if prev == j => {}
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                // Mixed or neither-kind branch sets are unsupported.
+                if !ok
+                    || join.is_none()
+                    || (patterns.is_empty() == maps.is_empty())
+                {
+                    return Err(Error::Semantic(
+                        "unsupported split-join: duplicate splitters must feed \
+                         sibling reduction actors or sibling map actors"
+                            .into(),
+                    ));
+                }
+                if !patterns.is_empty() {
+                    let refs: Vec<&ReductionPattern> = patterns.iter().collect();
+                    if !can_fuse_horizontal(&refs) {
+                        return Err(Error::Semantic(
+                            "sibling reductions must share element windows to be \
+                             GPU-lowerable"
+                                .into(),
+                        ));
+                    }
+                    segments.push(Segment {
+                        kind: SegKind::HFused(HFusedSeg { patterns, actors }),
+                        node: branch_entries[0],
+                        label: "splitjoin".into(),
+                    });
+                } else {
+                    let pop = maps[0].1;
+                    if maps.iter().any(|(_, p, _, _)| *p != pop) {
+                        return Err(Error::Semantic(
+                            "sibling maps must pop the same window".into(),
+                        ));
+                    }
+                    let total_push: usize = maps.iter().map(|(_, _, q, _)| *q).sum();
+                    let fused = if options.integration {
+                        crate::opt::integration::fuse_duplicate_maps(
+                            &maps
+                                .iter()
+                                .map(|(b, _, _, n)| (b.clone(), n.clone()))
+                                .collect::<Vec<_>>(),
+                            pop,
+                        )
+                    } else {
+                        None
+                    };
+                    match fused {
+                        Some(body) => {
+                            structure_tags.push(OptTag::HorizontalIntegration);
+                            segments.push(Segment {
+                                kind: SegKind::Unit(UnitSeg {
+                                    body,
+                                    loop_var: None,
+                                    units_per_firing: UnitsPerFiring::One,
+                                    pops_per_unit: pop,
+                                    pushes_per_unit: total_push,
+                                    window_pop: None,
+                                    state_actors: actors,
+                                    fused_count: maps.len(),
+                                    has_parloop: false,
+                                }),
+                                node: branch_entries[0],
+                                label: "splitjoin".into(),
+                            });
+                        }
+                        None => {
+                            segments.push(Segment {
+                                kind: SegKind::MapSiblings(MapSiblingsSeg {
+                                    branches: maps
+                                        .into_iter()
+                                        .map(|(b, _, q, n)| (b, q, n))
+                                        .collect(),
+                                    pops_per_unit: pop,
+                                    total_push,
+                                }),
+                                node: branch_entries[0],
+                                label: "splitjoin".into(),
+                            });
+                        }
+                    }
+                }
+                // Skip the branch actors; resume after the join.
+                skip_until_join = join;
+            }
+            FlatNode::Split(_) => {
+                return Err(Error::Semantic(
+                    "round-robin splitters are not GPU-lowerable by this reproduction"
+                        .into(),
+                ));
+            }
+            FlatNode::Join(_) => {
+                // Joins of recognized split-joins are skipped above; a
+                // stray join means the structure was unsupported.
+            }
+        }
+    }
+
+    // Vertical integration (§4.3.1): fuse adjacent unit segments, then
+    // unit→reduction producers.
+    if options.integration {
+        let mut fused_any = false;
+        let mut i = 0;
+        while i + 1 < segments.len() {
+            let (left, right) = segments.split_at_mut(i + 1);
+            let a_seg = &left[i];
+            let b_seg = &right[0];
+            let merged = match (&a_seg.kind, &b_seg.kind) {
+                (SegKind::Unit(a), SegKind::Unit(b))
+                    if a.window_pop.is_none() && b.window_pop.is_none() =>
+                {
+                    let ua = probe_units(a, a_seg.node, &sched, binds);
+                    let ub = probe_units(b, b_seg.node, &sched, binds);
+                    match (ua, ub) {
+                        (Some(ua), Some(ub)) if ua == ub => {
+                            let pa = match a.loop_var {
+                                Some(_) => seg_as_parloop(a, ua),
+                                None => pl_from_map(&a.body, a.pops_per_unit, a.pushes_per_unit, ua),
+                            };
+                            let pb = match b.loop_var {
+                                Some(_) => seg_as_parloop(b, ub),
+                                None => pl_from_map(&b.body, b.pops_per_unit, b.pushes_per_unit, ub),
+                            };
+                            fuse_parallel_loops(&pa, &pb, binds).map(|f| {
+                                let mut state = a.state_actors.clone();
+                                state.extend(b.state_actors.clone());
+                                // Unit accounting follows whichever side
+                                // gives the loop variable real semantics:
+                                // the consumer when it has one (its body
+                                // indexes with it), else the producer.
+                                let (upf, node) = if b.loop_var.is_some() {
+                                    (b.units_per_firing.clone(), b_seg.node)
+                                } else {
+                                    (a.units_per_firing.clone(), a_seg.node)
+                                };
+                                Segment {
+                                    kind: SegKind::Unit(UnitSeg {
+                                        body: f.body,
+                                        loop_var: Some(f.loop_var),
+                                        units_per_firing: upf,
+                                        pops_per_unit: f.pops_per_iter,
+                                        pushes_per_unit: f.pushes_per_iter,
+                                        window_pop: None,
+                                        state_actors: state,
+                                        fused_count: a.fused_count + b.fused_count,
+                                        has_parloop: a.has_parloop || b.has_parloop,
+                                    }),
+                                    node,
+                                    label: format!("{}+{}", a_seg.label, b_seg.label),
+                                }
+                            })
+                        }
+                        _ => None,
+                    }
+                }
+                (SegKind::Unit(a), SegKind::Reduce(r)) => {
+                    let ua = probe_units(a, a_seg.node, &sched, binds);
+                    match ua {
+                        Some(ua) => {
+                            let pa = match a.loop_var {
+                                Some(_) => seg_as_parloop(a, ua),
+                                None => pl_from_map(&a.body, a.pops_per_unit, a.pushes_per_unit, ua),
+                            };
+                            fuse_into_reduction(&pa, &r.pattern, binds).map(|p| Segment {
+                                kind: SegKind::Reduce(ReduceSeg {
+                                    pattern: p,
+                                    actor: r.actor.clone(),
+                                    fused_producer: true,
+                                }),
+                                node: b_seg.node,
+                                label: format!("{}+{}", a_seg.label, b_seg.label),
+                            })
+                        }
+                        None => None,
+                    }
+                }
+                _ => None,
+            };
+            match merged {
+                Some(seg) => {
+                    segments[i] = seg;
+                    segments.remove(i + 1);
+                    fused_any = true;
+                }
+                None => i += 1,
+            }
+        }
+        if fused_any {
+            structure_tags.push(OptTag::VerticalIntegration);
+        }
+    }
+
+    if segments
+        .iter()
+        .any(|s| matches!(&s.kind, SegKind::Unit(u) if u.has_parloop))
+    {
+        structure_tags.push(OptTag::IntraActorParallelization);
+    }
+    if segments
+        .iter()
+        .any(|s| matches!(s.kind, SegKind::HFused(_)))
+        && options.integration
+    {
+        structure_tags.push(OptTag::HorizontalIntegration);
+    }
+
+    Ok((segments, structure_tags))
+}
+
+/// Choose the layout of every edge of the pipeline (edge i feeds segment
+/// i; the last edge is the program output).
+fn choose_layouts(segments: &[Segment], memory_enabled: bool) -> Vec<Layout> {
+    let n = segments.len();
+    let mut layouts = vec![Layout::RowMajor; n + 1];
+    if !memory_enabled {
+        return layouts;
+    }
+    let window_in = |s: &Segment| -> Option<usize> {
+        match &s.kind {
+            // Peek-window loops address raw firing windows (row-major).
+            SegKind::Unit(u) if u.window_pop.is_some() => None,
+            SegKind::Unit(u) => Some(u.pops_per_unit),
+            SegKind::Reduce(r) => Some(r.pattern.pops_per_elem),
+            SegKind::HFused(h) => h.patterns.first().map(|p| p.pops_per_elem),
+            SegKind::MapSiblings(m) => Some(m.pops_per_unit),
+            // Stencils address the raw grid; opaque runs on the host.
+            SegKind::Stencil(_) | SegKind::Opaque(_) => None,
+        }
+    };
+    let window_out = |s: &Segment| -> Option<usize> {
+        match &s.kind {
+            SegKind::Unit(u) => Some(u.pushes_per_unit),
+            // Reductions emit one scalar per array — already coalesced.
+            SegKind::Reduce(_) | SegKind::HFused(_) => Some(1),
+            // Sibling kernels interleave output groups: row-major only.
+            SegKind::MapSiblings(_) => None,
+            SegKind::Stencil(_) | SegKind::Opaque(_) => None,
+        }
+    };
+    for (i, layout) in layouts.iter_mut().enumerate() {
+        let producer = if i == 0 { None } else { Some(&segments[i - 1]) };
+        let consumer = segments.get(i);
+        let p = match producer {
+            None => None, // host can restructure freely
+            Some(s) => match window_out(s) {
+                Some(w) => Some(w),
+                None => {
+                    continue; // stencil/opaque producer: keep row-major
+                }
+            },
+        };
+        let c = match consumer {
+            None => None,
+            Some(s) => match window_in(s) {
+                Some(w) => Some(w),
+                None => {
+                    continue;
+                }
+            },
+        };
+        // Host-to-host trivial case would be (None, None): skip.
+        if p.is_none() && c.is_none() {
+            continue;
+        }
+        *layout = choose_edge_layout(p, c);
+    }
+    layouts
+}
+
+/// Fractional advantage a challenger must have over the incumbent choice
+/// before the variant table switches — hysteresis that keeps near-tie
+/// cost-model noise from fragmenting the table into spurious variants.
+const SWITCH_MARGIN: f64 = 1.05;
+
+/// Keep `prev` unless `best` is at least [`SWITCH_MARGIN`] cheaper.
+fn sticky<T: Clone + PartialEq>(
+    prev: Option<&T>,
+    best: T,
+    cost_of: impl Fn(&T) -> Option<f64>,
+) -> T {
+    match prev {
+        Some(p) if *p != best => match (cost_of(p), cost_of(&best)) {
+            (Some(cp), Some(cb)) if cp.is_finite() && cb * SWITCH_MARGIN >= cp => p.clone(),
+            _ => best,
+        },
+        _ => best,
+    }
+}
+
+/// Decide the lowering of every segment at one axis point. `prev` is the
+/// incumbent signature (the decision at smaller inputs), used for
+/// hysteresis.
+#[allow(clippy::too_many_arguments)]
+fn decide(
+    segments: &[Segment],
+    device: &DeviceSpec,
+    options: &CompileOptions,
+    layouts: &[Layout],
+    binds: &Bindings,
+    sched: &Schedule,
+    iterations: u64,
+    prev: Option<&[SegChoice]>,
+) -> Vec<SegChoice> {
+    segments
+        .iter()
+        .enumerate()
+        .map(|(i, seg)| match &seg.kind {
+            SegKind::Unit(u) => {
+                let units = (probe_units(u, seg.node, sched, binds).unwrap_or(1).max(1)
+                    * iterations.max(1) as i64) as usize;
+                let counts = body_counts(&u.body, binds);
+                let coarsens: &[usize] = if options.integration {
+                    &[1, 2, 4, 8, 16]
+                } else {
+                    &[1]
+                };
+                let cost = |c: usize| -> f64 {
+                    let p = map_profile(
+                        device,
+                        units,
+                        u.pops_per_unit,
+                        u.pushes_per_unit,
+                        counts.state_loads + counts.state_stores + counts.peeks,
+                        counts.compute,
+                        counts.flops,
+                        layouts[i],
+                        layouts[i + 1],
+                        c,
+                        256,
+                    );
+                    estimate(device, &p).time_us
+                };
+                let best = coarsens
+                    .iter()
+                    .map(|&c| (c, cost(c)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(c, _)| c)
+                    .unwrap_or(1);
+                let prev_c = prev.and_then(|p| match p.get(i) {
+                    Some(SegChoice::Map { coarsen }) => Some(*coarsen),
+                    _ => None,
+                });
+                let best = sticky(prev_c.as_ref(), best, |c| Some(cost(*c)));
+                SegChoice::Map { coarsen: best }
+            }
+            SegKind::Reduce(r) => {
+                let n_arrays = (sched.reps(seg.node).max(1) * iterations.max(1)) as usize;
+                let n_elements =
+                    eval_bound(&r.pattern.bound, binds).unwrap_or(1).max(1) as usize;
+                if !options.segmentation {
+                    return SegChoice::Reduce {
+                        choice: ReduceChoice::OneKernel {
+                            arrays_per_block: 1,
+                            block_dim: 256,
+                        },
+                    };
+                }
+                let elem_counts =
+                    body_counts(&[Stmt::Push(r.pattern.elem.clone())], binds);
+                let reduce_cost = |c: &ReduceChoice| -> Option<f64> {
+                    // Reject infeasible incumbents at this shape.
+                    if let ReduceChoice::OneKernel {
+                        arrays_per_block, ..
+                    } = c
+                    {
+                        if *arrays_per_block > n_arrays.max(1) {
+                            return None;
+                        }
+                    }
+                    Some(crate::opt::segmentation::reduce_choice_time(
+                        device,
+                        *c,
+                        n_arrays,
+                        n_elements,
+                        r.pattern.pops_per_elem,
+                        elem_counts.state_loads,
+                        elem_counts.compute + 1.0,
+                        layouts[i],
+                    ))
+                };
+                let (mut choice, _) = best_reduce_choice(
+                    device,
+                    n_arrays,
+                    n_elements,
+                    r.pattern.pops_per_elem,
+                    elem_counts.state_loads,
+                    elem_counts.compute + 1.0,
+                    layouts[i],
+                );
+                // Thread-per-array needs the array-major restructured
+                // layout, which only the host can provide — restrict it to
+                // the host-fed first segment (and to the memory opt).
+                if matches!(choice, ReduceChoice::ThreadPerArray { .. })
+                    && (i != 0 || !options.memory)
+                {
+                    choice = crate::opt::segmentation::reduce_candidates(
+                        device, n_arrays, n_elements,
+                    )
+                    .into_iter()
+                    .filter(|c| !matches!(c, ReduceChoice::ThreadPerArray { .. }))
+                    .map(|c| {
+                        (
+                            c,
+                            crate::opt::segmentation::reduce_choice_time(
+                                device,
+                                c,
+                                n_arrays,
+                                n_elements,
+                                r.pattern.pops_per_elem,
+                                elem_counts.state_loads,
+                                elem_counts.compute + 1.0,
+                                layouts[i],
+                            ),
+                        )
+                    })
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(c, _)| c)
+                    .expect("non-TPA candidates exist");
+                }
+                let prev_c = prev.and_then(|p| match p.get(i) {
+                    Some(SegChoice::Reduce { choice }) => Some(*choice),
+                    _ => None,
+                });
+                let choice = sticky(prev_c.as_ref(), choice, |c| reduce_cost(c));
+                SegChoice::Reduce { choice }
+            }
+            SegKind::Stencil(s) => {
+                let total = eval_bound(&s.pattern.bound, binds).unwrap_or(1).max(1);
+                let cols = match &s.pattern.width_param {
+                    Some(w) => binds.get(w).copied().unwrap_or(total).max(1),
+                    None => total,
+                };
+                let rows = (total / cols).max(1);
+                let (hr, hc) = s.pattern.halo();
+                let taps = s.pattern.offsets.len();
+                let tile_cost = |t: &(usize, usize)| -> Option<f64> {
+                    let ext = (t.0 + 2 * hc as usize) * (t.1 + 2 * hr as usize);
+                    if ext > device.shared_words_per_block as usize {
+                        return None;
+                    }
+                    let p = crate::cost::stencil_profile(
+                        device,
+                        rows as usize,
+                        cols as usize,
+                        t.0,
+                        t.1,
+                        hr as usize,
+                        hc as usize,
+                        taps,
+                        2.0 * taps as f64 + 2.0,
+                        taps as f64,
+                        256,
+                    );
+                    Some(estimate(device, &p).time_us)
+                };
+                let tile = if options.memory {
+                    let best = choose_tile(
+                        device,
+                        rows as usize,
+                        cols as usize,
+                        hr as usize,
+                        hc as usize,
+                        taps,
+                    );
+                    let prev_t = prev.and_then(|p| match p.get(i) {
+                        Some(SegChoice::Stencil { tile }) => Some(*tile),
+                        _ => None,
+                    });
+                    sticky(prev_t.as_ref(), best, |t| tile_cost(t))
+                } else {
+                    // Fixed, input-unaware tile.
+                    (32, if rows == 1 { 1 } else { 4 })
+                };
+                SegChoice::Stencil { tile }
+            }
+            SegKind::HFused(_) => SegChoice::HFused {
+                fused: options.integration,
+            },
+            SegKind::MapSiblings(_) => SegChoice::MapSiblings,
+            SegKind::Opaque(_) => SegChoice::Opaque,
+        })
+        .collect()
+}
+
+fn variant_tags(
+    choices: &[SegChoice],
+    layouts: &[Layout],
+    structure_tags: &[OptTag],
+    segments: &[Segment],
+) -> Vec<OptTag> {
+    let mut tags: Vec<OptTag> = structure_tags.to_vec();
+    if layouts.contains(&Layout::Transposed) {
+        tags.push(OptTag::MemoryRestructuring);
+    }
+    for (choice, seg) in choices.iter().zip(segments) {
+        match choice {
+            SegChoice::Reduce { choice } => {
+                tags.push(OptTag::StreamReduction);
+                if matches!(
+                    choice,
+                    ReduceChoice::OneKernel { arrays_per_block, .. } if *arrays_per_block > 1
+                ) {
+                    tags.push(OptTag::ThreadIntegration);
+                }
+            }
+            SegChoice::Map { coarsen } if *coarsen > 1 => {
+                tags.push(OptTag::ThreadIntegration);
+            }
+            SegChoice::Stencil { .. } => tags.push(OptTag::NeighboringAccess),
+            SegChoice::HFused { fused: true } => tags.push(OptTag::HorizontalIntegration),
+            _ => {}
+        }
+        let _ = seg;
+    }
+    tags.sort_unstable();
+    tags.dedup();
+    tags
+}
+
+/// Compile a program for a device over an input axis with default options.
+///
+/// # Errors
+///
+/// Returns [`Error::Semantic`] for graphs this reproduction cannot lower
+/// (round-robin splitters, non-reduction split-joins) and propagates
+/// scheduling errors at the probe points.
+pub fn compile(
+    program: &Program,
+    device: &DeviceSpec,
+    axis: &InputAxis,
+) -> Result<CompiledProgram> {
+    compile_with_options(program, device, axis, CompileOptions::default())
+}
+
+/// Compile with explicit optimization toggles (used for the paper's
+/// optimization-breakdown figures).
+pub fn compile_with_options(
+    program: &Program,
+    device: &DeviceSpec,
+    axis: &InputAxis,
+    options: CompileOptions,
+) -> Result<CompiledProgram> {
+    let probe_binds = axis.bind(axis.probe_point());
+    let (segments, structure_tags) = build_structure(program, &options, &probe_binds)?;
+    let layouts = choose_layouts(&segments, options.memory);
+
+    let fg = program.flatten()?;
+    let decide_at = |x: i64, prev: Option<&[SegChoice]>| -> Result<Vec<SegChoice>> {
+        let binds = axis.bind(x);
+        let sched = rate_match(&fg, &binds)?;
+        let iterations = axis.expected_iterations(x, sched.steady_input);
+        Ok(decide(
+            &segments, device, &options, &layouts, &binds, &sched, iterations, prev,
+        ))
+    };
+
+    // Probe the axis geometrically and refine the boundaries where the
+    // decision signature changes.
+    let mut probes: Vec<i64> = Vec::new();
+    let n = options.probes.max(2);
+    let (lo, hi) = (axis.lo, axis.hi);
+    for k in 0..n {
+        let t = k as f64 / (n - 1) as f64;
+        let x = ((lo.max(1) as f64).ln() * (1.0 - t) + (hi.max(1) as f64).ln() * t).exp();
+        probes.push((x as i64).clamp(lo, hi));
+    }
+    probes.push(lo);
+    probes.push(hi);
+    probes.sort_unstable();
+    probes.dedup();
+
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut cur_lo = lo;
+    let mut cur_sig = decide_at(lo, None)?;
+    // `cursor` is the largest x known to share `cur_sig`; one probe
+    // interval may contain several decision changes, so keep splitting
+    // until the probe itself agrees with the running signature.
+    let mut cursor = lo;
+    for &x in probes.iter().skip(1) {
+        loop {
+            let sig = decide_at(x, Some(&cur_sig))?;
+            if sig == cur_sig {
+                cursor = x;
+                break;
+            }
+            // Binary search the first change in (cursor, x].
+            let (mut a, mut b) = (cursor, x);
+            while b - a > 1 {
+                let mid = a + (b - a) / 2;
+                if decide_at(mid, Some(&cur_sig))? == cur_sig {
+                    a = mid;
+                } else {
+                    b = mid;
+                }
+            }
+            let next_sig = decide_at(b, Some(&cur_sig))?;
+            variants.push(Variant {
+                lo: cur_lo,
+                hi: b - 1,
+                tags: variant_tags(&cur_sig, &layouts, &structure_tags, &segments),
+                choices: cur_sig,
+            });
+            cur_lo = b;
+            cur_sig = next_sig;
+            cursor = b;
+            if b == x {
+                break;
+            }
+        }
+    }
+    variants.push(Variant {
+        lo: cur_lo,
+        hi,
+        tags: variant_tags(&cur_sig, &layouts, &structure_tags, &segments),
+        choices: cur_sig,
+    });
+
+    Ok(CompiledProgram {
+        program: program.clone(),
+        device: device.clone(),
+        axis: axis.clone(),
+        options,
+        segments,
+        edge_layouts: layouts,
+        variants,
+    })
+}
+
+/// Compile for a single concrete binding (one-shot execution).
+pub fn compile_single(
+    program: &Program,
+    device: &DeviceSpec,
+    binds: &Bindings,
+) -> Result<CompiledProgram> {
+    let b = binds.clone();
+    let axis = InputAxis::new("point", 1, 1, move |_| b.clone());
+    let opts = CompileOptions {
+        probes: 2,
+        ..CompileOptions::default()
+    };
+    compile_with_options(program, device, &axis, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::parse::parse_program;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    const SUM_SRC: &str = r#"pipeline P(N) {
+        actor Sum(pop N, push 1) {
+            acc = 0.0;
+            for i in 0..N { acc = acc + pop(); }
+            push(acc);
+        }
+    }"#;
+
+    #[test]
+    fn sum_compiles_with_multiple_variants() {
+        let p = parse_program(SUM_SRC).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 22);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        // The reduction scheme must change across this enormous range.
+        assert!(
+            compiled.variant_count() >= 2,
+            "expected multiple variants, got {}",
+            compiled.variant_count()
+        );
+        // The table tiles the axis exactly.
+        assert_eq!(compiled.variants[0].lo, 64);
+        assert_eq!(compiled.variants.last().unwrap().hi, 1 << 22);
+        for w in compiled.variants.windows(2) {
+            assert_eq!(w[0].hi + 1, w[1].lo);
+        }
+    }
+
+    #[test]
+    fn variant_lookup_clamps() {
+        let p = parse_program(SUM_SRC).unwrap();
+        let axis = InputAxis::total_size("N", 64, 4096);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let (i_lo, _) = compiled.variant_for(1);
+        assert_eq!(i_lo, 0);
+        let (i_hi, _) = compiled.variant_for(1 << 30);
+        assert_eq!(i_hi, compiled.variant_count() - 1);
+    }
+
+    #[test]
+    fn baseline_options_produce_fixed_reduction() {
+        let p = parse_program(SUM_SRC).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 22);
+        let compiled =
+            compile_with_options(&p, &device(), &axis, CompileOptions::baseline()).unwrap();
+        assert_eq!(compiled.variant_count(), 1);
+        assert!(matches!(
+            compiled.variants[0].choices[0],
+            SegChoice::Reduce {
+                choice: ReduceChoice::OneKernel {
+                    arrays_per_block: 1,
+                    block_dim: 256
+                }
+            }
+        ));
+    }
+
+    #[test]
+    fn map_chain_fuses_vertically() {
+        let src = r#"pipeline P(N) {
+            actor Scale(pop 1, push 1) { push(pop() * 2.0); }
+            actor Offset(pop 1, push 1) { push(pop() + 1.0); }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 1 << 10, 1 << 20);
+        let fused = compile(&p, &device(), &axis).unwrap();
+        assert_eq!(fused.segments.len(), 1);
+        assert!(fused.variants[0].tags.contains(&OptTag::VerticalIntegration));
+
+        let unfused = compile_with_options(
+            &p,
+            &device(),
+            &axis,
+            CompileOptions {
+                integration: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unfused.segments.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_splitjoin_of_reductions_recognized() {
+        let src = r#"pipeline P(N) {
+            splitjoin {
+                split duplicate;
+                actor MaxA(pop N, push 1) {
+                    m = -100000.0;
+                    for i in 0..N { m = max(m, pop()); }
+                    push(m);
+                }
+                actor SumA(pop N, push 1) {
+                    s = 0.0;
+                    for i in 0..N { s = s + pop(); }
+                    push(s);
+                }
+                join roundrobin(1, 1);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 1 << 10, 1 << 20);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        assert_eq!(compiled.segments.len(), 1);
+        assert!(matches!(compiled.segments[0].kind, SegKind::HFused(_)));
+        assert!(compiled.variants[0]
+            .tags
+            .contains(&OptTag::HorizontalIntegration));
+    }
+
+    #[test]
+    fn duplicate_splitjoin_of_maps_fuses_horizontally() {
+        let src = r#"pipeline P(N) {
+            splitjoin {
+                split duplicate;
+                actor SinA(pop 1, push 1) { push(sin(pop())); }
+                actor CosA(pop 1, push 1) { push(cos(pop())); }
+                join roundrobin(1, 1);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 16);
+        let fused = compile(&p, &device(), &axis).unwrap();
+        assert_eq!(fused.segments.len(), 1);
+        assert!(matches!(fused.segments[0].kind, SegKind::Unit(_)));
+        assert!(fused.variants[0]
+            .tags
+            .contains(&OptTag::HorizontalIntegration));
+
+        let unfused = compile_with_options(
+            &p,
+            &device(),
+            &axis,
+            CompileOptions {
+                integration: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            unfused.segments[0].kind,
+            SegKind::MapSiblings(_)
+        ));
+    }
+
+    #[test]
+    fn roundrobin_splitter_rejected() {
+        let src = r#"pipeline P() {
+            splitjoin {
+                split roundrobin(1, 1);
+                actor A(pop 1, push 1) { push(pop()); }
+                actor B(pop 1, push 1) { push(pop()); }
+                join roundrobin(1, 1);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 1, 100);
+        assert!(compile(&p, &device(), &axis).is_err());
+    }
+
+    #[test]
+    fn sdot_edge_gets_restructured() {
+        let src = r#"pipeline P(N) {
+            actor Dot(pop 2*N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop() * pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 1 << 10, 1 << 20);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        assert_eq!(compiled.edge_layouts[0], Layout::Transposed);
+        assert!(compiled.variants[0]
+            .tags
+            .contains(&OptTag::MemoryRestructuring));
+    }
+}

@@ -1,0 +1,978 @@
+//! Runtime kernel management (§3 of the paper).
+//!
+//! At execution time the kernel-management unit selects the properly
+//! optimized variant for the actual program input, sets each kernel's
+//! launch parameters (blocks, threads per block, shared-memory size),
+//! uploads/restructures host data, launches the plan's kernels in order on
+//! the simulated device, and reads back the output. As in the paper, the
+//! selection logic itself runs on the host and its cost is hidden under
+//! the initial host-to-device transfer, so it does not appear in kernel
+//! time.
+
+use std::collections::HashMap;
+
+use gpu_sim::{launch, BufId, ExecMode, GlobalMem, Kernel, KernelStats};
+use perfmodel::{estimate_stats, TimingEstimate};
+use streamir::actor::{ActorDef, StateVar};
+use streamir::error::{Error, Result};
+use streamir::ir::{Expr, Stmt};
+use streamir::rates::Bindings;
+use streamir::schedule::rate_match;
+use streamir::value::Value;
+
+use crate::analysis::opcount::eval_bound;
+use crate::analysis::reduction::ReductionPattern;
+use crate::exec_ir::{exec_body, VecIo};
+use crate::layout::{restructure, unrestructure, Layout};
+use crate::opt::segmentation::ReduceChoice;
+use crate::plan::{CompiledProgram, SegChoice, SegKind, UnitsPerFiring};
+use crate::templates::{
+    two_kernel_reduce, FusedReduce, MapKernel, ReduceSpec, SingleKernelReduce, StencilKernel,
+};
+
+/// Host data bound to one actor's state array before execution.
+#[derive(Debug, Clone)]
+pub struct StateBinding {
+    pub actor: String,
+    pub array: String,
+    pub data: Vec<f32>,
+}
+
+impl StateBinding {
+    /// Convenience constructor.
+    pub fn new(actor: &str, array: &str, data: Vec<f32>) -> StateBinding {
+        StateBinding {
+            actor: actor.to_string(),
+            array: array.to_string(),
+            data,
+        }
+    }
+}
+
+/// Statistics and timing of one launched kernel.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    pub name: String,
+    pub stats: KernelStats,
+    pub estimate: TimingEstimate,
+}
+
+/// The result of running a compiled program on one input.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The program's output stream.
+    pub output: Vec<f32>,
+    /// Per-kernel statistics, in launch order.
+    pub kernels: Vec<KernelReport>,
+    /// Estimated device time (µs), kernels + launch overheads.
+    pub time_us: f64,
+    /// Host-side time (µs) spent in opaque (non-GPU) segments.
+    pub host_time_us: f64,
+    /// Which variant of the table ran.
+    pub variant_index: usize,
+}
+
+impl ExecutionReport {
+    /// Total floating-point operations counted across kernels.
+    pub fn flops(&self) -> f64 {
+        self.kernels.iter().map(|k| k.stats.totals.flops).sum()
+    }
+
+    /// Achieved GFLOPS under the estimated time.
+    pub fn gflops(&self) -> f64 {
+        let t = self.time_us + self.host_time_us;
+        if t > 0.0 {
+            self.flops() / (t * 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// Run the program on `input` at axis value `x`, with full (exact)
+    /// execution and no state arrays.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledProgram::run_with`].
+    pub fn run(&self, x: i64, input: &[f32]) -> Result<ExecutionReport> {
+        self.run_with(x, input, &[], ExecMode::Full)
+    }
+
+    /// Run with state bindings and an execution mode.
+    ///
+    /// [`ExecMode::SampledExec`] executes a block subset — outputs are
+    /// partial but the statistics (and therefore timing) still describe
+    /// the whole launch; use it for timing-only sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns scheduling errors, [`Error::InsufficientInput`], and
+    /// [`Error::Runtime`] for missing state bindings.
+    pub fn run_with(
+        &self,
+        x: i64,
+        input: &[f32],
+        state: &[StateBinding],
+        mode: ExecMode,
+    ) -> Result<ExecutionReport> {
+        let (variant_index, variant) = self.variant_for(x);
+        let choices = variant.choices.clone();
+        let binds = self.axis.bind(x);
+        let fg = self.program.flatten()?;
+        let sched = rate_match(&fg, &binds)?;
+        if sched.steady_input == 0 {
+            return Err(Error::RateMismatch("program consumes no input".into()));
+        }
+        let iterations = input.len() as u64 / sched.steady_input;
+        if iterations == 0 {
+            return Err(Error::InsufficientInput {
+                needed: sched.steady_input as usize,
+                got: input.len(),
+            });
+        }
+
+        let mut mem = GlobalMem::new();
+        // Upload state arrays.
+        let mut state_bufs: HashMap<(String, String), BufId> = HashMap::new();
+        for sb in state {
+            let buf = mem.alloc_from(&sb.data);
+            state_bufs.insert((sb.actor.clone(), sb.array.clone()), buf);
+        }
+
+        let mut kernels: Vec<KernelReport> = Vec::new();
+        let mut host_time_us = 0.0f64;
+        // The current stream: either still on the host (before the first
+        // GPU segment) or a device buffer.
+        let mut cur_host: Option<Vec<f32>> = Some(input.to_vec());
+        let mut cur_buf: Option<BufId> = None;
+        let mut cur_layout = Layout::RowMajor;
+
+        let attach_state = |spec_state: &mut Vec<(String, BufId)>,
+                            actor: &ActorDef,
+                            state_bufs: &HashMap<(String, String), BufId>|
+         -> Result<()> {
+            for sv in &actor.state {
+                if let StateVar::Array { name, .. } = sv {
+                    let buf = state_bufs
+                        .get(&(actor.name.clone(), name.clone()))
+                        .copied()
+                        .ok_or_else(|| {
+                            Error::Runtime(format!(
+                                "state array {}::{name} not bound",
+                                actor.name
+                            ))
+                        })?;
+                    spec_state.push((name.clone(), buf));
+                }
+            }
+            Ok(())
+        };
+
+        for (i, seg) in self.segments.iter().enumerate() {
+            let reps = sched.reps(seg.node).max(1) * iterations;
+            let want_in_layout = self.edge_layouts[i];
+            let choice = &choices[i];
+
+            match (&seg.kind, choice) {
+                (SegKind::Unit(u), SegChoice::Map { coarsen }) => {
+                    let upf = match &u.units_per_firing {
+                        UnitsPerFiring::One => 1i64,
+                        UnitsPerFiring::Loop(e) => eval_bound(e, &binds)
+                            .ok_or_else(|| Error::Runtime("unbound loop bound".into()))?,
+                    }
+                    .max(1) as usize;
+                    let units = reps as usize * upf;
+                    let window = match &u.window_pop {
+                        Some(w) => Some(
+                            w.eval(&binds)?.max(0) as usize,
+                        ),
+                        None => None,
+                    };
+                    let in_items = match window {
+                        Some(w) => reps as usize * w,
+                        None => units * u.pops_per_unit,
+                    };
+                    let out_items = units * u.pushes_per_unit;
+                    let in_buf = ensure_device(
+                        &mut mem,
+                        &mut cur_host,
+                        &mut cur_buf,
+                        &mut cur_layout,
+                        if window.is_some() {
+                            Layout::RowMajor
+                        } else {
+                            want_in_layout
+                        },
+                        u.pops_per_unit,
+                        in_items,
+                    )?;
+                    let out_buf = mem.alloc(out_items);
+                    let mut k = MapKernel::new(
+                        &seg.label,
+                        u.body.clone(),
+                        binds.clone(),
+                        u.loop_var.clone(),
+                        units,
+                        u.pops_per_unit,
+                        u.pushes_per_unit,
+                        in_buf,
+                        out_buf,
+                    )
+                    .with_layouts(cur_layout, self.edge_layouts[i + 1])
+                    .with_coarsen(*coarsen);
+                    k.units_per_firing = upf;
+                    k.window_pop = window;
+                    for actor_name in &u.state_actors {
+                        if let Some(actor) = self.program.actor(actor_name) {
+                            attach_state(&mut k.state, actor, &state_bufs)?;
+                        }
+                    }
+                    run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                    cur_buf = Some(out_buf);
+                    cur_layout = self.edge_layouts[i + 1];
+                }
+                (SegKind::Reduce(r), SegChoice::Reduce { choice }) => {
+                    let n_arrays = reps as usize;
+                    let n_elements = eval_bound(&r.pattern.bound, &binds)
+                        .ok_or_else(|| Error::Runtime("unbound reduction bound".into()))?
+                        .max(1) as usize;
+                    let ppe = r.pattern.pops_per_elem.max(1);
+                    let in_items = n_arrays * n_elements * ppe;
+                    let out_buf_len = n_arrays;
+                    let mut spec = ReduceSpec::from_pattern(&r.pattern, binds.clone());
+                    if let Some(actor) = self.program.actor(&r.actor) {
+                        attach_state(&mut spec.state, actor, &state_bufs)?;
+                    }
+                    match choice {
+                        ReduceChoice::ThreadPerArray { block_dim } => {
+                            // Lower as a per-array serial map with the
+                            // array-major (transposed) layout.
+                            let in_buf = ensure_device(
+                                &mut mem,
+                                &mut cur_host,
+                                &mut cur_buf,
+                                &mut cur_layout,
+                                Layout::Transposed,
+                                n_elements * ppe,
+                                in_items,
+                            )?;
+                            let out_buf = mem.alloc(out_buf_len);
+                            let body = pattern_to_serial_body(&r.pattern);
+                            let mut k = MapKernel::new(
+                                &format!("{}_tpa", seg.label),
+                                body,
+                                binds.clone(),
+                                None,
+                                n_arrays,
+                                n_elements * ppe,
+                                1,
+                                in_buf,
+                                out_buf,
+                            )
+                            .with_layouts(cur_layout, Layout::RowMajor)
+                            .with_block_dim(*block_dim);
+                            k.state = spec.state.clone();
+                            run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                            cur_buf = Some(out_buf);
+                            cur_layout = Layout::RowMajor;
+                        }
+                        ReduceChoice::OneKernel {
+                            arrays_per_block,
+                            block_dim,
+                        } => {
+                            let in_buf = ensure_device(
+                                &mut mem,
+                                &mut cur_host,
+                                &mut cur_buf,
+                                &mut cur_layout,
+                                want_in_layout,
+                                ppe,
+                                in_items,
+                            )?;
+                            let out_buf = mem.alloc(out_buf_len);
+                            let k = SingleKernelReduce {
+                                spec,
+                                name: seg.label.clone(),
+                                n_arrays,
+                                n_elements,
+                                arrays_per_block: *arrays_per_block,
+                                block_dim: *block_dim,
+                                in_buf,
+                                in_layout: cur_layout,
+                                out_buf,
+                                apply_post: true,
+                                out_stride: 1,
+                                out_offset: 0,
+                            };
+                            run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                            cur_buf = Some(out_buf);
+                            cur_layout = Layout::RowMajor;
+                        }
+                        ReduceChoice::TwoKernel { block_dim } => {
+                            let initial_blocks =
+                                crate::opt::segmentation::pick_initial_blocks(
+                                    &self.device,
+                                    n_arrays,
+                                    n_elements,
+                                    *block_dim,
+                                )
+                                .max(2);
+                            let in_buf = ensure_device(
+                                &mut mem,
+                                &mut cur_host,
+                                &mut cur_buf,
+                                &mut cur_layout,
+                                want_in_layout,
+                                ppe,
+                                in_items,
+                            )?;
+                            let partials = mem.alloc(n_arrays * initial_blocks);
+                            let out_buf = mem.alloc(out_buf_len);
+                            let (k1, k2) = two_kernel_reduce(
+                                spec,
+                                n_arrays,
+                                n_elements,
+                                initial_blocks,
+                                *block_dim,
+                                in_buf,
+                                cur_layout,
+                                partials,
+                                out_buf,
+                            );
+                            run_kernel(&self.device, &mut mem, &k1, mode, &mut kernels);
+                            run_kernel(&self.device, &mut mem, &k2, mode, &mut kernels);
+                            cur_buf = Some(out_buf);
+                            cur_layout = Layout::RowMajor;
+                        }
+                    }
+                }
+                (SegKind::Stencil(s), SegChoice::Stencil { tile }) => {
+                    if reps != 1 {
+                        return Err(Error::Runtime(format!(
+                            "stencil segment `{}` must process the whole input in one \
+                             firing (got {reps} firings)",
+                            seg.label
+                        )));
+                    }
+                    let total = eval_bound(&s.pattern.bound, &binds)
+                        .ok_or_else(|| Error::Runtime("unbound stencil bound".into()))?
+                        .max(1);
+                    let cols = match &s.pattern.width_param {
+                        Some(w) => binds.get(w).copied().unwrap_or(total).max(1),
+                        None => total,
+                    };
+                    let rows = (total / cols).max(1);
+                    let (hr, hc) = s.pattern.halo();
+                    let in_buf = ensure_device(
+                        &mut mem,
+                        &mut cur_host,
+                        &mut cur_buf,
+                        &mut cur_layout,
+                        Layout::RowMajor,
+                        1,
+                        total as usize,
+                    )?;
+                    let out_buf = mem.alloc(total as usize);
+                    let mut k = StencilKernel::new(
+                        &seg.label,
+                        s.pattern.body.clone(),
+                        &s.pattern.loop_var,
+                        binds.clone(),
+                        rows as usize,
+                        cols as usize,
+                        tile.0,
+                        tile.1,
+                        hr as usize,
+                        hc as usize,
+                        in_buf,
+                        out_buf,
+                    );
+                    if let Some(actor) = self.program.actor(&s.actor) {
+                        attach_state(&mut k.state, actor, &state_bufs)?;
+                    }
+                    run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                    cur_buf = Some(out_buf);
+                    cur_layout = Layout::RowMajor;
+                }
+                (SegKind::HFused(h), SegChoice::HFused { fused }) => {
+                    let n_arrays = reps as usize;
+                    let first = &h.patterns[0];
+                    let n_elements = eval_bound(&first.bound, &binds)
+                        .ok_or_else(|| Error::Runtime("unbound reduction bound".into()))?
+                        .max(1) as usize;
+                    let ppe = first.pops_per_elem.max(1);
+                    let k_out = h.patterns.len();
+                    let in_items = n_arrays * n_elements * ppe;
+                    let in_buf = ensure_device(
+                        &mut mem,
+                        &mut cur_host,
+                        &mut cur_buf,
+                        &mut cur_layout,
+                        want_in_layout,
+                        ppe,
+                        in_items,
+                    )?;
+                    let out_buf = mem.alloc(n_arrays * k_out);
+                    let mut specs = Vec::new();
+                    for (pat, actor_name) in h.patterns.iter().zip(&h.actors) {
+                        let mut spec = ReduceSpec::from_pattern(pat, binds.clone());
+                        if let Some(actor) = self.program.actor(actor_name) {
+                            attach_state(&mut spec.state, actor, &state_bufs)?;
+                        }
+                        specs.push(spec);
+                    }
+                    if *fused {
+                        // Shared memory holds one block_dim-sized segment
+                        // per sibling; shrink blocks until they fit.
+                        let cap = self.device.shared_words_per_block as usize;
+                        let mut block_dim = 256usize;
+                        while block_dim > 32 && block_dim * k_out > cap {
+                            block_dim /= 2;
+                        }
+                        let k = FusedReduce {
+                            specs,
+                            name: seg.label.clone(),
+                            n_arrays,
+                            n_elements,
+                            block_dim: block_dim as u32,
+                            in_buf,
+                            in_layout: cur_layout,
+                            out_buf,
+                        };
+                        run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                    } else {
+                        for (s_idx, spec) in specs.into_iter().enumerate() {
+                            let k = SingleKernelReduce {
+                                spec,
+                                name: format!("{}_{s_idx}", seg.label),
+                                n_arrays,
+                                n_elements,
+                                arrays_per_block: 1,
+                                block_dim: 256,
+                                in_buf,
+                                in_layout: cur_layout,
+                                out_buf,
+                                apply_post: true,
+                                out_stride: k_out,
+                                out_offset: s_idx,
+                            };
+                            run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                        }
+                    }
+                    cur_buf = Some(out_buf);
+                    cur_layout = Layout::RowMajor;
+                }
+                (SegKind::MapSiblings(m), SegChoice::MapSiblings) => {
+                    let units = reps as usize;
+                    let in_items = units * m.pops_per_unit;
+                    let out_items = units * m.total_push;
+                    let in_buf = ensure_device(
+                        &mut mem,
+                        &mut cur_host,
+                        &mut cur_buf,
+                        &mut cur_layout,
+                        want_in_layout,
+                        m.pops_per_unit,
+                        in_items,
+                    )?;
+                    let out_buf = mem.alloc(out_items);
+                    let mut offset = 0usize;
+                    for (body, pushes, actor_name) in &m.branches {
+                        let mut k = MapKernel::new(
+                            &format!("{}_{actor_name}", seg.label),
+                            body.clone(),
+                            binds.clone(),
+                            None,
+                            units,
+                            m.pops_per_unit,
+                            *pushes,
+                            in_buf,
+                            out_buf,
+                        )
+                        .with_layouts(cur_layout, Layout::RowMajor);
+                        k.out_group = Some((m.total_push, offset));
+                        if let Some(actor) = self.program.actor(actor_name) {
+                            attach_state(&mut k.state, actor, &state_bufs)?;
+                        }
+                        run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                        offset += pushes;
+                    }
+                    cur_buf = Some(out_buf);
+                    cur_layout = Layout::RowMajor;
+                }
+                (SegKind::Opaque(actor_idx), SegChoice::Opaque) => {
+                    // Host execution: download, interpret, keep on host.
+                    let actor = &self.program.actors[*actor_idx];
+                    let data = match (&cur_host, cur_buf) {
+                        (Some(h), _) => h.clone(),
+                        (None, Some(buf)) => mem.read(buf).to_vec(),
+                        _ => unreachable!("stream is somewhere"),
+                    };
+                    let (out, us) = run_opaque(actor, reps as usize, &data, &binds, state)?;
+                    host_time_us += us;
+                    cur_host = Some(out);
+                    cur_buf = None;
+                    cur_layout = Layout::RowMajor;
+                }
+                (kind, choice) => {
+                    return Err(Error::Runtime(format!(
+                        "segment/choice mismatch: {kind:?} with {choice:?}"
+                    )));
+                }
+            }
+        }
+
+        // Read back the output.
+        let mut output = match (cur_host, cur_buf) {
+            (Some(h), _) => h,
+            (None, Some(buf)) => mem.read(buf).to_vec(),
+            _ => Vec::new(),
+        };
+        if cur_layout == Layout::Transposed {
+            // The final push window of the last unit segment.
+            if let Some(SegKind::Unit(u)) = self.segments.last().map(|s| &s.kind) {
+                if u.pushes_per_unit > 1 {
+                    output = unrestructure(&output, u.pushes_per_unit);
+                }
+            }
+        }
+
+        let time_us = kernels.iter().map(|k| k.estimate.time_us).sum();
+        Ok(ExecutionReport {
+            output,
+            kernels,
+            time_us,
+            host_time_us,
+            variant_index,
+        })
+    }
+}
+
+/// Ensure the stream lives in device memory with the wanted layout;
+/// restructuring host data is free (done at generation time, §4.1.1).
+fn ensure_device(
+    mem: &mut GlobalMem,
+    cur_host: &mut Option<Vec<f32>>,
+    cur_buf: &mut Option<BufId>,
+    cur_layout: &mut Layout,
+    want: Layout,
+    window: usize,
+    expect_items: usize,
+) -> Result<BufId> {
+    if let Some(host) = cur_host.take() {
+        if host.len() < expect_items {
+            return Err(Error::InsufficientInput {
+                needed: expect_items,
+                got: host.len(),
+            });
+        }
+        let host = &host[..expect_items];
+        let data = if want == Layout::Transposed && window > 1 {
+            restructure(host, window)
+        } else {
+            host.to_vec()
+        };
+        let buf = mem.alloc_from(&data);
+        *cur_buf = Some(buf);
+        *cur_layout = if window > 1 { want } else { Layout::RowMajor };
+        return Ok(buf);
+    }
+    let buf = cur_buf.expect("stream on device");
+    // Device-resident data keeps whatever layout its producer wrote; the
+    // planner guarantees producer/consumer agreement.
+    Ok(buf)
+}
+
+fn run_kernel(
+    device: &gpu_sim::DeviceSpec,
+    mem: &mut GlobalMem,
+    kernel: &dyn Kernel,
+    mode: ExecMode,
+    out: &mut Vec<KernelReport>,
+) {
+    let stats = launch(device, mem, kernel, mode);
+    let estimate = estimate_stats(device, &stats);
+    out.push(KernelReport {
+        name: stats.name.clone(),
+        stats,
+        estimate,
+    });
+}
+
+/// Rebuild a serial reduction body from its pattern (used by the
+/// thread-per-array lowering and the CUDA printer).
+pub(crate) fn pattern_to_serial_body(p: &ReductionPattern) -> Vec<Stmt> {
+    let combine = match p.op {
+        crate::analysis::CombineOp::Add => {
+            Expr::add(Expr::var(&p.acc), p.elem.clone())
+        }
+        crate::analysis::CombineOp::Mul => {
+            Expr::mul(Expr::var(&p.acc), p.elem.clone())
+        }
+        crate::analysis::CombineOp::Max => Expr::Call {
+            intrinsic: streamir::ir::Intrinsic::Max,
+            args: vec![Expr::var(&p.acc), p.elem.clone()],
+        },
+        crate::analysis::CombineOp::Min => Expr::Call {
+            intrinsic: streamir::ir::Intrinsic::Min,
+            args: vec![Expr::var(&p.acc), p.elem.clone()],
+        },
+    };
+    vec![
+        Stmt::Assign {
+            name: p.acc.clone(),
+            expr: Expr::Float(p.init),
+        },
+        Stmt::For {
+            var: p.loop_var.clone(),
+            start: Expr::Int(0),
+            end: p.bound.clone(),
+            body: vec![Stmt::Assign {
+                name: p.acc.clone(),
+                expr: combine,
+            }],
+        },
+        Stmt::Push(p.post.clone()),
+    ]
+}
+
+/// Interpret an opaque actor on the host for `firings` firings.
+fn run_opaque(
+    actor: &ActorDef,
+    firings: usize,
+    input: &[f32],
+    binds: &Bindings,
+    state: &[StateBinding],
+) -> Result<(Vec<f32>, f64)> {
+    let pop = actor.work.pop.eval(binds)?.max(0) as usize;
+    let needed = firings * pop;
+    if input.len() < needed {
+        return Err(Error::InsufficientInput {
+            needed,
+            got: input.len(),
+        });
+    }
+    let mut io = VecIo::default();
+    for sv in &actor.state {
+        if let StateVar::Array { name, .. } = sv {
+            let data = state
+                .iter()
+                .find(|s| s.actor == actor.name && s.array == *name)
+                .map(|s| s.data.clone())
+                .ok_or_else(|| {
+                    Error::Runtime(format!("state array {}::{name} not bound", actor.name))
+                })?;
+            io.state.insert(name.clone(), data);
+        }
+    }
+    let mut scalars: HashMap<String, Value> = actor
+        .state
+        .iter()
+        .filter_map(|sv| match sv {
+            StateVar::Scalar { name, init } => Some((name.clone(), Value::F32(*init))),
+            _ => None,
+        })
+        .collect();
+
+    let mut output = Vec::new();
+    let counts = crate::analysis::opcount::body_counts(&actor.work.body, binds);
+    for f in 0..firings {
+        io.input = input[f * pop..(f + 1) * pop].to_vec();
+        io.cursor = 0;
+        io.output.clear();
+        let mut locals: HashMap<String, Value> = scalars.clone();
+        exec_body(&actor.work.body, &mut locals, binds, &mut io)?;
+        // Persist scalar state.
+        for (name, v) in &locals {
+            if scalars.contains_key(name) {
+                scalars.insert(name.clone(), *v);
+            }
+        }
+        output.extend(io.output.iter().copied());
+    }
+    let host_us = crate::cost::host_cost_us(firings, counts.compute);
+    Ok((output, host_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile, compile_with_options, CompileOptions, InputAxis};
+    use gpu_sim::DeviceSpec;
+    use streamir::interp::Interpreter;
+    use streamir::parse::parse_program;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    #[test]
+    fn compiled_sum_matches_interpreter_across_variants() {
+        let src = r#"pipeline P(N) {
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 20);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        for n in [64usize, 1024, 65536] {
+            let input: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+            let report = compiled.run(n as i64, &input).unwrap();
+            let expected: f32 = input.iter().sum();
+            assert!(
+                (report.output[0] - expected).abs() <= 1e-3 * expected.max(1.0),
+                "n={n}: {} vs {expected}",
+                report.output[0]
+            );
+            assert!(report.time_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn different_sizes_select_different_variants() {
+        let src = r#"pipeline P(N) {
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 22);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let small = compiled.run(64, &vec![1.0; 64]).unwrap();
+        let large = compiled
+            .run_with(1 << 20, &vec![1.0; 1 << 20], &[], ExecMode::SampledStats(64))
+            .unwrap();
+        assert_ne!(small.variant_index, large.variant_index);
+    }
+
+    #[test]
+    fn fused_map_chain_runs_correctly() {
+        let src = r#"pipeline P(N) {
+            actor Scale(pop 1, push 1) { push(pop() * 2.0); }
+            actor Offset(pop 1, push 1) { push(pop() + 1.0); }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 16);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let input: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let report = compiled.run(1024, &input).unwrap();
+        let expected: Vec<f32> = input.iter().map(|x| x * 2.0 + 1.0).collect();
+        assert_eq!(report.output, expected);
+        // Fused: exactly one kernel.
+        assert_eq!(report.kernels.len(), 1);
+    }
+
+    #[test]
+    fn unfused_chain_launches_two_kernels() {
+        let src = r#"pipeline P(N) {
+            actor Scale(pop 1, push 1) { push(pop() * 2.0); }
+            actor Offset(pop 1, push 1) { push(pop() + 1.0); }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 16);
+        let compiled = compile_with_options(
+            &p,
+            &device(),
+            &axis,
+            CompileOptions {
+                integration: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let input: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let report = compiled.run(256, &input).unwrap();
+        assert_eq!(report.kernels.len(), 2);
+        let expected: Vec<f32> = input.iter().map(|x| x * 2.0 + 1.0).collect();
+        assert_eq!(report.output, expected);
+    }
+
+    #[test]
+    fn splitjoin_fused_and_unfused_agree() {
+        let src = r#"pipeline P(N) {
+            splitjoin {
+                split duplicate;
+                actor MaxA(pop N, push 1) {
+                    m = -100000.0;
+                    for i in 0..N { m = max(m, pop()); }
+                    push(m);
+                }
+                actor SumA(pop N, push 1) {
+                    s = 0.0;
+                    for i in 0..N { s = s + pop(); }
+                    push(s);
+                }
+                join roundrobin(1, 1);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 256, 1 << 16);
+        let input: Vec<f32> = (0..4096).map(|i| ((i * 13) % 100) as f32).collect();
+        let mut it = Interpreter::new(&p);
+        it.bind_param("N", 4096);
+        let expected = it.run(&input).unwrap();
+
+        let fused = compile(&p, &device(), &axis).unwrap();
+        let rf = fused.run(4096, &input).unwrap();
+        assert_eq!(rf.kernels.len(), 1);
+        assert_eq!(rf.output.len(), 2);
+        assert!((rf.output[0] - expected[0]).abs() < 1e-2);
+        assert!((rf.output[1] - expected[1]).abs() < 1e-1);
+
+        let unfused = compile_with_options(
+            &p,
+            &device(),
+            &axis,
+            CompileOptions {
+                integration: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let ru = unfused.run(4096, &input).unwrap();
+        assert_eq!(ru.kernels.len(), 2);
+        assert!((ru.output[0] - expected[0]).abs() < 1e-2);
+        assert!((ru.output[1] - expected[1]).abs() < 1e-1);
+    }
+
+    #[test]
+    fn map_siblings_fused_and_unfused_agree_with_interpreter() {
+        let src = r#"pipeline P(N) {
+            splitjoin {
+                split duplicate;
+                actor Twice(pop 2, push 1) { a = pop(); b = pop(); push(a + b); }
+                actor Diff(pop 2, push 2) { a = pop(); b = pop(); push(a - b); push(b - a); }
+                join roundrobin(1, 2);
+            }
+        }"#;
+        let p = streamir::parse::parse_program(src).unwrap();
+        let input: Vec<f32> = (0..512).map(|i| ((i * 7) % 23) as f32).collect();
+        let golden = Interpreter::new(&p).run(&input).unwrap();
+        let axis = InputAxis::total_size("N", 16, 4096);
+
+        let fused = compile(&p, &device(), &axis).unwrap();
+        let rf = fused.run(256, &input).unwrap();
+        assert_eq!(rf.kernels.len(), 1, "fused siblings launch one kernel");
+        assert_eq!(rf.output, golden);
+
+        let unfused = compile_with_options(
+            &p,
+            &device(),
+            &axis,
+            CompileOptions {
+                integration: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let ru = unfused.run(256, &input).unwrap();
+        assert_eq!(ru.kernels.len(), 2, "unfused siblings launch per actor");
+        assert_eq!(ru.output, golden);
+
+        // The fusion claim: one kernel reads the duplicated window once.
+        assert!(
+            rf.kernels[0].stats.totals.load_transactions
+                < ru.kernels
+                    .iter()
+                    .map(|k| k.stats.totals.load_transactions)
+                    .sum::<f64>()
+        );
+    }
+
+    #[test]
+    fn stencil_program_end_to_end() {
+        let src = r#"pipeline P(rows, cols) {
+            actor S(pop rows*cols, push rows*cols, peek rows*cols) {
+                for idx in 0..rows*cols {
+                    r = idx / cols;
+                    c = idx % cols;
+                    if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                        push(0.25 * (peek(idx - 1) + peek(idx + 1)
+                            + peek(idx - cols) + peek(idx + cols)));
+                    } else {
+                        push(peek(idx));
+                    }
+                }
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        // Axis: square grids of side x.
+        let axis = InputAxis::new("side", 16, 512, |x| {
+            streamir::graph::bindings(&[("rows", x), ("cols", x)])
+        });
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let side = 48usize;
+        let input: Vec<f32> = (0..side * side).map(|i| (i % 11) as f32).collect();
+        let mut it = Interpreter::new(&p);
+        it.bind_param("rows", side as i64);
+        it.bind_param("cols", side as i64);
+        let expected = it.run(&input).unwrap();
+        let report = compiled.run(side as i64, &input).unwrap();
+        assert_eq!(report.output, expected);
+    }
+
+    #[test]
+    fn tmv_with_state_vector() {
+        let src = r#"pipeline TMV(rows, cols) {
+            actor RowDot(pop cols, push 1) {
+                state x[cols];
+                acc = 0.0;
+                for i in 0..cols { acc = acc + pop() * x[i]; }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        // Fixed 64K elements, shape swept by row count.
+        let total: i64 = 1 << 16;
+        let axis = InputAxis::new("rows", 4, total / 4, move |rows| {
+            streamir::graph::bindings(&[("rows", rows), ("cols", total / rows)])
+        });
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        for rows in [4usize, 256, 4096] {
+            let cols = (total as usize) / rows;
+            let a: Vec<f32> = (0..rows * cols).map(|i| ((i * 7) % 13) as f32).collect();
+            let x: Vec<f32> = (0..cols).map(|i| ((i + 1) % 5) as f32).collect();
+            let state = [StateBinding::new("RowDot", "x", x.clone())];
+            let report = compiled
+                .run_with(rows as i64, &a, &state, ExecMode::Full)
+                .unwrap();
+            assert_eq!(report.output.len(), rows);
+            for r in 0..rows {
+                let expected: f32 = (0..cols).map(|c| a[r * cols + c] * x[c]).sum();
+                let got = report.output[r];
+                assert!(
+                    (got - expected).abs() <= 1e-3 * expected.abs().max(1.0),
+                    "rows={rows} r={r}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opaque_actor_falls_back_to_host() {
+        let src = r#"pipeline P(N) {
+            actor Scan(pop N, push N) {
+                acc = 0.0;
+                for i in 0..N { acc = acc * 0.5 + pop(); push(acc); }
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 16, 4096);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut it = Interpreter::new(&p);
+        it.bind_param("N", 64);
+        let expected = it.run(&input).unwrap();
+        let report = compiled.run(64, &input).unwrap();
+        assert_eq!(report.output, expected);
+        assert!(report.kernels.is_empty());
+        assert!(report.host_time_us > 0.0);
+    }
+}

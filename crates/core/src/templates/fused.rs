@@ -1,0 +1,381 @@
+//! Horizontally-integrated reduction kernel (§4.3.2 of the paper).
+//!
+//! When a duplicate splitter feeds several reduction actors (e.g. a
+//! program needing both the maximum *and* the sum of an array), launching
+//! one kernel per actor reads the input once per actor and pays the launch
+//! and synchronization overheads repeatedly. Horizontal actor integration
+//! fuses the siblings into one kernel: each element window is loaded from
+//! global memory *once* and fed to every reduction's element expression;
+//! the block then tree-reduces one shared-memory segment per sibling.
+
+use std::collections::HashMap;
+
+use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
+use streamir::value::Value;
+
+use crate::exec_ir::{eval_expr, IrIo};
+use crate::layout::Layout;
+use crate::templates::reduction::ReduceSpec;
+
+const SITE_ELEM: u32 = 0;
+const SITE_SHARED_ST: u32 = 1;
+const SITE_SHARED_LD: u32 = 2;
+const SITE_OUT: u32 = 3;
+const SITE_STATE: u32 = 8;
+
+/// One kernel computing several reductions over the same input.
+#[derive(Debug, Clone)]
+pub struct FusedReduce {
+    /// Sibling reductions; all must pop the same number of items per
+    /// element (they observe the same duplicated stream).
+    pub specs: Vec<ReduceSpec>,
+    pub name: String,
+    pub n_arrays: usize,
+    pub n_elements: usize,
+    pub block_dim: u32,
+    pub in_buf: BufId,
+    pub in_layout: Layout,
+    /// Receives `n_arrays * specs.len()` results, sibling-major per array
+    /// (matching a round-robin joiner's interleaving).
+    pub out_buf: BufId,
+}
+
+impl FusedReduce {
+    fn pops_per_elem(&self) -> usize {
+        self.specs.first().map_or(0, |s| s.pops_per_elem)
+    }
+}
+
+/// Serves pops from a pre-loaded element window (so siblings share loads).
+struct WindowIo<'c, 'd, 's> {
+    ctx: &'c mut BlockCtx<'d>,
+    spec: &'s ReduceSpec,
+    tid: u32,
+    window: &'s [f32],
+    cursor: usize,
+}
+
+impl IrIo for WindowIo<'_, '_, '_> {
+    fn pop(&mut self) -> f32 {
+        let v = self.window[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    fn peek(&mut self, _offset: i64) -> f32 {
+        panic!("peek rejected by reduction detection")
+    }
+
+    fn push(&mut self, _: f32) {
+        panic!("push inside reduction element")
+    }
+
+    fn state_load(&mut self, array: &str, idx: i64) -> f32 {
+        let (slot, buf) = self
+            .spec
+            .state
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == array)
+            .map(|(i, (_, b))| (i as u32, *b))
+            .unwrap_or_else(|| panic!("unbound state array `{array}`"));
+        self.ctx
+            .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize)
+    }
+
+    fn state_store(&mut self, _: &str, _: i64, _: f32) {
+        panic!("state store inside reduction element")
+    }
+}
+
+impl Kernel for FusedReduce {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(
+            self.n_arrays as u32,
+            self.block_dim,
+            self.block_dim * self.specs.len() as u32,
+        )
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let array = block as usize;
+        let ppe = self.pops_per_elem();
+        let total_elems = self.n_arrays * self.n_elements;
+        let k = self.specs.len();
+        let bdim = self.block_dim as usize;
+
+        // Phase 1: grid-stride; load each window once, feed all siblings.
+        let mut accs = vec![0.0f32; k];
+        let mut window = vec![0.0f32; ppe];
+        for tid in ctx.threads() {
+            for (s, spec) in self.specs.iter().enumerate() {
+                accs[s] = spec.op.identity();
+            }
+            let mut e = tid as usize;
+            while e < self.n_elements {
+                let global_elem = array * self.n_elements + e;
+                for (j, w) in window.iter_mut().enumerate() {
+                    let addr = self.in_layout.addr(global_elem, j, ppe, total_elems);
+                    *w = ctx.ld_global(SITE_ELEM, tid, self.in_buf, addr);
+                }
+                for (s, spec) in self.specs.iter().enumerate() {
+                    let mut locals: HashMap<String, Value> = HashMap::from([(
+                        spec.loop_var.clone(),
+                        Value::I64(e as i64),
+                    )]);
+                    let mut io = WindowIo {
+                        ctx,
+                        spec,
+                        tid,
+                        window: &window,
+                        cursor: 0,
+                    };
+                    let v = eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
+                        .expect("validated element")
+                        .as_f32()
+                        .expect("numeric element");
+                    accs[s] = spec.op.apply(accs[s], v);
+                    ctx.compute(tid, spec.compute_per_elem() as u32);
+                    ctx.count_flops(1);
+                }
+                e += bdim;
+            }
+            for (s, acc) in accs.iter().enumerate() {
+                ctx.st_shared(SITE_SHARED_ST, tid, s * bdim + tid as usize, *acc);
+            }
+        }
+        ctx.sync();
+
+        // Phase 2: one tree reduction per sibling segment.
+        for (s, spec) in self.specs.iter().enumerate() {
+            tree_reduce_segment(ctx, spec, s * bdim, bdim);
+        }
+        ctx.sync();
+
+        // Phase 3: lane 0 applies init/post and writes each output.
+        for (s, spec) in self.specs.iter().enumerate() {
+            let combined = ctx.ld_shared(SITE_SHARED_LD, 0, s * bdim);
+            let v = spec.op.apply(combined, spec.init);
+            let v = apply_post(spec, v);
+            ctx.st_global(SITE_OUT, 0, self.out_buf, array * k + s, v);
+        }
+    }
+}
+
+fn tree_reduce_segment(ctx: &mut BlockCtx<'_>, spec: &ReduceSpec, base: usize, size: usize) {
+    debug_assert!(size.is_power_of_two());
+    let warp = ctx.warp_size() as usize;
+    let mut active = size / 2;
+    while active >= 1 {
+        for lane in 0..active {
+            let tid = lane as u32;
+            let a = ctx.ld_shared(SITE_SHARED_LD, tid, base + lane);
+            let b = ctx.ld_shared(SITE_SHARED_LD, tid, base + lane + active);
+            ctx.st_shared(SITE_SHARED_ST, tid, base + lane, spec.op.apply(a, b));
+            ctx.compute(tid, 1);
+        }
+        if active >= warp {
+            ctx.sync();
+        }
+        active /= 2;
+    }
+}
+
+fn apply_post(spec: &ReduceSpec, acc: f32) -> f32 {
+    match &spec.post {
+        None => acc,
+        Some(post) => {
+            let mut locals: HashMap<String, Value> =
+                HashMap::from([(spec.acc_name.clone(), Value::F32(acc))]);
+            struct Pure;
+            impl IrIo for Pure {
+                fn pop(&mut self) -> f32 {
+                    panic!("pop in pure expression")
+                }
+                fn peek(&mut self, _: i64) -> f32 {
+                    panic!("peek in pure expression")
+                }
+                fn push(&mut self, _: f32) {
+                    panic!("push in pure expression")
+                }
+                fn state_load(&mut self, _: &str, _: i64) -> f32 {
+                    panic!("state load in pure expression")
+                }
+                fn state_store(&mut self, _: &str, _: i64, _: f32) {
+                    panic!("state store in pure expression")
+                }
+            }
+            eval_expr(post, &mut locals, &spec.binds, &mut Pure)
+                .expect("pure post")
+                .as_f32()
+                .expect("numeric post")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::reduction::CombineOp;
+    use gpu_sim::{launch, DeviceSpec, ExecMode, GlobalMem};
+    use streamir::graph::bindings;
+    use streamir::ir::Expr;
+
+    fn assert_close(a: f32, b: f32) {
+        let tol = 1e-4 * b.abs().max(1.0);
+        assert!((a - b).abs() <= tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn fused_max_and_sum_match_separate() {
+        let device = DeviceSpec::tesla_c2050();
+        let n = 10_000usize;
+        let data: Vec<f32> = (0..n).map(|i| ((i * 31) % 101) as f32 - 50.0).collect();
+        let want_sum: f32 = data.iter().sum();
+        let want_max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(2);
+        let k = FusedReduce {
+            specs: vec![
+                ReduceSpec::raw(CombineOp::Max, bindings(&[])),
+                ReduceSpec::raw(CombineOp::Add, bindings(&[])),
+            ],
+            name: "max_sum".into(),
+            n_arrays: 1,
+            n_elements: n,
+            block_dim: 256,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+        };
+        let fused_stats = launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], want_max);
+        assert_close(mem.read(out_buf)[1], want_sum);
+
+        // The fusion claim: one fused kernel loads the input once, two
+        // separate kernels load it twice.
+        use crate::templates::reduction::SingleKernelReduce;
+        let mut mem2 = GlobalMem::new();
+        let in2 = mem2.alloc_from(&data);
+        let o2 = mem2.alloc(1);
+        let single = SingleKernelReduce {
+            spec: ReduceSpec::raw(CombineOp::Add, bindings(&[])),
+            name: "sum".into(),
+            n_arrays: 1,
+            n_elements: n,
+            arrays_per_block: 1,
+            block_dim: 256,
+            in_buf: in2,
+            in_layout: Layout::RowMajor,
+            out_buf: o2,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        let single_stats = launch(&device, &mut mem2, &single, ExecMode::Full);
+        assert!(
+            fused_stats.totals.load_transactions < 1.5 * single_stats.totals.load_transactions,
+            "fused loads {} should be ~1x a single reduction's {}",
+            fused_stats.totals.load_transactions,
+            single_stats.totals.load_transactions
+        );
+    }
+
+    #[test]
+    fn fused_multiple_arrays_sibling_major_output() {
+        let device = DeviceSpec::tesla_c2050();
+        let (n_arrays, n_elements) = (5, 640);
+        let data: Vec<f32> = (0..n_arrays * n_elements)
+            .map(|i| ((i * 7) % 29) as f32)
+            .collect();
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(n_arrays * 2);
+        let k = FusedReduce {
+            specs: vec![
+                ReduceSpec::raw(CombineOp::Min, bindings(&[])),
+                ReduceSpec::raw(CombineOp::Add, bindings(&[])),
+            ],
+            name: "min_sum".into(),
+            n_arrays,
+            n_elements,
+            block_dim: 128,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        for a in 0..n_arrays {
+            let slice = &data[a * n_elements..(a + 1) * n_elements];
+            let want_min = slice.iter().cloned().fold(f32::INFINITY, f32::min);
+            let want_sum: f32 = slice.iter().sum();
+            assert_close(mem.read(out_buf)[a * 2], want_min);
+            assert_close(mem.read(out_buf)[a * 2 + 1], want_sum);
+        }
+    }
+
+    #[test]
+    fn fused_with_elem_transform_and_post() {
+        // Fuses snrm2 (sqrt of sum of squares) with sasum (sum of abs).
+        let device = DeviceSpec::tesla_c2050();
+        let data: Vec<f32> = (0..1024).map(|i| (i % 7) as f32 - 3.0).collect();
+        let want_nrm2 = data.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let want_asum: f32 = data.iter().map(|x| x.abs()).sum();
+
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(2);
+        let nrm2 = ReduceSpec {
+            op: CombineOp::Add,
+            init: 0.0,
+            // One pop per element: square via pow so the shared window
+            // (sized by pops_per_elem) is read exactly once.
+            elem: Expr::Call {
+                intrinsic: streamir::ir::Intrinsic::Pow,
+                args: vec![Expr::Pop, Expr::Float(2.0)],
+            },
+            loop_var: "i".into(),
+            pops_per_elem: 1,
+            acc_name: "acc".into(),
+            post: Some(Expr::Call {
+                intrinsic: streamir::ir::Intrinsic::Sqrt,
+                args: vec![Expr::var("acc")],
+            }),
+            binds: bindings(&[]),
+            state: Vec::new(),
+        };
+        let asum = ReduceSpec {
+            op: CombineOp::Add,
+            init: 0.0,
+            elem: Expr::Call {
+                intrinsic: streamir::ir::Intrinsic::Abs,
+                args: vec![Expr::Pop],
+            },
+            loop_var: "i".into(),
+            pops_per_elem: 1,
+            acc_name: "acc".into(),
+            post: None,
+            binds: bindings(&[]),
+            state: Vec::new(),
+        };
+        let k = FusedReduce {
+            specs: vec![nrm2, asum],
+            name: "nrm2_asum".into(),
+            n_arrays: 1,
+            n_elements: data.len(),
+            block_dim: 256,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], want_nrm2);
+        assert_close(mem.read(out_buf)[1], want_asum);
+    }
+}

@@ -1,0 +1,847 @@
+//! Stream-reduction kernel templates (§4.2.1, Figure 8 of the paper).
+//!
+//! A reduction consumes `n_arrays` arrays of `n_elements` elements each and
+//! produces one value per array. Two translation schemes exist:
+//!
+//! * **Single-kernel** ([`SingleKernelReduce`]): one block per array (or
+//!   per few arrays under horizontal thread integration). Each thread
+//!   grid-strides over the array combining elements into a register, dumps
+//!   partials into shared memory, then the block tree-reduces: loop L1
+//!   halves the active threads with barriers down to warp width, loop L2
+//!   finishes within one warp without barriers (redundant lanes instead of
+//!   divergence, exactly as Figure 8 argues). Best when there are enough
+//!   arrays to fill the device.
+//!
+//! * **Two-kernel** ([`two_kernel_reduce`]): an *initial reduction kernel*
+//!   chunks each array across many blocks (there is no inter-block
+//!   synchronization, so partials go back to global memory), then a *merge
+//!   kernel* reduces the per-block partials. Best when arrays are long and
+//!   few — e.g. a dot product of two million-element vectors.
+
+use std::collections::HashMap;
+
+use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
+use streamir::ir::Expr;
+use streamir::rates::Bindings;
+use streamir::value::Value;
+
+use crate::analysis::reduction::{CombineOp, ReductionPattern};
+use crate::analysis::opcount::body_counts;
+use crate::exec_ir::{eval_expr, IrIo};
+use crate::layout::Layout;
+
+const SITE_ELEM: u32 = 0;
+const SITE_SHARED_ST: u32 = 1;
+const SITE_SHARED_LD: u32 = 2;
+const SITE_OUT: u32 = 3;
+const SITE_STATE: u32 = 8;
+
+/// The reduction semantics shared by all variants.
+#[derive(Debug, Clone)]
+pub struct ReduceSpec {
+    /// Combiner (associative + commutative).
+    pub op: CombineOp,
+    /// Initial accumulator value (folded in once per output).
+    pub init: f32,
+    /// Per-element expression.
+    pub elem: Expr,
+    /// Loop variable bound to the element index within the array.
+    pub loop_var: String,
+    /// Pops per element.
+    pub pops_per_elem: usize,
+    /// Accumulator name used by `post`.
+    pub acc_name: String,
+    /// Final transform (e.g. `sqrt(acc)`); `None` pushes the accumulator.
+    pub post: Option<Expr>,
+    /// Parameter bindings.
+    pub binds: Bindings,
+    /// Bound state arrays.
+    pub state: Vec<(String, BufId)>,
+}
+
+impl ReduceSpec {
+    /// Build a spec from a detected pattern.
+    pub fn from_pattern(p: &ReductionPattern, binds: Bindings) -> ReduceSpec {
+        let post = if p.post_is_identity() {
+            None
+        } else {
+            Some(p.post.clone())
+        };
+        ReduceSpec {
+            op: p.op,
+            init: p.init,
+            elem: p.elem.clone(),
+            loop_var: p.loop_var.clone(),
+            pops_per_elem: p.pops_per_elem,
+            acc_name: p.acc.clone(),
+            post,
+            binds,
+            state: Vec::new(),
+        }
+    }
+
+    /// The trivial spec summing raw elements (used by merge kernels).
+    pub fn raw(op: CombineOp, binds: Bindings) -> ReduceSpec {
+        ReduceSpec {
+            op,
+            init: op.identity(),
+            elem: Expr::Pop,
+            loop_var: "i".into(),
+            pops_per_elem: 1,
+            acc_name: "acc".into(),
+            post: None,
+            binds,
+            state: Vec::new(),
+        }
+    }
+
+    /// Instruction estimate per element (for the performance model).
+    pub fn compute_per_elem(&self) -> f64 {
+        let body = [streamir::ir::Stmt::Push(self.elem.clone())];
+        body_counts(&body, &self.binds).compute + 1.0
+    }
+
+    /// Apply the final transform to a combined value.
+    fn apply_post(&self, acc: f32) -> f32 {
+        match &self.post {
+            None => acc,
+            Some(post) => {
+                let mut locals: HashMap<String, Value> =
+                    HashMap::from([(self.acc_name.clone(), Value::F32(acc))]);
+                let mut no_io = NoIo;
+                eval_expr(post, &mut locals, &self.binds, &mut no_io)
+                    .expect("post expression is pure")
+                    .as_f32()
+                    .expect("post is numeric")
+            }
+        }
+    }
+}
+
+/// I/O that must never be exercised (post expressions are pure).
+struct NoIo;
+
+impl IrIo for NoIo {
+    fn pop(&mut self) -> f32 {
+        panic!("pop in pure expression")
+    }
+    fn peek(&mut self, _: i64) -> f32 {
+        panic!("peek in pure expression")
+    }
+    fn push(&mut self, _: f32) {
+        panic!("push in pure expression")
+    }
+    fn state_load(&mut self, _: &str, _: i64) -> f32 {
+        panic!("state load in pure expression")
+    }
+    fn state_store(&mut self, _: &str, _: i64, _: f32) {
+        panic!("state store in pure expression")
+    }
+}
+
+/// Element reader: maps the j-th pop of element `g` (global element index)
+/// to device addresses under the chosen layout.
+struct ElemIo<'c, 'd, 's> {
+    ctx: &'c mut BlockCtx<'d>,
+    spec: &'s ReduceSpec,
+    tid: u32,
+    in_buf: BufId,
+    in_layout: Layout,
+    global_elem: usize,
+    total_elems: usize,
+    pops: usize,
+    /// Block-level scalar-promotion cache for unit-invariant state loads
+    /// (see `templates::map`). Capped so per-element indexed state stays
+    /// honestly counted.
+    state_cache: &'c mut Vec<((u32, i64), f32)>,
+}
+
+const STATE_CACHE_CAP: usize = 64;
+
+impl IrIo for ElemIo<'_, '_, '_> {
+    fn pop(&mut self) -> f32 {
+        let addr = self.in_layout.addr(
+            self.global_elem,
+            self.pops,
+            self.spec.pops_per_elem,
+            self.total_elems,
+        );
+        self.pops += 1;
+        self.ctx.ld_global(SITE_ELEM, self.tid, self.in_buf, addr)
+    }
+
+    fn peek(&mut self, _offset: i64) -> f32 {
+        panic!("peek rejected by reduction detection")
+    }
+
+    fn push(&mut self, _v: f32) {
+        panic!("push inside reduction element")
+    }
+
+    fn state_load(&mut self, array: &str, idx: i64) -> f32 {
+        let (slot, buf) = self
+            .spec
+            .state
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == array)
+            .map(|(i, (_, b))| (i as u32, *b))
+            .unwrap_or_else(|| panic!("unbound state array `{array}`"));
+        if let Some((_, v)) = self.state_cache.iter().find(|(k, _)| *k == (slot, idx)) {
+            return *v;
+        }
+        let v = self
+            .ctx
+            .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize);
+        if self.state_cache.len() < STATE_CACHE_CAP {
+            self.state_cache.push(((slot, idx), v));
+        }
+        v
+    }
+
+    fn state_store(&mut self, _: &str, _: i64, _: f32) {
+        panic!("state store inside reduction element")
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_element(
+    ctx: &mut BlockCtx<'_>,
+    spec: &ReduceSpec,
+    tid: u32,
+    in_buf: BufId,
+    in_layout: Layout,
+    elem_in_array: usize,
+    array: usize,
+    n_elements: usize,
+    total_elems: usize,
+    state_cache: &mut Vec<((u32, i64), f32)>,
+) -> f32 {
+    let mut locals: HashMap<String, Value> = HashMap::from([(
+        spec.loop_var.clone(),
+        Value::I64(elem_in_array as i64),
+    )]);
+    let mut io = ElemIo {
+        ctx,
+        spec,
+        tid,
+        in_buf,
+        in_layout,
+        global_elem: array * n_elements + elem_in_array,
+        total_elems,
+        pops: 0,
+        state_cache,
+    };
+    eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
+        .expect("validated element expression")
+        .as_f32()
+        .expect("element is numeric")
+}
+
+/// Block-level tree reduction over shared memory (Figure 8's loops L1/L2).
+///
+/// `group_base`/`group_size` allow several reduction groups per block
+/// (horizontal thread integration). Returns the combined value, valid on
+/// the group's first lane.
+fn shared_tree_reduce(
+    ctx: &mut BlockCtx<'_>,
+    op: CombineOp,
+    group_base: usize,
+    group_size: usize,
+) {
+    debug_assert!(
+        group_size.is_power_of_two(),
+        "reduction groups are power-of-two sized (got {group_size})"
+    );
+    let warp = ctx.warp_size() as usize;
+    let combine = |ctx: &mut BlockCtx<'_>, lane: usize, active: usize| {
+        let tid = (group_base + lane) as u32;
+        let a = ctx.ld_shared(SITE_SHARED_LD, tid, group_base + lane);
+        let b = ctx.ld_shared(SITE_SHARED_LD, tid, group_base + lane + active);
+        ctx.st_shared(SITE_SHARED_ST, tid, group_base + lane, op.apply(a, b));
+        ctx.compute(tid, 1);
+    };
+    // L1: halve with barriers while more than one warp participates.
+    let mut active = group_size / 2;
+    while active >= warp {
+        for lane in 0..active {
+            combine(ctx, lane, active);
+        }
+        ctx.sync();
+        active /= 2;
+    }
+    // L2: finish within one warp; no barriers needed (Figure 8 keeps warp
+    // lanes active rather than diverging further).
+    while active >= 1 {
+        for lane in 0..active {
+            combine(ctx, lane, active);
+        }
+        active /= 2;
+    }
+}
+
+/// Single-kernel reduction: each block reduces one array (or
+/// `arrays_per_block` arrays, splitting its threads among them).
+#[derive(Debug, Clone)]
+pub struct SingleKernelReduce {
+    pub spec: ReduceSpec,
+    pub name: String,
+    pub n_arrays: usize,
+    pub n_elements: usize,
+    /// Arrays handled by one block (horizontal thread integration).
+    pub arrays_per_block: usize,
+    pub block_dim: u32,
+    pub in_buf: BufId,
+    pub in_layout: Layout,
+    pub out_buf: BufId,
+    /// Whether to apply the final transform (`false` for intermediate
+    /// stages of a two-kernel reduction).
+    pub apply_post: bool,
+    /// Output written at `array * out_stride + out_offset` — lets unfused
+    /// split-join siblings interleave into a shared round-robin buffer.
+    pub out_stride: usize,
+    pub out_offset: usize,
+}
+
+impl SingleKernelReduce {
+    fn threads_per_array(&self) -> usize {
+        (self.block_dim as usize / self.arrays_per_block).max(1)
+    }
+}
+
+impl Kernel for SingleKernelReduce {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let grid = self.n_arrays.div_ceil(self.arrays_per_block).max(1) as u32;
+        LaunchConfig::new(grid, self.block_dim, self.block_dim)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let tpa = self.threads_per_array();
+        let total_elems = self.n_arrays * self.n_elements;
+        let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
+        // Phase 1: grid-stride accumulation into registers, then shared.
+        for tid in ctx.threads() {
+            let local_array = tid as usize / tpa;
+            let lane = tid as usize % tpa;
+            let array = block as usize * self.arrays_per_block + local_array;
+            let mut acc = self.spec.op.identity();
+            if local_array < self.arrays_per_block && array < self.n_arrays {
+                let mut e = lane;
+                while e < self.n_elements {
+                    let v = eval_element(
+                        ctx,
+                        &self.spec,
+                        tid,
+                        self.in_buf,
+                        self.in_layout,
+                        e,
+                        array,
+                        self.n_elements,
+                        total_elems,
+                        &mut state_cache,
+                    );
+                    acc = self.spec.op.apply(acc, v);
+                    ctx.compute(tid, self.spec.compute_per_elem() as u32);
+                    ctx.count_flops(1 + self.spec.pops_per_elem as u64);
+                    e += tpa;
+                }
+            }
+            ctx.st_shared(SITE_SHARED_ST, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        // Phase 2: tree reduction per array group.
+        for local_array in 0..self.arrays_per_block {
+            shared_tree_reduce(ctx, self.spec.op, local_array * tpa, tpa);
+        }
+        ctx.sync();
+        // First lane of each group writes the result.
+        for local_array in 0..self.arrays_per_block {
+            let array = block as usize * self.arrays_per_block + local_array;
+            if array >= self.n_arrays {
+                continue;
+            }
+            let tid = (local_array * tpa) as u32;
+            let combined = ctx.ld_shared(SITE_SHARED_LD, tid, local_array * tpa);
+            let v = self.spec.op.apply(combined, self.spec.init);
+            let v = if self.apply_post {
+                self.spec.apply_post(v)
+            } else {
+                v
+            };
+            ctx.st_global(
+                SITE_OUT,
+                tid,
+                self.out_buf,
+                array * self.out_stride.max(1) + self.out_offset,
+                v,
+            );
+        }
+    }
+}
+
+/// The initial (chunking) kernel of the two-kernel scheme.
+#[derive(Debug, Clone)]
+pub struct InitialReduce {
+    pub spec: ReduceSpec,
+    pub name: String,
+    pub n_arrays: usize,
+    pub n_elements: usize,
+    /// Blocks per array.
+    pub initial_blocks: usize,
+    pub block_dim: u32,
+    pub in_buf: BufId,
+    pub in_layout: Layout,
+    /// Receives `n_arrays * initial_blocks` partials.
+    pub partials_buf: BufId,
+}
+
+impl Kernel for InitialReduce {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(
+            (self.n_arrays * self.initial_blocks) as u32,
+            self.block_dim,
+            self.block_dim,
+        )
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let array = block as usize / self.initial_blocks;
+        let chunk = block as usize % self.initial_blocks;
+        // Chunk boundaries aligned to the transaction size so every
+        // grid-stride warp load stays within one segment.
+        let chunk_size = self
+            .n_elements
+            .div_ceil(self.initial_blocks)
+            .next_multiple_of(32);
+        let lo = (chunk * chunk_size).min(self.n_elements);
+        let hi = ((chunk + 1) * chunk_size).min(self.n_elements);
+        let total_elems = self.n_arrays * self.n_elements;
+        let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
+
+        for tid in ctx.threads() {
+            let mut acc = self.spec.op.identity();
+            let mut e = lo + tid as usize;
+            while e < hi {
+                let v = eval_element(
+                    ctx,
+                    &self.spec,
+                    tid,
+                    self.in_buf,
+                    self.in_layout,
+                    e,
+                    array,
+                    self.n_elements,
+                    total_elems,
+                    &mut state_cache,
+                );
+                acc = self.spec.op.apply(acc, v);
+                ctx.compute(tid, self.spec.compute_per_elem() as u32);
+                ctx.count_flops(1 + self.spec.pops_per_elem as u64);
+                e += self.block_dim as usize;
+            }
+            ctx.st_shared(SITE_SHARED_ST, tid, tid as usize, acc);
+        }
+        ctx.sync();
+        shared_tree_reduce(ctx, self.spec.op, 0, self.block_dim as usize);
+        ctx.sync();
+        let combined = ctx.ld_shared(SITE_SHARED_LD, 0, 0);
+        ctx.st_global(
+            SITE_OUT,
+            0,
+            self.partials_buf,
+            array * self.initial_blocks + chunk,
+            combined,
+        );
+    }
+}
+
+/// Build the merge kernel that finishes a two-kernel reduction: reduces
+/// each array's `initial_blocks` partials, folds in the initial value and
+/// applies the final transform.
+pub fn merge_kernel(
+    spec: &ReduceSpec,
+    n_arrays: usize,
+    initial_blocks: usize,
+    partials_buf: BufId,
+    out_buf: BufId,
+) -> SingleKernelReduce {
+    let mut raw = ReduceSpec::raw(spec.op, spec.binds.clone());
+    raw.init = spec.init;
+    raw.post = spec.post.clone();
+    raw.acc_name = spec.acc_name.clone();
+    SingleKernelReduce {
+        spec: raw,
+        name: "reduce_merge".into(),
+        n_arrays,
+        n_elements: initial_blocks,
+        arrays_per_block: 1,
+        block_dim: (initial_blocks.next_power_of_two().max(32) as u32).min(256),
+        in_buf: partials_buf,
+        in_layout: Layout::RowMajor,
+        out_buf,
+        apply_post: true,
+        out_stride: 1,
+        out_offset: 0,
+    }
+}
+
+/// Convenience: the two kernels of the two-kernel scheme, in launch order.
+///
+/// The caller allocates `partials_buf` with `n_arrays * initial_blocks`
+/// words. The initial kernel's `init`/`post` are suppressed (identity
+/// partials); the merge kernel applies both.
+#[allow(clippy::too_many_arguments)]
+pub fn two_kernel_reduce(
+    spec: ReduceSpec,
+    n_arrays: usize,
+    n_elements: usize,
+    initial_blocks: usize,
+    block_dim: u32,
+    in_buf: BufId,
+    in_layout: Layout,
+    partials_buf: BufId,
+    out_buf: BufId,
+) -> (InitialReduce, SingleKernelReduce) {
+    let merge = merge_kernel(&spec, n_arrays, initial_blocks, partials_buf, out_buf);
+    let initial = InitialReduce {
+        spec,
+        name: "reduce_initial".into(),
+        n_arrays,
+        n_elements,
+        initial_blocks,
+        block_dim,
+        in_buf,
+        in_layout,
+        partials_buf,
+    };
+    (initial, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{launch, DeviceSpec, ExecMode, GlobalMem};
+    use streamir::graph::bindings;
+    use streamir::ir::Intrinsic;
+
+    fn sum_spec() -> ReduceSpec {
+        ReduceSpec::raw(CombineOp::Add, bindings(&[]))
+    }
+
+    fn assert_close(a: f32, b: f32) {
+        let tol = 1e-4 * b.abs().max(1.0);
+        assert!((a - b).abs() <= tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn single_kernel_sums_one_array() {
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let n = 10_000usize;
+        let data: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let expected: f32 = data.iter().sum();
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(1);
+        let k = SingleKernelReduce {
+            spec: sum_spec(),
+            name: "sum".into(),
+            n_arrays: 1,
+            n_elements: n,
+            arrays_per_block: 1,
+            block_dim: 256,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], expected);
+    }
+
+    #[test]
+    fn single_kernel_many_arrays() {
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let (n_arrays, n_elements) = (37, 129); // deliberately odd sizes
+        let data: Vec<f32> = (0..n_arrays * n_elements)
+            .map(|i| ((i * 13) % 11) as f32 - 5.0)
+            .collect();
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(n_arrays);
+        let k = SingleKernelReduce {
+            spec: sum_spec(),
+            name: "sum".into(),
+            n_arrays,
+            n_elements,
+            arrays_per_block: 1,
+            block_dim: 128,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        for a in 0..n_arrays {
+            let expected: f32 = data[a * n_elements..(a + 1) * n_elements].iter().sum();
+            assert_close(mem.read(out_buf)[a], expected);
+        }
+    }
+
+    #[test]
+    fn horizontal_thread_integration_multiple_arrays_per_block() {
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let (n_arrays, n_elements) = (64, 33);
+        let data: Vec<f32> = (0..n_arrays * n_elements)
+            .map(|i| (i % 5) as f32)
+            .collect();
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(n_arrays);
+        let k = SingleKernelReduce {
+            spec: sum_spec(),
+            name: "sum_hti".into(),
+            n_arrays,
+            n_elements,
+            arrays_per_block: 4,
+            block_dim: 128, // 32 threads per array
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        let stats = launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_eq!(stats.config.grid_dim, 16);
+        for a in 0..n_arrays {
+            let expected: f32 = data[a * n_elements..(a + 1) * n_elements].iter().sum();
+            assert_close(mem.read(out_buf)[a], expected);
+        }
+    }
+
+    #[test]
+    fn two_kernel_matches_fold() {
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let n = 1 << 18;
+        let data: Vec<f32> = (0..n).map(|i| ((i % 9) as f32) * 0.5).collect();
+        let expected: f32 = data.iter().sum();
+        let in_buf = mem.alloc_from(&data);
+        let initial_blocks = 28;
+        let partials = mem.alloc(initial_blocks);
+        let out_buf = mem.alloc(1);
+        let (k1, k2) = two_kernel_reduce(
+            sum_spec(),
+            1,
+            n,
+            initial_blocks,
+            256,
+            in_buf,
+            Layout::RowMajor,
+            partials,
+            out_buf,
+        );
+        launch(&device, &mut mem, &k1, ExecMode::Full);
+        launch(&device, &mut mem, &k2, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], expected);
+    }
+
+    #[test]
+    fn max_reduction_with_post() {
+        // isamax-like: max(abs(x)), then post = acc * 2.
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let data = vec![1.0, -9.0, 3.5, 2.0, -4.0];
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(1);
+        let spec = ReduceSpec {
+            op: CombineOp::Max,
+            init: CombineOp::Max.identity(),
+            elem: Expr::Call {
+                intrinsic: Intrinsic::Abs,
+                args: vec![Expr::Pop],
+            },
+            loop_var: "i".into(),
+            pops_per_elem: 1,
+            acc_name: "m".into(),
+            post: Some(Expr::mul(Expr::var("m"), Expr::Float(2.0))),
+            binds: bindings(&[]),
+            state: Vec::new(),
+        };
+        let k = SingleKernelReduce {
+            spec,
+            name: "isamax".into(),
+            n_arrays: 1,
+            n_elements: data.len(),
+            arrays_per_block: 1,
+            block_dim: 32,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], 18.0);
+    }
+
+    #[test]
+    fn dot_product_via_two_pops_and_layouts() {
+        // Interleaved (x, y) pairs: elem = pop() * pop().
+        let device = DeviceSpec::tesla_c2050();
+        let n = 4096usize;
+        let mut interleaved = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            interleaved.push((i % 13) as f32);
+            interleaved.push(((i + 3) % 7) as f32);
+        }
+        let expected: f32 = (0..n)
+            .map(|i| interleaved[2 * i] * interleaved[2 * i + 1])
+            .sum();
+        let spec = ReduceSpec {
+            op: CombineOp::Add,
+            init: 0.0,
+            elem: Expr::mul(Expr::Pop, Expr::Pop),
+            loop_var: "i".into(),
+            pops_per_elem: 2,
+            acc_name: "acc".into(),
+            post: None,
+            binds: bindings(&[]),
+            state: Vec::new(),
+        };
+
+        // Row-major (interleaved as-is).
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&interleaved);
+        let out_buf = mem.alloc(1);
+        let k = SingleKernelReduce {
+            spec: spec.clone(),
+            name: "sdot".into(),
+            n_arrays: 1,
+            n_elements: n,
+            arrays_per_block: 1,
+            block_dim: 256,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        let rm_stats = launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], expected);
+
+        // Restructured: x's then y's.
+        let mut mem2 = GlobalMem::new();
+        let in2 = mem2.alloc_from(&crate::layout::restructure(&interleaved, 2));
+        let out2 = mem2.alloc(1);
+        let k2 = SingleKernelReduce {
+            spec,
+            name: "sdot_t".into(),
+            n_arrays: 1,
+            n_elements: n,
+            arrays_per_block: 1,
+            block_dim: 256,
+            in_buf: in2,
+            in_layout: Layout::Transposed,
+            out_buf: out2,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        let t_stats = launch(&device, &mut mem2, &k2, ExecMode::Full);
+        assert_close(mem2.read(out2)[0], expected);
+        assert!(
+            t_stats.totals.load_transactions < rm_stats.totals.load_transactions,
+            "restructuring should reduce transactions: {} vs {}",
+            t_stats.totals.load_transactions,
+            rm_stats.totals.load_transactions
+        );
+    }
+
+    #[test]
+    fn state_indexed_elements_tmv_row() {
+        // One row-dot: elem = pop() * x[i].
+        let device = DeviceSpec::tesla_c2050();
+        let cols = 1000usize;
+        let row: Vec<f32> = (0..cols).map(|i| (i % 10) as f32).collect();
+        let x: Vec<f32> = (0..cols).map(|i| ((i + 1) % 4) as f32).collect();
+        let expected: f32 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&row);
+        let x_buf = mem.alloc_from(&x);
+        let out_buf = mem.alloc(1);
+        let mut spec = ReduceSpec {
+            op: CombineOp::Add,
+            init: 0.0,
+            elem: Expr::mul(
+                Expr::Pop,
+                Expr::StateLoad {
+                    array: "x".into(),
+                    index: Box::new(Expr::var("i")),
+                },
+            ),
+            loop_var: "i".into(),
+            pops_per_elem: 1,
+            acc_name: "acc".into(),
+            post: None,
+            binds: bindings(&[("cols", cols as i64)]),
+            state: Vec::new(),
+        };
+        spec.state.push(("x".into(), x_buf));
+        let k = SingleKernelReduce {
+            spec,
+            name: "tmv_row".into(),
+            n_arrays: 1,
+            n_elements: cols,
+            arrays_per_block: 1,
+            block_dim: 128,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], expected);
+    }
+
+    #[test]
+    fn product_reduction_nonzero_identity() {
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let data = vec![1.5, 2.0, 4.0, 0.5];
+        let in_buf = mem.alloc_from(&data);
+        let out_buf = mem.alloc(1);
+        let k = SingleKernelReduce {
+            spec: ReduceSpec::raw(CombineOp::Mul, bindings(&[])),
+            name: "prod".into(),
+            n_arrays: 1,
+            n_elements: data.len(),
+            arrays_per_block: 1,
+            block_dim: 32,
+            in_buf,
+            in_layout: Layout::RowMajor,
+            out_buf,
+            apply_post: true,
+            out_stride: 1,
+            out_offset: 0,
+        };
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_close(mem.read(out_buf)[0], 6.0);
+    }
+}

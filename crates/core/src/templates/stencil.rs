@@ -1,0 +1,439 @@
+//! Neighboring-access kernel template (§4.1.2 of the paper).
+//!
+//! Each block stages one *super tile* plus its halo from global into
+//! shared memory, synchronizes, then computes its output elements entirely
+//! out of shared memory (Figure 6). The super tile merges several simple
+//! tiles so the halo-to-tile ratio shrinks; its size and shape are chosen
+//! by the optimizer via the reuse metric (see `opt::memory`), the template
+//! just executes a given geometry.
+//!
+//! The element computation re-executes the actor's original loop body, so
+//! edge conditions and the combining function keep their exact semantics:
+//! `peek(idx + Δ)` is redirected to the shared tile.
+
+use std::collections::HashMap;
+
+use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
+use streamir::ir::Stmt;
+use streamir::rates::Bindings;
+use streamir::value::Value;
+
+use crate::analysis::opcount::body_counts;
+use crate::exec_ir::{exec_body, IrIo};
+
+const SITE_LOAD: u32 = 0;
+const SITE_TILE_ST: u32 = 1;
+const SITE_TILE_LD: u32 = 2;
+const SITE_PUSH: u32 = 3;
+const SITE_STATE: u32 = 8;
+
+/// A compiled super-tile stencil kernel.
+#[derive(Debug, Clone)]
+pub struct StencilKernel {
+    pub name: String,
+    /// Per-element loop body (from the detected pattern).
+    pub body: Vec<Stmt>,
+    /// Loop variable bound to the global element index.
+    pub loop_var: String,
+    pub binds: Bindings,
+    /// Grid extent: `rows == 1` for 1-D stencils.
+    pub rows: usize,
+    pub cols: usize,
+    /// Super-tile geometry (output elements per block).
+    pub tile_w: usize,
+    pub tile_h: usize,
+    /// Halo radii (from the pattern's footprint).
+    pub halo_r: usize,
+    pub halo_c: usize,
+    pub block_dim: u32,
+    pub in_buf: BufId,
+    pub out_buf: BufId,
+    pub state: Vec<(String, BufId)>,
+    /// Precomputed per-element instruction estimate.
+    pub compute_per_elem: u32,
+    pub flops_per_elem: u64,
+}
+
+impl StencilKernel {
+    /// Construct, precomputing instruction estimates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        body: Vec<Stmt>,
+        loop_var: &str,
+        binds: Bindings,
+        rows: usize,
+        cols: usize,
+        tile_w: usize,
+        tile_h: usize,
+        halo_r: usize,
+        halo_c: usize,
+        in_buf: BufId,
+        out_buf: BufId,
+    ) -> StencilKernel {
+        let counts = body_counts(&body, &binds);
+        StencilKernel {
+            name: name.to_string(),
+            body,
+            loop_var: loop_var.to_string(),
+            binds,
+            rows,
+            cols,
+            tile_w,
+            tile_h,
+            halo_r,
+            halo_c,
+            in_buf,
+            out_buf,
+            state: Vec::new(),
+            block_dim: 256,
+            compute_per_elem: counts.compute as u32,
+            flops_per_elem: counts.flops as u64,
+        }
+    }
+
+    /// Extended (shared) tile width including halos.
+    pub fn ext_w(&self) -> usize {
+        self.tile_w + 2 * self.halo_c
+    }
+
+    /// Extended tile height including halos.
+    pub fn ext_h(&self) -> usize {
+        self.tile_h + 2 * self.halo_r
+    }
+
+    fn tiles_x(&self) -> usize {
+        self.cols.div_ceil(self.tile_w)
+    }
+
+    fn tiles_y(&self) -> usize {
+        self.rows.div_ceil(self.tile_h)
+    }
+
+    /// Bind a state array.
+    pub fn with_state(mut self, name: &str, buf: BufId) -> StencilKernel {
+        self.state.push((name.to_string(), buf));
+        self
+    }
+}
+
+struct StencilIo<'c, 'd, 'k> {
+    ctx: &'c mut BlockCtx<'d>,
+    kernel: &'k StencilKernel,
+    tid: u32,
+    /// Global element this thread is computing.
+    global: usize,
+    /// Tile origin.
+    tile_r0: usize,
+    tile_c0: usize,
+    pushed: bool,
+}
+
+impl IrIo for StencilIo<'_, '_, '_> {
+    fn pop(&mut self) -> f32 {
+        panic!("pop inside stencil element (rejected at detection)")
+    }
+
+    fn peek(&mut self, offset: i64) -> f32 {
+        let k = self.kernel;
+        assert!(
+            offset >= 0 && (offset as usize) < k.rows * k.cols,
+            "stencil peek at {offset} outside the input (guard missing?)"
+        );
+        let g = offset as usize;
+        let (r, c) = (g / k.cols, g % k.cols);
+        let er = r as i64 - self.tile_r0 as i64 + k.halo_r as i64;
+        let ec = c as i64 - self.tile_c0 as i64 + k.halo_c as i64;
+        assert!(
+            er >= 0 && (er as usize) < k.ext_h() && ec >= 0 && (ec as usize) < k.ext_w(),
+            "stencil peek at ({r},{c}) escapes the halo of tile ({},{})",
+            self.tile_r0,
+            self.tile_c0
+        );
+        self.ctx.ld_shared(
+            SITE_TILE_LD,
+            self.tid,
+            er as usize * k.ext_w() + ec as usize,
+        )
+    }
+
+    fn push(&mut self, v: f32) {
+        assert!(!self.pushed, "stencil element pushed twice");
+        self.pushed = true;
+        self.ctx
+            .st_global(SITE_PUSH, self.tid, self.kernel.out_buf, self.global, v);
+    }
+
+    fn state_load(&mut self, array: &str, idx: i64) -> f32 {
+        let (slot, buf) = self
+            .kernel
+            .state
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == array)
+            .map(|(i, (_, b))| (i as u32, *b))
+            .unwrap_or_else(|| panic!("unbound state array `{array}`"));
+        self.ctx
+            .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize)
+    }
+
+    fn state_store(&mut self, _: &str, _: i64, _: f32) {
+        panic!("state store inside stencil element")
+    }
+}
+
+impl Kernel for StencilKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(
+            (self.tiles_x() * self.tiles_y()) as u32,
+            self.block_dim,
+            (self.ext_w() * self.ext_h()) as u32,
+        )
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let tiles_x = self.tiles_x();
+        let (tx, ty) = (block as usize % tiles_x, block as usize / tiles_x);
+        let tile_r0 = ty * self.tile_h;
+        let tile_c0 = tx * self.tile_w;
+        let (ext_w, ext_h) = (self.ext_w(), self.ext_h());
+
+        // Phase 1: cooperative load of tile + halo, row by row so each
+        // warp sweep touches consecutive global addresses.
+        let bdim = self.block_dim as usize;
+        for er in 0..ext_h {
+            let r = tile_r0 as i64 - self.halo_r as i64 + er as i64;
+            let mut base = 0usize;
+            while base < ext_w {
+                for tid in ctx.threads() {
+                    let ec = base + tid as usize;
+                    if ec >= ext_w {
+                        continue;
+                    }
+                    let c = tile_c0 as i64 - self.halo_c as i64 + ec as i64;
+                    let v = if r >= 0
+                        && (r as usize) < self.rows
+                        && c >= 0
+                        && (c as usize) < self.cols
+                    {
+                        ctx.ld_global(
+                            SITE_LOAD,
+                            tid,
+                            self.in_buf,
+                            r as usize * self.cols + c as usize,
+                        )
+                    } else {
+                        0.0
+                    };
+                    ctx.st_shared(SITE_TILE_ST, tid, er * ext_w + ec, v);
+                }
+                base += bdim;
+            }
+        }
+        ctx.sync();
+
+        // Phase 2: each thread computes tile elements, strided for
+        // coalesced output stores.
+        let elems = self.tile_w * self.tile_h;
+        let mut locals: HashMap<String, Value> = HashMap::new();
+        let mut e = 0usize;
+        while e < elems {
+            for tid in ctx.threads() {
+                let el = e + tid as usize;
+                if el >= elems {
+                    continue;
+                }
+                let (dr, dc) = (el / self.tile_w, el % self.tile_w);
+                let (r, c) = (tile_r0 + dr, tile_c0 + dc);
+                if r >= self.rows || c >= self.cols {
+                    continue;
+                }
+                let global = r * self.cols + c;
+                locals.clear();
+                locals.insert(self.loop_var.clone(), Value::I64(global as i64));
+                let mut io = StencilIo {
+                    ctx,
+                    kernel: self,
+                    tid,
+                    global,
+                    tile_r0,
+                    tile_c0,
+                    pushed: false,
+                };
+                exec_body(&self.body, &mut locals, &self.binds, &mut io)
+                    .expect("validated stencil body");
+                ctx.compute(tid, self.compute_per_elem);
+                ctx.count_flops(self.flops_per_elem);
+            }
+            e += bdim;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{launch, DeviceSpec, ExecMode, GlobalMem};
+    use streamir::interp::Interpreter;
+    use streamir::parse::parse_program;
+
+    const FIVE_POINT: &str = r#"
+        pipeline P(rows, cols) {
+            actor Stencil(pop rows*cols, push rows*cols, peek rows*cols) {
+                for idx in 0..rows*cols {
+                    r = idx / cols;
+                    c = idx % cols;
+                    if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                        push(0.25 * (peek(idx - 1) + peek(idx + 1)
+                            + peek(idx - cols) + peek(idx + cols)));
+                    } else {
+                        push(peek(idx));
+                    }
+                }
+            }
+        }
+    "#;
+
+    fn run_reference(rows: usize, cols: usize, input: &[f32]) -> Vec<f32> {
+        let p = parse_program(FIVE_POINT).unwrap();
+        let mut it = Interpreter::new(&p);
+        it.bind_param("rows", rows as i64);
+        it.bind_param("cols", cols as i64);
+        it.run(input).unwrap()
+    }
+
+    fn kernel_for(
+        rows: usize,
+        cols: usize,
+        tile_w: usize,
+        tile_h: usize,
+        in_buf: BufId,
+        out_buf: BufId,
+    ) -> StencilKernel {
+        let p = parse_program(FIVE_POINT).unwrap();
+        let pat = crate::analysis::detect_stencil(&p.actors[0]).expect("stencil");
+        let (hr, hc) = pat.halo();
+        let binds = streamir::graph::bindings(&[("rows", rows as i64), ("cols", cols as i64)]);
+        StencilKernel::new(
+            "five_point",
+            pat.body.clone(),
+            &pat.loop_var,
+            binds,
+            rows,
+            cols,
+            tile_w,
+            tile_h,
+            hr as usize,
+            hc as usize,
+            in_buf,
+            out_buf,
+        )
+    }
+
+    #[test]
+    fn five_point_matches_interpreter() {
+        let (rows, cols) = (37, 53); // awkward, non-multiple-of-tile sizes
+        let input: Vec<f32> = (0..rows * cols).map(|i| ((i * 7) % 23) as f32).collect();
+        let expected = run_reference(rows, cols, &input);
+
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&input);
+        let out_buf = mem.alloc(rows * cols);
+        let k = kernel_for(rows, cols, 16, 8, in_buf, out_buf);
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_eq!(mem.read(out_buf), expected.as_slice());
+    }
+
+    #[test]
+    fn super_tile_geometry_changes_grid_not_results() {
+        let (rows, cols) = (64, 64);
+        let input: Vec<f32> = (0..rows * cols).map(|i| (i % 31) as f32).collect();
+        let expected = run_reference(rows, cols, &input);
+        let device = DeviceSpec::tesla_c2050();
+
+        let mut grids = Vec::new();
+        for (tw, th) in [(8, 8), (32, 8), (64, 16)] {
+            let mut mem = GlobalMem::new();
+            let in_buf = mem.alloc_from(&input);
+            let out_buf = mem.alloc(rows * cols);
+            let k = kernel_for(rows, cols, tw, th, in_buf, out_buf);
+            let stats = launch(&device, &mut mem, &k, ExecMode::Full);
+            assert_eq!(mem.read(out_buf), expected.as_slice(), "tile {tw}x{th}");
+            grids.push(stats.config.grid_dim);
+        }
+        assert!(grids[0] > grids[1] && grids[1] > grids[2]);
+    }
+
+    #[test]
+    fn larger_tiles_reduce_halo_traffic() {
+        let (rows, cols) = (128, 128);
+        let input = vec![1.0; rows * cols];
+        let device = DeviceSpec::tesla_c2050();
+
+        let mut loads = Vec::new();
+        for (tw, th) in [(8, 8), (32, 32)] {
+            let mut mem = GlobalMem::new();
+            let in_buf = mem.alloc_from(&input);
+            let out_buf = mem.alloc(rows * cols);
+            let k = kernel_for(rows, cols, tw, th, in_buf, out_buf);
+            let stats = launch(&device, &mut mem, &k, ExecMode::Full);
+            loads.push(stats.totals.load_transactions);
+        }
+        assert!(
+            loads[1] < loads[0],
+            "32x32 super tiles should load less than 8x8: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn one_dimensional_stencil() {
+        let src = r#"
+            pipeline P(n) {
+                actor Blur(pop n, push n, peek n) {
+                    for i in 0..n {
+                        if (i >= 1 && i < n - 1) {
+                            push((peek(i - 1) + peek(i) + peek(i + 1)) / 3.0);
+                        } else {
+                            push(peek(i));
+                        }
+                    }
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let n = 1000usize;
+        let input: Vec<f32> = (0..n).map(|i| (i % 17) as f32).collect();
+        let mut it = Interpreter::new(&p);
+        it.bind_param("n", n as i64);
+        let expected = it.run(&input).unwrap();
+
+        let pat = crate::analysis::detect_stencil(&p.actors[0]).unwrap();
+        let (hr, hc) = pat.halo();
+        assert_eq!((hr, hc), (0, 1));
+        let device = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let in_buf = mem.alloc_from(&input);
+        let out_buf = mem.alloc(n);
+        let k = StencilKernel::new(
+            "blur",
+            pat.body.clone(),
+            &pat.loop_var,
+            streamir::graph::bindings(&[("n", n as i64)]),
+            1,
+            n,
+            128,
+            1,
+            hr as usize,
+            hc as usize,
+            in_buf,
+            out_buf,
+        );
+        launch(&device, &mut mem, &k, ExecMode::Full);
+        assert_eq!(mem.read(out_buf), expected.as_slice());
+    }
+}

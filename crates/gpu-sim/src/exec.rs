@@ -1,0 +1,316 @@
+//! Kernel launching and statistics collection.
+//!
+//! [`launch`] executes a [`Kernel`] block-by-block on a [`GlobalMem`],
+//! producing [`KernelStats`] — the input of the analytical performance
+//! model. Very large grids can be *sampled*: a representative subset of
+//! blocks is executed and/or recorded and the counters are scaled up, which
+//! keeps figure-scale sweeps (tens of millions of threads) tractable while
+//! preserving the aggregate access-pattern statistics.
+
+use crate::kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig};
+use crate::mem::GlobalMem;
+use crate::spec::DeviceSpec;
+
+/// How much of the grid to execute and to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Execute and record every block — exact functional output and exact
+    /// statistics. Use in correctness tests.
+    Full,
+    /// Execute every block (exact output) but record statistics on at most
+    /// this many evenly-spaced blocks, scaling counters to the full grid.
+    SampledStats(u32),
+    /// Execute and record only this many evenly-spaced blocks; the rest of
+    /// the output is left unwritten. Use in timing-only sweeps where the
+    /// workload is data-independent.
+    SampledExec(u32),
+}
+
+impl ExecMode {
+    /// Reasonable default for figure harnesses.
+    pub fn default_sampled() -> ExecMode {
+        ExecMode::SampledExec(512)
+    }
+}
+
+/// Aggregated, scaled statistics of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Launch geometry.
+    pub config: LaunchConfig,
+    /// Scaled whole-grid counters.
+    pub totals: ScaledCounters,
+    /// Blocks whose counters were recorded.
+    pub recorded_blocks: u32,
+    /// Blocks functionally executed.
+    pub executed_blocks: u32,
+}
+
+/// Whole-grid counters, scaled from the recorded sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScaledCounters {
+    pub warp_load_insts: f64,
+    pub warp_store_insts: f64,
+    pub load_transactions: f64,
+    pub store_transactions: f64,
+    pub warp_compute_insts: f64,
+    pub shared_insts: f64,
+    pub shared_cycles: f64,
+    pub syncs: f64,
+    pub flops: f64,
+}
+
+impl ScaledCounters {
+    fn from_counters(c: &BlockCounters, scale: f64) -> ScaledCounters {
+        ScaledCounters {
+            warp_load_insts: c.warp_load_insts as f64 * scale,
+            warp_store_insts: c.warp_store_insts as f64 * scale,
+            load_transactions: c.load_transactions as f64 * scale,
+            store_transactions: c.store_transactions as f64 * scale,
+            warp_compute_insts: c.warp_compute_insts as f64 * scale,
+            shared_insts: c.shared_insts as f64 * scale,
+            shared_cycles: c.shared_cycles as f64 * scale,
+            syncs: c.syncs as f64 * scale,
+            flops: c.flops as f64 * scale,
+        }
+    }
+
+    /// Warp-level global memory instructions (loads + stores).
+    pub fn warp_mem_insts(&self) -> f64 {
+        self.warp_load_insts + self.warp_store_insts
+    }
+
+    /// Global memory transactions (loads + stores).
+    pub fn transactions(&self) -> f64 {
+        self.load_transactions + self.store_transactions
+    }
+
+    /// Average transactions per warp memory instruction: 1.0 means fully
+    /// coalesced, `warp_size` means fully scattered.
+    pub fn transactions_per_mem_inst(&self) -> f64 {
+        let insts = self.warp_mem_insts();
+        if insts == 0.0 {
+            0.0
+        } else {
+            self.transactions() / insts
+        }
+    }
+}
+
+impl KernelStats {
+    /// Total warps in the grid for the given warp width.
+    pub fn warps_in_grid(&self, warp_size: u32) -> f64 {
+        self.config.grid_dim as f64 * self.config.block_dim.div_ceil(warp_size) as f64
+    }
+}
+
+/// Which blocks to include in an evenly-spaced sample of size `sample`.
+fn sample_stride(grid: u32, sample: u32) -> u32 {
+    if sample == 0 {
+        return u32::MAX;
+    }
+    grid.div_ceil(sample.min(grid)).max(1)
+}
+
+/// Execute `kernel` on `device`/`mem` under `mode`.
+///
+/// Returns whole-grid statistics; functional effects are visible in `mem`
+/// (for all blocks under [`ExecMode::Full`]/[`ExecMode::SampledStats`], or
+/// the sampled subset under [`ExecMode::SampledExec`]).
+///
+/// # Panics
+///
+/// Panics if the launch configuration is impossible for the device (block
+/// larger than `max_threads_per_block`, zero-sized grid/block, or more
+/// shared memory than a block may allocate) — mirroring a CUDA launch
+/// failure.
+pub fn launch(
+    device: &DeviceSpec,
+    mem: &mut GlobalMem,
+    kernel: &dyn Kernel,
+    mode: ExecMode,
+) -> KernelStats {
+    let config = kernel.config();
+    assert!(config.grid_dim > 0, "launch with empty grid");
+    assert!(config.block_dim > 0, "launch with empty block");
+    assert!(
+        config.block_dim <= device.max_threads_per_block,
+        "block of {} threads exceeds device limit {}",
+        config.block_dim,
+        device.max_threads_per_block
+    );
+    assert!(
+        config.shared_words <= device.shared_words_per_block,
+        "shared allocation of {} words exceeds device limit {}",
+        config.shared_words,
+        device.shared_words_per_block
+    );
+
+    let (exec_stride, stat_stride) = match mode {
+        ExecMode::Full => (1, 1),
+        ExecMode::SampledStats(s) => (1, sample_stride(config.grid_dim, s)),
+        ExecMode::SampledExec(s) => {
+            let st = sample_stride(config.grid_dim, s);
+            (st, st)
+        }
+    };
+
+    let mut merged = BlockCounters::default();
+    let mut recorded = 0u32;
+    let mut executed = 0u32;
+    let mut block = 0u32;
+    while block < config.grid_dim {
+        let record = block.is_multiple_of(stat_stride);
+        let mut ctx = BlockCtx::new(device, mem, block, config, record);
+        kernel.run_block(block, &mut ctx);
+        let counters = ctx.finalize();
+        if record {
+            merged.merge(&counters);
+            recorded += 1;
+        }
+        executed += 1;
+        block += exec_stride;
+        // When exec_stride > stat_stride is impossible (they are equal in
+        // SampledExec), so no recorded block is ever skipped.
+    }
+
+    let scale = config.grid_dim as f64 / recorded.max(1) as f64;
+    KernelStats {
+        name: kernel.name().to_string(),
+        config,
+        totals: ScaledCounters::from_counters(&merged, scale),
+        recorded_blocks: recorded,
+        executed_blocks: executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::BlockCtx;
+    use crate::mem::BufId;
+
+    /// y[i] = 2 * x[i], one thread per element.
+    struct Scale2 {
+        x: BufId,
+        y: BufId,
+        n: usize,
+        block_dim: u32,
+    }
+
+    impl Kernel for Scale2 {
+        fn name(&self) -> &str {
+            "scale2"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            let grid = (self.n as u32).div_ceil(self.block_dim);
+            LaunchConfig::new(grid, self.block_dim, 0)
+        }
+
+        fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+            for t in ctx.threads() {
+                let i = (block * ctx.block_dim() + t) as usize;
+                if i < self.n {
+                    let v = ctx.ld_global(0, t, self.x, i);
+                    ctx.st_global(1, t, self.y, i, 2.0 * v);
+                    ctx.compute(t, 1);
+                    ctx.count_flops(1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_execution_is_functionally_correct() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let x = mem.alloc_from(&data);
+        let y = mem.alloc(1000);
+        let k = Scale2 {
+            x,
+            y,
+            n: 1000,
+            block_dim: 128,
+        };
+        let stats = launch(&d, &mut mem, &k, ExecMode::Full);
+        assert_eq!(stats.executed_blocks, 8);
+        assert_eq!(stats.recorded_blocks, 8);
+        for (i, v) in mem.read(y).iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32);
+        }
+        // 1000 loads fully coalesced: ceil-per-warp transactions.
+        assert!(stats.totals.transactions_per_mem_inst() <= 1.01);
+        assert_eq!(stats.totals.flops, 1000.0);
+    }
+
+    #[test]
+    fn sampled_stats_scale_to_full_grid() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let n = 128 * 64;
+        let x = mem.alloc(n);
+        let y = mem.alloc(n);
+        let k = Scale2 {
+            x,
+            y,
+            n,
+            block_dim: 128,
+        };
+        let full = launch(&d, &mut mem, &k, ExecMode::Full);
+        let sampled = launch(&d, &mut mem, &k, ExecMode::SampledStats(8));
+        assert_eq!(sampled.executed_blocks, 64);
+        assert_eq!(sampled.recorded_blocks, 8);
+        // Uniform workload: scaled counters match the exact ones.
+        assert!((sampled.totals.load_transactions - full.totals.load_transactions).abs() < 1e-9);
+        assert!((sampled.totals.flops - full.totals.flops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_exec_executes_subset() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let n = 128 * 64;
+        let x = mem.alloc_from(&vec![1.0; n]);
+        let y = mem.alloc(n);
+        let k = Scale2 {
+            x,
+            y,
+            n,
+            block_dim: 128,
+        };
+        let s = launch(&d, &mut mem, &k, ExecMode::SampledExec(8));
+        assert_eq!(s.executed_blocks, 8);
+        // Block 0 was executed; its outputs are written.
+        assert_eq!(mem.read(y)[0], 2.0);
+        // Counters still describe the whole grid.
+        assert_eq!(s.totals.flops, n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_panics() {
+        let d = DeviceSpec::gtx285();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc(1024);
+        let y = mem.alloc(1024);
+        let k = Scale2 {
+            x,
+            y,
+            n: 1024,
+            block_dim: 1024, // > 512 on GTX 285
+        };
+        let _ = launch(&d, &mut mem, &k, ExecMode::Full);
+    }
+
+    #[test]
+    fn stride_computation() {
+        assert_eq!(sample_stride(100, 10), 10);
+        assert_eq!(sample_stride(7, 10), 1);
+        assert_eq!(sample_stride(1, 1), 1);
+        assert_eq!(sample_stride(10, 0), u32::MAX);
+    }
+}

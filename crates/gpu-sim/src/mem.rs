@@ -1,0 +1,217 @@
+//! Simulated device memory.
+//!
+//! Global memory is a set of named `f32` buffers. The interesting part is
+//! the *accounting*: when a warp issues one memory instruction, the memory
+//! controller coalesces the 32 lane addresses into as few aligned
+//! transactions as possible — one when the lanes hit consecutive addresses
+//! in a single segment, up to 32 when they are scattered. Shared memory is
+//! modeled per block with bank-conflict accounting.
+
+use std::fmt;
+
+/// Handle to a global-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub(crate) usize);
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// Simulated global (off-chip) memory: named buffers of `f32`.
+#[derive(Debug, Default)]
+pub struct GlobalMem {
+    buffers: Vec<Vec<f32>>,
+}
+
+impl GlobalMem {
+    /// Create an empty memory.
+    pub fn new() -> GlobalMem {
+        GlobalMem::default()
+    }
+
+    /// Allocate a zero-initialized buffer of `len` words.
+    pub fn alloc(&mut self, len: usize) -> BufId {
+        self.buffers.push(vec![0.0; len]);
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Allocate a buffer initialized from host data (models the
+    /// host-to-device transfer).
+    pub fn alloc_from(&mut self, data: &[f32]) -> BufId {
+        self.buffers.push(data.to_vec());
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Read back a whole buffer (models the device-to-host transfer).
+    pub fn read(&self, buf: BufId) -> &[f32] {
+        &self.buffers[buf.0]
+    }
+
+    /// Mutable view of a buffer (host-side initialization/restructuring).
+    pub fn write(&mut self, buf: BufId) -> &mut [f32] {
+        &mut self.buffers[buf.0]
+    }
+
+    /// Length of a buffer in words.
+    pub fn len(&self, buf: BufId) -> usize {
+        self.buffers[buf.0].len()
+    }
+
+    /// True when the buffer has no elements.
+    pub fn is_empty(&self, buf: BufId) -> bool {
+        self.buffers[buf.0].is_empty()
+    }
+
+    /// Load one word (device-side access; accounting happens in the
+    /// execution engine, not here).
+    #[inline]
+    pub fn load(&self, buf: BufId, idx: usize) -> f32 {
+        self.buffers[buf.0][idx]
+    }
+
+    /// Store one word.
+    #[inline]
+    pub fn store(&mut self, buf: BufId, idx: usize, v: f32) {
+        self.buffers[buf.0][idx] = v;
+    }
+
+    /// Number of allocated buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+/// Count the global-memory transactions needed to service one warp-wide
+/// memory instruction.
+///
+/// Addresses are word indices; the controller fetches aligned segments of
+/// `transaction_words` words. The result is the number of *distinct*
+/// segments touched — 1 for perfectly coalesced access, up to the warp
+/// size for fully scattered access. Inactive lanes pass `None`.
+pub fn coalesce_transactions(addrs: &[Option<u64>], transaction_words: u32) -> u32 {
+    debug_assert!(transaction_words.is_power_of_two());
+    let shift = transaction_words.trailing_zeros();
+    let mut segments: Vec<u64> = addrs
+        .iter()
+        .flatten()
+        .map(|a| a >> shift)
+        .collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len() as u32
+}
+
+/// Count the serialization degree of one warp-wide shared-memory access.
+///
+/// Returns the number of cycles the access takes relative to a
+/// conflict-free access: 1 when every lane hits a different bank (or all
+/// lanes broadcast-read the same word), otherwise the maximum number of
+/// *distinct words* mapped to a single bank.
+pub fn bank_conflict_degree(addrs: &[Option<u64>], banks: u32) -> u32 {
+    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); banks as usize];
+    for a in addrs.iter().flatten() {
+        let bank = (a % banks as u64) as usize;
+        if !per_bank[bank].contains(a) {
+            per_bank[bank].push(*a);
+        }
+    }
+    per_bank
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(xs: &[u64]) -> Vec<Option<u64>> {
+        xs.iter().copied().map(Some).collect()
+    }
+
+    #[test]
+    fn buffers_round_trip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(4);
+        let b = m.alloc_from(&[1.0, 2.0]);
+        m.store(a, 2, 9.0);
+        assert_eq!(m.read(a), &[0.0, 0.0, 9.0, 0.0]);
+        assert_eq!(m.load(b, 1), 2.0);
+        assert_eq!(m.len(a), 4);
+        assert!(!m.is_empty(a));
+        assert_eq!(m.buffer_count(), 2);
+        m.write(b)[0] = 5.0;
+        assert_eq!(m.load(b, 0), 5.0);
+    }
+
+    #[test]
+    fn consecutive_addresses_coalesce_to_one() {
+        let a: Vec<u64> = (0..32).collect();
+        assert_eq!(coalesce_transactions(&addrs(&a), 32), 1);
+    }
+
+    #[test]
+    fn aligned_offset_matters() {
+        // 32 consecutive words starting at 16 straddle two segments.
+        let a: Vec<u64> = (16..48).collect();
+        assert_eq!(coalesce_transactions(&addrs(&a), 32), 2);
+    }
+
+    #[test]
+    fn strided_access_needs_many_transactions() {
+        // Stride 32: every lane in its own segment.
+        let a: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(coalesce_transactions(&addrs(&a), 32), 32);
+        // Stride 2: half-density, still touches 2 segments.
+        let a: Vec<u64> = (0..32).map(|i| i * 2).collect();
+        assert_eq!(coalesce_transactions(&addrs(&a), 32), 2);
+    }
+
+    #[test]
+    fn broadcast_is_single_transaction() {
+        let a = vec![Some(7u64); 32];
+        assert_eq!(coalesce_transactions(&a, 32), 1);
+    }
+
+    #[test]
+    fn inactive_lanes_ignored() {
+        let mut a = addrs(&[0, 1, 2, 3]);
+        a.extend(std::iter::repeat_n(None, 28));
+        assert_eq!(coalesce_transactions(&a, 32), 1);
+        assert_eq!(coalesce_transactions(&[None; 32], 32), 0);
+    }
+
+    #[test]
+    fn conflict_free_shared_access() {
+        let a: Vec<u64> = (0..32).collect();
+        assert_eq!(bank_conflict_degree(&addrs(&a), 32), 1);
+    }
+
+    #[test]
+    fn broadcast_shared_access_is_free() {
+        let a = vec![Some(5u64); 32];
+        assert_eq!(bank_conflict_degree(&a, 32), 1);
+    }
+
+    #[test]
+    fn stride_two_creates_two_way_conflicts_on_16_banks() {
+        let a: Vec<u64> = (0..16).map(|i| i * 2).collect();
+        assert_eq!(bank_conflict_degree(&addrs(&a), 16), 2);
+    }
+
+    #[test]
+    fn worst_case_conflict_is_warp_wide() {
+        // All lanes hit distinct words in the same bank.
+        let a: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_degree(&addrs(&a), 32), 32);
+    }
+
+    #[test]
+    fn empty_access_degree_is_one() {
+        assert_eq!(bank_conflict_degree(&[], 32), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Device specifications.
+//!
+//! A [`DeviceSpec`] captures the first-order architectural parameters that
+//! the paper's effects depend on: number of streaming multiprocessors,
+//! warp width, per-SM thread/block/shared-memory limits, memory transaction
+//! geometry, latencies and bandwidth. Two presets model the paper's
+//! evaluation targets — an NVIDIA Tesla C2050-class (Fermi) part and a
+//! GeForce GTX 285-class (GT200) part.
+
+/// Architectural description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Threads per warp (32 on every NVIDIA part).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block accepted at launch.
+    pub max_threads_per_block: u32,
+    /// Shared memory per SM, in 4-byte words.
+    pub shared_words_per_sm: u32,
+    /// Shared memory available to one block, in 4-byte words.
+    pub shared_words_per_block: u32,
+    /// Number of shared-memory banks.
+    pub shared_banks: u32,
+    /// Shader clock in GHz.
+    pub clock_ghz: f64,
+    /// Off-chip bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Global memory latency in cycles.
+    pub mem_latency_cycles: f64,
+    /// Cycles between consecutive memory transactions from one SM
+    /// (the Hong&Kim "departure delay").
+    pub departure_delay_cycles: f64,
+    /// Global memory transaction size in 4-byte words (128 B = 32 words).
+    pub transaction_words: u32,
+    /// Cycles to issue one warp instruction (SM width dependent: 1 on
+    /// Fermi's 32-core SMs, 4 on GT200's 8-core SMs).
+    pub issue_cycles_per_warp_inst: f64,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl DeviceSpec {
+    /// Tesla C2050-class Fermi device (the paper's primary target).
+    pub fn tesla_c2050() -> DeviceSpec {
+        DeviceSpec {
+            name: "Tesla C2050".into(),
+            sm_count: 14,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            shared_words_per_sm: 48 * 1024 / 4,
+            shared_words_per_block: 48 * 1024 / 4,
+            shared_banks: 32,
+            clock_ghz: 1.15,
+            mem_bandwidth_gbps: 144.0,
+            mem_latency_cycles: 600.0,
+            departure_delay_cycles: 10.0,
+            transaction_words: 32,
+            issue_cycles_per_warp_inst: 1.0,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// GeForce GTX 285-class GT200 device (the paper's secondary target).
+    pub fn gtx285() -> DeviceSpec {
+        DeviceSpec {
+            name: "GeForce GTX 285".into(),
+            sm_count: 30,
+            warp_size: 32,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            shared_words_per_sm: 16 * 1024 / 4,
+            shared_words_per_block: 16 * 1024 / 4,
+            shared_banks: 16,
+            clock_ghz: 1.476,
+            mem_bandwidth_gbps: 159.0,
+            mem_latency_cycles: 500.0,
+            departure_delay_cycles: 16.0,
+            transaction_words: 32,
+            issue_cycles_per_warp_inst: 4.0,
+            launch_overhead_us: 7.0,
+        }
+    }
+
+    /// GeForce GTX 480-class Fermi consumer device — a third target used
+    /// to demonstrate target portability ("write once, run anywhere").
+    pub fn gtx480() -> DeviceSpec {
+        DeviceSpec {
+            name: "GeForce GTX 480".into(),
+            sm_count: 15,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            shared_words_per_sm: 48 * 1024 / 4,
+            shared_words_per_block: 48 * 1024 / 4,
+            shared_banks: 32,
+            clock_ghz: 1.401,
+            mem_bandwidth_gbps: 177.4,
+            mem_latency_cycles: 600.0,
+            departure_delay_cycles: 10.0,
+            transaction_words: 32,
+            issue_cycles_per_warp_inst: 1.0,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// Maximum concurrently-resident warps on one SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// How many blocks of the given shape fit on one SM at once, limited by
+    /// the thread, block and shared-memory budgets.
+    ///
+    /// Returns 0 when the block cannot be scheduled at all (too many
+    /// threads or too much shared memory for the device).
+    pub fn active_blocks_per_sm(&self, threads_per_block: u32, shared_words: u32) -> u32 {
+        if threads_per_block == 0
+            || threads_per_block > self.max_threads_per_block
+            || shared_words > self.shared_words_per_block
+        {
+            return 0;
+        }
+        let by_threads = self.max_threads_per_sm / threads_per_block;
+        let by_shared = self
+            .shared_words_per_sm
+            .checked_div(shared_words)
+            .unwrap_or(self.max_blocks_per_sm);
+        by_threads.min(by_shared).min(self.max_blocks_per_sm)
+    }
+
+    /// Active warps per SM for a launch shape — the occupancy quantity the
+    /// performance model classifies kernels with.
+    pub fn active_warps_per_sm(&self, threads_per_block: u32, shared_words: u32) -> u32 {
+        let blocks = self.active_blocks_per_sm(threads_per_block, shared_words);
+        let warps_per_block = threads_per_block.div_ceil(self.warp_size);
+        (blocks * warps_per_block).min(self.max_warps_per_sm())
+    }
+
+    /// Peak memory transactions the device can retire per cycle, derived
+    /// from bandwidth, clock and transaction size.
+    pub fn transactions_per_cycle(&self) -> f64 {
+        let bytes_per_cycle = self.mem_bandwidth_gbps / self.clock_ghz;
+        bytes_per_cycle / (self.transaction_words as f64 * 4.0)
+    }
+
+    /// Kernel launch overhead in cycles.
+    pub fn launch_overhead_cycles(&self) -> f64 {
+        self.launch_overhead_us * self.clock_ghz * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for d in [
+            DeviceSpec::tesla_c2050(),
+            DeviceSpec::gtx285(),
+            DeviceSpec::gtx480(),
+        ] {
+            assert!(d.sm_count > 0);
+            assert_eq!(d.warp_size, 32);
+            assert!(d.max_threads_per_sm >= d.max_threads_per_block);
+            assert!(d.shared_words_per_block <= d.shared_words_per_sm);
+            assert!(d.transactions_per_cycle() > 0.0);
+            assert!(d.launch_overhead_cycles() > 1000.0);
+        }
+    }
+
+    #[test]
+    fn c2050_has_more_shared_memory_than_gtx285() {
+        let fermi = DeviceSpec::tesla_c2050();
+        let gt200 = DeviceSpec::gtx285();
+        assert!(fermi.shared_words_per_block > gt200.shared_words_per_block);
+        assert!(fermi.max_threads_per_block > gt200.max_threads_per_block);
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let d = DeviceSpec::tesla_c2050();
+        // 1024-thread blocks: only one fits in 1536 threads.
+        assert_eq!(d.active_blocks_per_sm(1024, 0), 1);
+        // 192-thread blocks: 8 would fit by threads, capped at 8 blocks.
+        assert_eq!(d.active_blocks_per_sm(192, 0), 8);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let d = DeviceSpec::tesla_c2050();
+        // Blocks using all shared memory: one at a time.
+        assert_eq!(d.active_blocks_per_sm(256, d.shared_words_per_block), 1);
+        // Half the shared memory: two at a time.
+        assert_eq!(d.active_blocks_per_sm(256, d.shared_words_per_block / 2), 2);
+    }
+
+    #[test]
+    fn unschedulable_blocks_are_zero() {
+        let d = DeviceSpec::gtx285();
+        assert_eq!(d.active_blocks_per_sm(1024, 0), 0); // >512 threads
+        assert_eq!(d.active_blocks_per_sm(0, 0), 0);
+        assert_eq!(
+            d.active_blocks_per_sm(64, d.shared_words_per_block + 1),
+            0
+        );
+    }
+
+    #[test]
+    fn active_warps_cap_at_device_limit() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.max_warps_per_sm(), 48);
+        // 8 blocks * 8 warps = 64, capped at the 48-warp device limit.
+        assert_eq!(d.active_warps_per_sm(256, 0), 48);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests of the GPU simulator's accounting.
+
+use proptest::prelude::*;
+
+use gpu_sim::{
+    bank_conflict_degree, coalesce_transactions, launch, BlockCtx, DeviceSpec, ExecMode,
+    GlobalMem, Kernel, LaunchConfig,
+};
+
+proptest! {
+    /// Strided warp accesses need exactly the closed-form number of
+    /// transactions: `ceil(span / segment)` distinct aligned segments.
+    #[test]
+    fn strided_transactions_match_closed_form(
+        stride in 1u64..64,
+        base in 0u64..1000,
+    ) {
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(base + i * stride)).collect();
+        let got = coalesce_transactions(&addrs, 32);
+        // Closed form: distinct values of (base + i*stride) >> 5.
+        let mut segs: Vec<u64> = (0..32).map(|i| (base + i * stride) >> 5).collect();
+        segs.sort_unstable();
+        segs.dedup();
+        prop_assert_eq!(got as usize, segs.len());
+    }
+
+    /// Transactions are monotone under adding lanes.
+    #[test]
+    fn transactions_monotone_in_active_lanes(
+        addrs in proptest::collection::vec(0u64..10_000, 1..32),
+    ) {
+        let mut with_none: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
+        let full = coalesce_transactions(&with_none, 32);
+        with_none.pop();
+        let fewer = coalesce_transactions(&with_none, 32);
+        prop_assert!(fewer <= full);
+    }
+
+    /// Bank conflict degree is between 1 and the number of distinct
+    /// addresses, and broadcast never conflicts.
+    #[test]
+    fn bank_conflicts_bounded(
+        addrs in proptest::collection::vec(0u64..512, 1..32),
+        banks in prop::sample::select(vec![16u32, 32]),
+    ) {
+        let lanes: Vec<Option<u64>> = addrs.iter().copied().map(Some).collect();
+        let degree = bank_conflict_degree(&lanes, banks);
+        let mut distinct = addrs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(degree >= 1);
+        prop_assert!(degree as usize <= distinct.len().max(1));
+
+        let broadcast: Vec<Option<u64>> = vec![Some(addrs[0]); addrs.len()];
+        prop_assert_eq!(bank_conflict_degree(&broadcast, banks), 1);
+    }
+}
+
+/// Kernel that writes `base + i` everywhere, used to check scaling.
+struct Fill {
+    buf: gpu_sim::BufId,
+    n: usize,
+}
+
+impl Kernel for Fill {
+    fn name(&self) -> &str {
+        "fill"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig::new((self.n as u32).div_ceil(128), 128, 0)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        for tid in ctx.threads() {
+            let i = (block * 128 + tid) as usize;
+            if i < self.n {
+                ctx.st_global(0, tid, self.buf, i, i as f32);
+                ctx.compute(tid, 1);
+                ctx.count_flops(1);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Sampled statistics scale exactly for uniform workloads, for every
+    /// sample size.
+    #[test]
+    fn sampled_stats_scale_exactly(
+        blocks in 2u32..64,
+        sample in 1u32..64,
+    ) {
+        let device = DeviceSpec::tesla_c2050();
+        let n = blocks as usize * 128;
+        let mut mem = GlobalMem::new();
+        let buf = mem.alloc(n);
+        let k = Fill { buf, n };
+        let full = launch(&device, &mut mem, &k, ExecMode::Full);
+        let sampled = launch(&device, &mut mem, &k, ExecMode::SampledStats(sample));
+        prop_assert!((full.totals.flops - sampled.totals.flops).abs() < 1e-6);
+        prop_assert!(
+            (full.totals.store_transactions - sampled.totals.store_transactions).abs() < 1e-6
+        );
+        prop_assert_eq!(sampled.executed_blocks, blocks);
+    }
+}

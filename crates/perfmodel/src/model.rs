@@ -1,0 +1,338 @@
+//! The analytical timing model.
+//!
+//! An adaptation of Hong & Kim's MWP/CWP model (ISCA 2009), which the
+//! paper cites as the basis of its performance model (§3). The model
+//! classifies a kernel launch as **memory-bound**, **computation-bound**
+//! or **latency-bound** from the number of *active warps per SM* and
+//! per-warp instruction/memory-access counts, then estimates execution
+//! cycles per the three Hong&Kim cases:
+//!
+//! * Memory-bound (`CWP >= MWP`): memory requests saturate; computation
+//!   hides under memory latency.
+//! * Computation-bound (`CWP < MWP`): arithmetic dominates; memory latency
+//!   hides under computation.
+//! * Latency-bound (too few active warps): neither can hide the other;
+//!   latencies serialize.
+//!
+//! The inputs come either from measured simulator statistics
+//! ([`LaunchProfile::from_stats`]) or from closed-form counts the compiler
+//! derives symbolically ([`LaunchProfile`] literal), which is how
+//! optimization decisions are made *before* any code runs.
+
+use gpu_sim::{DeviceSpec, KernelStats};
+
+/// Hong&Kim kernel classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Execution time dominated by memory transactions.
+    MemoryBound,
+    /// Execution time dominated by arithmetic.
+    ComputeBound,
+    /// Too few active warps to hide either latency.
+    LatencyBound,
+}
+
+impl std::fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            KernelClass::MemoryBound => "memory-bound",
+            KernelClass::ComputeBound => "compute-bound",
+            KernelClass::LatencyBound => "latency-bound",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-launch quantities the model consumes.
+///
+/// All `*_per_warp` quantities are averages over the warps of the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchProfile {
+    pub grid_dim: u32,
+    pub block_dim: u32,
+    pub shared_words: u32,
+    /// Warp-level global memory instructions per warp.
+    pub mem_insts_per_warp: f64,
+    /// Average transactions per warp memory instruction (1 = coalesced).
+    pub transactions_per_mem_inst: f64,
+    /// Warp-level compute instructions per warp.
+    pub compute_insts_per_warp: f64,
+    /// Shared-memory access cycles per warp (conflicts included).
+    pub shared_cycles_per_warp: f64,
+    /// Barriers per block.
+    pub syncs_per_block: f64,
+    /// Floating-point operations in the whole launch (for GFLOPS).
+    pub flops: f64,
+}
+
+impl LaunchProfile {
+    /// Build a profile from measured simulator statistics.
+    pub fn from_stats(device: &DeviceSpec, stats: &KernelStats) -> LaunchProfile {
+        let warps = stats.warps_in_grid(device.warp_size).max(1.0);
+        let blocks = stats.config.grid_dim.max(1) as f64;
+        LaunchProfile {
+            grid_dim: stats.config.grid_dim,
+            block_dim: stats.config.block_dim,
+            shared_words: stats.config.shared_words,
+            mem_insts_per_warp: stats.totals.warp_mem_insts() / warps,
+            transactions_per_mem_inst: stats.totals.transactions_per_mem_inst(),
+            compute_insts_per_warp: stats.totals.warp_compute_insts / warps,
+            shared_cycles_per_warp: stats.totals.shared_cycles / warps,
+            syncs_per_block: stats.totals.syncs / blocks,
+            flops: stats.totals.flops,
+        }
+    }
+}
+
+/// The model's output: classification, cycle estimate and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingEstimate {
+    /// Hong&Kim classification.
+    pub class: KernelClass,
+    /// Total kernel cycles including launch overhead.
+    pub total_cycles: f64,
+    /// Wall-clock estimate in microseconds.
+    pub time_us: f64,
+    /// Memory warp parallelism.
+    pub mwp: f64,
+    /// Computation warp parallelism.
+    pub cwp: f64,
+    /// Active warps per SM (occupancy).
+    pub active_warps: f64,
+    /// Block waves needed to drain the grid.
+    pub waves: f64,
+    /// Achieved GFLOPS under this estimate (0 when no flops recorded).
+    pub gflops: f64,
+}
+
+/// Estimate the execution time of one kernel launch on `device`.
+///
+/// # Panics
+///
+/// Panics if the profile's block shape cannot be scheduled on the device
+/// (zero threads or over-budget shared memory) — launches are validated
+/// before they get here.
+pub fn estimate(device: &DeviceSpec, p: &LaunchProfile) -> TimingEstimate {
+    let limit_blocks = device.active_blocks_per_sm(p.block_dim, p.shared_words);
+    assert!(
+        limit_blocks > 0,
+        "unschedulable block shape: {} threads, {} shared words",
+        p.block_dim,
+        p.shared_words
+    );
+    let warps_per_block = p.block_dim.div_ceil(device.warp_size) as f64;
+
+    // Actual residency: fewer blocks than the device could hold means idle
+    // capacity (Figure 1's "low utilization" region).
+    let blocks_per_sm_actual = (p.grid_dim as f64 / device.sm_count as f64)
+        .ceil()
+        .min(limit_blocks as f64)
+        .max(1.0);
+    let n_warps = (blocks_per_sm_actual * warps_per_block)
+        .min(device.max_warps_per_sm() as f64)
+        .max(1.0);
+
+    // Per-warp cycle components.
+    let mem_l = device.mem_latency_cycles;
+    let trans = p.transactions_per_mem_inst.max(1.0);
+    let departure = device.departure_delay_cycles * trans;
+    let comp_cycles = device.issue_cycles_per_warp_inst
+        * (p.compute_insts_per_warp + p.shared_cycles_per_warp)
+        + p.syncs_per_block * warps_per_block * device.issue_cycles_per_warp_inst;
+    let mem_cycles = mem_l * p.mem_insts_per_warp;
+
+    // Warp parallelism.
+    let mwp_no_bw = mem_l / departure;
+    let mwp_peak_bw =
+        device.transactions_per_cycle() * mem_l / (trans * device.sm_count as f64);
+    let mwp = mwp_no_bw.min(mwp_peak_bw).min(n_warps).max(1.0);
+    let cwp_full = if comp_cycles > 0.0 {
+        (mem_cycles + comp_cycles) / comp_cycles
+    } else {
+        f64::INFINITY
+    };
+    let cwp = cwp_full.min(n_warps).max(1.0);
+
+    let has_mem = p.mem_insts_per_warp > 0.0;
+    let (class, exec_cycles) = if !has_mem {
+        // Pure-compute kernel.
+        (KernelClass::ComputeBound, comp_cycles * n_warps)
+    } else if (mwp == n_warps && cwp == n_warps) || cwp_full <= 1.0 + 1e-9 {
+        // Not enough warps to hide latency: latency-bound.
+        if n_warps < mwp_no_bw.min(mwp_peak_bw) && cwp_full > n_warps {
+            (
+                KernelClass::LatencyBound,
+                mem_cycles + comp_cycles * n_warps,
+            )
+        } else {
+            // Computation already covers memory latency.
+            (KernelClass::ComputeBound, comp_cycles * n_warps + mem_l)
+        }
+    } else if cwp >= mwp {
+        // Memory-bound: requests stream at the departure rate.
+        let comp_per_mem = comp_cycles / p.mem_insts_per_warp.max(1.0);
+        (
+            KernelClass::MemoryBound,
+            mem_cycles * n_warps / mwp + comp_per_mem * (mwp - 1.0),
+        )
+    } else {
+        (KernelClass::ComputeBound, comp_cycles * n_warps + mem_l)
+    };
+
+    let waves = (p.grid_dim as f64
+        / (blocks_per_sm_actual * device.sm_count as f64))
+        .ceil()
+        .max(1.0);
+    let total_cycles = exec_cycles * waves + device.launch_overhead_cycles();
+    let time_us = total_cycles / (device.clock_ghz * 1e3);
+    let gflops = if time_us > 0.0 {
+        p.flops / (time_us * 1e3)
+    } else {
+        0.0
+    };
+
+    TimingEstimate {
+        class,
+        total_cycles,
+        time_us,
+        mwp,
+        cwp,
+        active_warps: n_warps,
+        waves,
+        gflops,
+    }
+}
+
+/// Estimate directly from measured stats (convenience).
+pub fn estimate_stats(device: &DeviceSpec, stats: &KernelStats) -> TimingEstimate {
+    estimate(device, &LaunchProfile::from_stats(device, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    fn base_profile() -> LaunchProfile {
+        LaunchProfile {
+            grid_dim: 256,
+            block_dim: 256,
+            shared_words: 0,
+            mem_insts_per_warp: 8.0,
+            transactions_per_mem_inst: 1.0,
+            compute_insts_per_warp: 16.0,
+            shared_cycles_per_warp: 0.0,
+            syncs_per_block: 0.0,
+            flops: 1e6,
+        }
+    }
+
+    #[test]
+    fn streaming_kernel_is_memory_bound() {
+        let est = estimate(&device(), &base_profile());
+        assert_eq!(est.class, KernelClass::MemoryBound);
+        assert!(est.time_us > 0.0);
+        assert!(est.gflops > 0.0);
+    }
+
+    #[test]
+    fn heavy_arithmetic_is_compute_bound() {
+        let mut p = base_profile();
+        p.compute_insts_per_warp = 100_000.0;
+        let est = estimate(&device(), &p);
+        assert_eq!(est.class, KernelClass::ComputeBound);
+    }
+
+    #[test]
+    fn tiny_grid_is_latency_bound() {
+        let mut p = base_profile();
+        p.grid_dim = 2; // 2 blocks on a 14-SM device
+        p.compute_insts_per_warp = 4.0;
+        let est = estimate(&device(), &p);
+        assert_eq!(est.class, KernelClass::LatencyBound);
+        assert!(est.active_warps <= 8.0);
+    }
+
+    #[test]
+    fn uncoalesced_access_is_slower() {
+        let coalesced = estimate(&device(), &base_profile());
+        let mut p = base_profile();
+        p.transactions_per_mem_inst = 16.0;
+        let scattered = estimate(&device(), &p);
+        assert!(
+            scattered.time_us > 2.0 * coalesced.time_us,
+            "scattered {} vs coalesced {}",
+            scattered.time_us,
+            coalesced.time_us
+        );
+    }
+
+    #[test]
+    fn more_data_takes_longer() {
+        let small = estimate(&device(), &base_profile());
+        let mut p = base_profile();
+        p.grid_dim = 4096;
+        p.flops = 16e6;
+        let large = estimate(&device(), &p);
+        assert!(large.time_us > small.time_us);
+        assert!(large.waves > small.waves);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let mut p = base_profile();
+        p.grid_dim = 1;
+        p.block_dim = 32;
+        p.mem_insts_per_warp = 1.0;
+        p.compute_insts_per_warp = 1.0;
+        p.flops = 0.0;
+        let est = estimate(&device(), &p);
+        let overhead = device().launch_overhead_cycles();
+        assert!(est.total_cycles < overhead * 2.0);
+        assert!(est.total_cycles >= overhead);
+        assert_eq!(est.gflops, 0.0);
+    }
+
+    #[test]
+    fn monotone_in_memory_instructions() {
+        let mut last = 0.0;
+        for mem in [1.0, 4.0, 16.0, 64.0, 256.0] {
+            let mut p = base_profile();
+            p.mem_insts_per_warp = mem;
+            let est = estimate(&device(), &p);
+            assert!(
+                est.total_cycles >= last,
+                "cycles decreased at mem={mem}"
+            );
+            last = est.total_cycles;
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_add_time() {
+        let mut p = base_profile();
+        p.shared_cycles_per_warp = 0.0;
+        let clean = estimate(&device(), &p);
+        p.shared_cycles_per_warp = 10_000.0;
+        let conflicted = estimate(&device(), &p);
+        assert!(conflicted.total_cycles > clean.total_cycles);
+    }
+
+    #[test]
+    fn classification_displays() {
+        assert_eq!(KernelClass::MemoryBound.to_string(), "memory-bound");
+        assert_eq!(KernelClass::ComputeBound.to_string(), "compute-bound");
+        assert_eq!(KernelClass::LatencyBound.to_string(), "latency-bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "unschedulable")]
+    fn unschedulable_profile_panics() {
+        let mut p = base_profile();
+        p.block_dim = 0;
+        let _ = estimate(&device(), &p);
+    }
+}

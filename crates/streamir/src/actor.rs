@@ -1,0 +1,213 @@
+//! Actor definitions.
+//!
+//! An actor is an isolated computational unit with a single input and a
+//! single output channel, whose `work` method fires repeatedly as long as
+//! input is available. The amount of data consumed per firing is the *pop
+//! rate*, the amount produced is the *push rate*, and the furthest offset
+//! read non-destructively is the *peek rate*; all three may be symbolic in
+//! the program parameters ([`RateExpr`]).
+
+use crate::ir::{count_sites, Expr, Stmt};
+use crate::rates::RateExpr;
+
+/// A state variable owned by an actor.
+///
+/// Scalars persist across firings (e.g. a running counter). Arrays model
+/// constant host-bound data such as the `x` vector in matrix-vector
+/// multiplication or filter taps; their contents are bound before execution
+/// and are read-only unless the actor stores to them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateVar {
+    /// A scalar with an initial value.
+    Scalar { name: String, init: f32 },
+    /// An array whose length may depend on program parameters.
+    Array { name: String, len: RateExpr },
+}
+
+impl StateVar {
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        match self {
+            StateVar::Scalar { name, .. } | StateVar::Array { name, .. } => name,
+        }
+    }
+}
+
+/// The work method of an actor: declared rates plus the IR body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkFn {
+    /// Items consumed per firing.
+    pub pop: RateExpr,
+    /// Items produced per firing.
+    pub push: RateExpr,
+    /// Largest input offset examined per firing (`>= pop`); equals the pop
+    /// rate when the actor never peeks beyond what it consumes.
+    pub peek: RateExpr,
+    /// Statement list executed once per firing.
+    pub body: Vec<Stmt>,
+}
+
+/// Coarse classification of an actor's body, used by the integration
+/// optimizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActorKind {
+    /// Performs real computation.
+    Generic,
+    /// A *transfer actor*: performs no arithmetic, only reorganizes data
+    /// from input to output. After vertical integration these are replaced
+    /// by index translation (§4.3.1 of the paper).
+    Transfer,
+}
+
+/// A named actor definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActorDef {
+    /// Unique name within the program.
+    pub name: String,
+    /// Persistent state (scalars and host-bound arrays).
+    pub state: Vec<StateVar>,
+    /// The work method.
+    pub work: WorkFn,
+}
+
+impl ActorDef {
+    /// Create an actor with the given name and work method and no state.
+    pub fn new(name: &str, work: WorkFn) -> ActorDef {
+        ActorDef {
+            name: name.to_string(),
+            state: Vec::new(),
+            work,
+        }
+    }
+
+    /// Add a state array of the given (symbolic) length.
+    pub fn with_state_array(mut self, name: &str, len: RateExpr) -> ActorDef {
+        self.state.push(StateVar::Array {
+            name: name.to_string(),
+            len,
+        });
+        self
+    }
+
+    /// Add a scalar state variable.
+    pub fn with_state_scalar(mut self, name: &str, init: f32) -> ActorDef {
+        self.state.push(StateVar::Scalar {
+            name: name.to_string(),
+            init,
+        });
+        self
+    }
+
+    /// Look up a state variable by name.
+    pub fn state_var(&self, name: &str) -> Option<&StateVar> {
+        self.state.iter().find(|s| s.name() == name)
+    }
+
+    /// Classify the actor as computing or pure-transfer.
+    ///
+    /// A transfer actor's body consists solely of pushes of `pop()`/`peek(k)`
+    /// expressions (possibly inside loops): it moves data without arithmetic.
+    pub fn kind(&self) -> ActorKind {
+        fn stmt_is_transfer(s: &Stmt) -> bool {
+            match s {
+                Stmt::Push(e) => expr_is_move(e),
+                Stmt::For { body, .. } => body.iter().all(stmt_is_transfer),
+                Stmt::Assign { expr, .. } => expr_is_move(expr),
+                _ => false,
+            }
+        }
+        fn expr_is_move(e: &Expr) -> bool {
+            matches!(e, Expr::Pop | Expr::Peek(_) | Expr::Var(_))
+        }
+        if !self.work.body.is_empty() && self.work.body.iter().all(stmt_is_transfer) {
+            ActorKind::Transfer
+        } else {
+            ActorKind::Generic
+        }
+    }
+
+    /// True when the actor peeks beyond its pop window (stencil-like
+    /// access); such actors are candidates for the neighboring-access
+    /// optimization.
+    pub fn peeks_beyond_pops(&self) -> bool {
+        self.work.peek != self.work.pop || count_sites(&self.work.body).peeks > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Expr, Stmt};
+
+    fn identity_work() -> WorkFn {
+        WorkFn {
+            pop: RateExpr::constant(1),
+            push: RateExpr::constant(1),
+            peek: RateExpr::constant(1),
+            body: vec![Stmt::Push(Expr::Pop)],
+        }
+    }
+
+    #[test]
+    fn transfer_actor_detected() {
+        let a = ActorDef::new("Id", identity_work());
+        assert_eq!(a.kind(), ActorKind::Transfer);
+    }
+
+    #[test]
+    fn computing_actor_is_generic() {
+        let mut w = identity_work();
+        w.body = vec![Stmt::Push(Expr::bin(
+            BinOp::Mul,
+            Expr::Pop,
+            Expr::Float(2.0),
+        ))];
+        let a = ActorDef::new("Scale", w);
+        assert_eq!(a.kind(), ActorKind::Generic);
+    }
+
+    #[test]
+    fn loop_of_moves_is_transfer() {
+        let w = WorkFn {
+            pop: RateExpr::param("N"),
+            push: RateExpr::param("N"),
+            peek: RateExpr::param("N"),
+            body: vec![Stmt::For {
+                var: "i".into(),
+                start: Expr::Int(0),
+                end: Expr::var("N"),
+                body: vec![Stmt::Push(Expr::Pop)],
+            }],
+        };
+        assert_eq!(ActorDef::new("Copy", w).kind(), ActorKind::Transfer);
+    }
+
+    #[test]
+    fn state_builders_and_lookup() {
+        let a = ActorDef::new("A", identity_work())
+            .with_state_array("xs", RateExpr::param("N"))
+            .with_state_scalar("count", 0.0);
+        assert!(matches!(
+            a.state_var("xs"),
+            Some(StateVar::Array { .. })
+        ));
+        assert!(matches!(
+            a.state_var("count"),
+            Some(StateVar::Scalar { .. })
+        ));
+        assert!(a.state_var("nope").is_none());
+        assert_eq!(a.state_var("xs").unwrap().name(), "xs");
+    }
+
+    #[test]
+    fn peeks_beyond_pops_for_stencils() {
+        let w = WorkFn {
+            pop: RateExpr::constant(1),
+            push: RateExpr::constant(1),
+            peek: RateExpr::constant(3),
+            body: vec![Stmt::Push(Expr::Peek(Box::new(Expr::Int(2))))],
+        };
+        assert!(ActorDef::new("S", w).peeks_beyond_pops());
+        assert!(!ActorDef::new("Id", identity_work()).peeks_beyond_pops());
+    }
+}

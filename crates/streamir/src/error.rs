@@ -1,0 +1,88 @@
+//! Error types shared across the `streamir` crate.
+
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing, scheduling or interpreting streaming
+/// programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A lexical error at the given byte offset.
+    Lex { offset: usize, message: String },
+    /// A syntax error at the given line/column.
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+    /// A semantic error (undefined name, duplicate actor, bad rate, ...).
+    Semantic(String),
+    /// Rate matching failed: the graph has no steady-state schedule.
+    RateMismatch(String),
+    /// A program parameter was referenced but never bound to a value.
+    UnboundParam(String),
+    /// Runtime error while interpreting a work function.
+    Runtime(String),
+    /// The input stream did not contain enough data for one steady state.
+    InsufficientInput { needed: usize, got: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            Error::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::RateMismatch(m) => write!(f, "rate mismatch: {m}"),
+            Error::UnboundParam(p) => write!(f, "unbound parameter `{p}`"),
+            Error::Runtime(m) => write!(f, "runtime error: {m}"),
+            Error::InsufficientInput { needed, got } => {
+                write!(f, "insufficient input: needed {needed} items, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            Error::Lex {
+                offset: 3,
+                message: "bad char".into(),
+            },
+            Error::Parse {
+                line: 1,
+                col: 2,
+                message: "expected `{`".into(),
+            },
+            Error::Semantic("dup".into()),
+            Error::RateMismatch("no solution".into()),
+            Error::UnboundParam("N".into()),
+            Error::Runtime("pop on empty channel".into()),
+            Error::InsufficientInput { needed: 8, got: 3 },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,492 @@
+//! The work-function IR.
+//!
+//! Each actor's `work` method is stored as a small statement/expression tree
+//! rather than an opaque closure so that the Adaptic compiler can analyze it:
+//! count pop/push/peek sites, detect reduction and stencil patterns, find
+//! accumulator recurrences for induction-variable substitution, and estimate
+//! instruction mixes for the performance model.
+//!
+//! The language is deliberately C-like and loop-structured (no `while`, no
+//! recursion): every loop is a counted `for` whose bounds are expressions,
+//! which keeps trip counts analyzable as functions of the program input —
+//! the property the whole input-aware compilation scheme rests on.
+
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for operators returning booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for operators that are associative and commutative — the legality
+    /// condition for tree-based stream reduction (§4.2.1 of the paper).
+    pub fn is_assoc_commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul)
+    }
+
+    /// C-syntax spelling, used by the CUDA pretty-printer.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Built-in math functions available in work bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Sqrt,
+    Exp,
+    Log,
+    Abs,
+    Sin,
+    Cos,
+    Floor,
+    Max,
+    Min,
+    Pow,
+    /// `select(cond, a, b)` — branchless conditional, maps to `?:`.
+    Select,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Sqrt
+            | Intrinsic::Exp
+            | Intrinsic::Log
+            | Intrinsic::Abs
+            | Intrinsic::Sin
+            | Intrinsic::Cos
+            | Intrinsic::Floor => 1,
+            Intrinsic::Max | Intrinsic::Min | Intrinsic::Pow => 2,
+            Intrinsic::Select => 3,
+        }
+    }
+
+    /// Look up an intrinsic by its DSL name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrt" => Intrinsic::Sqrt,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "abs" => Intrinsic::Abs,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "floor" => Intrinsic::Floor,
+            "max" => Intrinsic::Max,
+            "min" => Intrinsic::Min,
+            "pow" => Intrinsic::Pow,
+            "select" => Intrinsic::Select,
+            _ => return None,
+        })
+    }
+
+    /// DSL / CUDA spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Abs => "abs",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Max => "max",
+            Intrinsic::Min => "min",
+            Intrinsic::Pow => "pow",
+            Intrinsic::Select => "select",
+        }
+    }
+
+    /// True when a two-argument intrinsic is associative and commutative
+    /// (`max`/`min`), making it a legal reduction combiner.
+    pub fn is_assoc_commutative(self) -> bool {
+        matches!(self, Intrinsic::Max | Intrinsic::Min)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Float literal.
+    Float(f32),
+    /// Integer literal.
+    Int(i64),
+    /// Local variable, program parameter, or scalar state variable.
+    Var(String),
+    /// Destructive read of the next input item.
+    Pop,
+    /// Non-destructive read of the input item at the given offset from the
+    /// firing's *initial* read position (the semantics of Figure 4 in the
+    /// paper, where stencils peek at `index ± offset` with `index` ranging
+    /// over the firing window).
+    Peek(Box<Expr>),
+    /// Load from a named state array (bound host data, e.g. the `x` vector
+    /// in matrix-vector multiplication).
+    StateLoad { array: String, index: Box<Expr> },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Intrinsic call.
+    Call { intrinsic: Intrinsic, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Visit this expression and all sub-expressions, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Peek(e) => e.visit(f),
+            Expr::StateLoad { index, .. } => index.visit(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Unary { operand, .. } => operand.visit(f),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Float(_) | Expr::Int(_) | Expr::Var(_) | Expr::Pop => {}
+        }
+    }
+
+    /// Count [`Expr::Pop`] sites in the tree.
+    pub fn count_pops(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Pop) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Count [`Expr::Peek`] sites in the tree.
+    pub fn count_peeks(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Peek(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// True when the expression mentions the given variable.
+    pub fn mentions(&self, name: &str) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if v == name {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Assignment; the first assignment to a name declares it.
+    Assign { name: String, expr: Expr },
+    /// Store into a named state array.
+    StateStore {
+        array: String,
+        index: Expr,
+        expr: Expr,
+    },
+    /// Write one item to the output channel.
+    Push(Expr),
+    /// Conditional.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// Counted loop over the half-open range `[start, end)`.
+    For {
+        var: String,
+        start: Expr,
+        end: Expr,
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Visit this statement and all nested statements, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.visit(f);
+                }
+            }
+            Stmt::For { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::Assign { .. } | Stmt::StateStore { .. } | Stmt::Push(_) => {}
+        }
+    }
+
+    /// Visit every expression in this statement tree.
+    pub fn visit_exprs<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        self.visit(&mut |s| match s {
+            Stmt::Assign { expr, .. } => expr.visit(f),
+            Stmt::StateStore { index, expr, .. } => {
+                index.visit(f);
+                expr.visit(f);
+            }
+            Stmt::Push(e) => e.visit(f),
+            Stmt::If { cond, .. } => cond.visit(f),
+            Stmt::For { start, end, .. } => {
+                start.visit(f);
+                end.visit(f);
+            }
+        });
+    }
+}
+
+/// Count pushes/pops/peeks over a whole body (static site counts, not
+/// dynamic rates — dynamic rates come from the declared [`crate::RateExpr`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteCounts {
+    pub pops: usize,
+    pub pushes: usize,
+    pub peeks: usize,
+}
+
+/// Count I/O sites in a statement list.
+pub fn count_sites(body: &[Stmt]) -> SiteCounts {
+    let mut c = SiteCounts::default();
+    for s in body {
+        s.visit(&mut |s| {
+            if matches!(s, Stmt::Push(_)) {
+                c.pushes += 1;
+            }
+        });
+        s.visit_exprs(&mut |e| match e {
+            Expr::Pop => c.pops += 1,
+            Expr::Peek(_) => c.peeks += 1,
+            _ => {}
+        });
+    }
+    c
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Float(x) => write!(f, "{x:?}"),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Pop => write!(f, "pop()"),
+            Expr::Peek(e) => write!(f, "peek({e})"),
+            Expr::StateLoad { array, index } => write!(f, "{array}[{index}]"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.c_symbol()),
+            Expr::Unary { op, operand } => match op {
+                UnOp::Neg => write!(f, "(-{operand})"),
+                UnOp::Not => write!(f, "(!{operand})"),
+            },
+            Expr::Call { intrinsic, args } => {
+                write!(f, "{}(", intrinsic.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_body() -> Vec<Stmt> {
+        vec![
+            Stmt::Assign {
+                name: "acc".into(),
+                expr: Expr::Float(0.0),
+            },
+            Stmt::For {
+                var: "i".into(),
+                start: Expr::Int(0),
+                end: Expr::var("N"),
+                body: vec![Stmt::Assign {
+                    name: "acc".into(),
+                    expr: Expr::add(Expr::var("acc"), Expr::Pop),
+                }],
+            },
+            Stmt::Push(Expr::var("acc")),
+        ]
+    }
+
+    #[test]
+    fn site_counts() {
+        let c = count_sites(&sum_body());
+        assert_eq!(
+            c,
+            SiteCounts {
+                pops: 1,
+                pushes: 1,
+                peeks: 0
+            }
+        );
+    }
+
+    #[test]
+    fn visit_reaches_nested_statements() {
+        let mut assigns = 0;
+        for s in &sum_body() {
+            s.visit(&mut |s| {
+                if matches!(s, Stmt::Assign { .. }) {
+                    assigns += 1;
+                }
+            });
+        }
+        assert_eq!(assigns, 2);
+    }
+
+    #[test]
+    fn mentions_finds_vars_in_nested_exprs() {
+        let e = Expr::add(
+            Expr::mul(Expr::var("a"), Expr::Float(2.0)),
+            Expr::Peek(Box::new(Expr::var("b"))),
+        );
+        assert!(e.mentions("a"));
+        assert!(e.mentions("b"));
+        assert!(!e.mentions("c"));
+    }
+
+    #[test]
+    fn intrinsic_round_trip_names() {
+        for i in [
+            Intrinsic::Sqrt,
+            Intrinsic::Exp,
+            Intrinsic::Log,
+            Intrinsic::Abs,
+            Intrinsic::Sin,
+            Intrinsic::Cos,
+            Intrinsic::Floor,
+            Intrinsic::Max,
+            Intrinsic::Min,
+            Intrinsic::Pow,
+            Intrinsic::Select,
+        ] {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+            assert!(i.arity() >= 1 && i.arity() <= 3);
+        }
+        assert_eq!(Intrinsic::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn binop_properties() {
+        assert!(BinOp::Add.is_assoc_commutative());
+        assert!(BinOp::Mul.is_assoc_commutative());
+        assert!(!BinOp::Sub.is_assoc_commutative());
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert_eq!(BinOp::Le.c_symbol(), "<=");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Pop,
+            Expr::Call {
+                intrinsic: Intrinsic::Max,
+                args: vec![Expr::var("a"), Expr::Float(1.0)],
+            },
+        );
+        assert_eq!(e.to_string(), "(pop() + max(a, 1.0))");
+    }
+}

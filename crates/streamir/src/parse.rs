@@ -1,0 +1,1292 @@
+//! Lexer and recursive-descent parser for the streaming DSL.
+//!
+//! The surface syntax is a compact StreamIt dialect:
+//!
+//! ```text
+//! pipeline Main(rows, cols) {
+//!     actor Dot(pop cols, push 1) {
+//!         state x[cols];
+//!         acc = 0.0;
+//!         for i in 0..cols {
+//!             acc = acc + pop() * x[i];
+//!         }
+//!         push(acc);
+//!     }
+//!     splitjoin {
+//!         split duplicate;
+//!         branch MaxActor;
+//!         branch SumActor;
+//!         join roundrobin(1, 1);
+//!     }
+//! }
+//! ```
+//!
+//! * `pipeline Name(params...) { ... }` declares the program; every
+//!   top-level item is a pipeline stage in order.
+//! * `actor Name(pop R, push R [, peek R]) { ... }` both defines an actor
+//!   and instantiates it as the next stage. Leading `state` declarations
+//!   introduce persistent scalars (`state c = 0.0;`) or host-bound arrays
+//!   (`state x[len];`).
+//! * `add Name;` instantiates an already-defined actor as a stage (each
+//!   actor may be instantiated at most once).
+//! * `splitjoin { split ...; branch ...; join roundrobin(...); }` is
+//!   parallel composition; a branch is either a named actor or a nested
+//!   `{ ... }` pipeline of items.
+//! * Rates are polynomial expressions over the program parameters
+//!   (`cols`, `2*N`, `rows*cols + 1`).
+
+use std::collections::HashSet;
+
+use crate::actor::{ActorDef, StateVar, WorkFn};
+use crate::error::{Error, Result};
+use crate::graph::{Joiner, Program, Splitter, StreamNode};
+use crate::ir::{BinOp, Expr, Intrinsic, Stmt, UnOp};
+use crate::rates::RateExpr;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f32),
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    DotDot,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    macro_rules! push {
+        ($t:expr) => {
+            toks.push(Spanned {
+                tok: $t,
+                line,
+                col,
+            })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(Tok::Plus);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(Tok::Minus);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Tok::Star);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                push!(Tok::Percent);
+                i += 1;
+                col += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::EqEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(Tok::AndAnd);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: i,
+                        message: "expected `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(Tok::OrOr);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: i,
+                        message: "expected `||`".into(),
+                    });
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    push!(Tok::DotDot);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: i,
+                        message: "stray `.` (floats need a leading digit)".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // A `.` followed by a digit makes it a float; `..` is a range.
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    // optional exponent
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            i = j;
+                            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &src[start..i];
+                    let v: f32 = text.parse().map_err(|_| Error::Lex {
+                        offset: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    push!(Tok::Float(v));
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text.parse().map_err(|_| Error::Lex {
+                        offset: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    push!(Tok::Int(v));
+                }
+                col += i - start;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()));
+                col += i - start;
+            }
+            other => {
+                return Err(Error::Lex {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        let s = &self.toks[self.pos];
+        Err(Error::Parse {
+            line: s.line,
+            col: s.col,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<()> {
+        if *self.peek() == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek()))
+        }
+    }
+
+    // ---- program structure -------------------------------------------
+
+    fn program(&mut self) -> Result<Program> {
+        self.expect_keyword("pipeline")?;
+        let name = self.expect_ident()?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.expect_ident()?);
+                if *self.peek() == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        self.expect(Tok::LBrace, "`{`")?;
+
+        let mut actors = Vec::new();
+        let mut stages = Vec::new();
+        self.items(&mut actors, &mut stages, &params)?;
+        self.expect(Tok::RBrace, "`}`")?;
+        self.expect(Tok::Eof, "end of input")?;
+
+        if stages.is_empty() {
+            return self.err("pipeline has no stages");
+        }
+
+        let program = Program {
+            name,
+            params,
+            actors,
+            graph: StreamNode::Pipeline(stages),
+        };
+        check_single_instantiation(&program)?;
+        Ok(program)
+    }
+
+    /// Parse a sequence of items (actor defs / `add` / splitjoins) until the
+    /// closing brace, appending definitions to `actors` and stages in order.
+    fn items(
+        &mut self,
+        actors: &mut Vec<ActorDef>,
+        stages: &mut Vec<StreamNode>,
+        params: &[String],
+    ) -> Result<()> {
+        while *self.peek() != Tok::RBrace {
+            match self.peek().clone() {
+                Tok::Ident(kw) if kw == "actor" => {
+                    let actor = self.actor_def(params)?;
+                    stages.push(StreamNode::Actor(actor.name.clone()));
+                    if actors.iter().any(|a| a.name == actor.name) {
+                        return self.err(format!("duplicate actor `{}`", actor.name));
+                    }
+                    actors.push(actor);
+                }
+                Tok::Ident(kw) if kw == "add" => {
+                    self.next();
+                    let name = self.expect_ident()?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    stages.push(StreamNode::Actor(name));
+                }
+                Tok::Ident(kw) if kw == "splitjoin" => {
+                    let sj = self.splitjoin(actors, params)?;
+                    stages.push(sj);
+                }
+                other => {
+                    return self.err(format!(
+                        "expected `actor`, `add` or `splitjoin`, found {other:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn actor_def(&mut self, params: &[String]) -> Result<ActorDef> {
+        self.expect_keyword("actor")?;
+        let name = self.expect_ident()?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut pop = None;
+        let mut push = None;
+        let mut peek = None;
+        loop {
+            let kw = self.expect_ident()?;
+            let rate = self.rate_expr(params)?;
+            match kw.as_str() {
+                "pop" => pop = Some(rate),
+                "push" => push = Some(rate),
+                "peek" => peek = Some(rate),
+                other => return self.err(format!("unknown rate `{other}`")),
+            }
+            if *self.peek() == Tok::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        let pop = match pop {
+            Some(p) => p,
+            None => return self.err("actor missing `pop` rate"),
+        };
+        let push = match push {
+            Some(p) => p,
+            None => return self.err("actor missing `push` rate"),
+        };
+        let peek = peek.unwrap_or_else(|| pop.clone());
+
+        self.expect(Tok::LBrace, "`{`")?;
+        // Leading state declarations.
+        let mut state = Vec::new();
+        while matches!(self.peek(), Tok::Ident(s) if s == "state") {
+            self.next();
+            let sname = self.expect_ident()?;
+            match self.peek() {
+                Tok::LBracket => {
+                    self.next();
+                    let len = self.rate_expr(params)?;
+                    self.expect(Tok::RBracket, "`]`")?;
+                    state.push(StateVar::Array { name: sname, len });
+                }
+                Tok::Assign => {
+                    self.next();
+                    let init = match self.next() {
+                        Tok::Float(v) => v,
+                        Tok::Int(v) => v as f32,
+                        Tok::Minus => match self.next() {
+                            Tok::Float(v) => -v,
+                            Tok::Int(v) => -(v as f32),
+                            _ => return self.err("expected numeric literal"),
+                        },
+                        _ => return self.err("expected numeric literal"),
+                    };
+                    state.push(StateVar::Scalar { name: sname, init });
+                }
+                _ => return self.err("expected `[len]` or `= value` in state declaration"),
+            }
+            self.expect(Tok::Semi, "`;`")?;
+        }
+        let body = self.block_body()?;
+        self.expect(Tok::RBrace, "`}`")?;
+        Ok(ActorDef {
+            name,
+            state,
+            work: WorkFn {
+                pop,
+                push,
+                peek,
+                body,
+            },
+        })
+    }
+
+    fn splitjoin(
+        &mut self,
+        actors: &mut Vec<ActorDef>,
+        params: &[String],
+    ) -> Result<StreamNode> {
+        self.expect_keyword("splitjoin")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        self.expect_keyword("split")?;
+        let splitter = if self.eat_keyword("duplicate") {
+            Splitter::Duplicate
+        } else {
+            self.expect_keyword("roundrobin")?;
+            Splitter::RoundRobin(self.weight_list(params)?)
+        };
+        self.expect(Tok::Semi, "`;`")?;
+
+        let mut branches = Vec::new();
+        while matches!(self.peek(), Tok::Ident(s) if s == "branch")
+            || matches!(self.peek(), Tok::Ident(s) if s == "actor")
+        {
+            if self.eat_keyword("branch") {
+                match self.peek().clone() {
+                    Tok::Ident(_) => {
+                        let name = self.expect_ident()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        branches.push(StreamNode::Actor(name));
+                    }
+                    Tok::LBrace => {
+                        self.next();
+                        let mut stages = Vec::new();
+                        self.items(actors, &mut stages, params)?;
+                        self.expect(Tok::RBrace, "`}`")?;
+                        if stages.is_empty() {
+                            return self.err("empty branch");
+                        }
+                        branches.push(StreamNode::Pipeline(stages));
+                    }
+                    _ => return self.err("expected actor name or `{` after `branch`"),
+                }
+            } else {
+                // `actor` definition directly as a branch
+                let actor = self.actor_def(params)?;
+                branches.push(StreamNode::Actor(actor.name.clone()));
+                if actors.iter().any(|a| a.name == actor.name) {
+                    return self.err(format!("duplicate actor `{}`", actor.name));
+                }
+                actors.push(actor);
+            }
+        }
+
+        self.expect_keyword("join")?;
+        self.expect_keyword("roundrobin")?;
+        let joiner = Joiner::RoundRobin(self.weight_list(params)?);
+        self.expect(Tok::Semi, "`;`")?;
+        self.expect(Tok::RBrace, "`}`")?;
+        Ok(StreamNode::SplitJoin {
+            splitter,
+            branches,
+            joiner,
+        })
+    }
+
+    fn weight_list(&mut self, params: &[String]) -> Result<Vec<RateExpr>> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut ws = Vec::new();
+        loop {
+            ws.push(self.rate_expr(params)?);
+            if *self.peek() == Tok::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(ws)
+    }
+
+    // ---- rate expressions (polynomials over parameters) ---------------
+
+    fn rate_expr(&mut self, params: &[String]) -> Result<RateExpr> {
+        let mut acc = self.rate_term(params)?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.next();
+                    acc = acc + self.rate_term(params)?;
+                }
+                Tok::Minus => {
+                    self.next();
+                    acc = acc + self.rate_term(params)? * -1;
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn rate_term(&mut self, params: &[String]) -> Result<RateExpr> {
+        let mut acc = self.rate_factor(params)?;
+        while *self.peek() == Tok::Star {
+            self.next();
+            acc = acc * self.rate_factor(params)?;
+        }
+        Ok(acc)
+    }
+
+    fn rate_factor(&mut self, params: &[String]) -> Result<RateExpr> {
+        match self.next() {
+            Tok::Int(v) => Ok(RateExpr::constant(v)),
+            Tok::Ident(name) => {
+                if params.contains(&name) {
+                    Ok(RateExpr::param(&name))
+                } else {
+                    self.pos -= 1;
+                    self.err(format!("`{name}` is not a program parameter"))
+                }
+            }
+            Tok::LParen => {
+                let e = self.rate_expr(params)?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected rate expression, found {other:?}"))
+            }
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn braced_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let body = self.block_body()?;
+        self.expect(Tok::RBrace, "`}`")?;
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek().clone() {
+            Tok::Ident(kw) if kw == "push" => {
+                self.next();
+                self.expect(Tok::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Push(e))
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.next();
+                self.expect(Tok::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                let then_body = self.braced_block()?;
+                let else_body = if self.eat_keyword("else") {
+                    self.braced_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Tok::Ident(kw) if kw == "for" => {
+                self.next();
+                let var = self.expect_ident()?;
+                self.expect_keyword("in")?;
+                let start = self.expr()?;
+                self.expect(Tok::DotDot, "`..`")?;
+                let end = self.expr()?;
+                let body = self.braced_block()?;
+                Ok(Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                })
+            }
+            Tok::Ident(kw) if kw == "state" => {
+                self.err("`state` declarations must come first in the actor body")
+            }
+            Tok::Ident(name) => {
+                // assignment or state store
+                self.next();
+                match self.peek() {
+                    Tok::Assign => {
+                        self.next();
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        Ok(Stmt::Assign { name, expr: e })
+                    }
+                    Tok::LBracket => {
+                        self.next();
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket, "`]`")?;
+                        self.expect(Tok::Assign, "`=`")?;
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        Ok(Stmt::StateStore {
+                            array: name,
+                            index,
+                            expr: e,
+                        })
+                    }
+                    _ => self.err("expected `=` or `[` after identifier"),
+                }
+            }
+            other => self.err(format!("expected statement, found {other:?}")),
+        }
+    }
+
+    // ---- expressions (precedence climbing) -----------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            self.next();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Tok::Minus => {
+                self.next();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(e),
+                })
+            }
+            Tok::Bang => {
+                self.next();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(e),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Float(v) => {
+                self.next();
+                Ok(Expr::Float(v))
+            }
+            Tok::Int(v) => {
+                self.next();
+                Ok(Expr::Int(v))
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name == "pop" && *self.peek2() == Tok::LParen {
+                    self.next();
+                    self.next();
+                    self.expect(Tok::RParen, "`)`")?;
+                    return Ok(Expr::Pop);
+                }
+                if name == "peek" && *self.peek2() == Tok::LParen {
+                    self.next();
+                    self.next();
+                    let e = self.expr()?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    return Ok(Expr::Peek(Box::new(e)));
+                }
+                if let Some(intr) = Intrinsic::from_name(&name) {
+                    if *self.peek2() == Tok::LParen {
+                        self.next();
+                        self.next();
+                        let mut args = Vec::new();
+                        if *self.peek() != Tok::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Tok::Comma {
+                                    self.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(Tok::RParen, "`)`")?;
+                        if args.len() != intr.arity() {
+                            return self.err(format!(
+                                "{} expects {} arguments, got {}",
+                                intr.name(),
+                                intr.arity(),
+                                args.len()
+                            ));
+                        }
+                        return Ok(Expr::Call {
+                            intrinsic: intr,
+                            args,
+                        });
+                    }
+                }
+                self.next();
+                if *self.peek() == Tok::LBracket {
+                    self.next();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket, "`]`")?;
+                    return Ok(Expr::StateLoad {
+                        array: name,
+                        index: Box::new(idx),
+                    });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+fn check_single_instantiation(program: &Program) -> Result<()> {
+    fn walk(node: &StreamNode, seen: &mut HashSet<String>) -> Result<()> {
+        match node {
+            StreamNode::Actor(name) => {
+                if !seen.insert(name.clone()) {
+                    return Err(Error::Semantic(format!(
+                        "actor `{name}` instantiated more than once"
+                    )));
+                }
+                Ok(())
+            }
+            StreamNode::Pipeline(children) => {
+                for c in children {
+                    walk(c, seen)?;
+                }
+                Ok(())
+            }
+            StreamNode::SplitJoin { branches, .. } => {
+                for b in branches {
+                    walk(b, seen)?;
+                }
+                Ok(())
+            }
+        }
+    }
+    let mut seen = HashSet::new();
+    walk(&program.graph, &mut seen)?;
+    // Every instantiated actor must be defined.
+    for name in &seen {
+        if program.actor(name).is_none() {
+            return Err(Error::Semantic(format!("undefined actor `{name}`")));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a complete DSL program.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`], [`Error::Parse`], or [`Error::Semantic`] for
+/// malformed programs.
+///
+/// # Example
+///
+/// ```
+/// let p = streamir::parse::parse_program(
+///     "pipeline Main() { actor Id(pop 1, push 1) { push(pop()); } }",
+/// ).unwrap();
+/// assert_eq!(p.name, "Main");
+/// assert_eq!(p.actors.len(), 1);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorKind;
+
+    #[test]
+    fn lex_basic_tokens() {
+        let toks = lex("a = 1 + 2.5; // comment\nb").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Float(2.5),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_range_vs_float() {
+        let toks = lex("0..N 1.5 2..3").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Ident("N".into()),
+                Tok::Float(1.5),
+                Tok::Int(2),
+                Tok::DotDot,
+                Tok::Int(3),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comparison_operators() {
+        let toks = lex("<= >= == != < > && || !").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        assert!(matches!(lex("a $ b"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("a & b"), Err(Error::Lex { .. })));
+        assert!(matches!(lex(".5"), Err(Error::Lex { .. })));
+    }
+
+    #[test]
+    fn parse_minimal_pipeline() {
+        let p = parse_program(
+            "pipeline Main() { actor Id(pop 1, push 1) { push(pop()); } }",
+        )
+        .unwrap();
+        assert_eq!(p.name, "Main");
+        assert!(p.params.is_empty());
+        assert_eq!(p.actors.len(), 1);
+        assert_eq!(p.actors[0].kind(), ActorKind::Transfer);
+    }
+
+    #[test]
+    fn parse_params_and_symbolic_rates() {
+        let p = parse_program(
+            r#"
+            pipeline TMV(rows, cols) {
+                actor Dot(pop cols, push 1) {
+                    state x[cols];
+                    acc = 0.0;
+                    for i in 0..cols {
+                        acc = acc + pop() * x[i];
+                    }
+                    push(acc);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.params, vec!["rows".to_string(), "cols".to_string()]);
+        let dot = p.actor("Dot").unwrap();
+        assert_eq!(dot.work.pop, RateExpr::param("cols"));
+        assert_eq!(dot.work.push, RateExpr::constant(1));
+        assert!(matches!(dot.state[0], StateVar::Array { .. }));
+    }
+
+    #[test]
+    fn parse_polynomial_rate() {
+        let p = parse_program(
+            "pipeline P(r, c) { actor A(pop r*c + 2, push 1) { push(pop()); } }",
+        )
+        .unwrap();
+        let expect = RateExpr::param("r") * RateExpr::param("c") + RateExpr::constant(2);
+        assert_eq!(p.actors[0].work.pop, expect);
+    }
+
+    #[test]
+    fn parse_splitjoin_with_named_branches() {
+        let p = parse_program(
+            r#"
+            pipeline P() {
+                actor Pre(pop 1, push 1) { push(pop()); }
+                splitjoin {
+                    split duplicate;
+                    actor MaxA(pop 1, push 1) { push(max(pop(), 0.0)); }
+                    actor MinA(pop 1, push 1) { push(min(pop(), 0.0)); }
+                    join roundrobin(1, 1);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.actors.len(), 3);
+        let fg = p.flatten().unwrap();
+        assert_eq!(fg.nodes.len(), 5); // Pre, split, join, MaxA, MinA
+    }
+
+    #[test]
+    fn parse_branch_pipeline() {
+        let p = parse_program(
+            r#"
+            pipeline P() {
+                actor Src(pop 1, push 1) { push(pop()); }
+                splitjoin {
+                    split roundrobin(1, 1);
+                    branch Src2;
+                    branch {
+                        actor Neg(pop 1, push 1) { push(0.0 - pop()); }
+                        actor Sq(pop 1, push 1) { x = pop(); push(x * x); }
+                    }
+                    join roundrobin(1, 1);
+                }
+                actor Src2Def(pop 1, push 1) { push(pop()); }
+            }
+            "#,
+        );
+        // `Src2` is never defined -> semantic error.
+        assert!(matches!(p, Err(Error::Semantic(_))));
+    }
+
+    #[test]
+    fn parse_if_else_and_intrinsics() {
+        let p = parse_program(
+            r#"
+            pipeline P() {
+                actor Clamp(pop 1, push 1) {
+                    x = pop();
+                    if (x < 0.0) {
+                        push(0.0);
+                    } else {
+                        push(sqrt(x));
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let body = &p.actors[0].work.body;
+        assert!(matches!(body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parse_state_scalar_with_negative_init() {
+        let p = parse_program(
+            r#"
+            pipeline P() {
+                actor A(pop 1, push 1) {
+                    state best = -1000000.0;
+                    best = max(best, pop());
+                    push(best);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(
+            matches!(p.actors[0].state[0], StateVar::Scalar { init, .. } if init < 0.0)
+        );
+    }
+
+    #[test]
+    fn duplicate_actor_rejected() {
+        let r = parse_program(
+            r#"
+            pipeline P() {
+                actor A(pop 1, push 1) { push(pop()); }
+                actor A(pop 1, push 1) { push(pop()); }
+            }
+            "#,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn double_instantiation_rejected() {
+        let r = parse_program(
+            r#"
+            pipeline P() {
+                actor A(pop 1, push 1) { push(pop()); }
+                add A;
+            }
+            "#,
+        );
+        assert!(matches!(r, Err(Error::Semantic(_))));
+    }
+
+    #[test]
+    fn non_param_rate_rejected() {
+        let r = parse_program(
+            "pipeline P(n) { actor A(pop m, push 1) { push(pop()); } }",
+        );
+        assert!(matches!(r, Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_rate_rejected() {
+        let r = parse_program("pipeline P() { actor A(pop 1) { push(pop()); } }");
+        assert!(matches!(r, Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn wrong_intrinsic_arity_rejected() {
+        let r = parse_program(
+            "pipeline P() { actor A(pop 1, push 1) { push(max(pop())); } }",
+        );
+        assert!(matches!(r, Err(Error::Parse { .. })));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse_program(
+            "pipeline P() { actor A(pop 1, push 1) { push(1.0 + pop() * 2.0); } }",
+        )
+        .unwrap();
+        // Must parse as 1.0 + (pop * 2.0)
+        let Stmt::Push(e) = &p.actors[0].work.body[0] else {
+            panic!("expected push");
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+            panic!("expected add at the top, got {e}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn end_to_end_parse_and_run() {
+        let p = parse_program(
+            r#"
+            pipeline MeanOf4(N) {
+                actor Sum(pop N, push 1) {
+                    acc = 0.0;
+                    for i in 0..N {
+                        acc = acc + pop();
+                    }
+                    push(acc / N);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut it = crate::interp::Interpreter::new(&p);
+        it.bind_param("N", 4);
+        assert_eq!(it.run(&[2.0, 4.0, 6.0, 8.0]).unwrap(), vec![5.0]);
+    }
+}

@@ -1,0 +1,437 @@
+//! Steady-state scheduling (rate matching).
+//!
+//! To ensure correct functionality, a StreamIt program needs a *steady-state
+//! schedule*: a repetition count per actor such that every channel's
+//! production and consumption balance out over one schedule iteration
+//! (`reps[src] * push_rate == reps[dst] * pop_rate`). The scheduler solves
+//! these balance equations with exact rational arithmetic, scales the
+//! solution to the smallest integer vector, and derives channel buffer
+//! sizes.
+//!
+//! Rates may be symbolic in program parameters, so a schedule is computed
+//! *for a concrete parameter binding* — this is exactly the point where
+//! input size enters the compilation flow.
+
+use std::collections::VecDeque;
+
+use crate::error::{Error, Result};
+use crate::graph::FlatGraph;
+use crate::rates::Bindings;
+
+/// Repetition count for one flat node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Flat-node index.
+    pub node: usize,
+    /// Firings per steady-state iteration.
+    pub reps: u64,
+}
+
+/// A steady-state schedule for a flattened graph under a concrete binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Entries in topological order.
+    pub entries: Vec<ScheduleEntry>,
+    /// Required capacity of each channel (indexed like
+    /// [`FlatGraph::channels`]).
+    pub buffer_sizes: Vec<u64>,
+    /// Items consumed from the program input per steady-state iteration.
+    pub steady_input: u64,
+    /// Items produced on the program output per steady-state iteration.
+    pub steady_output: u64,
+}
+
+impl Schedule {
+    /// Repetition count of a node.
+    pub fn reps(&self, node: usize) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.node == node)
+            .map_or(0, |e| e.reps)
+    }
+
+    /// Total firings across all nodes in one steady state.
+    pub fn total_firings(&self) -> u64 {
+        self.entries.iter().map(|e| e.reps).sum()
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+/// An exact nonnegative rational, just big enough for rate matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    fn new(num: u64, den: u64) -> Ratio {
+        debug_assert!(den != 0);
+        let g = gcd(num, den).max(1);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    fn mul(self, num: u64, den: u64) -> Ratio {
+        // Cross-reduce before multiplying to avoid overflow.
+        let g1 = gcd(self.num, den).max(1);
+        let g2 = gcd(num, self.den).max(1);
+        Ratio::new(
+            (self.num / g1) * (num / g2),
+            (self.den / g2) * (den / g1),
+        )
+    }
+}
+
+/// Compute the steady-state schedule of `graph` under `binds`.
+///
+/// # Errors
+///
+/// * [`Error::RateMismatch`] if the balance equations have no solution
+///   (inconsistent rates) or a rate evaluates to a non-positive number.
+/// * [`Error::UnboundParam`] if a rate mentions an unbound parameter.
+/// * [`Error::Semantic`] if the graph is cyclic or disconnected.
+pub fn rate_match(graph: &FlatGraph, binds: &Bindings) -> Result<Schedule> {
+    let n = graph.nodes.len();
+    // Evaluate all channel rates up front.
+    let mut src_rates = Vec::with_capacity(graph.channels.len());
+    let mut dst_rates = Vec::with_capacity(graph.channels.len());
+    let mut dst_peeks = Vec::with_capacity(graph.channels.len());
+    for c in &graph.channels {
+        let s = c.src_rate.eval(binds)?;
+        let d = c.dst_rate.eval(binds)?;
+        let p = c.dst_peek.eval(binds)?;
+        if s <= 0 || d <= 0 {
+            return Err(Error::RateMismatch(format!(
+                "channel n{} -> n{} has non-positive rate ({s} : {d})",
+                c.src, c.dst
+            )));
+        }
+        src_rates.push(s as u64);
+        dst_rates.push(d as u64);
+        dst_peeks.push(p.max(d) as u64);
+    }
+
+    // Propagate rational repetition counts from the entry node.
+    let mut reps: Vec<Option<Ratio>> = vec![None; n];
+    reps[graph.entry] = Some(Ratio::new(1, 1));
+    let mut queue = VecDeque::from([graph.entry]);
+    while let Some(u) = queue.pop_front() {
+        let ru = reps[u].expect("queued nodes have reps");
+        for (ci, c) in graph.channels.iter().enumerate() {
+            let (other, expected) = if c.src == u {
+                // reps[dst] = reps[src] * src_rate / dst_rate
+                (c.dst, ru.mul(src_rates[ci], dst_rates[ci]))
+            } else if c.dst == u {
+                (c.src, ru.mul(dst_rates[ci], src_rates[ci]))
+            } else {
+                continue;
+            };
+            match reps[other] {
+                None => {
+                    reps[other] = Some(expected);
+                    queue.push_back(other);
+                }
+                Some(existing) if existing != expected => {
+                    return Err(Error::RateMismatch(format!(
+                        "node n{other} requires {}/{} and {}/{} firings",
+                        existing.num, existing.den, expected.num, expected.den
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if reps.iter().any(Option::is_none) {
+        return Err(Error::Semantic(
+            "stream graph is disconnected; every node must be reachable".into(),
+        ));
+    }
+
+    // Scale to the smallest integer solution.
+    let denom_lcm = reps
+        .iter()
+        .map(|r| r.unwrap().den)
+        .fold(1u64, lcm);
+    let mut int_reps: Vec<u64> = reps
+        .iter()
+        .map(|r| {
+            let r = r.unwrap();
+            r.num * (denom_lcm / r.den)
+        })
+        .collect();
+    let overall_gcd = int_reps.iter().copied().fold(0u64, gcd).max(1);
+    for r in &mut int_reps {
+        *r /= overall_gcd;
+    }
+
+    // Verify every balance equation (defense against propagation bugs).
+    for (ci, c) in graph.channels.iter().enumerate() {
+        let produced = int_reps[c.src] * src_rates[ci];
+        let consumed = int_reps[c.dst] * dst_rates[ci];
+        if produced != consumed {
+            return Err(Error::RateMismatch(format!(
+                "channel n{} -> n{}: produces {produced}, consumes {consumed}",
+                c.src, c.dst
+            )));
+        }
+    }
+
+    let buffer_sizes: Vec<u64> = graph
+        .channels
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| int_reps[c.src] * src_rates[ci] + (dst_peeks[ci] - dst_rates[ci]))
+        .collect();
+
+    let order = graph.topo_order()?;
+    let entries = order
+        .into_iter()
+        .map(|node| ScheduleEntry {
+            node,
+            reps: int_reps[node],
+        })
+        .collect();
+
+    let (in_pop, _) = graph
+        .in_rates_evaled(binds)
+        .map(|(p, _)| (p, 0u64))
+        .unwrap_or((0, 0));
+    let steady_input = int_reps[graph.entry] * in_pop;
+    let steady_output = int_reps[graph.exit] * graph.out_rate_evaled(binds)?;
+
+    Ok(Schedule {
+        entries,
+        buffer_sizes,
+        steady_input,
+        steady_output,
+    })
+}
+
+impl FlatGraph {
+    /// Entry node's (pop, peek) rates evaluated under `binds`, from the
+    /// rates recorded at flatten time.
+    pub fn in_rates_evaled(&self, binds: &Bindings) -> Option<(u64, u64)> {
+        self.entry_pop_peek.as_ref().map(|(p, k)| {
+            let pv = p.eval(binds).unwrap_or(0).max(0) as u64;
+            let kv = k.eval(binds).unwrap_or(0).max(0) as u64;
+            (pv, kv.max(pv))
+        })
+    }
+
+    /// Exit node's push rate evaluated under `binds`.
+    pub fn out_rate_evaled(&self, binds: &Bindings) -> Result<u64> {
+        match &self.exit_push {
+            Some(r) => Ok(r.eval(binds)?.max(0) as u64),
+            None => Ok(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorDef, WorkFn};
+    use crate::graph::{bindings, Joiner, Program, Splitter, StreamNode};
+    use crate::ir::{Expr, Stmt};
+    use crate::rates::RateExpr;
+
+    fn actor(name: &str, pop: RateExpr, push: RateExpr) -> ActorDef {
+        ActorDef::new(
+            name,
+            WorkFn {
+                peek: pop.clone(),
+                pop,
+                push,
+                body: vec![Stmt::Push(Expr::Pop)],
+            },
+        )
+    }
+
+    fn pipeline(actors: Vec<ActorDef>) -> Program {
+        let graph = StreamNode::Pipeline(
+            actors
+                .iter()
+                .map(|a| StreamNode::Actor(a.name.clone()))
+                .collect(),
+        );
+        Program {
+            name: "P".into(),
+            params: vec![],
+            actors,
+            graph,
+        }
+    }
+
+    #[test]
+    fn two_actor_rate_match() {
+        // A: pop 1 push 2, B: pop 3 push 1  =>  reps A=3, B=2
+        let p = pipeline(vec![
+            actor("A", RateExpr::constant(1), RateExpr::constant(2)),
+            actor("B", RateExpr::constant(3), RateExpr::constant(1)),
+        ]);
+        let fg = p.flatten().unwrap();
+        let s = rate_match(&fg, &bindings(&[])).unwrap();
+        assert_eq!(s.reps(0), 3);
+        assert_eq!(s.reps(1), 2);
+        assert_eq!(s.buffer_sizes, vec![6]);
+        assert_eq!(s.steady_input, 3);
+        assert_eq!(s.steady_output, 2);
+        assert_eq!(s.total_firings(), 5);
+    }
+
+    #[test]
+    fn symbolic_rates_need_bindings() {
+        let p = pipeline(vec![
+            actor("A", RateExpr::constant(1), RateExpr::constant(1)),
+            actor("B", RateExpr::param("N"), RateExpr::constant(1)),
+        ]);
+        let fg = p.flatten().unwrap();
+        assert!(matches!(
+            rate_match(&fg, &bindings(&[])),
+            Err(Error::UnboundParam(_))
+        ));
+        let s = rate_match(&fg, &bindings(&[("N", 8)])).unwrap();
+        assert_eq!(s.reps(0), 8);
+        assert_eq!(s.reps(1), 1);
+    }
+
+    #[test]
+    fn splitjoin_duplicate_schedule() {
+        let a = actor("A", RateExpr::constant(1), RateExpr::constant(1));
+        let b = actor("B", RateExpr::constant(1), RateExpr::constant(1));
+        let p = Program {
+            name: "P".into(),
+            params: vec![],
+            actors: vec![a, b],
+            graph: StreamNode::SplitJoin {
+                splitter: Splitter::Duplicate,
+                branches: vec![
+                    StreamNode::Actor("A".into()),
+                    StreamNode::Actor("B".into()),
+                ],
+                joiner: Joiner::RoundRobin(vec![RateExpr::constant(1), RateExpr::constant(1)]),
+            },
+        };
+        let fg = p.flatten().unwrap();
+        let s = rate_match(&fg, &bindings(&[])).unwrap();
+        // Split fires 1, each branch fires 1, join fires 1 (pops 1 from each).
+        for e in &s.entries {
+            assert_eq!(e.reps, 1, "node {} reps", e.node);
+        }
+    }
+
+    #[test]
+    fn roundrobin_weights_scale_reps() {
+        let a = actor("A", RateExpr::constant(1), RateExpr::constant(1));
+        let b = actor("B", RateExpr::constant(1), RateExpr::constant(1));
+        let p = Program {
+            name: "P".into(),
+            params: vec![],
+            actors: vec![a, b],
+            graph: StreamNode::SplitJoin {
+                splitter: Splitter::RoundRobin(vec![
+                    RateExpr::constant(3),
+                    RateExpr::constant(1),
+                ]),
+                branches: vec![
+                    StreamNode::Actor("A".into()),
+                    StreamNode::Actor("B".into()),
+                ],
+                joiner: Joiner::RoundRobin(vec![RateExpr::constant(3), RateExpr::constant(1)]),
+            },
+        };
+        let fg = p.flatten().unwrap();
+        let s = rate_match(&fg, &bindings(&[])).unwrap();
+        // Branch A fires 3x for each branch B firing.
+        let a_node = fg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, crate::graph::FlatNode::Actor { actor: 0 }))
+            .unwrap();
+        let b_node = fg
+            .nodes
+            .iter()
+            .position(|n| matches!(n, crate::graph::FlatNode::Actor { actor: 1 }))
+            .unwrap();
+        assert_eq!(s.reps(a_node), 3);
+        assert_eq!(s.reps(b_node), 1);
+    }
+
+    #[test]
+    fn inconsistent_rates_rejected() {
+        // Duplicate splitter with branches that produce at different rates
+        // but a joiner that demands equal amounts -> no steady state.
+        let a = actor("A", RateExpr::constant(1), RateExpr::constant(2));
+        let b = actor("B", RateExpr::constant(1), RateExpr::constant(3));
+        let p = Program {
+            name: "P".into(),
+            params: vec![],
+            actors: vec![a, b],
+            graph: StreamNode::SplitJoin {
+                splitter: Splitter::Duplicate,
+                branches: vec![
+                    StreamNode::Actor("A".into()),
+                    StreamNode::Actor("B".into()),
+                ],
+                joiner: Joiner::RoundRobin(vec![RateExpr::constant(1), RateExpr::constant(1)]),
+            },
+        };
+        let fg = p.flatten().unwrap();
+        assert!(matches!(
+            rate_match(&fg, &bindings(&[])),
+            Err(Error::RateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn zero_rate_rejected() {
+        let p = pipeline(vec![
+            actor("A", RateExpr::constant(1), RateExpr::param("Z")),
+            actor("B", RateExpr::constant(1), RateExpr::constant(1)),
+        ]);
+        let fg = p.flatten().unwrap();
+        assert!(matches!(
+            rate_match(&fg, &bindings(&[("Z", 0)])),
+            Err(Error::RateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn peek_slack_grows_buffers() {
+        let mut b = actor("B", RateExpr::constant(1), RateExpr::constant(1));
+        b.work.peek = RateExpr::constant(4); // peeks 3 beyond its pop
+        let p = pipeline(vec![
+            actor("A", RateExpr::constant(1), RateExpr::constant(1)),
+            b,
+        ]);
+        let fg = p.flatten().unwrap();
+        let s = rate_match(&fg, &bindings(&[])).unwrap();
+        assert_eq!(s.buffer_sizes, vec![1 + 3]);
+    }
+
+    #[test]
+    fn gcd_lcm_helpers() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Runtime values flowing through streaming programs.
+//!
+//! The streaming data model is deliberately small: stream items are `f32`
+//! (matching the single-precision GPU benchmarks reproduced here) and loop
+//! indices / integer scalars are `i64`. The [`Value`] enum carries both and
+//! performs the usual numeric coercions.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// A scalar runtime value: a single-precision float, an integer, or a
+/// boolean produced by a comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Single-precision float — the type of stream items.
+    F32(f32),
+    /// 64-bit integer — loop indices and integer scalars.
+    I64(i64),
+    /// Boolean — comparison results.
+    Bool(bool),
+}
+
+impl Value {
+    /// Interpret the value as an `f32`, coercing integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] for booleans.
+    pub fn as_f32(self) -> Result<f32> {
+        match self {
+            Value::F32(x) => Ok(x),
+            Value::I64(i) => Ok(i as f32),
+            Value::Bool(_) => Err(Error::Runtime("expected number, found bool".into())),
+        }
+    }
+
+    /// Interpret the value as an `i64`, truncating floats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Runtime`] for booleans.
+    pub fn as_i64(self) -> Result<i64> {
+        match self {
+            Value::F32(x) => Ok(x as i64),
+            Value::I64(i) => Ok(i),
+            Value::Bool(_) => Err(Error::Runtime("expected number, found bool".into())),
+        }
+    }
+
+    /// Interpret the value as a boolean.
+    ///
+    /// Numbers are truthy when nonzero, mirroring C semantics (the DSL is a
+    /// CUDA-adjacent language).
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::F32(x) => x != 0.0,
+            Value::I64(i) => i != 0,
+            Value::Bool(b) => b,
+        }
+    }
+
+    /// True when the value is an integer (used by the type checker to keep
+    /// loop bounds integral).
+    pub fn is_integer(self) -> bool {
+        matches!(self, Value::I64(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::F32(0.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::F32(x) => write!(f, "{x}"),
+            Value::I64(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Self {
+        Value::F32(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::I64(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::I64(3).as_f32().unwrap(), 3.0);
+        assert_eq!(Value::F32(3.7).as_i64().unwrap(), 3);
+        assert!(Value::F32(1.0).as_bool());
+        assert!(!Value::I64(0).as_bool());
+        assert!(Value::Bool(true).as_bool());
+    }
+
+    #[test]
+    fn bool_is_not_a_number() {
+        assert!(Value::Bool(true).as_f32().is_err());
+        assert!(Value::Bool(false).as_i64().is_err());
+    }
+
+    #[test]
+    fn default_is_zero_float() {
+        assert_eq!(Value::default(), Value::F32(0.0));
+    }
+
+    #[test]
+    fn display_round_trips_visibly() {
+        assert_eq!(Value::F32(1.5).to_string(), "1.5");
+        assert_eq!(Value::I64(-2).to_string(), "-2");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(2.0f32), Value::F32(2.0));
+        assert_eq!(Value::from(2i64), Value::I64(2));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+}

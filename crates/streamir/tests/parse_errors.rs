@@ -1,0 +1,127 @@
+//! Error reporting quality: the DSL front-end must point at the right
+//! place with a usable message.
+
+use streamir::error::Error;
+use streamir::parse::parse_program;
+
+fn parse_err(src: &str) -> Error {
+    parse_program(src).expect_err("program should be rejected")
+}
+
+#[test]
+fn lex_errors_carry_byte_offsets() {
+    let e = parse_err("pipeline P() { actor A(pop 1, push 1) { push(pop()); } } $");
+    match e {
+        Error::Lex { offset, message } => {
+            assert_eq!(offset, 57);
+            assert!(message.contains('$'), "{message}");
+        }
+        other => panic!("expected lex error, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_and_column() {
+    let src = "pipeline P() {\n    actor A(pop 1, push 1) {\n        push(;\n    }\n}";
+    let e = parse_err(src);
+    match e {
+        Error::Parse { line, col, message } => {
+            assert_eq!(line, 3, "{message}");
+            assert!(col > 0);
+            assert!(message.contains("expression"), "{message}");
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_push_rate_points_at_actor() {
+    let e = parse_err("pipeline P() { actor A(pop 1) { push(pop()); } }");
+    match e {
+        Error::Parse { message, .. } => assert!(message.contains("push"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unknown_rate_parameter_is_named() {
+    let e = parse_err("pipeline P(n) { actor A(pop m, push 1) { push(pop()); } }");
+    match e {
+        Error::Parse { message, .. } => assert!(message.contains('m'), "{message}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn state_after_statements_is_rejected() {
+    let e = parse_err(
+        r#"pipeline P() {
+            actor A(pop 1, push 1) {
+                x = pop();
+                state s[4];
+                push(x);
+            }
+        }"#,
+    );
+    match e {
+        Error::Parse { message, .. } => {
+            assert!(message.contains("state"), "{message}")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn empty_program_is_rejected() {
+    assert!(matches!(
+        parse_err("pipeline P() { }"),
+        Error::Parse { .. }
+    ));
+}
+
+#[test]
+fn trailing_tokens_rejected() {
+    let e = parse_err(
+        "pipeline P() { actor A(pop 1, push 1) { push(pop()); } } pipeline Q() { }",
+    );
+    assert!(matches!(e, Error::Parse { .. }));
+}
+
+#[test]
+fn splitjoin_without_join_rejected() {
+    let e = parse_err(
+        r#"pipeline P() {
+            splitjoin {
+                split duplicate;
+                actor A(pop 1, push 1) { push(pop()); }
+            }
+        }"#,
+    );
+    match e {
+        Error::Parse { message, .. } => assert!(message.contains("join"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn reserved_intrinsic_names_still_parse_as_variables_without_call() {
+    // `max` as a bare variable (no parens) is a plain identifier.
+    let p = parse_program(
+        "pipeline P() { actor A(pop 1, push 1) { max = pop(); push(max); } }",
+    )
+    .unwrap();
+    assert_eq!(p.actors.len(), 1);
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut expr = "pop()".to_string();
+    for _ in 0..60 {
+        expr = format!("({expr} + 1.0)");
+    }
+    let src =
+        format!("pipeline P() {{ actor A(pop 1, push 1) {{ push({expr}); }} }}");
+    let p = parse_program(&src).unwrap();
+    let mut it = streamir::interp::Interpreter::new(&p);
+    assert_eq!(it.run(&[0.0]).unwrap(), vec![60.0]);
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the streaming front-end.
+
+use proptest::prelude::*;
+
+use streamir::actor::{ActorDef, WorkFn};
+use streamir::graph::{bindings, Joiner, Program, Splitter, StreamNode};
+use streamir::interp::Interpreter;
+use streamir::ir::{Expr, Stmt};
+use streamir::parse::parse_program;
+use streamir::rates::RateExpr;
+use streamir::schedule::rate_match;
+
+fn rate_actor(name: &str, pop: i64, push: i64) -> ActorDef {
+    ActorDef::new(
+        name,
+        WorkFn {
+            pop: RateExpr::constant(pop),
+            push: RateExpr::constant(push),
+            peek: RateExpr::constant(pop),
+            body: vec![Stmt::Push(Expr::Pop)],
+        },
+    )
+}
+
+proptest! {
+    /// The balance equations hold on every channel of any two-stage
+    /// pipeline with arbitrary positive rates.
+    #[test]
+    fn rate_match_balances_two_stage(
+        a_pop in 1i64..20,
+        a_push in 1i64..20,
+        b_pop in 1i64..20,
+        b_push in 1i64..20,
+    ) {
+        let p = Program {
+            name: "P".into(),
+            params: vec![],
+            actors: vec![rate_actor("A", a_pop, a_push), rate_actor("B", b_pop, b_push)],
+            graph: StreamNode::Pipeline(vec![
+                StreamNode::Actor("A".into()),
+                StreamNode::Actor("B".into()),
+            ]),
+        };
+        let fg = p.flatten().unwrap();
+        let s = rate_match(&fg, &bindings(&[])).unwrap();
+        let produced = s.reps(0) * a_push as u64;
+        let consumed = s.reps(1) * b_pop as u64;
+        prop_assert_eq!(produced, consumed);
+        // Minimality: the repetition vector has gcd 1.
+        let g = gcd(s.reps(0), s.reps(1));
+        prop_assert_eq!(g, 1);
+    }
+
+    /// Round-robin split followed by the matching round-robin join is the
+    /// identity stream transformation, for arbitrary weights.
+    #[test]
+    fn roundrobin_split_join_is_identity(
+        w1 in 1i64..6,
+        w2 in 1i64..6,
+        w3 in 1i64..6,
+        reps in 1usize..4,
+    ) {
+        let id = |n: &str| rate_actor(n, 1, 1);
+        let ws = vec![
+            RateExpr::constant(w1),
+            RateExpr::constant(w2),
+            RateExpr::constant(w3),
+        ];
+        let p = Program {
+            name: "P".into(),
+            params: vec![],
+            actors: vec![id("A"), id("B"), id("C")],
+            graph: StreamNode::SplitJoin {
+                splitter: Splitter::RoundRobin(ws.clone()),
+                branches: vec![
+                    StreamNode::Actor("A".into()),
+                    StreamNode::Actor("B".into()),
+                    StreamNode::Actor("C".into()),
+                ],
+                joiner: Joiner::RoundRobin(ws),
+            },
+        };
+        let total = ((w1 + w2 + w3) as usize) * reps;
+        let input: Vec<f32> = (0..total).map(|i| i as f32).collect();
+        let mut it = Interpreter::new(&p);
+        let out = it.run(&input).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    /// A parsed symbolic Sum actor computes the same result as `iter().sum()`
+    /// for arbitrary N and data.
+    #[test]
+    fn parsed_sum_matches_fold(
+        n in 1usize..64,
+        data in proptest::collection::vec(-100.0f32..100.0, 1..256),
+    ) {
+        let p = parse_program(
+            r#"
+            pipeline P(N) {
+                actor Sum(pop N, push 1) {
+                    acc = 0.0;
+                    for i in 0..N {
+                        acc = acc + pop();
+                    }
+                    push(acc);
+                }
+            }
+            "#,
+        ).unwrap();
+        prop_assume!(data.len() >= n);
+        let mut it = Interpreter::new(&p);
+        it.bind_param("N", n as i64);
+        let out = it.run(&data).unwrap();
+        let chunks = data.len() / n;
+        prop_assert_eq!(out.len(), chunks);
+        for (c, got) in out.iter().enumerate() {
+            let want: f32 = data[c * n..(c + 1) * n].iter().sum();
+            prop_assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0));
+        }
+    }
+
+    /// Rate polynomials form a commutative semiring under + and *.
+    #[test]
+    fn rate_algebra_laws(
+        a in 0i64..50,
+        b in 0i64..50,
+        c in 0i64..50,
+        n in 1i64..100,
+    ) {
+        let x = RateExpr::param("x") * a + RateExpr::constant(b);
+        let y = RateExpr::param("x") * c + RateExpr::constant(a);
+        let z = RateExpr::param("y") * b;
+        let binds = bindings(&[("x", n), ("y", n + 1)]);
+
+        let comm_add = (x.clone() + y.clone()).eval(&binds).unwrap();
+        let comm_add2 = (y.clone() + x.clone()).eval(&binds).unwrap();
+        prop_assert_eq!(comm_add, comm_add2);
+
+        let comm_mul = (x.clone() * y.clone()).eval(&binds).unwrap();
+        let comm_mul2 = (y.clone() * x.clone()).eval(&binds).unwrap();
+        prop_assert_eq!(comm_mul, comm_mul2);
+
+        let dist = ((x.clone() + y.clone()) * z.clone()).eval(&binds).unwrap();
+        let dist2 = (x.clone() * z.clone() + y.clone() * z.clone()).eval(&binds).unwrap();
+        prop_assert_eq!(dist, dist2);
+    }
+
+    /// Interpreting a map actor applies the function element-wise for any
+    /// input length that is a multiple of the steady state.
+    #[test]
+    fn map_actor_is_elementwise(
+        data in proptest::collection::vec(-1000.0f32..1000.0, 1..128),
+    ) {
+        let p = parse_program(
+            "pipeline P() { actor SqPlus1(pop 1, push 1) { x = pop(); push(x * x + 1.0); } }",
+        ).unwrap();
+        let mut it = Interpreter::new(&p);
+        let out = it.run(&data).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (o, i) in out.iter().zip(&data) {
+            prop_assert_eq!(*o, i * i + 1.0);
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

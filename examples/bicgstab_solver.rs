@@ -1,0 +1,56 @@
+//! BiCGSTAB case study (§5.2.2): solve a dense nonsymmetric system with
+//! the Adaptic-compiled solver and compare against the CUBLAS-composed
+//! implementation and the CPU reference.
+//!
+//! ```sh
+//! cargo run --release --example bicgstab_solver
+//! ```
+
+use adaptic_repro::adaptic::CompileOptions;
+use adaptic_repro::apps::bicgstab::{self, AdapticBicgstab};
+use adaptic_repro::gpu_sim::{DeviceSpec, ExecMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 256usize;
+    let iters = 4usize;
+    let (a, b) = bicgstab::synth_system(n, 42);
+    let device = DeviceSpec::tesla_c2050();
+
+    let reference = bicgstab::solve_reference(&a, &b, n, iters);
+    let (cublas_x, cublas_us) =
+        bicgstab::solve_cublas(&device, &a, &b, n, iters, ExecMode::Full);
+
+    let solver = AdapticBicgstab::compile(&device, 64, 4096, CompileOptions::default())?;
+    let (adaptic_x, adaptic_us) = solver.solve(&a, &b, n, iters, ExecMode::Full)?;
+
+    let err = |x: &[f32]| -> f32 {
+        x.iter()
+            .zip(&reference)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f32::max)
+    };
+    println!("system: {n}x{n}, {iters} BiCGSTAB iterations");
+    println!("CUBLAS-composed: {cublas_us:>8.1} us  (max |err| vs CPU: {:.2e})", err(&cublas_x));
+    println!("Adaptic:         {adaptic_us:>8.1} us  (max |err| vs CPU: {:.2e})", err(&adaptic_x));
+    println!("speedup: {:.2}x", cublas_us / adaptic_us.max(1e-9));
+
+    // The optimization breakdown of Figure 11, at this size.
+    for (name, opts) in [
+        ("baseline        ", CompileOptions::baseline()),
+        (
+            "+segmentation   ",
+            CompileOptions {
+                segmentation: true,
+                memory: false,
+                integration: false,
+                probes: 9,
+            },
+        ),
+        ("+memory+integr. ", CompileOptions::default()),
+    ] {
+        let s = AdapticBicgstab::compile(&device, 64, 4096, opts)?;
+        let (_, us) = s.solve(&a, &b, n, iters, ExecMode::SampledExec(256))?;
+        println!("{name} {:>8.1} us ({:.2}x vs CUBLAS)", us, cublas_us / us.max(1e-9));
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: write a streaming program, compile it for a range of input
+//! sizes, inspect the variant table, and run it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use adaptic_repro::adaptic::{compile, InputAxis};
+use adaptic_repro::gpu_sim::DeviceSpec;
+use adaptic_repro::streamir::parse::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A platform-independent streaming program: the same source serves
+    //    every input size.
+    let program = parse_program(
+        r#"pipeline MeanSquare(N) {
+            actor Square(pop 1, push 1) {
+                x = pop();
+                push(x * x);
+            }
+            actor Mean(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc / N);
+            }
+        }"#,
+    )?;
+
+    // 2. Compile for a Tesla C2050-class device over a range of interest.
+    let device = DeviceSpec::tesla_c2050();
+    let axis = InputAxis::total_size("N", 1 << 8, 1 << 22);
+    let compiled = compile(&program, &device, &axis)?;
+
+    println!("segments after integration: {:?}", compiled.segment_labels());
+    println!("variant table ({} entries):", compiled.variant_count());
+    for (i, v) in compiled.variants.iter().enumerate() {
+        println!("  v{i}: [{:>8}, {:>8}]  {:?}  tags {:?}", v.lo, v.hi, v.choices, v.tags);
+    }
+
+    // 3. Run at several sizes — the runtime picks the right variant.
+    for n in [512usize, 1 << 14, 1 << 20] {
+        let input: Vec<f32> = (0..n).map(|i| (i % 100) as f32 * 0.1).collect();
+        let report = compiled.run(n as i64, &input)?;
+        let expected: f32 = input.iter().map(|x| x * x).sum::<f32>() / n as f32;
+        println!(
+            "N = {n:>8}: mean square = {:.4} (expected {expected:.4}), variant v{}, \
+             {} kernel(s), est {:.1} us",
+            report.output[0],
+            report.variant_index,
+            report.kernels.len(),
+            report.time_us
+        );
+    }
+
+    // 4. Inspect the generated CUDA for one input size.
+    println!("\n--- generated CUDA for N = 1M ---\n{}", compiled.cuda_source(1 << 20));
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Adaptic reproduction workspace.
+//!
+//! Re-exports the main entry points of each member crate so the examples
+//! and integration tests can use a single dependency. See `README.md` for
+//! an architecture overview and `DESIGN.md` for the experiment index.
+
+pub use adaptic;
+pub use adaptic_apps as apps;
+pub use adaptic_baselines as baselines;
+pub use gpu_sim;
+pub use perfmodel;
+pub use streamir;

@@ -1,0 +1,166 @@
+//! Workspace-level property tests: the compiled pipeline agrees with the
+//! interpreter on randomly generated programs and inputs, and structural
+//! invariants of compilation hold.
+
+use proptest::prelude::*;
+
+use adaptic_repro::adaptic::{compile, restructure, unrestructure, InputAxis};
+use adaptic_repro::gpu_sim::DeviceSpec;
+use adaptic_repro::streamir::interp::Interpreter;
+use adaptic_repro::streamir::parse::parse_program;
+
+/// A random straight-line map body over one popped value.
+fn map_expr(ops: &[u8]) -> String {
+    let mut e = "x".to_string();
+    for op in ops {
+        e = match op % 5 {
+            0 => format!("({e} + 1.5)"),
+            1 => format!("({e} * 0.5)"),
+            2 => format!("abs({e})"),
+            3 => format!("max({e}, 0.25)"),
+            _ => format!("({e} - 2.0)"),
+        };
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random map chain compiles and matches the interpreter exactly.
+    #[test]
+    fn random_map_chain_matches_interpreter(
+        ops1 in proptest::collection::vec(0u8..5, 1..5),
+        ops2 in proptest::collection::vec(0u8..5, 1..5),
+        data in proptest::collection::vec(-100.0f32..100.0, 32..512),
+    ) {
+        let src = format!(
+            "pipeline P(N) {{
+                actor A(pop 1, push 1) {{ x = pop(); push({}); }}
+                actor B(pop 1, push 1) {{ x = pop(); push({}); }}
+            }}",
+            map_expr(&ops1),
+            map_expr(&ops2),
+        );
+        let program = parse_program(&src).unwrap();
+        let n = data.len();
+        let golden = Interpreter::new(&program).run(&data).unwrap();
+
+        let device = DeviceSpec::tesla_c2050();
+        let axis = InputAxis::total_size("N", 16, 1 << 14);
+        let compiled = compile(&program, &device, &axis).unwrap();
+        let rep = compiled.run(n as i64, &data).unwrap();
+        prop_assert_eq!(rep.output, golden);
+    }
+
+    /// Random reductions (op and element transform) match a CPU fold
+    /// within float-reassociation tolerance, at sizes spanning variants.
+    #[test]
+    fn random_reduction_matches_fold(
+        op_sel in 0u8..3,
+        elem_sel in 0u8..3,
+        log_n in 6u32..14,
+    ) {
+        let (init, op) = match op_sel {
+            0 => ("0.0", "acc + ELEM"),
+            1 => ("-1000000.0", "max(acc, ELEM)"),
+            _ => ("1000000.0", "min(acc, ELEM)"),
+        };
+        let elem = match elem_sel {
+            0 => "pop()",
+            1 => "abs(pop())",
+            _ => "pow(pop(), 2.0)",
+        };
+        let body = op.replace("ELEM", elem);
+        let src = format!(
+            "pipeline P(N) {{
+                actor R(pop N, push 1) {{
+                    acc = {init};
+                    for i in 0..N {{ acc = {body}; }}
+                    push(acc);
+                }}
+            }}"
+        );
+        let program = parse_program(&src).unwrap();
+        let n = 1usize << log_n;
+        let data: Vec<f32> = (0..n).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+
+        let elem_f = |x: f32| -> f32 {
+            match elem_sel {
+                0 => x,
+                1 => x.abs(),
+                _ => x * x,
+            }
+        };
+        let want = match op_sel {
+            0 => data.iter().map(|x| elem_f(*x)).sum::<f32>(),
+            1 => data.iter().map(|x| elem_f(*x)).fold(f32::NEG_INFINITY, f32::max),
+            _ => data.iter().map(|x| elem_f(*x)).fold(f32::INFINITY, f32::min),
+        };
+
+        let device = DeviceSpec::tesla_c2050();
+        let axis = InputAxis::total_size("N", 64, 1 << 14);
+        let compiled = compile(&program, &device, &axis).unwrap();
+        let rep = compiled.run(n as i64, &data).unwrap();
+        prop_assert!(
+            (rep.output[0] - want).abs() <= 1e-3 * want.abs().max(1.0),
+            "{} vs {}", rep.output[0], want
+        );
+    }
+
+    /// The variant table exactly tiles the compiled axis for arbitrary
+    /// ranges.
+    #[test]
+    fn variant_table_tiles_the_axis(lo in 1i64..1000, span in 10i64..1_000_000) {
+        let program = parse_program(
+            "pipeline P(N) {
+                actor Sum(pop N, push 1) {
+                    acc = 0.0;
+                    for i in 0..N { acc = acc + pop(); }
+                    push(acc);
+                }
+            }",
+        ).unwrap();
+        let hi = lo + span;
+        let axis = InputAxis::total_size("N", lo, hi);
+        let compiled = compile(&program, &DeviceSpec::tesla_c2050(), &axis).unwrap();
+        let vs = &compiled.variants;
+        prop_assert_eq!(vs[0].lo, lo);
+        prop_assert_eq!(vs.last().unwrap().hi, hi);
+        for w in vs.windows(2) {
+            prop_assert_eq!(w[0].hi + 1, w[1].lo);
+        }
+        for v in vs {
+            prop_assert!(v.lo <= v.hi);
+        }
+    }
+
+    /// Memory restructuring round-trips for arbitrary rates and data.
+    #[test]
+    fn restructure_round_trips(
+        rate in 1usize..32,
+        firings in 1usize..64,
+    ) {
+        let data: Vec<f32> = (0..rate * firings).map(|i| i as f32).collect();
+        let t = restructure(&data, rate);
+        prop_assert_eq!(unrestructure(&t, rate), data);
+    }
+
+    /// Simulated kernel statistics are deterministic: two runs of the
+    /// same compiled program yield identical stats and outputs.
+    #[test]
+    fn execution_is_deterministic(seed in 0u64..100) {
+        let program = parse_program(
+            "pipeline P(N) { actor M(pop 1, push 1) { push(pop() * 3.0); } }",
+        ).unwrap();
+        let device = DeviceSpec::gtx285();
+        let axis = InputAxis::total_size("N", 16, 1 << 12);
+        let compiled = compile(&program, &device, &axis).unwrap();
+        let data: Vec<f32> = (0..777).map(|i| ((i as u64 * seed) % 97) as f32).collect();
+        let a = compiled.run(777, &data).unwrap();
+        let b = compiled.run(777, &data).unwrap();
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.time_us, b.time_us);
+        prop_assert_eq!(a.kernels.len(), b.kernels.len());
+    }
+}
