@@ -15,7 +15,9 @@
 //! Figure 11 plots the Adaptic version (at several optimization levels)
 //! normalized to the CUBLAS composition for sizes 512²…8192² on two GPUs.
 
-use adaptic::{compile_with_options, CompileOptions, CompiledProgram, InputAxis, StateBinding};
+use adaptic::{
+    compile_with_options, CompileOptions, CompiledProgram, InputAxis, RunOptions, StateBinding,
+};
 use adaptic_baselines::{blas1, tmv as tmv_base};
 use gpu_sim::{DeviceSpec, ExecMode};
 use streamir::error::Result;
@@ -95,8 +97,13 @@ pub fn solve_cublas(
         let (run, _, tmp) = blas1::map_l1(device, blas1::MapOp::Scopy, &p, Some(&p), mode);
         time += run.time_us;
         let mut tmp = tmp;
-        let (run, _, t2) =
-            blas1::map_l1(device, blas1::MapOp::Saxpy { a: -omega }, &v, Some(&tmp), mode);
+        let (run, _, t2) = blas1::map_l1(
+            device,
+            blas1::MapOp::Saxpy { a: -omega },
+            &v,
+            Some(&tmp),
+            mode,
+        );
         time += run.time_us;
         tmp = t2;
         let (run, t3, _) = blas1::map_l1(device, blas1::MapOp::Sscal { a: beta }, &tmp, None, mode);
@@ -117,8 +124,13 @@ pub fn solve_cublas(
         // s = r - alpha v: scopy + saxpy.
         let (run, _, s0) = blas1::map_l1(device, blas1::MapOp::Scopy, &r, Some(&r), mode);
         time += run.time_us;
-        let (run, _, s) =
-            blas1::map_l1(device, blas1::MapOp::Saxpy { a: -alpha }, &v, Some(&s0), mode);
+        let (run, _, s) = blas1::map_l1(
+            device,
+            blas1::MapOp::Saxpy { a: -alpha },
+            &v,
+            Some(&s0),
+            mode,
+        );
         time += run.time_us;
 
         // t = A s.
@@ -135,16 +147,26 @@ pub fn solve_cublas(
         let (run, _, x2) =
             blas1::map_l1(device, blas1::MapOp::Saxpy { a: alpha }, &p, Some(&x), mode);
         time += run.time_us;
-        let (run, _, x3) =
-            blas1::map_l1(device, blas1::MapOp::Saxpy { a: omega }, &s, Some(&x2), mode);
+        let (run, _, x3) = blas1::map_l1(
+            device,
+            blas1::MapOp::Saxpy { a: omega },
+            &s,
+            Some(&x2),
+            mode,
+        );
         time += run.time_us;
         x = x3;
 
         // r = s - omega t: scopy + saxpy.
         let (run, _, r0) = blas1::map_l1(device, blas1::MapOp::Scopy, &s, Some(&s), mode);
         time += run.time_us;
-        let (run, _, r2) =
-            blas1::map_l1(device, blas1::MapOp::Saxpy { a: -omega }, &t, Some(&r0), mode);
+        let (run, _, r2) = blas1::map_l1(
+            device,
+            blas1::MapOp::Saxpy { a: -omega },
+            &t,
+            Some(&r0),
+            mode,
+        );
         time += run.time_us;
         r = r2;
 
@@ -281,6 +303,24 @@ impl AdapticBicgstab {
         iters: usize,
         mode: ExecMode,
     ) -> Result<(Vec<f32>, f64)> {
+        self.solve_opts(a, b, n, iters, RunOptions::serial(mode))
+    }
+
+    /// [`AdapticBicgstab::solve`] with explicit execution options —
+    /// the solver is iterative (each launch consumes the previous
+    /// output), so it takes no launch cache, only an engine policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the compiled programs.
+    pub fn solve_opts(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        n: usize,
+        iters: usize,
+        opts: RunOptions,
+    ) -> Result<(Vec<f32>, f64)> {
         let nn = n as i64;
         let mut time = 0.0f64;
         let mut x = vec![0.0f32; n];
@@ -292,88 +332,96 @@ impl AdapticBicgstab {
 
         for _ in 0..iters {
             // rho = dot(r_hat, r)
-            let rep = self.dot.run_with(nn, &zip2(&r_hat, &r), &[], mode)?;
+            let rep = self.dot.run_opts(nn, &zip2(&r_hat, &r), &[], opts, None)?;
             time += rep.time_us;
             let rho_new = rep.output[0];
             let beta = (rho_new / rho) * (alpha / omega);
             rho = rho_new;
 
             // p = r + beta * (p - omega*v) — one fused kernel.
-            let rep = self.step_p.run_with(
+            let rep = self.step_p.run_opts(
                 nn,
                 &zip3(&r, &p, &v),
                 &[
                     StateBinding::new("Inner", "omega", vec![omega]),
                     StateBinding::new("Outer", "beta", vec![beta]),
                 ],
-                mode,
+                opts,
+                None,
             )?;
             time += rep.time_us;
             p = rep.output;
 
             // v = A p.
-            let rep = self.tmv.run_with(
+            let rep = self.tmv.run_opts(
                 nn,
                 a,
                 &[StateBinding::new("RowDot", "x", p.clone())],
-                mode,
+                opts,
+                None,
             )?;
             time += rep.time_us;
             v = rep.output;
 
             // alpha = rho / dot(r_hat, v).
-            let rep = self.dot.run_with(nn, &zip2(&r_hat, &v), &[], mode)?;
+            let rep = self.dot.run_opts(nn, &zip2(&r_hat, &v), &[], opts, None)?;
             time += rep.time_us;
             alpha = rho / rep.output[0];
 
             // s = r - alpha v.
-            let rep = self.step_sub.run_with(
+            let rep = self.step_sub.run_opts(
                 nn,
                 &zip2(&r, &v),
                 &[StateBinding::new("ScaleB", "scale", vec![alpha])],
-                mode,
+                opts,
+                None,
             )?;
             time += rep.time_us;
             let s = rep.output;
 
             // t = A s.
-            let rep = self.tmv.run_with(
+            let rep = self.tmv.run_opts(
                 nn,
                 a,
                 &[StateBinding::new("RowDot", "x", s.clone())],
-                mode,
+                opts,
+                None,
             )?;
             time += rep.time_us;
             let t = rep.output;
 
             // omega = dot(t,s)/dot(t,t) — one horizontally-fused kernel.
-            let rep = self.dots_ts_tt.run_with(nn, &zip2(&t, &s), &[], mode)?;
+            let rep = self
+                .dots_ts_tt
+                .run_opts(nn, &zip2(&t, &s), &[], opts, None)?;
             time += rep.time_us;
             let (ts, tt) = (rep.output[0], rep.output[1]);
             omega = if tt != 0.0 { ts / tt } else { 0.0 };
 
             // x += alpha p + omega s.
-            let rep = self.step_x.run_with(
+            let rep = self.step_x.run_opts(
                 nn,
                 &zip3(&x, &p, &s),
                 &[StateBinding::new("Weighted", "ao", vec![alpha, omega])],
-                mode,
+                opts,
+                None,
             )?;
             time += rep.time_us;
             x = rep.output;
 
             // r = s - omega t.
-            let rep = self.step_sub.run_with(
+            let rep = self.step_sub.run_opts(
                 nn,
                 &zip2(&s, &t),
                 &[StateBinding::new("ScaleB", "scale", vec![omega])],
-                mode,
+                opts,
+                None,
             )?;
             time += rep.time_us;
             r = rep.output;
 
             // Convergence metric.
-            let rep = self.nrm2.run_with(nn, &r, &[], mode)?;
+            let rep = self.nrm2.run_opts(nn, &r, &[], opts, None)?;
             time += rep.time_us;
         }
         Ok((x, time))
@@ -382,7 +430,9 @@ impl AdapticBicgstab {
 
 /// A well-conditioned synthetic system: diagonally dominant `A`.
 pub fn synth_system(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
     let mut next = move || {
         state = state
             .wrapping_mul(2862933555777941757)
@@ -450,8 +500,7 @@ mod tests {
         let (a, b) = synth_system(n, 9);
         let expected = solve_reference(&a, &b, n, 3);
         let d = DeviceSpec::tesla_c2050();
-        let solver =
-            AdapticBicgstab::compile(&d, 32, 1 << 13, CompileOptions::default()).unwrap();
+        let solver = AdapticBicgstab::compile(&d, 32, 1 << 13, CompileOptions::default()).unwrap();
         let (x, time) = solver.solve(&a, &b, n, 3, ExecMode::Full).unwrap();
         for i in 0..n {
             assert!(

@@ -497,10 +497,7 @@ mod tests {
     #[test]
     fn zip_helpers() {
         assert_eq!(zip2(&[1.0, 2.0], &[3.0, 4.0]), vec![1.0, 3.0, 2.0, 4.0]);
-        assert_eq!(
-            zip3(&[1.0], &[2.0], &[3.0]),
-            vec![1.0, 2.0, 3.0]
-        );
+        assert_eq!(zip3(&[1.0], &[2.0], &[3.0]), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -570,7 +567,9 @@ mod tests {
         let b = convolution_separable();
         let (rows, cols) = (20usize, 24usize);
         let input: Vec<f32> = (0..rows * cols).map(|i| ((i * 3) % 11) as f32).collect();
-        let taps: Vec<f32> = (0..17).map(|k| 1.0 / (1.0 + (k as f32 - 8.0).abs())).collect();
+        let taps: Vec<f32> = (0..17)
+            .map(|k| 1.0 / (1.0 + (k as f32 - 8.0).abs()))
+            .collect();
         let mut it = Interpreter::new(&b.program);
         it.bind_param("rows", rows as i64);
         it.bind_param("cols", cols as i64);

@@ -14,7 +14,9 @@
 //! is recomputed. That semantic gap, not kernel quality, is why the paper
 //! reports Adaptic at ~65% of GPUSVM on cache-friendly datasets.
 
-use adaptic::{compile_with_options, CompileOptions, CompiledProgram, InputAxis, StateBinding};
+use adaptic::{
+    compile_with_options, CompileOptions, CompiledProgram, InputAxis, RunOptions, StateBinding,
+};
 use adaptic_baselines::gpusvm::SvmConfig;
 use gpu_sim::{DeviceSpec, ExecMode};
 use streamir::error::Result;
@@ -138,6 +140,24 @@ impl AdapticSvm {
         cfg: &SvmConfig,
         mode: ExecMode,
     ) -> Result<AdapticSvmRun> {
+        self.train_opts(data, labels, n, cfg, RunOptions::serial(mode))
+    }
+
+    /// [`AdapticSvm::train`] with explicit execution options — training
+    /// is iterative (every launch depends on the previous update), so it
+    /// takes no launch cache, only an engine policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiled-program runtime errors.
+    pub fn train_opts(
+        &self,
+        data: &[f32],
+        labels: &[f32],
+        n: usize,
+        cfg: &SvmConfig,
+        opts: RunOptions,
+    ) -> Result<AdapticSvmRun> {
         assert_eq!(data.len(), n * self.d);
         let mut time = 0.0f64;
         let mut launches = 0usize;
@@ -153,7 +173,7 @@ impl AdapticSvm {
                 } else {
                     &self.select_min
                 };
-                let rep = sel.run_with(n as i64, &zip2(labels, &f), &[], mode)?;
+                let rep = sel.run_opts(n as i64, &zip2(labels, &f), &[], opts, None)?;
                 time += rep.time_us;
                 launches += rep.kernels.len();
 
@@ -167,14 +187,15 @@ impl AdapticSvm {
                 // the authoritative values come from the host mirror so
                 // that sampled timing modes keep the trajectory exact.
                 let xi = data[idx * self.d..(idx + 1) * self.d].to_vec();
-                let rep = self.kernel_row.run_with(
+                let rep = self.kernel_row.run_opts(
                     n as i64,
                     data,
                     &[
                         StateBinding::new("Row", "xi", xi),
                         StateBinding::new("Row", "gamma", vec![cfg.gamma]),
                     ],
-                    mode,
+                    opts,
+                    None,
                 )?;
                 time += rep.time_us;
                 launches += rep.kernels.len();
@@ -193,11 +214,12 @@ impl AdapticSvm {
                 // Gradient update (timed on the device, mirrored on the
                 // host for trajectory exactness under sampled modes).
                 let scale = delta * labels[idx];
-                let rep = self.grad_update.run_with(
+                let rep = self.grad_update.run_opts(
                     n as i64,
                     &zip2(&f, &row),
                     &[StateBinding::new("Update", "scale", vec![scale])],
-                    mode,
+                    opts,
+                    None,
                 )?;
                 time += rep.time_us;
                 launches += rep.kernels.len();
@@ -267,8 +289,7 @@ mod tests {
             ..SvmConfig::default()
         };
         let device = DeviceSpec::tesla_c2050();
-        let svm =
-            AdapticSvm::compile(&device, 64, 1 << 14, d, CompileOptions::default()).unwrap();
+        let svm = AdapticSvm::compile(&device, 64, 1 << 14, d, CompileOptions::default()).unwrap();
         let run = svm.train(&data, &labels, n, &cfg, ExecMode::Full).unwrap();
         let expected = train_reference(&data, &labels, n, d, &cfg);
         for (a, b) in run.alphas.iter().zip(&expected) {
@@ -284,8 +305,7 @@ mod tests {
         let (data, labels) = synth_dataset(n, d, 0.3, 2);
         let _ = labels;
         let device = DeviceSpec::tesla_c2050();
-        let svm =
-            AdapticSvm::compile(&device, 64, 1 << 12, d, CompileOptions::default()).unwrap();
+        let svm = AdapticSvm::compile(&device, 64, 1 << 12, d, CompileOptions::default()).unwrap();
         let gamma = 0.1f32;
         let idx = 5usize;
         let xi = data[idx * d..(idx + 1) * d].to_vec();
@@ -329,16 +349,9 @@ mod tests {
             ..SvmConfig::default()
         };
         let device = DeviceSpec::tesla_c2050();
-        let base = AdapticSvm::compile(
-            &device,
-            64,
-            1 << 14,
-            d,
-            CompileOptions::baseline(),
-        )
-        .unwrap();
-        let opt = AdapticSvm::compile(&device, 64, 1 << 14, d, CompileOptions::default())
-            .unwrap();
+        let base =
+            AdapticSvm::compile(&device, 64, 1 << 14, d, CompileOptions::baseline()).unwrap();
+        let opt = AdapticSvm::compile(&device, 64, 1 << 14, d, CompileOptions::default()).unwrap();
         let rb = base
             .train(&data, &labels, n, &cfg, ExecMode::SampledStats(64))
             .unwrap();

@@ -335,14 +335,8 @@ mod tests {
     fn sasum_snrm2_isamax_match_reference() {
         let x = vec_a(4321);
         let d = device();
-        assert_close(
-            sasum(&d, &x, ExecMode::Full).output[0],
-            reference::asum(&x),
-        );
-        assert_close(
-            snrm2(&d, &x, ExecMode::Full).output[0],
-            reference::nrm2(&x),
-        );
+        assert_close(sasum(&d, &x, ExecMode::Full).output[0], reference::asum(&x));
+        assert_close(snrm2(&d, &x, ExecMode::Full).output[0], reference::nrm2(&x));
         assert_close(
             isamax_abs(&d, &x, ExecMode::Full).output[0],
             reference::amax_abs(&x),

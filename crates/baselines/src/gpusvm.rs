@@ -295,8 +295,7 @@ pub fn train(
                 negate: phase == 1,
             };
             launch_timed(device, &mut mem, &sel, mode, &mut run);
-            let (idx, delta) =
-                select_and_update(&mut alphas, &f_host, labels, cfg, phase == 1);
+            let (idx, delta) = select_and_update(&mut alphas, &f_host, labels, cfg, phase == 1);
             if delta == 0.0 {
                 continue;
             }
@@ -456,7 +455,10 @@ mod tests {
         let uncached = train(&d, &data, &labels, 300, 8, &base_cfg, ExecMode::Full);
         let cached = train(&d, &data, &labels, 300, 8, &cached_cfg, ExecMode::Full);
         assert_eq!(uncached.alphas, cached.alphas);
-        assert!(cached.cache_hits > 0, "expected cache hits on clustered data");
+        assert!(
+            cached.cache_hits > 0,
+            "expected cache hits on clustered data"
+        );
         assert!(cached.launches < uncached.launches);
         assert!(cached.time_us < uncached.time_us);
     }

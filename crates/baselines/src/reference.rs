@@ -134,8 +134,16 @@ pub fn dct8x8(tile: &[f32]) -> Vec<f32> {
                             .cos();
                 }
             }
-            let cu = if u == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
-            let cv = if v == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+            let cu = if u == 0 {
+                (1.0f32 / 8.0).sqrt()
+            } else {
+                (2.0f32 / 8.0).sqrt()
+            };
+            let cv = if v == 0 {
+                (1.0f32 / 8.0).sqrt()
+            } else {
+                (2.0f32 / 8.0).sqrt()
+            };
             out[u * n + v] = cu * cv * acc;
         }
     }

@@ -778,8 +778,8 @@ impl Kernel for Dct8x8Kernel {
             let mut acc = 0.0f32;
             for c in 0..8usize {
                 let val = ctx.ld_shared(2, tid, local * 64 + r * 8 + c);
-                acc += val
-                    * ((std::f32::consts::PI * (2.0 * c as f32 + 1.0) * v as f32) / 16.0).cos();
+                acc +=
+                    val * ((std::f32::consts::PI * (2.0 * c as f32 + 1.0) * v as f32) / 16.0).cos();
             }
             ctx.compute(tid, 8 * 11);
             ctx.count_flops(8 * 3);
@@ -798,8 +798,8 @@ impl Kernel for Dct8x8Kernel {
             let mut acc = 0.0f32;
             for r in 0..8usize {
                 let val = ctx.ld_shared(4, tid, 256 + local * 64 + r * 8 + v);
-                acc += val
-                    * ((std::f32::consts::PI * (2.0 * r as f32 + 1.0) * u as f32) / 16.0).cos();
+                acc +=
+                    val * ((std::f32::consts::PI * (2.0 * r as f32 + 1.0) * u as f32) / 16.0).cos();
             }
             ctx.compute(tid, 8 * 11);
             ctx.count_flops(8 * 3);
@@ -992,8 +992,10 @@ mod tests {
         let y: Vec<f32> = (0..pairs * elems).map(|i| ((i * 5) % 9) as f32).collect();
         let run = scalar_product(&d, &x, &y, pairs, ExecMode::Full);
         for p in 0..pairs {
-            let expected =
-                reference::dot(&x[p * elems..(p + 1) * elems], &y[p * elems..(p + 1) * elems]);
+            let expected = reference::dot(
+                &x[p * elems..(p + 1) * elems],
+                &y[p * elems..(p + 1) * elems],
+            );
             assert_close(run.output[p], expected, 1e-3);
         }
     }
@@ -1031,8 +1033,8 @@ mod tests {
         let run = convolution_separable(&d, &input, &taps, rows, cols, ExecMode::Full);
         let mid = reference::conv_rows(&input, rows, cols, &taps, CONV_RADIUS);
         let expected = reference::conv_cols(&mid, rows, cols, &taps, CONV_RADIUS);
-        for i in 0..rows * cols {
-            assert_close(run.output[i], expected[i], 1e-3);
+        for (i, &exp) in expected.iter().enumerate() {
+            assert_close(run.output[i], exp, 1e-3);
         }
     }
 
@@ -1044,8 +1046,8 @@ mod tests {
         let run = ocean_fft(&d, &spectrum, rows, cols, 2.0, ExecMode::Full);
         let scaled: Vec<f32> = spectrum.iter().map(|v| v * 2.0).collect();
         let expected = reference::stencil5(&scaled, rows, cols);
-        for i in 0..rows * cols {
-            assert_close(run.output[i], expected[i], 1e-4);
+        for (i, &exp) in expected.iter().enumerate() {
+            assert_close(run.output[i], exp, 1e-4);
         }
     }
 
@@ -1095,8 +1097,8 @@ mod tests {
         let run = dct8x8(&d, &tiles, ExecMode::Full);
         for t in 0..n_tiles {
             let expected = reference::dct8x8(&tiles[t * 64..(t + 1) * 64]);
-            for i in 0..64 {
-                assert_close(run.output[t * 64 + i], expected[i], 1e-3);
+            for (i, &exp) in expected.iter().enumerate() {
+                assert_close(run.output[t * 64 + i], exp, 1e-3);
             }
         }
     }

@@ -13,9 +13,11 @@
 //!   trivial dot product ⇒ the per-block overhead dominates (Figure 1's
 //!   *high overhead* region).
 
-use gpu_sim::{BlockCtx, BufId, DeviceSpec, ExecMode, GlobalMem, Kernel, LaunchConfig};
+use gpu_sim::{
+    BlockCtx, BufId, DeviceSpec, ExecMode, ExecPolicy, GlobalMem, Kernel, LaunchCache, LaunchConfig,
+};
 
-use crate::util::{launch_timed, TimedRun};
+use crate::util::{launch_timed_opts, TimedRun};
 
 /// Threads per block of the fixed strategy.
 pub const TMV_BLOCK: u32 = 128;
@@ -84,6 +86,28 @@ pub fn tmv(
     cols: usize,
     mode: ExecMode,
 ) -> TimedRun {
+    tmv_with(device, a, x, rows, cols, mode, ExecPolicy::Serial, None)
+}
+
+/// [`tmv`] with an explicit engine policy and an optional launch-stats
+/// memoization cache.
+///
+/// The cache key includes the `(rows, cols)` shape, so a sweep that
+/// revisits a shape skips the simulation entirely and reuses the memoized
+/// statistics — on a hit `run.output` holds the *unexecuted* buffer
+/// (zeros), so pair a cache only with timing-oriented modes like
+/// [`ExecMode::SampledExec`].
+#[allow(clippy::too_many_arguments)]
+pub fn tmv_with(
+    device: &DeviceSpec,
+    a: &[f32],
+    x: &[f32],
+    rows: usize,
+    cols: usize,
+    mode: ExecMode,
+    policy: ExecPolicy,
+    cache: Option<&LaunchCache>,
+) -> TimedRun {
     assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
     assert_eq!(x.len(), cols, "vector length mismatch");
     let mut mem = GlobalMem::new();
@@ -98,7 +122,8 @@ pub fn tmv(
         rows,
         cols,
     };
-    launch_timed(device, &mut mem, &k, mode, &mut run);
+    let cache = cache.map(|c| (c, (rows as u64, cols as u64)));
+    launch_timed_opts(device, &mut mem, &k, mode, policy, cache, &mut run);
     run.output = mem.read(yb).to_vec();
     run
 }
@@ -113,7 +138,9 @@ mod tests {
     }
 
     fn matrix(rows: usize, cols: usize) -> (Vec<f32>, Vec<f32>) {
-        let a: Vec<f32> = (0..rows * cols).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let a: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 13) % 7) as f32 - 3.0)
+            .collect();
         let x: Vec<f32> = (0..cols).map(|i| ((i * 5) % 9) as f32 - 4.0).collect();
         (a, x)
     }
@@ -125,12 +152,12 @@ mod tests {
             let (a, x) = matrix(rows, cols);
             let run = tmv(&d, &a, &x, rows, cols, ExecMode::Full);
             let expected = reference::tmv(&a, &x, rows, cols);
-            for r in 0..rows {
+            for (r, &exp) in expected.iter().enumerate() {
                 assert!(
-                    (run.output[r] - expected[r]).abs() <= 1e-2 * expected[r].abs().max(1.0),
+                    (run.output[r] - exp).abs() <= 1e-2 * exp.abs().max(1.0),
                     "{rows}x{cols} row {r}: {} vs {}",
                     run.output[r],
-                    expected[r]
+                    exp
                 );
             }
         }

@@ -1,6 +1,9 @@
 //! Shared helpers for baseline kernels.
 
-use gpu_sim::{launch, DeviceSpec, ExecMode, GlobalMem, Kernel, KernelStats};
+use gpu_sim::{
+    launch_with_policy, DeviceSpec, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats,
+    LaunchCache,
+};
 use perfmodel::estimate_stats;
 
 /// Accumulated result of a multi-kernel baseline run.
@@ -30,15 +33,38 @@ impl TimedRun {
     }
 }
 
-/// Launch a kernel and fold its stats/time into `run`.
+/// Launch a kernel serially and fold its stats/time into `run`.
 pub(crate) fn launch_timed(
     device: &DeviceSpec,
     mem: &mut GlobalMem,
-    kernel: &dyn Kernel,
+    kernel: &(dyn Kernel + Sync),
     mode: ExecMode,
     run: &mut TimedRun,
 ) {
-    let stats = launch(device, mem, kernel, mode);
+    launch_timed_opts(device, mem, kernel, mode, ExecPolicy::Serial, None, run);
+}
+
+/// Launch a kernel under an explicit engine policy, optionally through a
+/// launch-stats memoization cache, and fold its stats/time into `run`.
+///
+/// On a cache hit the kernel is *not* executed — `mem` keeps its prior
+/// contents and only the memoized statistics/time accumulate, so a cache
+/// belongs in timing-only sweeps (the benchmarks' `SampledExec` passes),
+/// never in correctness checks. `dims` is the caller's input-shape
+/// fingerprint for the cache key (e.g. `(rows, cols)`).
+pub(crate) fn launch_timed_opts(
+    device: &DeviceSpec,
+    mem: &mut GlobalMem,
+    kernel: &(dyn Kernel + Sync),
+    mode: ExecMode,
+    policy: ExecPolicy,
+    cache: Option<(&LaunchCache, (u64, u64))>,
+    run: &mut TimedRun,
+) {
+    let stats = match cache {
+        Some((cache, dims)) => cache.launch(device, mem, kernel, mode, policy, dims).0,
+        None => launch_with_policy(device, mem, kernel, mode, policy),
+    };
     run.time_us += estimate_stats(device, &stats).time_us;
     run.kernels.push(stats);
 }

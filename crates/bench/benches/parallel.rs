@@ -1,0 +1,76 @@
+//! Criterion benchmark of the execution engines: serial vs. deterministic
+//! parallel block execution on a Figure-9-scale TMV launch.
+//!
+//! Both engines produce bit-identical statistics (see the differential
+//! property test in `gpu-sim`); this bench measures host wall-clock only.
+//! The expected speedup tracks the host core count — on a single-core
+//! runner the parallel engine degrades to the serial path plus scope
+//! overhead. Recorded numbers live in `results/parallel_speedup.txt`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adaptic_baselines::tmv::tmv_with;
+use adaptic_bench::data;
+use gpu_sim::{DeviceSpec, ExecMode, ExecPolicy};
+
+/// Fig.9-scale shape: 4K rows x 1K cols = 4M elements, 4096 blocks.
+const ROWS: usize = 4 << 10;
+const COLS: usize = 1 << 10;
+
+fn bench_engines(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let a = data(ROWS * COLS, 1);
+    let x = data(COLS, 2);
+    let mode = ExecMode::SampledExec(512);
+
+    let mut group = c.benchmark_group("tmv_engine");
+    for (label, policy) in [
+        ("serial", ExecPolicy::Serial),
+        ("parallel_auto", ExecPolicy::auto()),
+        ("parallel_4", ExecPolicy::Parallel(4)),
+    ] {
+        group.bench_function(BenchmarkId::new("sampled", label), |b| {
+            b.iter(|| {
+                tmv_with(
+                    &device,
+                    std::hint::black_box(&a),
+                    &x,
+                    ROWS,
+                    COLS,
+                    mode,
+                    policy,
+                    None,
+                )
+            })
+        });
+    }
+    // Full execution exercises every block — the best case for the
+    // parallel engine (most work per launch).
+    for (label, policy) in [
+        ("serial", ExecPolicy::Serial),
+        ("parallel_auto", ExecPolicy::auto()),
+    ] {
+        group.bench_function(BenchmarkId::new("full", label), |b| {
+            b.iter(|| {
+                tmv_with(
+                    &device,
+                    std::hint::black_box(&a),
+                    &x,
+                    ROWS,
+                    COLS,
+                    ExecMode::Full,
+                    policy,
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+);
+criterion_main!(benches);

@@ -41,9 +41,24 @@ fn main() {
         let units = n / 8;
         println!("--- ablation 1: coalescing a pop-8 map ({units} units) ---");
         for (name, layout, staged, input_data) in [
-            ("row-major (uncoalesced)", Layout::RowMajor, false, input.clone()),
-            ("shared staging (4.1.1 alt)", Layout::RowMajor, true, input.clone()),
-            ("restructured (4.1.1)", Layout::Transposed, false, restructure(&input, 8)),
+            (
+                "row-major (uncoalesced)",
+                Layout::RowMajor,
+                false,
+                input.clone(),
+            ),
+            (
+                "shared staging (4.1.1 alt)",
+                Layout::RowMajor,
+                true,
+                input.clone(),
+            ),
+            (
+                "restructured (4.1.1)",
+                Layout::Transposed,
+                false,
+                restructure(&input, 8),
+            ),
         ] {
             let mut mem = GlobalMem::new();
             let in_buf = mem.alloc_from(&input_data);
@@ -123,7 +138,10 @@ fn main() {
     // 3. Reduction scheme across the array-count spectrum.
     {
         println!("--- ablation 3: one- vs two-kernel reduction, {n} total elements ---");
-        println!("  {:>10} {:>12} {:>12}", "arrays", "one-kernel", "two-kernel");
+        println!(
+            "  {:>10} {:>12} {:>12}",
+            "arrays", "one-kernel", "two-kernel"
+        );
         let input = data(n, 3);
         for n_arrays in [1usize, 16, 256, 4096] {
             let n_elements = n / n_arrays;
@@ -146,8 +164,8 @@ fn main() {
             };
             let t_one = time_of(&device, &mut one_mem, &one);
 
-            let blocks = adaptic::opt::pick_initial_blocks(&device, n_arrays, n_elements, 256)
-                .max(2);
+            let blocks =
+                adaptic::opt::pick_initial_blocks(&device, n_arrays, n_elements, 256).max(2);
             let mut two_mem = GlobalMem::new();
             let in2 = two_mem.alloc_from(&input);
             let partials = two_mem.alloc(n_arrays * blocks);

@@ -49,13 +49,9 @@ fn main() {
                 continue;
             }
         };
-        let baseline = compile_with_options(
-            &bench.program,
-            &device,
-            &axis,
-            CompileOptions::baseline(),
-        )
-        .expect("baseline compiles");
+        let baseline =
+            compile_with_options(&bench.program, &device, &axis, CompileOptions::baseline())
+                .expect("baseline compiles");
         // Deduplicate identical kernel texts: variants differing only in
         // launch parameters share code.
         // Strip the range-comment header so variants that share kernel
@@ -95,8 +91,6 @@ fn main() {
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "\naverage code-size ratio {avg:.2} (paper: 1.4x), max {max:.2} (paper: up to 2.5x)"
-    );
+    println!("\naverage code-size ratio {avg:.2} (paper: 1.4x), max {max:.2} (paper: up to 2.5x)");
     let _ = axis;
 }

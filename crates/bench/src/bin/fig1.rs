@@ -3,7 +3,7 @@
 //! count, showing the three regions (low utilization / efficient
 //! execution / high overhead).
 
-use adaptic_bench::{data, header, row, size_label, scale, sweep_mode};
+use adaptic_bench::{data, header, row, scale, size_label, sweep_mode, sweep_policy};
 use gpu_sim::DeviceSpec;
 
 fn main() {
@@ -14,7 +14,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["shape".into(), "GFLOPS".into(), "time(us)".into(), "region".into()],
+            &[
+                "shape".into(),
+                "GFLOPS".into(),
+                "time(us)".into(),
+                "region".into()
+            ],
             &widths
         )
     );
@@ -25,7 +30,16 @@ fn main() {
         let cols = total / rows_count;
         let a = data(rows_count * cols, 1);
         let x = data(cols, 2);
-        let run = adaptic_baselines::tmv::tmv(&device, &a, &x, rows_count, cols, sweep_mode());
+        let run = adaptic_baselines::tmv::tmv_with(
+            &device,
+            &a,
+            &x,
+            rows_count,
+            cols,
+            sweep_mode(),
+            sweep_policy(),
+            None,
+        );
         results.push((rows_count, run.gflops()));
         let region = if rows_count < device.sm_count as usize {
             "low utilization"

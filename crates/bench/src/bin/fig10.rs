@@ -1,17 +1,23 @@
 //! Figure 10: transposed matrix–vector multiplication — Adaptic's
 //! input-aware kernels vs. the CUBLAS-style baseline, swept across matrix
 //! shapes at three fixed element counts.
+//!
+//! The sweep runs on the parallel engine ([`sweep_policy`]) and routes
+//! every launch through a shared [`LaunchCache`]: each (kernel, geometry,
+//! shape) point simulates once, and the closing memoized re-sweep replays
+//! the whole figure from cached statistics to show the cache at work.
 
 use adaptic::{compile, InputAxis, StateBinding};
 use adaptic_apps::programs;
-use adaptic_bench::{data, header, row, scale, size_label, sweep_mode};
-use gpu_sim::DeviceSpec;
+use adaptic_bench::{data, header, row, scale, size_label, sweep_opts, sweep_policy};
+use gpu_sim::{DeviceSpec, LaunchCache};
 
 fn main() {
     header("Figure 10: TMV GFLOPS, Adaptic vs CUBLAS, across shapes");
     let device = DeviceSpec::tesla_c2050();
     let bench = programs::tmv();
     let widths = [12usize, 12, 12, 10, 24];
+    let cache = LaunchCache::new();
 
     for base in [1usize << 20, 4 << 20, 16 << 20] {
         let total = base / scale();
@@ -44,11 +50,19 @@ fn main() {
             let a = data(total, 1);
             let x = data(cols, 2);
 
-            let base_run =
-                adaptic_baselines::tmv::tmv(&device, &a, &x, rows_count, cols, sweep_mode());
+            let base_run = adaptic_baselines::tmv::tmv_with(
+                &device,
+                &a,
+                &x,
+                rows_count,
+                cols,
+                sweep_opts().mode,
+                sweep_policy(),
+                Some(&cache),
+            );
             let state = [StateBinding::new("RowDot", "x", x)];
             let rep = compiled
-                .run_with(rows_count as i64, &a, &state, sweep_mode())
+                .run_opts(rows_count as i64, &a, &state, sweep_opts(), Some(&cache))
                 .expect("run TMV");
             let (vi, variant) = compiled.variant_for(rows_count as i64);
             let label = variant
@@ -82,4 +96,55 @@ fn main() {
             compiled.variant_count()
         );
     }
+
+    // Memoized re-sweep: replay the whole figure through the shared cache.
+    // Every launch was already simulated above, so this pass must be pure
+    // cache hits — it demonstrates (and exercises) the launch-stats
+    // memoization that makes repeated sweeps cheap.
+    let miss_before = cache.misses();
+    let hit_before = cache.hits();
+    let start = std::time::Instant::now();
+    for base in [1usize << 20, 4 << 20, 16 << 20] {
+        let total = base / scale();
+        let t = total as i64;
+        let axis = InputAxis::new("rows", 4, t / 4, move |rows| {
+            streamir::graph::bindings(&[("rows", rows), ("cols", t / rows)])
+        })
+        .with_items(move |_| t);
+        let compiled = compile(&bench.program, &device, &axis).expect("compile TMV");
+        let mut rows_count = 4usize;
+        while rows_count <= total / 4 {
+            let cols = total / rows_count;
+            let a = data(total, 1);
+            let x = data(cols, 2);
+            adaptic_baselines::tmv::tmv_with(
+                &device,
+                &a,
+                &x,
+                rows_count,
+                cols,
+                sweep_opts().mode,
+                sweep_policy(),
+                Some(&cache),
+            );
+            let state = [StateBinding::new("RowDot", "x", x)];
+            let rep = compiled
+                .run_opts(rows_count as i64, &a, &state, sweep_opts(), Some(&cache))
+                .expect("re-run TMV");
+            assert_eq!(rep.cache_misses, 0, "re-sweep must be fully memoized");
+            rows_count *= 8;
+        }
+    }
+    let new_hits = cache.hits() - hit_before;
+    let new_misses = cache.misses() - miss_before;
+    println!(
+        "Launch-stats cache: {} memoized launches; first sweep {} misses / {} hits; \
+         re-sweep {} hits / {} misses in {:.1} ms",
+        cache.len(),
+        miss_before,
+        hit_before,
+        new_hits,
+        new_misses,
+        start.elapsed().as_secs_f64() * 1e3,
+    );
 }

@@ -4,7 +4,7 @@
 
 use adaptic::CompileOptions;
 use adaptic_apps::bicgstab::{self, AdapticBicgstab};
-use adaptic_bench::{header, row, scale, sweep_mode};
+use adaptic_bench::{header, row, scale, sweep_mode, sweep_opts};
 use gpu_sim::DeviceSpec;
 
 fn main() {
@@ -69,8 +69,7 @@ fn main() {
             .map(|(name, opts)| {
                 (
                     *name,
-                    AdapticBicgstab::compile(&device, lo, hi, *opts)
-                        .expect("compile bicgstab"),
+                    AdapticBicgstab::compile(&device, lo, hi, *opts).expect("compile bicgstab"),
                 )
             })
             .collect();
@@ -79,7 +78,7 @@ fn main() {
             let (_, cublas_us) = bicgstab::solve_cublas(&device, &a, &b, n, iters, sweep_mode());
             for (name, solver) in &solvers {
                 let (_, us) = solver
-                    .solve(&a, &b, n, iters, sweep_mode())
+                    .solve_opts(&a, &b, n, iters, sweep_opts())
                     .expect("adaptic solve");
                 println!(
                     "{}",

@@ -6,7 +6,7 @@ use adaptic::CompileOptions;
 use adaptic_apps::datasets::svm_datasets;
 use adaptic_apps::svm::AdapticSvm;
 use adaptic_baselines::gpusvm::{self, SvmConfig};
-use adaptic_bench::{header, row, scale, sweep_mode};
+use adaptic_bench::{header, row, scale, sweep_mode, sweep_opts};
 use gpu_sim::DeviceSpec;
 
 fn main() {
@@ -61,7 +61,7 @@ fn main() {
                 ..cfg
             };
             let run = svm
-                .train(&ds.data, &ds.labels, ds.n, &nocache, sweep_mode())
+                .train_opts(&ds.data, &ds.labels, ds.n, &nocache, sweep_opts())
                 .expect("train");
             let relative = base.time_us / run.time_us.max(1e-9);
             ratios.push(relative);

@@ -3,7 +3,7 @@
 
 use adaptic::{compile, CompiledProgram, InputAxis, StateBinding};
 use adaptic_apps::programs;
-use adaptic_bench::{data, header, row, scale, size_label, sweep_mode};
+use adaptic_bench::{data, header, row, scale, size_label, sweep_mode, sweep_opts};
 use gpu_sim::{DeviceSpec, ExecMode};
 
 struct Point {
@@ -38,10 +38,18 @@ fn speedup_row(name: &str, points: &[Point]) {
 }
 
 fn blas_sizes() -> Vec<usize> {
-    [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
-        .into_iter()
-        .map(|s: usize| (s / scale()).max(256))
-        .collect()
+    [
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+    ]
+    .into_iter()
+    .map(|s: usize| (s / scale()).max(256))
+    .collect()
 }
 
 fn run_blas1(
@@ -58,9 +66,13 @@ fn run_blas1(
     for &n in &sizes {
         let x = data(n, 3);
         let y = data(n, 4);
-        let input = if zip { programs::zip2(&x, &y) } else { x.clone() };
+        let input = if zip {
+            programs::zip2(&x, &y)
+        } else {
+            x.clone()
+        };
         let rep = compiled
-            .run_with(n as i64, &input, &[], sweep_mode())
+            .run_opts(n as i64, &input, &[], sweep_opts(), None)
             .expect("run");
         points.push(Point {
             label: size_label(n),
@@ -90,9 +102,13 @@ fn main() {
     );
 
     // CUBLAS group.
-    run_blas1("Isamax/Isamin", &programs::isamax(), &device, false, |x, _, m| {
-        adaptic_baselines::blas1::isamax_abs(&device, x, m).time_us
-    });
+    run_blas1(
+        "Isamax/Isamin",
+        &programs::isamax(),
+        &device,
+        false,
+        |x, _, m| adaptic_baselines::blas1::isamax_abs(&device, x, m).time_us,
+    );
     run_blas1("Snrm2", &programs::snrm2(), &device, false, |x, _, m| {
         adaptic_baselines::blas1::snrm2(&device, x, m).time_us
     });
@@ -119,11 +135,15 @@ fn main() {
             let elems = total / pairs;
             let x = data(pairs * elems, 5);
             let y = data(pairs * elems, 6);
-            let base = adaptic_baselines::sdk::scalar_product(
-                &device, &x, &y, pairs, sweep_mode(),
-            );
+            let base = adaptic_baselines::sdk::scalar_product(&device, &x, &y, pairs, sweep_mode());
             let rep = compiled
-                .run_with(pairs as i64, &programs::zip2(&x, &y), &[], sweep_mode())
+                .run_opts(
+                    pairs as i64,
+                    &programs::zip2(&x, &y),
+                    &[],
+                    sweep_opts(),
+                    None,
+                )
                 .expect("run scalarProd");
             points.push(Point {
                 label: format!("{}x{}", pairs, size_label(elems)),
@@ -160,16 +180,11 @@ fn main() {
                     ]
                 })
                 .collect();
-            let base = adaptic_baselines::sdk::monte_carlo(
-                &device,
-                &params,
-                options,
-                paths,
-                sweep_mode(),
-            );
+            let base =
+                adaptic_baselines::sdk::monte_carlo(&device, &params, options, paths, sweep_mode());
             let stream = programs::monte_carlo_stream(&params, options, paths);
             let rep = compiled
-                .run_with(options as i64, &stream, &[], sweep_mode())
+                .run_opts(options as i64, &stream, &[], sweep_opts(), None)
                 .expect("run MonteCarlo");
             points.push(Point {
                 label: format!("{}opt x{}", options, size_label(paths)),
@@ -197,7 +212,10 @@ fn main() {
         let bench = programs::ocean();
         let total = grid_shapes[0].0 * grid_shapes[0].1;
         let t = total as i64;
-        let (lo, hi) = (grid_shapes[0].0 as i64, grid_shapes.last().unwrap().0 as i64);
+        let (lo, hi) = (
+            grid_shapes[0].0 as i64,
+            grid_shapes.last().unwrap().0 as i64,
+        );
         let axis = InputAxis::new("rows", lo, hi, move |rows| {
             streamir::graph::bindings(&[("rows", rows), ("cols", t / rows)])
         })
@@ -207,11 +225,16 @@ fn main() {
         for &(rows, cols) in &grid_shapes {
             let spectrum = data(rows * cols, 8);
             let base = adaptic_baselines::sdk::ocean_fft(
-                &device, &spectrum, rows, cols, 2.0, sweep_mode(),
+                &device,
+                &spectrum,
+                rows,
+                cols,
+                2.0,
+                sweep_mode(),
             );
             let state = [StateBinding::new("Scale", "amplitude", vec![2.0])];
             let rep = compiled
-                .run_with(rows as i64, &spectrum, &state, sweep_mode())
+                .run_opts(rows as i64, &spectrum, &state, sweep_opts(), None)
                 .expect("run Ocean");
             points.push(Point {
                 label: format!("{}x{}", size_label(rows), size_label(cols)),
@@ -226,7 +249,10 @@ fn main() {
         let bench = programs::convolution_separable();
         let total = grid_shapes[0].0 * grid_shapes[0].1;
         let t = total as i64;
-        let (lo, hi) = (grid_shapes[0].0 as i64, grid_shapes.last().unwrap().0 as i64);
+        let (lo, hi) = (
+            grid_shapes[0].0 as i64,
+            grid_shapes.last().unwrap().0 as i64,
+        );
         let axis = InputAxis::new("rows", lo, hi, move |rows| {
             streamir::graph::bindings(&[("rows", rows), ("cols", t / rows)])
         })
@@ -239,14 +265,19 @@ fn main() {
         for &(rows, cols) in &grid_shapes {
             let input = data(rows * cols, 9);
             let base = adaptic_baselines::sdk::convolution_separable(
-                &device, &input, &taps, rows, cols, sweep_mode(),
+                &device,
+                &input,
+                &taps,
+                rows,
+                cols,
+                sweep_mode(),
             );
             let state = [
                 StateBinding::new("RowConv", "taps", taps.clone()),
                 StateBinding::new("ColConv", "taps", taps.clone()),
             ];
             let rep = compiled
-                .run_with(rows as i64, &input, &state, sweep_mode())
+                .run_opts(rows as i64, &input, &state, sweep_opts(), None)
                 .expect("run ConvSep");
             points.push(Point {
                 label: format!("{}x{}", size_label(rows), size_label(cols)),

@@ -46,9 +46,8 @@ fn main() {
     ] {
         let axis = InputAxis::total_size("N", 256, (8 << 20) as i64);
         let aware = compile(&program, &device, &axis).expect("compile");
-        let unaware =
-            compile_with_options(&program, &device, &axis, CompileOptions::baseline())
-                .expect("baseline compile");
+        let unaware = compile_with_options(&program, &device, &axis, CompileOptions::baseline())
+            .expect("baseline compile");
         for n in [1usize << 12, 1 << 17, (8 << 20) / scale()] {
             let input = data(n, 3);
             let ra = aware

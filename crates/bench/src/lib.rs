@@ -7,7 +7,8 @@
 //! environment variable; `1` reproduces the paper's sizes at the cost of
 //! long simulation times).
 
-use gpu_sim::ExecMode;
+use adaptic::RunOptions;
+use gpu_sim::{ExecMode, ExecPolicy};
 
 /// Global size divisor for the sweeps (default 4).
 pub fn scale() -> usize {
@@ -22,6 +23,30 @@ pub fn scale() -> usize {
 /// figure-scale launches tractable while preserving aggregate statistics.
 pub fn sweep_mode() -> ExecMode {
     ExecMode::SampledExec(256)
+}
+
+/// Execution engine used by the sweeps: deterministic parallel block
+/// execution sized to the host by default. Override with the
+/// `ADAPTIC_WORKERS` environment variable — `1` forces the serial engine,
+/// `n > 1` pins the worker count. Results are identical under every
+/// policy; only wall-clock changes.
+pub fn sweep_policy() -> ExecPolicy {
+    match std::env::var("ADAPTIC_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(0) | None => ExecPolicy::auto(),
+        Some(1) => ExecPolicy::Serial,
+        Some(n) => ExecPolicy::Parallel(n),
+    }
+}
+
+/// [`sweep_mode`] + [`sweep_policy`] bundled for `run_opts`.
+pub fn sweep_opts() -> RunOptions {
+    RunOptions {
+        mode: sweep_mode(),
+        policy: sweep_policy(),
+    }
 }
 
 /// Deterministic pseudo-random data in [-1, 1).
@@ -63,7 +88,10 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 /// Print a figure header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
-    println!("(sizes scaled by 1/{}; set ADAPTIC_SCALE=1 for paper-scale)\n", scale());
+    println!(
+        "(sizes scaled by 1/{}; set ADAPTIC_SCALE=1 for paper-scale)\n",
+        scale()
+    );
 }
 
 #[cfg(test)]
@@ -89,5 +117,12 @@ mod tests {
     #[test]
     fn scale_is_positive() {
         assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn sweep_opts_bundle_is_consistent() {
+        let opts = sweep_opts();
+        assert_eq!(opts.mode, sweep_mode());
+        assert!(opts.policy.workers() >= 1);
     }
 }

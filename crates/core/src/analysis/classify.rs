@@ -116,7 +116,10 @@ mod tests {
 
     fn classify_first(src: &str) -> ActorClass {
         let p = parse_program(src).unwrap();
-        classify(&p.actors[0], &bindings(&[("N", 1024), ("rows", 64), ("cols", 64)]))
+        classify(
+            &p.actors[0],
+            &bindings(&[("N", 1024), ("rows", 64), ("cols", 64)]),
+        )
     }
 
     #[test]
@@ -162,9 +165,7 @@ mod tests {
 
     #[test]
     fn classifies_map_and_transfer() {
-        let m = classify_first(
-            "pipeline P() { actor M(pop 1, push 1) { push(pop() * 2.0); } }",
-        );
+        let m = classify_first("pipeline P() { actor M(pop 1, push 1) { push(pop() * 2.0); } }");
         assert!(matches!(m, ActorClass::Map));
         let t = classify_first(
             "pipeline P() { actor T(pop 2, push 2) { a = pop(); b = pop(); push(b); push(a); } }",

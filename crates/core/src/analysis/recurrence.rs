@@ -133,8 +133,7 @@ fn reads_before_writes(body: &[Stmt], loop_assigned: &[String], defined: &mut Ve
                 }
             }
             Stmt::StateStore { index, expr, .. } => {
-                if !expr_ok(index, loop_assigned, defined)
-                    || !expr_ok(expr, loop_assigned, defined)
+                if !expr_ok(index, loop_assigned, defined) || !expr_ok(expr, loop_assigned, defined)
                 {
                     return false;
                 }
@@ -167,9 +166,10 @@ fn reads_before_writes(body: &[Stmt], loop_assigned: &[String], defined: &mut Ve
                     }
                 }
             }
-            Stmt::For { start, end, body, .. } => {
-                if !expr_ok(start, loop_assigned, defined)
-                    || !expr_ok(end, loop_assigned, defined)
+            Stmt::For {
+                start, end, body, ..
+            } => {
+                if !expr_ok(start, loop_assigned, defined) || !expr_ok(end, loop_assigned, defined)
                 {
                     return false;
                 }
@@ -198,9 +198,7 @@ fn find_linear_recurrence(
             continue;
         };
         let step = match (op, &**lhs, &**rhs) {
-            (BinOp::Add, Expr::Var(v), e) | (BinOp::Add, e, Expr::Var(v)) if v == name => {
-                e.clone()
-            }
+            (BinOp::Add, Expr::Var(v), e) | (BinOp::Add, e, Expr::Var(v)) if v == name => e.clone(),
             (BinOp::Sub, Expr::Var(v), e) if v == name => Expr::Unary {
                 op: streamir::ir::UnOp::Neg,
                 operand: Box::new(e.clone()),
@@ -336,25 +334,15 @@ pub fn parallelize(actor: &ActorDef, binds: &Bindings) -> Option<ParallelLoop> {
             break;
         }
         // Try to break one recurrence.
-        let Some((si, name, init, step)) =
-            find_linear_recurrence(&work_body, &prologue, binds)
-        else {
-            return None;
-        };
+        let (si, name, init, step) = find_linear_recurrence(&work_body, &prologue, binds)?;
         // Replace `v = v + C` with `v = init + (i + 1) * C`, and make the
         // value at iteration entry available by prepending
         // `v = init + i * C`.
         let i_var = Expr::var(&loop_var);
-        let entry_val = Expr::add(
-            value_expr(init),
-            Expr::mul(i_var.clone(), step.clone()),
-        );
+        let entry_val = Expr::add(value_expr(init), Expr::mul(i_var.clone(), step.clone()));
         let exit_val = Expr::add(
             value_expr(init),
-            Expr::mul(
-                Expr::add(i_var, Expr::Int(1)),
-                step.clone(),
-            ),
+            Expr::mul(Expr::add(i_var, Expr::Int(1)), step.clone()),
         );
         work_body[si] = Stmt::Assign {
             name: name.clone(),
@@ -432,9 +420,9 @@ mod tests {
         let pl = parallelize(&a, &bindings(&[("N", 8)])).expect("parallel after IVS");
         assert!(pl.ivs_applied);
         // The recurrence statement is gone; `addr` is now induction-derived.
-        let has_self_ref = pl.body.iter().any(|s| {
-            matches!(s, Stmt::Assign { name, expr } if name == "addr" && expr.mentions("addr"))
-        });
+        let has_self_ref = pl.body.iter().any(
+            |s| matches!(s, Stmt::Assign { name, expr } if name == "addr" && expr.mentions("addr")),
+        );
         assert!(!has_self_ref);
     }
 

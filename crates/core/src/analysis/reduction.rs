@@ -150,7 +150,11 @@ pub fn detect_reduction(actor: &ActorDef) -> Option<ReductionPattern> {
         return None;
     }
     // 1. acc = <const>;
-    let Stmt::Assign { name: acc, expr: init_expr } = &body[0] else {
+    let Stmt::Assign {
+        name: acc,
+        expr: init_expr,
+    } = &body[0]
+    else {
         return None;
     };
     let init = init_value(init_expr)?;
@@ -167,7 +171,11 @@ pub fn detect_reduction(actor: &ActorDef) -> Option<ReductionPattern> {
     if !matches!(start, Expr::Int(0)) || loop_body.len() != 1 {
         return None;
     }
-    let Stmt::Assign { name: acc2, expr: combine } = &loop_body[0] else {
+    let Stmt::Assign {
+        name: acc2,
+        expr: combine,
+    } = &loop_body[0]
+    else {
         return None;
     };
     if acc2 != acc {
@@ -351,9 +359,7 @@ mod tests {
 
     #[test]
     fn map_actor_is_not_a_reduction() {
-        let a = actor_of(
-            "pipeline P() { actor Id(pop 1, push 1) { push(pop()); } }",
-        );
+        let a = actor_of("pipeline P() { actor Id(pop 1, push 1) { push(pop()); } }");
         assert!(detect_reduction(&a).is_none());
     }
 
@@ -376,10 +382,7 @@ mod tests {
                         end: Expr::var("N"),
                         body: vec![Stmt::Assign {
                             name: "acc".into(),
-                            expr: Expr::add(
-                                Expr::var("acc"),
-                                Expr::Peek(Box::new(Expr::var("i"))),
-                            ),
+                            expr: Expr::add(Expr::var("acc"), Expr::Peek(Box::new(Expr::var("i")))),
                         }],
                     },
                     Stmt::Push(Expr::var("acc")),
@@ -395,7 +398,12 @@ mod tests {
         assert_eq!(CombineOp::Mul.apply(2.0, 3.0), 6.0);
         assert_eq!(CombineOp::Max.apply(2.0, 3.0), 3.0);
         assert_eq!(CombineOp::Min.apply(2.0, 3.0), 2.0);
-        for op in [CombineOp::Add, CombineOp::Mul, CombineOp::Max, CombineOp::Min] {
+        for op in [
+            CombineOp::Add,
+            CombineOp::Mul,
+            CombineOp::Max,
+            CombineOp::Min,
+        ] {
             assert_eq!(op.apply(op.identity(), 7.0), 7.0);
         }
     }

@@ -83,11 +83,7 @@ impl Affine {
 
 /// Match an expression as affine in (`idx`, one width parameter). Returns
 /// the affine form and the width parameter name if one occurred.
-fn match_affine(
-    expr: &Expr,
-    idx: &str,
-    width_seen: &mut Option<String>,
-) -> Option<Affine> {
+fn match_affine(expr: &Expr, idx: &str, width_seen: &mut Option<String>) -> Option<Affine> {
     match expr {
         Expr::Int(k) => Some(Affine {
             konst: *k,

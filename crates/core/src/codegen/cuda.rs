@@ -122,8 +122,15 @@ fn emit_map_kernel(
     out: &mut String,
 ) {
     let _ = writeln!(out, "__global__ void {name}(const float* in, float* out,");
-    let _ = writeln!(out, "                       int units, int in_rate, int out_rate) {{");
-    let _ = writeln!(out, "    {}", layout_macro(in_layout, "IN_ADDR", "in_rate", "units"));
+    let _ = writeln!(
+        out,
+        "                       int units, int in_rate, int out_rate) {{"
+    );
+    let _ = writeln!(
+        out,
+        "    {}",
+        layout_macro(in_layout, "IN_ADDR", "in_rate", "units")
+    );
     let _ = writeln!(
         out,
         "    {}",
@@ -132,10 +139,7 @@ fn emit_map_kernel(
     let _ = writeln!(out, "    #define POP() in[IN_ADDR(__pop++)]");
     let _ = writeln!(out, "    #define PEEK(j) in[IN_ADDR(j)]");
     let _ = writeln!(out, "    #define PUSH(v) out[OUT_ADDR(__push++)] = (v)");
-    let _ = writeln!(
-        out,
-        "    int base = blockIdx.x * blockDim.x * {coarsen};"
-    );
+    let _ = writeln!(out, "    int base = blockIdx.x * blockDim.x * {coarsen};");
     let _ = writeln!(out, "    for (int c = 0; c < {coarsen}; ++c) {{");
     let _ = writeln!(
         out,
@@ -236,15 +240,24 @@ fn emit_stencil_kernel(
     let _ = writeln!(out, "__global__ void {name}(const float* in, float* out,");
     let _ = writeln!(out, "                       int rows, int cols) {{");
     let _ = writeln!(out, "    __shared__ float tile[{ext_h}][{ext_w}];");
-    let _ = writeln!(out, "    int tile_r0 = (blockIdx.x / ((cols + {tw} - 1) / {tw})) * {th};");
-    let _ = writeln!(out, "    int tile_c0 = (blockIdx.x % ((cols + {tw} - 1) / {tw})) * {tw};");
+    let _ = writeln!(
+        out,
+        "    int tile_r0 = (blockIdx.x / ((cols + {tw} - 1) / {tw})) * {th};"
+    );
+    let _ = writeln!(
+        out,
+        "    int tile_c0 = (blockIdx.x % ((cols + {tw} - 1) / {tw})) * {tw};"
+    );
     let _ = writeln!(out, "    /* stage super tile + halo (Figure 6) */");
     let _ = writeln!(
         out,
         "    for (int e = threadIdx.x; e < {ext_h} * {ext_w}; e += blockDim.x) {{"
     );
     let _ = writeln!(out, "        int er = e / {ext_w}, ec = e % {ext_w};");
-    let _ = writeln!(out, "        int r = tile_r0 - {hr} + er, c = tile_c0 - {hc} + ec;");
+    let _ = writeln!(
+        out,
+        "        int r = tile_r0 - {hr} + er, c = tile_c0 - {hc} + ec;"
+    );
     let _ = writeln!(
         out,
         "        tile[er][ec] = (r >= 0 && r < rows && c >= 0 && c < cols) ? in[r * cols + c] : 0.0f;"
@@ -456,10 +469,8 @@ mod tests {
 
     #[test]
     fn map_cuda_mentions_layout_macros() {
-        let p = parse_program(
-            "pipeline P(N) { actor M(pop 1, push 1) { push(sqrt(pop())); } }",
-        )
-        .unwrap();
+        let p = parse_program("pipeline P(N) { actor M(pop 1, push 1) { push(sqrt(pop())); } }")
+            .unwrap();
         let axis = InputAxis::total_size("N", 64, 1 << 20);
         let compiled = compile(&p, &DeviceSpec::tesla_c2050(), &axis).unwrap();
         let src = compiled.cuda_source(1024);

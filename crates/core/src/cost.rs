@@ -166,8 +166,7 @@ pub fn stencil_profile(
         mem_insts_per_warp: loads_per_warp + stores_per_warp,
         transactions_per_mem_inst: 1.2, // tile-edge fragmentation
         compute_insts_per_warp: compute_per_elem * elems_per_thread,
-        shared_cycles_per_warp: (taps as f64 + 1.0) * elems_per_thread
-            + loads_per_warp,
+        shared_cycles_per_warp: (taps as f64 + 1.0) * elems_per_thread + loads_per_warp,
         syncs_per_block: 1.0,
         flops: flops_per_elem * (rows * cols) as f64,
     }
@@ -218,10 +217,30 @@ mod tests {
     fn map_profile_transposed_beats_row_major_for_wide_pops() {
         let d = device();
         let rm = map_profile(
-            &d, 1 << 16, 8, 8, 0.0, 10.0, 8.0, Layout::RowMajor, Layout::RowMajor, 1, 256,
+            &d,
+            1 << 16,
+            8,
+            8,
+            0.0,
+            10.0,
+            8.0,
+            Layout::RowMajor,
+            Layout::RowMajor,
+            1,
+            256,
         );
         let tp = map_profile(
-            &d, 1 << 16, 8, 8, 0.0, 10.0, 8.0, Layout::Transposed, Layout::Transposed, 1, 256,
+            &d,
+            1 << 16,
+            8,
+            8,
+            0.0,
+            10.0,
+            8.0,
+            Layout::Transposed,
+            Layout::Transposed,
+            1,
+            256,
         );
         let t_rm = estimate(&d, &rm).time_us;
         let t_tp = estimate(&d, &tp).time_us;
@@ -237,7 +256,17 @@ mod tests {
         let time_single = |n_arrays: usize, n_elements: usize| {
             estimate(
                 &d,
-                &single_reduce_profile(&d, n_arrays, n_elements, 1, 0.0, 3.0, 1, 256, Layout::RowMajor),
+                &single_reduce_profile(
+                    &d,
+                    n_arrays,
+                    n_elements,
+                    1,
+                    0.0,
+                    3.0,
+                    1,
+                    256,
+                    Layout::RowMajor,
+                ),
             )
             .time_us
         };
@@ -245,7 +274,17 @@ mod tests {
             let blocks = 2 * d.sm_count as usize;
             let init = estimate(
                 &d,
-                &initial_reduce_profile(&d, n_arrays, n_elements, 1, 0.0, 3.0, blocks, 256, Layout::RowMajor),
+                &initial_reduce_profile(
+                    &d,
+                    n_arrays,
+                    n_elements,
+                    1,
+                    0.0,
+                    3.0,
+                    blocks,
+                    256,
+                    Layout::RowMajor,
+                ),
             )
             .time_us;
             let merge = estimate(

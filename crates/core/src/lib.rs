@@ -62,4 +62,8 @@ pub use plan::{
     compile, compile_single, compile_with_options, CompileOptions, CompiledProgram, InputAxis,
     OptTag, SegChoice, Variant,
 };
-pub use runtime::{ExecutionReport, KernelReport, StateBinding};
+pub use runtime::{ExecutionReport, KernelReport, RunOptions, StateBinding};
+// Execution-engine knobs surface through the runtime API, so re-export
+// them: callers pick serial/parallel and share a launch-stats cache
+// without depending on `gpu_sim` directly.
+pub use gpu_sim::{ExecMode, ExecPolicy, LaunchCache};

@@ -14,9 +14,9 @@
 use streamir::ir::{Expr, Stmt};
 use streamir::rates::Bindings;
 
+use crate::analysis::opcount::eval_bound;
 use crate::analysis::recurrence::ParallelLoop;
 use crate::analysis::reduction::ReductionPattern;
-use crate::analysis::opcount::eval_bound;
 
 /// True when every statement is a top-level assign/push (no control flow)
 /// — the precondition for pop/push substitution being order-safe.
@@ -262,10 +262,7 @@ pub fn fuse_into_reduction(
 /// is exactly a `roundrobin(q1, q2, ...)` joiner's order).
 ///
 /// Requires straight-line bodies (pop substitution must be order-safe).
-pub fn fuse_duplicate_maps(
-    branches: &[(Vec<Stmt>, String)],
-    pops: usize,
-) -> Option<Vec<Stmt>> {
+pub fn fuse_duplicate_maps(branches: &[(Vec<Stmt>, String)], pops: usize) -> Option<Vec<Stmt>> {
     if branches.iter().any(|(b, _)| !is_straightline(b)) {
         return None;
     }

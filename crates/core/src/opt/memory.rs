@@ -21,10 +21,7 @@ use crate::layout::Layout;
 /// generation time). Transposed is chosen when some GPU side has a
 /// multi-word window (otherwise both layouts are identical) and the
 /// device-resident sides agree on the window size.
-pub fn choose_edge_layout(
-    producer_rate: Option<usize>,
-    consumer_rate: Option<usize>,
-) -> Layout {
+pub fn choose_edge_layout(producer_rate: Option<usize>, consumer_rate: Option<usize>) -> Layout {
     match (producer_rate, consumer_rate) {
         (None, None) => Layout::RowMajor,
         (Some(p), None) => {
@@ -53,7 +50,13 @@ pub fn choose_edge_layout(
 
 /// The reuse metric of §4.1.2: total shared-memory element accesses per
 /// halo word fetched. Larger is better.
-pub fn reuse_metric(tile_w: usize, tile_h: usize, halo_r: usize, halo_c: usize, taps: usize) -> f64 {
+pub fn reuse_metric(
+    tile_w: usize,
+    tile_h: usize,
+    halo_r: usize,
+    halo_c: usize,
+    taps: usize,
+) -> f64 {
     let area = tile_w * tile_h;
     let ext = (tile_w + 2 * halo_c) * (tile_h + 2 * halo_r);
     let halo = ext - area;

@@ -103,8 +103,7 @@ pub fn reduce_choice_time(
             estimate(device, &p).time_us
         }
         ReduceChoice::TwoKernel { block_dim } => {
-            let initial_blocks =
-                pick_initial_blocks(device, n_arrays, n_elements, block_dim);
+            let initial_blocks = pick_initial_blocks(device, n_arrays, n_elements, block_dim);
             let init = initial_reduce_profile(
                 device,
                 n_arrays,
@@ -215,17 +214,21 @@ mod tests {
     #[test]
     fn one_huge_array_prefers_two_kernel() {
         let d = device();
-        let (choice, _) =
-            best_reduce_choice(&d, 1, 1 << 22, 1, 0.0, 3.0, Layout::RowMajor);
-        assert!(matches!(choice, ReduceChoice::TwoKernel { .. }), "{choice:?}");
+        let (choice, _) = best_reduce_choice(&d, 1, 1 << 22, 1, 0.0, 3.0, Layout::RowMajor);
+        assert!(
+            matches!(choice, ReduceChoice::TwoKernel { .. }),
+            "{choice:?}"
+        );
     }
 
     #[test]
     fn many_arrays_prefer_one_kernel() {
         let d = device();
-        let (choice, _) =
-            best_reduce_choice(&d, 8192, 512, 1, 0.0, 3.0, Layout::RowMajor);
-        assert!(matches!(choice, ReduceChoice::OneKernel { .. }), "{choice:?}");
+        let (choice, _) = best_reduce_choice(&d, 8192, 512, 1, 0.0, 3.0, Layout::RowMajor);
+        assert!(
+            matches!(choice, ReduceChoice::OneKernel { .. }),
+            "{choice:?}"
+        );
     }
 
     #[test]
@@ -233,8 +236,7 @@ mod tests {
         // Huge number of very short arrays: best served by packing several
         // arrays per block.
         let d = device();
-        let (choice, _) =
-            best_reduce_choice(&d, 1 << 18, 32, 1, 0.0, 3.0, Layout::RowMajor);
+        let (choice, _) = best_reduce_choice(&d, 1 << 18, 32, 1, 0.0, 3.0, Layout::RowMajor);
         match choice {
             ReduceChoice::OneKernel {
                 arrays_per_block, ..

@@ -287,6 +287,14 @@ pub struct Variant {
 
 /// A compiled program: structure + variant table + everything needed to
 /// run it.
+///
+/// Execution entry points live in [`crate::runtime`]:
+/// [`run`](CompiledProgram::run) and
+/// [`run_with`](CompiledProgram::run_with) use the serial engine, while
+/// [`run_opts`](CompiledProgram::run_opts) selects the execution engine
+/// via [`crate::RunOptions`] (deterministic parallel block execution) and
+/// can memoize launch statistics through a [`crate::LaunchCache`] for
+/// timing-only sweeps.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     pub(crate) program: Program,
@@ -403,9 +411,7 @@ fn build_structure(
                         actor: def.name.clone(),
                     }),
                     ActorClass::ParallelLoop(pl) => SegKind::Unit(UnitSeg {
-                        window_pop: pl
-                            .window_peeks
-                            .then(|| def.work.pop.clone()),
+                        window_pop: pl.window_peeks.then(|| def.work.pop.clone()),
                         body: pl.body,
                         loop_var: Some(pl.loop_var),
                         units_per_firing: UnitsPerFiring::Loop(pl.bound),
@@ -465,14 +471,8 @@ fn build_structure(
                         }
                         ActorClass::Map | ActorClass::Transfer => {
                             let pop = def.work.pop.as_constant().unwrap_or(0).max(1) as usize;
-                            let push =
-                                def.work.push.as_constant().unwrap_or(0).max(1) as usize;
-                            maps.push((
-                                def.work.body.clone(),
-                                pop,
-                                push,
-                                def.name.clone(),
-                            ));
+                            let push = def.work.push.as_constant().unwrap_or(0).max(1) as usize;
+                            maps.push((def.work.body.clone(), pop, push, def.name.clone()));
                             actors.push(def.name.clone());
                         }
                         _ => {
@@ -492,10 +492,7 @@ fn build_structure(
                     }
                 }
                 // Mixed or neither-kind branch sets are unsupported.
-                if !ok
-                    || join.is_none()
-                    || (patterns.is_empty() == maps.is_empty())
-                {
+                if !ok || join.is_none() || (patterns.is_empty() == maps.is_empty()) {
                     return Err(Error::Semantic(
                         "unsupported split-join: duplicate splitters must feed \
                          sibling reduction actors or sibling map actors"
@@ -575,8 +572,7 @@ fn build_structure(
             }
             FlatNode::Split(_) => {
                 return Err(Error::Semantic(
-                    "round-robin splitters are not GPU-lowerable by this reproduction"
-                        .into(),
+                    "round-robin splitters are not GPU-lowerable by this reproduction".into(),
                 ));
             }
             FlatNode::Join(_) => {
@@ -605,11 +601,15 @@ fn build_structure(
                         (Some(ua), Some(ub)) if ua == ub => {
                             let pa = match a.loop_var {
                                 Some(_) => seg_as_parloop(a, ua),
-                                None => pl_from_map(&a.body, a.pops_per_unit, a.pushes_per_unit, ua),
+                                None => {
+                                    pl_from_map(&a.body, a.pops_per_unit, a.pushes_per_unit, ua)
+                                }
                             };
                             let pb = match b.loop_var {
                                 Some(_) => seg_as_parloop(b, ub),
-                                None => pl_from_map(&b.body, b.pops_per_unit, b.pushes_per_unit, ub),
+                                None => {
+                                    pl_from_map(&b.body, b.pops_per_unit, b.pushes_per_unit, ub)
+                                }
                             };
                             fuse_parallel_loops(&pa, &pb, binds).map(|f| {
                                 let mut state = a.state_actors.clone();
@@ -649,7 +649,9 @@ fn build_structure(
                         Some(ua) => {
                             let pa = match a.loop_var {
                                 Some(_) => seg_as_parloop(a, ua),
-                                None => pl_from_map(&a.body, a.pops_per_unit, a.pushes_per_unit, ua),
+                                None => {
+                                    pl_from_map(&a.body, a.pops_per_unit, a.pushes_per_unit, ua)
+                                }
                             };
                             fuse_into_reduction(&pa, &r.pattern, binds).map(|p| Segment {
                                 kind: SegKind::Reduce(ReduceSeg {
@@ -835,8 +837,7 @@ fn decide(
             }
             SegKind::Reduce(r) => {
                 let n_arrays = (sched.reps(seg.node).max(1) * iterations.max(1)) as usize;
-                let n_elements =
-                    eval_bound(&r.pattern.bound, binds).unwrap_or(1).max(1) as usize;
+                let n_elements = eval_bound(&r.pattern.bound, binds).unwrap_or(1).max(1) as usize;
                 if !options.segmentation {
                     return SegChoice::Reduce {
                         choice: ReduceChoice::OneKernel {
@@ -845,8 +846,7 @@ fn decide(
                         },
                     };
                 }
-                let elem_counts =
-                    body_counts(&[Stmt::Push(r.pattern.elem.clone())], binds);
+                let elem_counts = body_counts(&[Stmt::Push(r.pattern.elem.clone())], binds);
                 let reduce_cost = |c: &ReduceChoice| -> Option<f64> {
                     // Reject infeasible incumbents at this shape.
                     if let ReduceChoice::OneKernel {
@@ -883,29 +883,28 @@ fn decide(
                 if matches!(choice, ReduceChoice::ThreadPerArray { .. })
                     && (i != 0 || !options.memory)
                 {
-                    choice = crate::opt::segmentation::reduce_candidates(
-                        device, n_arrays, n_elements,
-                    )
-                    .into_iter()
-                    .filter(|c| !matches!(c, ReduceChoice::ThreadPerArray { .. }))
-                    .map(|c| {
-                        (
-                            c,
-                            crate::opt::segmentation::reduce_choice_time(
-                                device,
-                                c,
-                                n_arrays,
-                                n_elements,
-                                r.pattern.pops_per_elem,
-                                elem_counts.state_loads,
-                                elem_counts.compute + 1.0,
-                                layouts[i],
-                            ),
-                        )
-                    })
-                    .min_by(|a, b| a.1.total_cmp(&b.1))
-                    .map(|(c, _)| c)
-                    .expect("non-TPA candidates exist");
+                    choice =
+                        crate::opt::segmentation::reduce_candidates(device, n_arrays, n_elements)
+                            .into_iter()
+                            .filter(|c| !matches!(c, ReduceChoice::ThreadPerArray { .. }))
+                            .map(|c| {
+                                (
+                                    c,
+                                    crate::opt::segmentation::reduce_choice_time(
+                                        device,
+                                        c,
+                                        n_arrays,
+                                        n_elements,
+                                        r.pattern.pops_per_elem,
+                                        elem_counts.state_loads,
+                                        elem_counts.compute + 1.0,
+                                        layouts[i],
+                                    ),
+                                )
+                            })
+                            .min_by(|a, b| a.1.total_cmp(&b.1))
+                            .map(|(c, _)| c)
+                            .expect("non-TPA candidates exist");
                 }
                 let prev_c = prev.and_then(|p| match p.get(i) {
                     Some(SegChoice::Reduce { choice }) => Some(*choice),
@@ -1206,7 +1205,9 @@ mod tests {
         let axis = InputAxis::total_size("N", 1 << 10, 1 << 20);
         let fused = compile(&p, &device(), &axis).unwrap();
         assert_eq!(fused.segments.len(), 1);
-        assert!(fused.variants[0].tags.contains(&OptTag::VerticalIntegration));
+        assert!(fused.variants[0]
+            .tags
+            .contains(&OptTag::VerticalIntegration));
 
         let unfused = compile_with_options(
             &p,
@@ -1278,10 +1279,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(matches!(
-            unfused.segments[0].kind,
-            SegKind::MapSiblings(_)
-        ));
+        assert!(matches!(unfused.segments[0].kind, SegKind::MapSiblings(_)));
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! time.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use gpu_sim::{launch, BufId, ExecMode, GlobalMem, Kernel, KernelStats};
+use gpu_sim::{
+    launch_with_policy, BufId, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats, LaunchCache,
+};
 use perfmodel::{estimate_stats, TimingEstimate};
 use streamir::actor::{ActorDef, StateVar};
 use streamir::error::{Error, Result};
@@ -52,9 +55,46 @@ impl StateBinding {
 /// Statistics and timing of one launched kernel.
 #[derive(Debug, Clone)]
 pub struct KernelReport {
-    pub name: String,
+    pub name: Arc<str>,
     pub stats: KernelStats,
     pub estimate: TimingEstimate,
+    /// True when the stats were served from a [`LaunchCache`] instead of
+    /// being re-simulated.
+    pub cached: bool,
+}
+
+/// How the runtime executes a program's kernels: the grid-sampling mode
+/// and the engine driving the block loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// How much of each grid to execute/record.
+    pub mode: ExecMode,
+    /// Serial or deterministic-parallel block execution.
+    pub policy: ExecPolicy,
+}
+
+impl RunOptions {
+    /// The given mode on the serial engine (the historical behaviour).
+    pub fn serial(mode: ExecMode) -> RunOptions {
+        RunOptions {
+            mode,
+            policy: ExecPolicy::Serial,
+        }
+    }
+
+    /// The given mode on the parallel engine sized to the host.
+    pub fn parallel(mode: ExecMode) -> RunOptions {
+        RunOptions {
+            mode,
+            policy: ExecPolicy::auto(),
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions::serial(ExecMode::Full)
+    }
 }
 
 /// The result of running a compiled program on one input.
@@ -70,6 +110,11 @@ pub struct ExecutionReport {
     pub host_time_us: f64,
     /// Which variant of the table ran.
     pub variant_index: usize,
+    /// Kernel launches served from the memoization cache in this run.
+    pub cache_hits: u64,
+    /// Kernel launches that had to simulate in this run (always equals the
+    /// launch count when no cache was supplied).
+    pub cache_misses: u64,
 }
 
 impl ExecutionReport {
@@ -106,6 +151,10 @@ impl CompiledProgram {
     /// partial but the statistics (and therefore timing) still describe
     /// the whole launch; use it for timing-only sweeps.
     ///
+    /// Uses the serial engine and no memoization; see
+    /// [`CompiledProgram::run_opts`] for the parallel engine and the
+    /// launch-stats cache.
+    ///
     /// # Errors
     ///
     /// Returns scheduling errors, [`Error::InsufficientInput`], and
@@ -117,6 +166,44 @@ impl CompiledProgram {
         state: &[StateBinding],
         mode: ExecMode,
     ) -> Result<ExecutionReport> {
+        self.run_opts(x, input, state, RunOptions::serial(mode), None)
+    }
+
+    /// Run with explicit execution options and an optional launch-stats
+    /// memoization cache.
+    ///
+    /// The engine choice ([`RunOptions::policy`]) never changes results:
+    /// parallel execution merges per-worker counters in block-index order
+    /// and is bit-for-bit identical to serial. Supplying a `cache` *does*
+    /// change functional output on hits — memoized launches are not
+    /// re-executed, so device buffers keep their prior contents. Only pass
+    /// a cache in timing-only sweeps over data-independent workloads
+    /// (where [`ExecMode::SampledExec`] is already discarding outputs);
+    /// hit/miss counts are reported in the [`ExecutionReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledProgram::run_with`].
+    pub fn run_opts(
+        &self,
+        x: i64,
+        input: &[f32],
+        state: &[StateBinding],
+        opts: RunOptions,
+        cache: Option<&LaunchCache>,
+    ) -> Result<ExecutionReport> {
+        let env = LaunchEnv {
+            device: &self.device,
+            opts,
+            cache,
+            // Fingerprint of this run's input dimensions: the axis value
+            // and the stream length. Together with the kernel name and
+            // launch geometry this pins the statistics of a
+            // data-independent launch.
+            dims: (x as u64, input.len() as u64),
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        };
         let (variant_index, variant) = self.variant_for(x);
         let choices = variant.choices.clone();
         let binds = self.axis.bind(x);
@@ -159,10 +246,7 @@ impl CompiledProgram {
                         .get(&(actor.name.clone(), name.clone()))
                         .copied()
                         .ok_or_else(|| {
-                            Error::Runtime(format!(
-                                "state array {}::{name} not bound",
-                                actor.name
-                            ))
+                            Error::Runtime(format!("state array {}::{name} not bound", actor.name))
                         })?;
                     spec_state.push((name.clone(), buf));
                 }
@@ -185,9 +269,7 @@ impl CompiledProgram {
                     .max(1) as usize;
                     let units = reps as usize * upf;
                     let window = match &u.window_pop {
-                        Some(w) => Some(
-                            w.eval(&binds)?.max(0) as usize,
-                        ),
+                        Some(w) => Some(w.eval(&binds)?.max(0) as usize),
                         None => None,
                     };
                     let in_items = match window {
@@ -229,7 +311,7 @@ impl CompiledProgram {
                             attach_state(&mut k.state, actor, &state_bufs)?;
                         }
                     }
-                    run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                    run_kernel(&env, &mut mem, &k, &mut kernels);
                     cur_buf = Some(out_buf);
                     cur_layout = self.edge_layouts[i + 1];
                 }
@@ -274,7 +356,7 @@ impl CompiledProgram {
                             .with_layouts(cur_layout, Layout::RowMajor)
                             .with_block_dim(*block_dim);
                             k.state = spec.state.clone();
-                            run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                            run_kernel(&env, &mut mem, &k, &mut kernels);
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
                         }
@@ -306,19 +388,18 @@ impl CompiledProgram {
                                 out_stride: 1,
                                 out_offset: 0,
                             };
-                            run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                            run_kernel(&env, &mut mem, &k, &mut kernels);
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
                         }
                         ReduceChoice::TwoKernel { block_dim } => {
-                            let initial_blocks =
-                                crate::opt::segmentation::pick_initial_blocks(
-                                    &self.device,
-                                    n_arrays,
-                                    n_elements,
-                                    *block_dim,
-                                )
-                                .max(2);
+                            let initial_blocks = crate::opt::segmentation::pick_initial_blocks(
+                                &self.device,
+                                n_arrays,
+                                n_elements,
+                                *block_dim,
+                            )
+                            .max(2);
                             let in_buf = ensure_device(
                                 &mut mem,
                                 &mut cur_host,
@@ -341,8 +422,8 @@ impl CompiledProgram {
                                 partials,
                                 out_buf,
                             );
-                            run_kernel(&self.device, &mut mem, &k1, mode, &mut kernels);
-                            run_kernel(&self.device, &mut mem, &k2, mode, &mut kernels);
+                            run_kernel(&env, &mut mem, &k1, &mut kernels);
+                            run_kernel(&env, &mut mem, &k2, &mut kernels);
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
                         }
@@ -392,7 +473,7 @@ impl CompiledProgram {
                     if let Some(actor) = self.program.actor(&s.actor) {
                         attach_state(&mut k.state, actor, &state_bufs)?;
                     }
-                    run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                    run_kernel(&env, &mut mem, &k, &mut kernels);
                     cur_buf = Some(out_buf);
                     cur_layout = Layout::RowMajor;
                 }
@@ -441,7 +522,7 @@ impl CompiledProgram {
                             in_layout: cur_layout,
                             out_buf,
                         };
-                        run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                        run_kernel(&env, &mut mem, &k, &mut kernels);
                     } else {
                         for (s_idx, spec) in specs.into_iter().enumerate() {
                             let k = SingleKernelReduce {
@@ -458,7 +539,7 @@ impl CompiledProgram {
                                 out_stride: k_out,
                                 out_offset: s_idx,
                             };
-                            run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                            run_kernel(&env, &mut mem, &k, &mut kernels);
                         }
                     }
                     cur_buf = Some(out_buf);
@@ -496,7 +577,7 @@ impl CompiledProgram {
                         if let Some(actor) = self.program.actor(actor_name) {
                             attach_state(&mut k.state, actor, &state_bufs)?;
                         }
-                        run_kernel(&self.device, &mut mem, &k, mode, &mut kernels);
+                        run_kernel(&env, &mut mem, &k, &mut kernels);
                         offset += pushes;
                     }
                     cur_buf = Some(out_buf);
@@ -546,6 +627,8 @@ impl CompiledProgram {
             time_us,
             host_time_us,
             variant_index,
+            cache_hits: env.hits.get(),
+            cache_misses: env.misses.get(),
         })
     }
 }
@@ -585,19 +668,49 @@ fn ensure_device(
     Ok(buf)
 }
 
+/// Per-run launch context threaded through [`run_kernel`]: the device, the
+/// engine options, the optional memoization cache, and this run's
+/// dimension fingerprint for cache keys.
+struct LaunchEnv<'a> {
+    device: &'a gpu_sim::DeviceSpec,
+    opts: RunOptions,
+    cache: Option<&'a LaunchCache>,
+    dims: (u64, u64),
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
 fn run_kernel(
-    device: &gpu_sim::DeviceSpec,
+    env: &LaunchEnv<'_>,
     mem: &mut GlobalMem,
-    kernel: &dyn Kernel,
-    mode: ExecMode,
+    kernel: &(dyn Kernel + Sync),
     out: &mut Vec<KernelReport>,
 ) {
-    let stats = launch(device, mem, kernel, mode);
-    let estimate = estimate_stats(device, &stats);
+    let (stats, cached) = match env.cache {
+        Some(cache) => cache.launch(
+            env.device,
+            mem,
+            kernel,
+            env.opts.mode,
+            env.opts.policy,
+            env.dims,
+        ),
+        None => (
+            launch_with_policy(env.device, mem, kernel, env.opts.mode, env.opts.policy),
+            false,
+        ),
+    };
+    if cached {
+        env.hits.set(env.hits.get() + 1);
+    } else {
+        env.misses.set(env.misses.get() + 1);
+    }
+    let estimate = estimate_stats(env.device, &stats);
     out.push(KernelReport {
         name: stats.name.clone(),
         stats,
         estimate,
+        cached,
     });
 }
 
@@ -605,12 +718,8 @@ fn run_kernel(
 /// thread-per-array lowering and the CUDA printer).
 pub(crate) fn pattern_to_serial_body(p: &ReductionPattern) -> Vec<Stmt> {
     let combine = match p.op {
-        crate::analysis::CombineOp::Add => {
-            Expr::add(Expr::var(&p.acc), p.elem.clone())
-        }
-        crate::analysis::CombineOp::Mul => {
-            Expr::mul(Expr::var(&p.acc), p.elem.clone())
-        }
+        crate::analysis::CombineOp::Add => Expr::add(Expr::var(&p.acc), p.elem.clone()),
+        crate::analysis::CombineOp::Mul => Expr::mul(Expr::var(&p.acc), p.elem.clone()),
         crate::analysis::CombineOp::Max => Expr::Call {
             intrinsic: streamir::ir::Intrinsic::Max,
             args: vec![Expr::var(&p.acc), p.elem.clone()],
@@ -747,7 +856,12 @@ mod tests {
         let compiled = compile(&p, &device(), &axis).unwrap();
         let small = compiled.run(64, &vec![1.0; 64]).unwrap();
         let large = compiled
-            .run_with(1 << 20, &vec![1.0; 1 << 20], &[], ExecMode::SampledStats(64))
+            .run_with(
+                1 << 20,
+                &vec![1.0; 1 << 20],
+                &[],
+                ExecMode::SampledStats(64),
+            )
             .unwrap();
         assert_ne!(small.variant_index, large.variant_index);
     }
@@ -974,5 +1088,76 @@ mod tests {
         assert_eq!(report.output, expected);
         assert!(report.kernels.is_empty());
         assert!(report.host_time_us > 0.0);
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_run() {
+        let src = r#"pipeline P(N) {
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 20);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let n = 65536usize;
+        let input: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
+        for mode in [ExecMode::Full, ExecMode::SampledExec(16)] {
+            let serial = compiled.run_with(n as i64, &input, &[], mode).unwrap();
+            let par = compiled
+                .run_opts(n as i64, &input, &[], RunOptions::parallel(mode), None)
+                .unwrap();
+            assert_eq!(serial.output, par.output, "mode {mode:?}");
+            assert_eq!(serial.kernels.len(), par.kernels.len());
+            for (s, q) in serial.kernels.iter().zip(&par.kernels) {
+                assert_eq!(s.stats, q.stats, "mode {mode:?} kernel {}", s.name);
+            }
+            assert_eq!(par.cache_hits, 0);
+            assert_eq!(par.cache_misses, par.kernels.len() as u64);
+        }
+    }
+
+    #[test]
+    fn launch_cache_memoizes_repeated_runs() {
+        let src = r#"pipeline P(N) {
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 20);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let n = 4096usize;
+        let input: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
+        let cache = LaunchCache::new();
+        let opts = RunOptions::parallel(ExecMode::SampledExec(8));
+        let cold = compiled
+            .run_opts(n as i64, &input, &[], opts, Some(&cache))
+            .unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.cache_misses > 0);
+        let warm = compiled
+            .run_opts(n as i64, &input, &[], opts, Some(&cache))
+            .unwrap();
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(warm.cache_misses, 0);
+        assert!(warm.kernels.iter().all(|k| k.cached));
+        // Memoized stats are identical, so so is the timing estimate.
+        assert_eq!(cold.time_us, warm.time_us);
+        for (c, w) in cold.kernels.iter().zip(&warm.kernels) {
+            assert_eq!(c.stats, w.stats);
+        }
+        // A different input size is a different key: misses again.
+        let m = 8192usize;
+        let input2: Vec<f32> = (0..m).map(|i| (i % 5) as f32).collect();
+        let other = compiled
+            .run_opts(m as i64, &input2, &[], opts, Some(&cache))
+            .unwrap();
+        assert_eq!(other.cache_hits, 0);
+        assert!(other.cache_misses > 0);
     }
 }

@@ -123,10 +123,8 @@ impl Kernel for FusedReduce {
                     *w = ctx.ld_global(SITE_ELEM, tid, self.in_buf, addr);
                 }
                 for (s, spec) in self.specs.iter().enumerate() {
-                    let mut locals: HashMap<String, Value> = HashMap::from([(
-                        spec.loop_var.clone(),
-                        Value::I64(e as i64),
-                    )]);
+                    let mut locals: HashMap<String, Value> =
+                        HashMap::from([(spec.loop_var.clone(), Value::I64(e as i64))]);
                     let mut io = WindowIo {
                         ctx,
                         spec,

@@ -200,8 +200,7 @@ impl IrIo for MapIo<'_, '_, '_> {
 
     fn peek(&mut self, offset: i64) -> f32 {
         if self.kernel.stage_window && self.kernel.window_pop.is_none() {
-            let local =
-                (self.unit - self.block_base) * self.kernel.pops_per_unit + offset as usize;
+            let local = (self.unit - self.block_base) * self.kernel.pops_per_unit + offset as usize;
             return self.ctx.ld_shared(SITE_STAGE_RD, self.tid, local);
         }
         let addr = match self.kernel.window_pop {
@@ -246,11 +245,7 @@ impl IrIo for MapIo<'_, '_, '_> {
             .find(|(_, (n, _))| n == array)
             .map(|(i, (_, b))| (i as u32, *b))
             .unwrap_or_else(|| panic!("unbound state array `{array}`"));
-        if let Some((_, v)) = self
-            .state_cache
-            .iter()
-            .find(|(k, _)| *k == (slot, idx))
-        {
+        if let Some((_, v)) = self.state_cache.iter().find(|(k, _)| *k == (slot, idx)) {
             return *v;
         }
         let v = self

@@ -25,8 +25,8 @@ use streamir::ir::Expr;
 use streamir::rates::Bindings;
 use streamir::value::Value;
 
-use crate::analysis::reduction::{CombineOp, ReductionPattern};
 use crate::analysis::opcount::body_counts;
+use crate::analysis::reduction::{CombineOp, ReductionPattern};
 use crate::exec_ir::{eval_expr, IrIo};
 use crate::layout::Layout;
 
@@ -217,10 +217,8 @@ fn eval_element(
     total_elems: usize,
     state_cache: &mut Vec<((u32, i64), f32)>,
 ) -> f32 {
-    let mut locals: HashMap<String, Value> = HashMap::from([(
-        spec.loop_var.clone(),
-        Value::I64(elem_in_array as i64),
-    )]);
+    let mut locals: HashMap<String, Value> =
+        HashMap::from([(spec.loop_var.clone(), Value::I64(elem_in_array as i64))]);
     let mut io = ElemIo {
         ctx,
         spec,
@@ -243,12 +241,7 @@ fn eval_element(
 /// `group_base`/`group_size` allow several reduction groups per block
 /// (horizontal thread integration). Returns the combined value, valid on
 /// the group's first lane.
-fn shared_tree_reduce(
-    ctx: &mut BlockCtx<'_>,
-    op: CombineOp,
-    group_base: usize,
-    group_size: usize,
-) {
+fn shared_tree_reduce(ctx: &mut BlockCtx<'_>, op: CombineOp, group_base: usize, group_size: usize) {
     debug_assert!(
         group_size.is_power_of_two(),
         "reduction groups are power-of-two sized (got {group_size})"
@@ -604,9 +597,7 @@ mod tests {
         let device = DeviceSpec::tesla_c2050();
         let mut mem = GlobalMem::new();
         let (n_arrays, n_elements) = (64, 33);
-        let data: Vec<f32> = (0..n_arrays * n_elements)
-            .map(|i| (i % 5) as f32)
-            .collect();
+        let data: Vec<f32> = (0..n_arrays * n_elements).map(|i| (i % 5) as f32).collect();
         let in_buf = mem.alloc_from(&data);
         let out_buf = mem.alloc(n_arrays);
         let k = SingleKernelReduce {

@@ -215,20 +215,18 @@ impl Kernel for StencilKernel {
                         continue;
                     }
                     let c = tile_c0 as i64 - self.halo_c as i64 + ec as i64;
-                    let v = if r >= 0
-                        && (r as usize) < self.rows
-                        && c >= 0
-                        && (c as usize) < self.cols
-                    {
-                        ctx.ld_global(
-                            SITE_LOAD,
-                            tid,
-                            self.in_buf,
-                            r as usize * self.cols + c as usize,
-                        )
-                    } else {
-                        0.0
-                    };
+                    let v =
+                        if r >= 0 && (r as usize) < self.rows && c >= 0 && (c as usize) < self.cols
+                        {
+                            ctx.ld_global(
+                                SITE_LOAD,
+                                tid,
+                                self.in_buf,
+                                r as usize * self.cols + c as usize,
+                            )
+                        } else {
+                            0.0
+                        };
                     ctx.st_shared(SITE_TILE_ST, tid, er * ext_w + ec, v);
                 }
                 base += bdim;

@@ -49,10 +49,7 @@ fn map_profile_tracks_measurement() {
     let src = "pipeline P(N) { actor M(pop 2, push 1) { a = pop(); b = pop(); push(a * b); } }";
     let program = parse_program(src).unwrap();
     let units = 1usize << 14;
-    for (layout, staged_input) in [
-        (Layout::RowMajor, false),
-        (Layout::Transposed, true),
-    ] {
+    for (layout, staged_input) in [(Layout::RowMajor, false), (Layout::Transposed, true)] {
         let input: Vec<f32> = (0..2 * units).map(|i| (i % 7) as f32).collect();
         let data = if staged_input {
             adaptic::restructure(&input, 2)
@@ -76,9 +73,7 @@ fn map_profile_tracks_measurement() {
         .with_layouts(layout, layout);
         let stats = launch(&device, &mut mem, &k, ExecMode::Full);
         let measured = LaunchProfile::from_stats(&device, &stats);
-        let predicted = map_profile(
-            &device, units, 2, 1, 0.0, 2.0, 1.0, layout, layout, 1, 256,
-        );
+        let predicted = map_profile(&device, units, 2, 1, 0.0, 2.0, 1.0, layout, layout, 1, 256);
         check(&predicted, &measured, &format!("map {layout:?}"));
     }
 }
@@ -108,7 +103,15 @@ fn single_reduce_profile_tracks_measurement() {
     let stats = launch(&device, &mut mem, &k, ExecMode::Full);
     let measured = LaunchProfile::from_stats(&device, &stats);
     let predicted = single_reduce_profile(
-        &device, n_arrays, n_elements, 1, 0.0, 2.0, 1, 256, Layout::RowMajor,
+        &device,
+        n_arrays,
+        n_elements,
+        1,
+        0.0,
+        2.0,
+        1,
+        256,
+        Layout::RowMajor,
     );
     check(&predicted, &measured, "single-kernel reduce");
 }

@@ -48,7 +48,7 @@ fn insufficient_input_reports_requirements() {
     .unwrap();
     let axis = InputAxis::total_size("N", 16, 4096);
     let compiled = compile(&p, &device(), &axis).unwrap();
-    let err = compiled.run(1024, &vec![1.0; 10]).unwrap_err();
+    let err = compiled.run(1024, &[1.0; 10]).unwrap_err();
     assert!(matches!(
         err,
         Error::InsufficientInput {
@@ -121,10 +121,7 @@ fn compile_single_runs_at_its_point() {
 #[test]
 fn state_binding_surplus_is_harmless() {
     // Extra (unused) bindings must not fail the run.
-    let p = parse_program(
-        "pipeline P(N) { actor Id(pop 1, push 1) { push(pop()); } }",
-    )
-    .unwrap();
+    let p = parse_program("pipeline P(N) { actor Id(pop 1, push 1) { push(pop()); } }").unwrap();
     let axis = InputAxis::total_size("N", 16, 4096);
     let compiled = compile(&p, &device(), &axis).unwrap();
     let rep = compiled
@@ -140,10 +137,7 @@ fn state_binding_surplus_is_harmless() {
 
 #[test]
 fn axis_clamps_out_of_range_queries() {
-    let p = parse_program(
-        "pipeline P(N) { actor Id(pop 1, push 1) { push(pop()); } }",
-    )
-    .unwrap();
+    let p = parse_program("pipeline P(N) { actor Id(pop 1, push 1) { push(pop()); } }").unwrap();
     let axis = InputAxis::total_size("N", 100, 200);
     let compiled = compile(&p, &device(), &axis).unwrap();
     // Below and above the compiled range: clamped variants still run.

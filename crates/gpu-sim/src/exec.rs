@@ -6,13 +6,31 @@
 //! blocks is executed and/or recorded and the counters are scaled up, which
 //! keeps figure-scale sweeps (tens of millions of threads) tractable while
 //! preserving the aggregate access-pattern statistics.
+//!
+//! Two engines drive the block loop, selected by [`ExecPolicy`]:
+//!
+//! * **Serial** — one host thread walks the grid in block order (the
+//!   original engine; use it to pin down behaviour in correctness tests).
+//! * **Parallel** — the executed blocks are split into contiguous ranges,
+//!   one per worker on `std::thread::scope`, each worker accumulating its
+//!   own [`BlockCounters`]; the per-worker counters are merged back **in
+//!   block-index order**, so the resulting [`KernelStats`] are bit-for-bit
+//!   identical to the serial engine's. This is sound because blocks of one
+//!   launch never communicate (see the invariant on [`Kernel`]).
+//!
+//! Repeated identical launches inside figure sweeps can additionally be
+//! memoized with [`LaunchCache`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig};
 use crate::mem::GlobalMem;
 use crate::spec::DeviceSpec;
 
 /// How much of the grid to execute and to record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Execute and record every block — exact functional output and exact
     /// statistics. Use in correctness tests.
@@ -33,11 +51,46 @@ impl ExecMode {
     }
 }
 
+/// Which engine drives the block loop of a launch.
+///
+/// Both engines produce **identical** functional output and identical
+/// [`KernelStats`]; `Parallel` only changes host wall-clock. Tests that
+/// want a pinned, single-threaded execution order should use `Serial`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPolicy {
+    /// One host thread, blocks in index order.
+    Serial,
+    /// Up to this many workers over contiguous block ranges. `Parallel(0)`
+    /// and `Parallel(1)` degrade to the serial engine.
+    Parallel(usize),
+}
+
+impl ExecPolicy {
+    /// Parallel engine sized to the host
+    /// (`std::thread::available_parallelism`).
+    pub fn auto() -> ExecPolicy {
+        ExecPolicy::Parallel(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Worker count this policy resolves to.
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel(n) => (*n).max(1),
+        }
+    }
+}
+
 /// Aggregated, scaled statistics of one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelStats {
-    /// Kernel name.
-    pub name: String,
+    /// Kernel name. `Arc<str>` so reports and memoization caches clone
+    /// stats without re-allocating the name in every sweep iteration.
+    pub name: Arc<str>,
     /// Launch geometry.
     pub config: LaunchConfig,
     /// Scaled whole-grid counters.
@@ -114,7 +167,7 @@ fn sample_stride(grid: u32, sample: u32) -> u32 {
     grid.div_ceil(sample.min(grid)).max(1)
 }
 
-/// Execute `kernel` on `device`/`mem` under `mode`.
+/// Execute `kernel` on `device`/`mem` under `mode` with the serial engine.
 ///
 /// Returns whole-grid statistics; functional effects are visible in `mem`
 /// (for all blocks under [`ExecMode::Full`]/[`ExecMode::SampledStats`], or
@@ -132,6 +185,95 @@ pub fn launch(
     kernel: &dyn Kernel,
     mode: ExecMode,
 ) -> KernelStats {
+    let (config, exec_stride, stat_stride) = validate(device, kernel, mode);
+    let (merged, recorded, executed) =
+        run_serial(device, mem, kernel, config, exec_stride, stat_stride);
+    finish(kernel, config, merged, recorded, executed)
+}
+
+/// Execute `kernel` under `mode` with the engine chosen by `policy`.
+///
+/// Functional output and [`KernelStats`] are identical to [`launch`] for
+/// every policy; [`ExecPolicy::Parallel`] only reduces host wall-clock.
+/// Requires `Kernel + Sync` because block execution may be distributed
+/// over scoped worker threads.
+///
+/// # Panics
+///
+/// Same launch-validation panics as [`launch`].
+pub fn launch_with_policy(
+    device: &DeviceSpec,
+    mem: &mut GlobalMem,
+    kernel: &(dyn Kernel + Sync),
+    mode: ExecMode,
+    policy: ExecPolicy,
+) -> KernelStats {
+    let (config, exec_stride, stat_stride) = validate(device, kernel, mode);
+    // Number of blocks the stride actually executes.
+    let n_exec = config.grid_dim.div_ceil(exec_stride);
+    let workers = policy.workers().min(n_exec as usize).max(1);
+    if workers == 1 {
+        let (merged, recorded, executed) =
+            run_serial(device, mem, kernel, config, exec_stride, stat_stride);
+        return finish(kernel, config, merged, recorded, executed);
+    }
+
+    // Contiguous executed-block ranges, one per worker: worker w executes
+    // blocks with executed-index in [w*chunk, min((w+1)*chunk, n_exec)).
+    let chunk = n_exec.div_ceil(workers as u32);
+    let view = mem.shared_view();
+    let mut results: Vec<(BlockCounters, u32, u32)> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers as u32 {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n_exec);
+            let view = &view;
+            handles.push(scope.spawn(move || {
+                let mut merged = BlockCounters::default();
+                let mut recorded = 0u32;
+                let mut executed = 0u32;
+                for i in lo..hi {
+                    let block = i * exec_stride;
+                    let record = block.is_multiple_of(stat_stride);
+                    let mut ctx = BlockCtx::new_shared(device, view, block, config, record);
+                    kernel.run_block(block, &mut ctx);
+                    let counters = ctx.finalize();
+                    if record {
+                        merged.merge(&counters);
+                        recorded += 1;
+                    }
+                    executed += 1;
+                }
+                (merged, recorded, executed)
+            }));
+        }
+        // Joining in spawn order == block-index order (ranges are
+        // contiguous and ascending), so the merge below is deterministic.
+        for h in handles {
+            results.push(h.join().expect("launch worker panicked"));
+        }
+    });
+    drop(view);
+
+    let mut merged = BlockCounters::default();
+    let mut recorded = 0u32;
+    let mut executed = 0u32;
+    for (c, r, e) in &results {
+        merged.merge(c);
+        recorded += r;
+        executed += e;
+    }
+    finish(kernel, config, merged, recorded, executed)
+}
+
+/// Validate the launch against device limits and resolve the sampling
+/// strides for `mode`.
+fn validate(
+    device: &DeviceSpec,
+    kernel: &(impl Kernel + ?Sized),
+    mode: ExecMode,
+) -> (LaunchConfig, u32, u32) {
     let config = kernel.config();
     assert!(config.grid_dim > 0, "launch with empty grid");
     assert!(config.block_dim > 0, "launch with empty block");
@@ -156,12 +298,24 @@ pub fn launch(
             (st, st)
         }
     };
+    (config, exec_stride, stat_stride)
+}
 
+/// Serial block loop over the whole grid, merging counters in block order.
+fn run_serial(
+    device: &DeviceSpec,
+    mem: &mut GlobalMem,
+    kernel: &(impl Kernel + ?Sized),
+    config: LaunchConfig,
+    exec_stride: u32,
+    stat_stride: u32,
+) -> (BlockCounters, u32, u32) {
+    let n_exec = config.grid_dim.div_ceil(exec_stride);
     let mut merged = BlockCounters::default();
     let mut recorded = 0u32;
     let mut executed = 0u32;
-    let mut block = 0u32;
-    while block < config.grid_dim {
+    for i in 0..n_exec {
+        let block = i * exec_stride;
         let record = block.is_multiple_of(stat_stride);
         let mut ctx = BlockCtx::new(device, mem, block, config, record);
         kernel.run_block(block, &mut ctx);
@@ -171,18 +325,126 @@ pub fn launch(
             recorded += 1;
         }
         executed += 1;
-        block += exec_stride;
         // When exec_stride > stat_stride is impossible (they are equal in
         // SampledExec), so no recorded block is ever skipped.
     }
+    (merged, recorded, executed)
+}
 
+/// Scale merged counters into whole-grid [`KernelStats`].
+fn finish(
+    kernel: &(impl Kernel + ?Sized),
+    config: LaunchConfig,
+    merged: BlockCounters,
+    recorded: u32,
+    executed: u32,
+) -> KernelStats {
     let scale = config.grid_dim as f64 / recorded.max(1) as f64;
     KernelStats {
-        name: kernel.name().to_string(),
+        name: Arc::from(kernel.name()),
         config,
         totals: ScaledCounters::from_counters(&merged, scale),
         recorded_blocks: recorded,
         executed_blocks: executed,
+    }
+}
+
+/// Key of one memoizable launch: the kernel's identity and geometry, the
+/// caller-supplied input-dimension fingerprint, and the execution mode.
+///
+/// Data *values* are deliberately not part of the key: memoization is meant
+/// for timing sweeps over data-independent workloads (the only place the
+/// harnesses re-launch identical configurations), where statistics depend
+/// on shapes, not values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaunchKey {
+    /// Kernel name.
+    pub name: Arc<str>,
+    /// Launch geometry.
+    pub config: LaunchConfig,
+    /// Caller-defined input dimensions (e.g. `(rows, cols)` or `(n, 0)`).
+    pub dims: (u64, u64),
+    /// Execution mode the stats were collected under.
+    pub mode: ExecMode,
+}
+
+/// Memoization cache of [`KernelStats`] for repeated identical launches.
+///
+/// Figure sweeps re-simulate the same baseline/variant configuration many
+/// times (same kernel, same geometry, same input dims, same mode); a hit
+/// returns the cached stats **without executing the kernel**, so device
+/// memory is *not* written. Use it only for timing-only sweeps where
+/// outputs are discarded ([`ExecMode::SampledExec`]-style usage); never in
+/// correctness tests.
+#[derive(Debug, Default)]
+pub struct LaunchCache {
+    map: Mutex<HashMap<LaunchKey, KernelStats>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LaunchCache {
+    /// An empty cache.
+    pub fn new() -> LaunchCache {
+        LaunchCache::default()
+    }
+
+    /// Launch through the cache: on a hit return the memoized stats (the
+    /// kernel is *not* executed, `mem` is untouched); on a miss execute
+    /// with `policy` and memoize. The boolean is `true` on a hit.
+    pub fn launch(
+        &self,
+        device: &DeviceSpec,
+        mem: &mut GlobalMem,
+        kernel: &(dyn Kernel + Sync),
+        mode: ExecMode,
+        policy: ExecPolicy,
+        dims: (u64, u64),
+    ) -> (KernelStats, bool) {
+        let key = LaunchKey {
+            name: Arc::from(kernel.name()),
+            config: kernel.config(),
+            dims,
+            mode,
+        };
+        if let Some(stats) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (stats.clone(), true);
+        }
+        let stats = launch_with_policy(device, mem, kernel, mode, policy);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(key, stats.clone());
+        (stats, false)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to execute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized launches.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m > 0.0 {
+            h / (h + m)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -304,6 +566,136 @@ mod tests {
             block_dim: 1024, // > 512 on GTX 285
         };
         let _ = launch(&d, &mut mem, &k, ExecMode::Full);
+    }
+
+    #[test]
+    fn parallel_policy_matches_serial_exactly() {
+        let d = DeviceSpec::tesla_c2050();
+        for mode in [
+            ExecMode::Full,
+            ExecMode::SampledStats(8),
+            ExecMode::SampledExec(8),
+        ] {
+            let n = 128 * 37; // non-power-of-two block count
+            let data: Vec<f32> = (0..n).map(|i| (i % 17) as f32).collect();
+
+            let mut mem_s = GlobalMem::new();
+            let x = mem_s.alloc_from(&data);
+            let y = mem_s.alloc(n);
+            let k = Scale2 {
+                x,
+                y,
+                n,
+                block_dim: 128,
+            };
+            let serial = launch(&d, &mut mem_s, &k, mode);
+
+            for workers in [2usize, 3, 8] {
+                let mut mem_p = GlobalMem::new();
+                let x = mem_p.alloc_from(&data);
+                let y = mem_p.alloc(n);
+                let k = Scale2 {
+                    x,
+                    y,
+                    n,
+                    block_dim: 128,
+                };
+                let parallel =
+                    launch_with_policy(&d, &mut mem_p, &k, mode, ExecPolicy::Parallel(workers));
+                assert_eq!(serial, parallel, "mode {mode:?}, {workers} workers");
+                assert_eq!(mem_s.read(y), mem_p.read(y), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_degrades_to_serial_for_tiny_grids() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc_from(&[1.0, 2.0, 3.0]);
+        let y = mem.alloc(3);
+        let k = Scale2 {
+            x,
+            y,
+            n: 3,
+            block_dim: 128,
+        }; // 1 block
+        let s = launch_with_policy(&d, &mut mem, &k, ExecMode::Full, ExecPolicy::Parallel(16));
+        assert_eq!(s.executed_blocks, 1);
+        assert_eq!(mem.read(y), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn policy_workers_resolution() {
+        assert_eq!(ExecPolicy::Serial.workers(), 1);
+        assert_eq!(ExecPolicy::Parallel(0).workers(), 1);
+        assert_eq!(ExecPolicy::Parallel(6).workers(), 6);
+        assert!(ExecPolicy::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn cache_hits_skip_execution_and_count() {
+        let d = DeviceSpec::tesla_c2050();
+        let cache = LaunchCache::new();
+        let n = 1024usize;
+
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc_from(&vec![1.0; n]);
+        let y = mem.alloc(n);
+        let k = Scale2 {
+            x,
+            y,
+            n,
+            block_dim: 128,
+        };
+        let (first, hit) = cache.launch(
+            &d,
+            &mut mem,
+            &k,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            (n as u64, 0),
+        );
+        assert!(!hit);
+        assert_eq!(mem.read(y)[5], 2.0);
+
+        // Identical launch in fresh memory: served from cache, memory
+        // untouched.
+        let mut mem2 = GlobalMem::new();
+        let x = mem2.alloc_from(&vec![1.0; n]);
+        let y = mem2.alloc(n);
+        let k = Scale2 {
+            x,
+            y,
+            n,
+            block_dim: 128,
+        };
+        let (second, hit) = cache.launch(
+            &d,
+            &mut mem2,
+            &k,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            (n as u64, 0),
+        );
+        assert!(hit);
+        assert_eq!(first, second);
+        assert_eq!(mem2.read(y)[5], 0.0, "hit must not execute");
+
+        // Different dims or mode miss.
+        let (_, hit) = cache.launch(
+            &d,
+            &mut mem2,
+            &k,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            (n as u64, 1),
+        );
+        assert!(!hit);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

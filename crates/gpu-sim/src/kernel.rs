@@ -15,11 +15,11 @@
 
 use std::collections::HashMap;
 
-use crate::mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem};
+use crate::mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem, SharedMem};
 use crate::spec::DeviceSpec;
 
 /// Launch geometry for a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaunchConfig {
     /// Number of thread blocks.
     pub grid_dim: u32,
@@ -46,6 +46,17 @@ impl LaunchConfig {
 }
 
 /// A simulated GPU kernel.
+///
+/// # The launch invariant
+///
+/// Blocks of one launch must not communicate: `run_block` may read
+/// locations written by *earlier launches* freely, but must never read a
+/// location that another block of the *same* launch writes, and no two
+/// blocks of one launch may write the same location. This mirrors CUDA,
+/// where the block schedule is undefined and inter-block data flow within
+/// a launch (without atomics, which this model does not provide) is a data
+/// race. The parallel execution engine ([`crate::exec::ExecPolicy`])
+/// relies on it.
 pub trait Kernel {
     /// Kernel name, for reports and debugging.
     fn name(&self) -> &str;
@@ -112,9 +123,35 @@ impl BlockCounters {
 ///
 /// Borrowed mutably by [`Kernel::run_block`]; provides global/shared memory
 /// access with accounting, barrier counting, and compute instrumentation.
+/// How a block context reaches global memory: exclusively (serial engine)
+/// or through the concurrent view (parallel engine). Both paths perform
+/// identical accounting; only the aliasing discipline differs.
+enum MemRef<'a> {
+    Excl(&'a mut GlobalMem),
+    Shared(&'a SharedMem<'a>),
+}
+
+impl MemRef<'_> {
+    #[inline]
+    fn load(&self, buf: BufId, idx: usize) -> f32 {
+        match self {
+            MemRef::Excl(m) => m.load(buf, idx),
+            MemRef::Shared(m) => m.load(buf, idx),
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, buf: BufId, idx: usize, v: f32) {
+        match self {
+            MemRef::Excl(m) => m.store(buf, idx, v),
+            MemRef::Shared(m) => m.store(buf, idx, v),
+        }
+    }
+}
+
 pub struct BlockCtx<'a> {
     device: &'a DeviceSpec,
-    mem: &'a mut GlobalMem,
+    mem: MemRef<'a>,
     block: u32,
     config: LaunchConfig,
     shared: Vec<f32>,
@@ -133,6 +170,27 @@ impl<'a> BlockCtx<'a> {
     pub(crate) fn new(
         device: &'a DeviceSpec,
         mem: &'a mut GlobalMem,
+        block: u32,
+        config: LaunchConfig,
+        record: bool,
+    ) -> Self {
+        Self::with_mem(device, MemRef::Excl(mem), block, config, record)
+    }
+
+    /// Context backed by the concurrent memory view (parallel engine).
+    pub(crate) fn new_shared(
+        device: &'a DeviceSpec,
+        mem: &'a SharedMem<'a>,
+        block: u32,
+        config: LaunchConfig,
+        record: bool,
+    ) -> Self {
+        Self::with_mem(device, MemRef::Shared(mem), block, config, record)
+    }
+
+    fn with_mem(
+        device: &'a DeviceSpec,
+        mem: MemRef<'a>,
         block: u32,
         config: LaunchConfig,
         record: bool,
@@ -280,8 +338,7 @@ impl<'a> BlockCtx<'a> {
                 }
                 AccessKind::Shared => {
                     c.shared_insts += 1;
-                    c.shared_cycles +=
-                        bank_conflict_degree(lanes, self.device.shared_banks) as u64;
+                    c.shared_cycles += bank_conflict_degree(lanes, self.device.shared_banks) as u64;
                 }
             }
         }

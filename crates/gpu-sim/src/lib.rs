@@ -57,7 +57,10 @@ pub mod kernel;
 pub mod mem;
 pub mod spec;
 
-pub use exec::{launch, ExecMode, KernelStats, ScaledCounters};
+pub use exec::{
+    launch, launch_with_policy, ExecMode, ExecPolicy, KernelStats, LaunchCache, LaunchKey,
+    ScaledCounters,
+};
 pub use kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig, Site};
 pub use mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem};
 pub use spec::DeviceSpec;

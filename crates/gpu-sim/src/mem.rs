@@ -81,6 +81,69 @@ impl GlobalMem {
     pub fn buffer_count(&self) -> usize {
         self.buffers.len()
     }
+
+    /// A view of this memory that many execution workers can access
+    /// concurrently. The `&mut self` borrow guarantees nothing else touches
+    /// the memory while views are alive; safety *between* workers rests on
+    /// the launch invariant documented on [`SharedMem`].
+    pub(crate) fn shared_view(&mut self) -> SharedMem<'_> {
+        SharedMem {
+            buffers: self
+                .buffers
+                .iter_mut()
+                .map(|b| (b.as_mut_ptr(), b.len()))
+                .collect(),
+            _mem: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Concurrent view of [`GlobalMem`] for parallel block execution.
+///
+/// # The launch invariant
+///
+/// Thread blocks of one kernel launch have **no communication mechanism**
+/// in this model (exactly as CUDA blocks without atomics): a block never
+/// reads a location that another block of the same launch writes, and no
+/// two blocks write the same location. Every kernel in this repository
+/// writes block-disjoint output ranges. Under that invariant, concurrent
+/// block execution through this view is race-free; a kernel that violated
+/// it would already be nondeterministic under CUDA's undefined block
+/// schedule, and the serial engine's fixed block order would merely hide
+/// the bug. The view is deliberately `pub(crate)` so external code cannot
+/// construct aliasing accesses.
+pub(crate) struct SharedMem<'a> {
+    /// Raw (base, len) pairs per buffer; the lifetime ties them to the
+    /// exclusive `GlobalMem` borrow that produced the view.
+    buffers: Vec<(*mut f32, usize)>,
+    _mem: std::marker::PhantomData<&'a mut GlobalMem>,
+}
+
+// SAFETY: the pointers are valid for the lifetime of the exclusive borrow
+// of `GlobalMem`, and disjointness of concurrent accesses is guaranteed by
+// the launch invariant above.
+unsafe impl Send for SharedMem<'_> {}
+unsafe impl Sync for SharedMem<'_> {}
+
+impl SharedMem<'_> {
+    /// Load one word (bounds-checked like the exclusive path).
+    #[inline]
+    pub(crate) fn load(&self, buf: BufId, idx: usize) -> f32 {
+        let (ptr, len) = self.buffers[buf.0];
+        assert!(idx < len, "load out of bounds: {buf}[{idx}], len {len}");
+        // SAFETY: in-bounds; no concurrent writer per the launch invariant.
+        unsafe { *ptr.add(idx) }
+    }
+
+    /// Store one word (bounds-checked like the exclusive path).
+    #[inline]
+    pub(crate) fn store(&self, buf: BufId, idx: usize, v: f32) {
+        let (ptr, len) = self.buffers[buf.0];
+        assert!(idx < len, "store out of bounds: {buf}[{idx}], len {len}");
+        // SAFETY: in-bounds; no concurrent reader/writer of this location
+        // per the launch invariant.
+        unsafe { *ptr.add(idx) = v }
+    }
 }
 
 /// Count the global-memory transactions needed to service one warp-wide
@@ -93,11 +156,7 @@ impl GlobalMem {
 pub fn coalesce_transactions(addrs: &[Option<u64>], transaction_words: u32) -> u32 {
     debug_assert!(transaction_words.is_power_of_two());
     let shift = transaction_words.trailing_zeros();
-    let mut segments: Vec<u64> = addrs
-        .iter()
-        .flatten()
-        .map(|a| a >> shift)
-        .collect();
+    let mut segments: Vec<u64> = addrs.iter().flatten().map(|a| a >> shift).collect();
     segments.sort_unstable();
     segments.dedup();
     segments.len() as u32

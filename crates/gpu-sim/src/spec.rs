@@ -211,10 +211,7 @@ mod tests {
         let d = DeviceSpec::gtx285();
         assert_eq!(d.active_blocks_per_sm(1024, 0), 0); // >512 threads
         assert_eq!(d.active_blocks_per_sm(0, 0), 0);
-        assert_eq!(
-            d.active_blocks_per_sm(64, d.shared_words_per_block + 1),
-            0
-        );
+        assert_eq!(d.active_blocks_per_sm(64, d.shared_words_per_block + 1), 0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use gpu_sim::{
-    bank_conflict_degree, coalesce_transactions, launch, BlockCtx, DeviceSpec, ExecMode,
-    GlobalMem, Kernel, LaunchConfig,
+    bank_conflict_degree, coalesce_transactions, launch, launch_with_policy, BlockCtx, DeviceSpec,
+    ExecMode, ExecPolicy, GlobalMem, Kernel, LaunchConfig,
 };
 
 proptest! {
@@ -80,6 +80,131 @@ impl Kernel for Fill {
                 ctx.count_flops(1);
             }
         }
+    }
+}
+
+/// A randomly-parameterized kernel exercising every accounting path:
+/// strided global loads (coalescing), shared-memory traffic with a
+/// barrier (bank conflicts + syncs), compute rounds, and a
+/// block-disjoint global store — the launch invariant the parallel
+/// engine relies on.
+struct RandomKernel {
+    input: gpu_sim::BufId,
+    out: gpu_sim::BufId,
+    n_in: usize,
+    grid: u32,
+    block_dim: u32,
+    stride: usize,
+    rounds: u32,
+    use_shared: bool,
+}
+
+impl Kernel for RandomKernel {
+    fn name(&self) -> &str {
+        "random_kernel"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let shared = if self.use_shared { self.block_dim } else { 0 };
+        LaunchConfig::new(self.grid, self.block_dim, shared)
+    }
+
+    fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+        let bd = self.block_dim as usize;
+        for tid in ctx.threads() {
+            let gid = block as usize * bd + tid as usize;
+            let mut acc = ctx.ld_global(0, tid, self.input, (gid * self.stride) % self.n_in);
+            for r in 0..self.rounds {
+                let idx = (gid + r as usize * 31 + 1) % self.n_in;
+                acc += ctx.ld_global(1, tid, self.input, idx) * (r + 1) as f32;
+                ctx.compute(tid, 2);
+                ctx.count_flops(2);
+            }
+            if self.use_shared {
+                ctx.st_shared(2, tid, tid as usize, acc);
+            } else {
+                // Keep the store below unconditional on the same value.
+                ctx.st_global(3, tid, self.out, gid, acc);
+            }
+        }
+        if self.use_shared {
+            ctx.sync();
+            for tid in ctx.threads() {
+                let bd = self.block_dim as usize;
+                let gid = block as usize * bd + tid as usize;
+                let neighbor = (tid as usize + 1) % bd;
+                let v = ctx.ld_shared(4, tid, tid as usize) + ctx.ld_shared(5, tid, neighbor);
+                ctx.compute(tid, 1);
+                ctx.count_flops(1);
+                ctx.st_global(3, tid, self.out, gid, v);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// The tentpole property: for random kernels, grids, execution modes,
+    /// and worker counts, the parallel engine is *bit-for-bit* identical
+    /// to the serial engine — same output buffer, same `KernelStats`
+    /// (counters, scaled totals, executed/recorded block counts).
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial(
+        grid in 1u32..48,
+        block_dim in prop::sample::select(vec![32u32, 64, 128]),
+        stride in 1usize..9,
+        rounds in 0u32..4,
+        shared_sel in 0u32..2,
+        mode_sel in prop::sample::select(vec![
+            ExecMode::Full,
+            ExecMode::SampledStats(4),
+            ExecMode::SampledExec(3),
+            ExecMode::SampledExec(7),
+        ]),
+        workers in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let device = DeviceSpec::tesla_c2050();
+        let n = (grid * block_dim) as usize;
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) % 1024) as f32 - 512.0)
+            .collect();
+
+        let mut mem_s = GlobalMem::new();
+        let input_s = mem_s.alloc_from(&data);
+        let out_s = mem_s.alloc(n);
+        let k_s = RandomKernel {
+            input: input_s,
+            out: out_s,
+            n_in: n,
+            grid,
+            block_dim,
+            stride,
+            rounds,
+            use_shared: shared_sel == 1,
+        };
+        let serial = launch_with_policy(&device, &mut mem_s, &k_s, mode_sel, ExecPolicy::Serial);
+
+        let mut mem_p = GlobalMem::new();
+        let input_p = mem_p.alloc_from(&data);
+        let out_p = mem_p.alloc(n);
+        let k_p = RandomKernel { input: input_p, out: out_p, ..k_s };
+        let parallel = launch_with_policy(
+            &device,
+            &mut mem_p,
+            &k_p,
+            mode_sel,
+            ExecPolicy::Parallel(workers),
+        );
+
+        // Full stats equality: name, config, per-counter totals, scaled
+        // counters, block counts — everything `KernelStats` carries.
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.executed_blocks, parallel.executed_blocks);
+        prop_assert_eq!(serial.totals, parallel.totals);
+        // Output buffers match bit-for-bit (both engines executed the
+        // same block subset and wrote the same words).
+        prop_assert_eq!(mem_s.read(out_s), mem_p.read(out_p));
     }
 }
 

@@ -166,10 +166,8 @@ mod tests {
 
     #[test]
     fn partition_two_variants() {
-        let mut variants: Vec<Box<dyn FnMut(i64) -> f64>> = vec![
-            Box::new(|x| 100.0 + x as f64),
-            Box::new(|x| 2.0 * x as f64),
-        ];
+        let mut variants: Vec<Box<dyn FnMut(i64) -> f64>> =
+            vec![Box::new(|x| 100.0 + x as f64), Box::new(|x| 2.0 * x as f64)];
         let ranges = partition_range(1, 10_000, &mut variants);
         assert!(tiles_exactly(1, 10_000, &ranges));
         assert_eq!(ranges.len(), 2);
@@ -219,18 +217,42 @@ mod tests {
     #[test]
     fn tiles_exactly_detects_gaps_and_overlap() {
         let ok = vec![
-            RangeAssignment { lo: 1, hi: 5, variant: 0 },
-            RangeAssignment { lo: 6, hi: 9, variant: 1 },
+            RangeAssignment {
+                lo: 1,
+                hi: 5,
+                variant: 0,
+            },
+            RangeAssignment {
+                lo: 6,
+                hi: 9,
+                variant: 1,
+            },
         ];
         assert!(tiles_exactly(1, 9, &ok));
         let gap = vec![
-            RangeAssignment { lo: 1, hi: 4, variant: 0 },
-            RangeAssignment { lo: 6, hi: 9, variant: 1 },
+            RangeAssignment {
+                lo: 1,
+                hi: 4,
+                variant: 0,
+            },
+            RangeAssignment {
+                lo: 6,
+                hi: 9,
+                variant: 1,
+            },
         ];
         assert!(!tiles_exactly(1, 9, &gap));
         let overlap = vec![
-            RangeAssignment { lo: 1, hi: 6, variant: 0 },
-            RangeAssignment { lo: 6, hi: 9, variant: 1 },
+            RangeAssignment {
+                lo: 1,
+                hi: 6,
+                variant: 0,
+            },
+            RangeAssignment {
+                lo: 6,
+                hi: 9,
+                variant: 1,
+            },
         ];
         assert!(!tiles_exactly(1, 9, &overlap));
         assert!(!tiles_exactly(1, 9, &[]));

@@ -143,8 +143,7 @@ pub fn estimate(device: &DeviceSpec, p: &LaunchProfile) -> TimingEstimate {
 
     // Warp parallelism.
     let mwp_no_bw = mem_l / departure;
-    let mwp_peak_bw =
-        device.transactions_per_cycle() * mem_l / (trans * device.sm_count as f64);
+    let mwp_peak_bw = device.transactions_per_cycle() * mem_l / (trans * device.sm_count as f64);
     let mwp = mwp_no_bw.min(mwp_peak_bw).min(n_warps).max(1.0);
     let cwp_full = if comp_cycles > 0.0 {
         (mem_cycles + comp_cycles) / comp_cycles
@@ -179,8 +178,7 @@ pub fn estimate(device: &DeviceSpec, p: &LaunchProfile) -> TimingEstimate {
         (KernelClass::ComputeBound, comp_cycles * n_warps + mem_l)
     };
 
-    let waves = (p.grid_dim as f64
-        / (blocks_per_sm_actual * device.sm_count as f64))
+    let waves = (p.grid_dim as f64 / (blocks_per_sm_actual * device.sm_count as f64))
         .ceil()
         .max(1.0);
     let total_cycles = exec_cycles * waves + device.launch_overhead_cycles();
@@ -303,10 +301,7 @@ mod tests {
             let mut p = base_profile();
             p.mem_insts_per_warp = mem;
             let est = estimate(&device(), &p);
-            assert!(
-                est.total_cycles >= last,
-                "cycles decreased at mem={mem}"
-            );
+            assert!(est.total_cycles >= last, "cycles decreased at mem={mem}");
             last = est.total_cycles;
         }
     }

@@ -6,13 +6,7 @@ use proptest::prelude::*;
 use gpu_sim::DeviceSpec;
 use perfmodel::{estimate, find_crossover, partition_range, tiles_exactly, LaunchProfile};
 
-fn profile(
-    grid: u32,
-    block: u32,
-    mem: f64,
-    trans: f64,
-    compute: f64,
-) -> LaunchProfile {
+fn profile(grid: u32, block: u32, mem: f64, trans: f64, compute: f64) -> LaunchProfile {
     LaunchProfile {
         grid_dim: grid,
         block_dim: block,

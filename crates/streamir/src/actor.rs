@@ -187,10 +187,7 @@ mod tests {
         let a = ActorDef::new("A", identity_work())
             .with_state_array("xs", RateExpr::param("N"))
             .with_state_scalar("count", 0.0);
-        assert!(matches!(
-            a.state_var("xs"),
-            Some(StateVar::Array { .. })
-        ));
+        assert!(matches!(a.state_var("xs"), Some(StateVar::Array { .. })));
         assert!(matches!(
             a.state_var("count"),
             Some(StateVar::Scalar { .. })

@@ -200,7 +200,9 @@ impl Program {
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlatNode {
     /// Index into [`Program::actors`].
-    Actor { actor: usize },
+    Actor {
+        actor: usize,
+    },
     Split(Splitter),
     Join(Joiner),
 }
@@ -253,14 +255,10 @@ impl FlatGraph {
                 Ok((RateExpr::constant(1), RateExpr::constant(1)))
             }
             FlatNode::Split(Splitter::RoundRobin(ws)) => {
-                let sum = ws
-                    .iter()
-                    .fold(RateExpr::zero(), |acc, w| acc + w.clone());
+                let sum = ws.iter().fold(RateExpr::zero(), |acc, w| acc + w.clone());
                 Ok((sum.clone(), sum))
             }
-            FlatNode::Join(_) => Err(Error::Semantic(
-                "joiner cannot be a graph entry".into(),
-            )),
+            FlatNode::Join(_) => Err(Error::Semantic("joiner cannot be a graph entry".into())),
         }
     }
 
@@ -268,12 +266,10 @@ impl FlatGraph {
     pub fn out_rate(&self, program: &Program, node: usize) -> Result<RateExpr> {
         match &self.nodes[node] {
             FlatNode::Actor { actor } => Ok(program.actors[*actor].work.push.clone()),
-            FlatNode::Join(Joiner::RoundRobin(ws)) => Ok(ws
-                .iter()
-                .fold(RateExpr::zero(), |acc, w| acc + w.clone())),
-            FlatNode::Split(_) => Err(Error::Semantic(
-                "splitter cannot be a graph exit".into(),
-            )),
+            FlatNode::Join(Joiner::RoundRobin(ws)) => {
+                Ok(ws.iter().fold(RateExpr::zero(), |acc, w| acc + w.clone()))
+            }
+            FlatNode::Split(_) => Err(Error::Semantic("splitter cannot be a graph exit".into())),
         }
     }
 
@@ -414,10 +410,7 @@ mod tests {
             actors: vec![simple_actor("A", 1, 1), simple_actor("B", 1, 1)],
             graph: StreamNode::SplitJoin {
                 splitter: Splitter::Duplicate,
-                branches: vec![
-                    StreamNode::Actor("A".into()),
-                    StreamNode::Actor("B".into()),
-                ],
+                branches: vec![StreamNode::Actor("A".into()), StreamNode::Actor("B".into())],
                 joiner: Joiner::RoundRobin(vec![RateExpr::constant(1), RateExpr::constant(1)]),
             },
         };
@@ -465,10 +458,7 @@ mod tests {
             graph: StreamNode::SplitJoin {
                 splitter: Splitter::RoundRobin(vec![RateExpr::constant(1)]),
                 branches: vec![StreamNode::Actor("A".into())],
-                joiner: Joiner::RoundRobin(vec![
-                    RateExpr::constant(1),
-                    RateExpr::constant(1),
-                ]),
+                joiner: Joiner::RoundRobin(vec![RateExpr::constant(1), RateExpr::constant(1)]),
             },
         };
         assert!(p.flatten().is_err());

@@ -120,11 +120,8 @@ impl<'p> Interpreter<'p> {
             }
         }
 
-        let mut channels: Vec<VecDeque<f32>> = graph
-            .channels
-            .iter()
-            .map(|_| VecDeque::new())
-            .collect();
+        let mut channels: Vec<VecDeque<f32>> =
+            graph.channels.iter().map(|_| VecDeque::new()).collect();
         let mut cursor = 0usize;
         let mut output = Vec::new();
 
@@ -169,9 +166,7 @@ impl<'p> Interpreter<'p> {
                 )
             }
             FlatNode::Split(splitter) => {
-                let read = |channels: &mut [VecDeque<f32>],
-                            cursor: &mut usize|
-                 -> Result<f32> {
+                let read = |channels: &mut [VecDeque<f32>], cursor: &mut usize| -> Result<f32> {
                     if is_entry {
                         let v = *input
                             .get(*cursor)
@@ -306,9 +301,10 @@ impl FiringEnv<'_> {
                 let i = self.eval(index)?.as_i64()?;
                 let v = self.eval(expr)?.as_f32()?;
                 let key = (self.actor.name.clone(), array.clone());
-                let arr = self.arrays.get_mut(&key).ok_or_else(|| {
-                    Error::Runtime(format!("unbound state array `{array}`"))
-                })?;
+                let arr = self
+                    .arrays
+                    .get_mut(&key)
+                    .ok_or_else(|| Error::Runtime(format!("unbound state array `{array}`")))?;
                 let slot = arr.get_mut(i as usize).ok_or_else(|| {
                     Error::Runtime(format!("state array `{array}` index {i} out of bounds"))
                 })?;
@@ -415,18 +411,16 @@ impl FiringEnv<'_> {
             Expr::StateLoad { array, index } => {
                 let i = self.eval(index)?.as_i64()?;
                 let key = (self.actor.name.clone(), array.clone());
-                let arr = self.arrays.get(&key).ok_or_else(|| {
-                    Error::Runtime(format!("unbound state array `{array}`"))
-                })?;
-                arr.get(i as usize)
-                    .copied()
-                    .map(Value::F32)
-                    .ok_or_else(|| {
-                        Error::Runtime(format!(
-                            "state array `{array}` index {i} out of bounds (len {})",
-                            arr.len()
-                        ))
-                    })
+                let arr = self
+                    .arrays
+                    .get(&key)
+                    .ok_or_else(|| Error::Runtime(format!("unbound state array `{array}`")))?;
+                arr.get(i as usize).copied().map(Value::F32).ok_or_else(|| {
+                    Error::Runtime(format!(
+                        "state array `{array}` index {i} out of bounds (len {})",
+                        arr.len()
+                    ))
+                })
             }
             Expr::Binary { op, lhs, rhs } => {
                 let a = self.eval(lhs)?;
@@ -605,19 +599,19 @@ mod tests {
     fn single_actor_map() {
         let p = program_with(vec![scale_actor()], &[]);
         let mut it = Interpreter::new(&p);
-        assert_eq!(
-            it.run(&[1.0, 2.0, 3.0]).unwrap(),
-            vec![3.0, 6.0, 9.0]
-        );
+        assert_eq!(it.run(&[1.0, 2.0, 3.0]).unwrap(), vec![3.0, 6.0, 9.0]);
     }
 
     #[test]
     fn pipeline_composes() {
-        let p = program_with(vec![scale_actor(), {
-            let mut a = scale_actor();
-            a.name = "Scale2".into();
-            a
-        }], &[]);
+        let p = program_with(
+            vec![scale_actor(), {
+                let mut a = scale_actor();
+                a.name = "Scale2".into();
+                a
+            }],
+            &[],
+        );
         let mut it = Interpreter::new(&p);
         assert_eq!(it.run(&[1.0]).unwrap(), vec![9.0]);
     }
@@ -652,7 +646,8 @@ mod tests {
         let mut it = Interpreter::new(&p);
         it.bind_param("N", 4);
         assert_eq!(
-            it.run(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]).unwrap(),
+            it.run(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0])
+                .unwrap(),
             vec![10.0, 100.0]
         );
     }
@@ -678,7 +673,10 @@ mod tests {
         );
         let p = program_with(vec![a], &[]);
         let mut it = Interpreter::new(&p);
-        assert_eq!(it.run(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![2.0, 1.0, 4.0, 3.0]);
+        assert_eq!(
+            it.run(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+            vec![2.0, 1.0, 4.0, 3.0]
+        );
     }
 
     #[test]
@@ -782,10 +780,7 @@ mod tests {
         .with_state_scalar("count", 0.0);
         let p = program_with(vec![a], &[]);
         let mut it = Interpreter::new(&p);
-        assert_eq!(
-            it.run(&[1.0, 2.0, 3.0]).unwrap(),
-            vec![1.0, 3.0, 6.0]
-        );
+        assert_eq!(it.run(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 3.0, 6.0]);
     }
 
     #[test]
@@ -872,10 +867,7 @@ mod tests {
             },
         };
         let mut it = Interpreter::new(&p);
-        assert_eq!(
-            it.run(&[1.0, 10.0]).unwrap(),
-            vec![2.0, 3.0, 20.0, 30.0]
-        );
+        assert_eq!(it.run(&[1.0, 10.0]).unwrap(), vec![2.0, 3.0, 20.0, 30.0]);
     }
 
     #[test]
@@ -897,14 +889,8 @@ mod tests {
             params: vec![],
             actors: vec![id("A"), id("B")],
             graph: StreamNode::SplitJoin {
-                splitter: Splitter::RoundRobin(vec![
-                    RateExpr::constant(2),
-                    RateExpr::constant(1),
-                ]),
-                branches: vec![
-                    StreamNode::Actor("A".into()),
-                    StreamNode::Actor("B".into()),
-                ],
+                splitter: Splitter::RoundRobin(vec![RateExpr::constant(2), RateExpr::constant(1)]),
+                branches: vec![StreamNode::Actor("A".into()), StreamNode::Actor("B".into())],
                 joiner: Joiner::RoundRobin(vec![RateExpr::constant(2), RateExpr::constant(1)]),
             },
         };

@@ -176,7 +176,10 @@ pub enum Expr {
     /// Unary operation.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Intrinsic call.
-    Call { intrinsic: Intrinsic, args: Vec<Expr> },
+    Call {
+        intrinsic: Intrinsic,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {

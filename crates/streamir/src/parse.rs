@@ -92,11 +92,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
     let mut col = 1;
     macro_rules! push {
         ($t:expr) => {
-            toks.push(Spanned {
-                tok: $t,
-                line,
-                col,
-            })
+            toks.push(Spanned { tok: $t, line, col })
         };
     }
     while i < bytes.len() {
@@ -269,7 +265,9 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
                 // A `.` followed by a digit makes it a float; `..` is a range.
                 let is_float = i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit());
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit());
                 if is_float {
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -553,11 +551,7 @@ impl Parser {
         })
     }
 
-    fn splitjoin(
-        &mut self,
-        actors: &mut Vec<ActorDef>,
-        params: &[String],
-    ) -> Result<StreamNode> {
+    fn splitjoin(&mut self, actors: &mut Vec<ActorDef>, params: &[String]) -> Result<StreamNode> {
         self.expect_keyword("splitjoin")?;
         self.expect(Tok::LBrace, "`{`")?;
         self.expect_keyword("split")?;
@@ -1077,10 +1071,8 @@ mod tests {
 
     #[test]
     fn parse_minimal_pipeline() {
-        let p = parse_program(
-            "pipeline Main() { actor Id(pop 1, push 1) { push(pop()); } }",
-        )
-        .unwrap();
+        let p =
+            parse_program("pipeline Main() { actor Id(pop 1, push 1) { push(pop()); } }").unwrap();
         assert_eq!(p.name, "Main");
         assert!(p.params.is_empty());
         assert_eq!(p.actors.len(), 1);
@@ -1113,10 +1105,8 @@ mod tests {
 
     #[test]
     fn parse_polynomial_rate() {
-        let p = parse_program(
-            "pipeline P(r, c) { actor A(pop r*c + 2, push 1) { push(pop()); } }",
-        )
-        .unwrap();
+        let p = parse_program("pipeline P(r, c) { actor A(pop r*c + 2, push 1) { push(pop()); } }")
+            .unwrap();
         let expect = RateExpr::param("r") * RateExpr::param("c") + RateExpr::constant(2);
         assert_eq!(p.actors[0].work.pop, expect);
     }
@@ -1200,9 +1190,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert!(
-            matches!(p.actors[0].state[0], StateVar::Scalar { init, .. } if init < 0.0)
-        );
+        assert!(matches!(p.actors[0].state[0], StateVar::Scalar { init, .. } if init < 0.0));
     }
 
     #[test]
@@ -1233,9 +1221,7 @@ mod tests {
 
     #[test]
     fn non_param_rate_rejected() {
-        let r = parse_program(
-            "pipeline P(n) { actor A(pop m, push 1) { push(pop()); } }",
-        );
+        let r = parse_program("pipeline P(n) { actor A(pop m, push 1) { push(pop()); } }");
         assert!(matches!(r, Err(Error::Parse { .. })));
     }
 
@@ -1247,23 +1233,25 @@ mod tests {
 
     #[test]
     fn wrong_intrinsic_arity_rejected() {
-        let r = parse_program(
-            "pipeline P() { actor A(pop 1, push 1) { push(max(pop())); } }",
-        );
+        let r = parse_program("pipeline P() { actor A(pop 1, push 1) { push(max(pop())); } }");
         assert!(matches!(r, Err(Error::Parse { .. })));
     }
 
     #[test]
     fn expression_precedence() {
-        let p = parse_program(
-            "pipeline P() { actor A(pop 1, push 1) { push(1.0 + pop() * 2.0); } }",
-        )
-        .unwrap();
+        let p =
+            parse_program("pipeline P() { actor A(pop 1, push 1) { push(1.0 + pop() * 2.0); } }")
+                .unwrap();
         // Must parse as 1.0 + (pop * 2.0)
         let Stmt::Push(e) = &p.actors[0].work.body[0] else {
             panic!("expected push");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected add at the top, got {e}");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));

@@ -127,9 +127,7 @@ impl RateExpr {
         for t in &self.terms {
             let mut v = t.coef;
             for p in &t.vars {
-                let x = *binds
-                    .get(p)
-                    .ok_or_else(|| Error::UnboundParam(p.clone()))?;
+                let x = *binds.get(p).ok_or_else(|| Error::UnboundParam(p.clone()))?;
                 v = v.saturating_mul(x);
             }
             total = total.saturating_add(v);
@@ -234,10 +232,7 @@ mod tests {
     use super::*;
 
     fn binds(pairs: &[(&str, i64)]) -> Bindings {
-        pairs
-            .iter()
-            .map(|(k, v)| (k.to_string(), *v))
-            .collect()
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 
     #[test]

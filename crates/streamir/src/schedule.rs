@@ -93,10 +93,7 @@ impl Ratio {
         // Cross-reduce before multiplying to avoid overflow.
         let g1 = gcd(self.num, den).max(1);
         let g2 = gcd(num, self.den).max(1);
-        Ratio::new(
-            (self.num / g1) * (num / g2),
-            (self.den / g2) * (den / g1),
-        )
+        Ratio::new((self.num / g1) * (num / g2), (self.den / g2) * (den / g1))
     }
 }
 
@@ -166,10 +163,7 @@ pub fn rate_match(graph: &FlatGraph, binds: &Bindings) -> Result<Schedule> {
     }
 
     // Scale to the smallest integer solution.
-    let denom_lcm = reps
-        .iter()
-        .map(|r| r.unwrap().den)
-        .fold(1u64, lcm);
+    let denom_lcm = reps.iter().map(|r| r.unwrap().den).fold(1u64, lcm);
     let mut int_reps: Vec<u64> = reps
         .iter()
         .map(|r| {
@@ -323,10 +317,7 @@ mod tests {
             actors: vec![a, b],
             graph: StreamNode::SplitJoin {
                 splitter: Splitter::Duplicate,
-                branches: vec![
-                    StreamNode::Actor("A".into()),
-                    StreamNode::Actor("B".into()),
-                ],
+                branches: vec![StreamNode::Actor("A".into()), StreamNode::Actor("B".into())],
                 joiner: Joiner::RoundRobin(vec![RateExpr::constant(1), RateExpr::constant(1)]),
             },
         };
@@ -347,14 +338,8 @@ mod tests {
             params: vec![],
             actors: vec![a, b],
             graph: StreamNode::SplitJoin {
-                splitter: Splitter::RoundRobin(vec![
-                    RateExpr::constant(3),
-                    RateExpr::constant(1),
-                ]),
-                branches: vec![
-                    StreamNode::Actor("A".into()),
-                    StreamNode::Actor("B".into()),
-                ],
+                splitter: Splitter::RoundRobin(vec![RateExpr::constant(3), RateExpr::constant(1)]),
+                branches: vec![StreamNode::Actor("A".into()), StreamNode::Actor("B".into())],
                 joiner: Joiner::RoundRobin(vec![RateExpr::constant(3), RateExpr::constant(1)]),
             },
         };
@@ -387,10 +372,7 @@ mod tests {
             actors: vec![a, b],
             graph: StreamNode::SplitJoin {
                 splitter: Splitter::Duplicate,
-                branches: vec![
-                    StreamNode::Actor("A".into()),
-                    StreamNode::Actor("B".into()),
-                ],
+                branches: vec![StreamNode::Actor("A".into()), StreamNode::Actor("B".into())],
                 joiner: Joiner::RoundRobin(vec![RateExpr::constant(1), RateExpr::constant(1)]),
             },
         };

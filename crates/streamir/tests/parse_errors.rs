@@ -73,17 +73,12 @@ fn state_after_statements_is_rejected() {
 
 #[test]
 fn empty_program_is_rejected() {
-    assert!(matches!(
-        parse_err("pipeline P() { }"),
-        Error::Parse { .. }
-    ));
+    assert!(matches!(parse_err("pipeline P() { }"), Error::Parse { .. }));
 }
 
 #[test]
 fn trailing_tokens_rejected() {
-    let e = parse_err(
-        "pipeline P() { actor A(pop 1, push 1) { push(pop()); } } pipeline Q() { }",
-    );
+    let e = parse_err("pipeline P() { actor A(pop 1, push 1) { push(pop()); } } pipeline Q() { }");
     assert!(matches!(e, Error::Parse { .. }));
 }
 
@@ -106,10 +101,8 @@ fn splitjoin_without_join_rejected() {
 #[test]
 fn reserved_intrinsic_names_still_parse_as_variables_without_call() {
     // `max` as a bare variable (no parens) is a plain identifier.
-    let p = parse_program(
-        "pipeline P() { actor A(pop 1, push 1) { max = pop(); push(max); } }",
-    )
-    .unwrap();
+    let p = parse_program("pipeline P() { actor A(pop 1, push 1) { max = pop(); push(max); } }")
+        .unwrap();
     assert_eq!(p.actors.len(), 1);
 }
 
@@ -119,8 +112,7 @@ fn deeply_nested_expressions_parse() {
     for _ in 0..60 {
         expr = format!("({expr} + 1.0)");
     }
-    let src =
-        format!("pipeline P() {{ actor A(pop 1, push 1) {{ push({expr}); }} }}");
+    let src = format!("pipeline P() {{ actor A(pop 1, push 1) {{ push({expr}); }} }}");
     let p = parse_program(&src).unwrap();
     let mut it = streamir::interp::Interpreter::new(&p);
     assert_eq!(it.run(&[0.0]).unwrap(), vec![60.0]);

@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceSpec::tesla_c2050();
 
     let reference = bicgstab::solve_reference(&a, &b, n, iters);
-    let (cublas_x, cublas_us) =
-        bicgstab::solve_cublas(&device, &a, &b, n, iters, ExecMode::Full);
+    let (cublas_x, cublas_us) = bicgstab::solve_cublas(&device, &a, &b, n, iters, ExecMode::Full);
 
     let solver = AdapticBicgstab::compile(&device, 64, 4096, CompileOptions::default())?;
     let (adaptic_x, adaptic_us) = solver.solve(&a, &b, n, iters, ExecMode::Full)?;
@@ -30,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fold(0.0, f32::max)
     };
     println!("system: {n}x{n}, {iters} BiCGSTAB iterations");
-    println!("CUBLAS-composed: {cublas_us:>8.1} us  (max |err| vs CPU: {:.2e})", err(&cublas_x));
-    println!("Adaptic:         {adaptic_us:>8.1} us  (max |err| vs CPU: {:.2e})", err(&adaptic_x));
+    println!(
+        "CUBLAS-composed: {cublas_us:>8.1} us  (max |err| vs CPU: {:.2e})",
+        err(&cublas_x)
+    );
+    println!(
+        "Adaptic:         {adaptic_us:>8.1} us  (max |err| vs CPU: {:.2e})",
+        err(&adaptic_x)
+    );
     println!("speedup: {:.2}x", cublas_us / adaptic_us.max(1e-9));
 
     // The optimization breakdown of Figure 11, at this size.
@@ -50,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let s = AdapticBicgstab::compile(&device, 64, 4096, opts)?;
         let (_, us) = s.solve(&a, &b, n, iters, ExecMode::SampledExec(256))?;
-        println!("{name} {:>8.1} us ({:.2}x vs CUBLAS)", us, cublas_us / us.max(1e-9));
+        println!(
+            "{name} {:>8.1} us ({:.2}x vs CUBLAS)",
+            us,
+            cublas_us / us.max(1e-9)
+        );
     }
     Ok(())
 }

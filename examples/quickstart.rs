@@ -31,10 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let axis = InputAxis::total_size("N", 1 << 8, 1 << 22);
     let compiled = compile(&program, &device, &axis)?;
 
-    println!("segments after integration: {:?}", compiled.segment_labels());
+    println!(
+        "segments after integration: {:?}",
+        compiled.segment_labels()
+    );
     println!("variant table ({} entries):", compiled.variant_count());
     for (i, v) in compiled.variants.iter().enumerate() {
-        println!("  v{i}: [{:>8}, {:>8}]  {:?}  tags {:?}", v.lo, v.hi, v.choices, v.tags);
+        println!(
+            "  v{i}: [{:>8}, {:>8}]  {:?}  tags {:?}",
+            v.lo, v.hi, v.choices, v.tags
+        );
     }
 
     // 3. Run at several sizes — the runtime picks the right variant.
@@ -53,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Inspect the generated CUDA for one input size.
-    println!("\n--- generated CUDA for N = 1M ---\n{}", compiled.cuda_source(1 << 20));
+    println!(
+        "\n--- generated CUDA for N = 1M ---\n{}",
+        compiled.cuda_source(1 << 20)
+    );
     Ok(())
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lr: 0.2,
         ..SvmConfig::default()
     };
-    println!("dataset: {} ({} samples x {} features)", ds.name, ds.n, ds.d);
+    println!(
+        "dataset: {} ({} samples x {} features)",
+        ds.name, ds.n, ds.d
+    );
 
     let base = gpusvm::train(
         &device,
@@ -36,18 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.time_us, base.launches, base.cache_hits
     );
 
-    let svm = AdapticSvm::compile(
-        &device,
-        64,
-        ds.n as i64,
-        ds.d,
-        CompileOptions::default(),
-    )?;
+    let svm = AdapticSvm::compile(&device, 64, ds.n as i64, ds.d, CompileOptions::default())?;
     let nocache = SvmConfig {
         cache_rows: 0,
         ..cfg
     };
-    let run = svm.train(&ds.data, &ds.labels, ds.n, &nocache, ExecMode::SampledExec(128))?;
+    let run = svm.train(
+        &ds.data,
+        &ds.labels,
+        ds.n,
+        &nocache,
+        ExecMode::SampledExec(128),
+    )?;
     println!(
         "Adaptic: {:>9.1} us, {} launches (no cache — outside the compiler's reach)",
         run.time_us, run.launches

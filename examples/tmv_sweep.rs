@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "compiled TMV once for all shapes: {} variants\n",
         compiled.variant_count()
     );
-    println!("{:>12} {:>12} {:>12} {:>9}", "shape", "cublas", "adaptic", "speedup");
+    println!(
+        "{:>12} {:>12} {:>12} {:>9}",
+        "shape", "cublas", "adaptic", "speedup"
+    );
 
     let mut rows = 4usize;
     while rows <= total / 4 {

@@ -92,10 +92,10 @@ fn tmv_matches_reference_across_shapes_and_devices() {
                 )
                 .unwrap();
             let expected = reference::tmv(&a, &x, rows, cols);
-            for r in 0..rows {
+            for (r, &exp) in expected.iter().enumerate() {
                 assert_close(
                     rep.output[r],
-                    expected[r],
+                    exp,
                     1e-3,
                     &format!("{}: tmv {rows}x{cols} row {r}", device.name),
                 );
@@ -116,10 +116,10 @@ fn dct_pipeline_matches_reference() {
     let rep = compiled.run(n_tiles as i64, &tiles).unwrap();
     for t in 0..n_tiles {
         let expected = reference::dct8x8(&tiles[t * 64..(t + 1) * 64]);
-        for i in 0..64 {
+        for (i, &exp) in expected.iter().enumerate() {
             assert_close(
                 rep.output[t * 64 + i],
-                expected[i],
+                exp,
                 1e-3,
                 &format!("dct tile {t} coeff {i}"),
             );

@@ -1,0 +1,256 @@
+//! Offline, API-compatible subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no route to a crates registry, so the real
+//! criterion cannot be downloaded. This vendored stand-in keeps the
+//! workspace's benches compiling and *measuring*: each benchmark runs a
+//! warm-up pass plus `sample_size` timed samples of the routine and prints
+//! min/mean/max wall-clock per iteration. There are no plots, no
+//! statistical analysis, and no baseline persistence — just honest timings
+//! on stdout, which is what the repo's `results/` records consume.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+/// One measured sample set, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let m = run_bench(self.sample_size, &mut f);
+        report(id, m);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> Measurement {
+    // Warm-up: one untimed pass.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    let n = per_iter.len().max(1) as f64;
+    let mean = per_iter.iter().sum::<f64>() / n;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0, f64::max);
+    Measurement {
+        min: if min.is_finite() { min } else { 0.0 },
+        mean,
+        max,
+    }
+}
+
+fn report(id: &str, m: Measurement) {
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_ns(m.min),
+        fmt_ns(m.mean),
+        fmt_ns(m.max)
+    );
+}
+
+/// Hands the routine to the measurement loop (stub of `criterion::Bencher`).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive to prevent the optimizer
+    /// from deleting the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function_id/parameter`-style id.
+    pub fn new<D: Display>(function_id: &str, parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<D: Display>(parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named set of related benchmarks (stub of criterion's group).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine that consumes a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.criterion.sample_size;
+        let m = run_bench(samples, &mut |b: &mut Bencher| f(b, input));
+        report(&format!("{}/{}", self.name, id.id), m);
+        self
+    }
+
+    /// Benchmark a routine under `id` within the group. Accepts both a
+    /// plain `&str` and a [`BenchmarkId`], like real criterion.
+    pub fn bench_function<ID: Display, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.criterion.sample_size;
+        let m = run_bench(samples, &mut f);
+        report(&format!("{}/{id}", self.name), m);
+        self
+    }
+
+    /// Finish the group (no-op beyond dropping it).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                42u64
+            })
+        });
+        // Warm-up + 3 samples.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn groups_and_ids_work() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &input, |b, input| {
+            b.iter(|| input.iter().sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+    }
+}
