@@ -13,7 +13,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gpu_sim::{
-    launch_with_policy, BufId, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats, LaunchCache,
+    launch_pooled, BufId, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats, LaunchCache,
+    ScratchPool,
 };
 use perfmodel::{estimate_stats, TimingEstimate};
 use streamir::actor::{ActorDef, StateVar};
@@ -203,6 +204,7 @@ impl CompiledProgram {
             dims: (x as u64, input.len() as u64),
             hits: std::cell::Cell::new(0),
             misses: std::cell::Cell::new(0),
+            scratch: ScratchPool::new(),
         };
         let (variant_index, variant) = self.variant_for(x);
         let choices = variant.choices.clone();
@@ -669,8 +671,9 @@ fn ensure_device(
 }
 
 /// Per-run launch context threaded through [`run_kernel`]: the device, the
-/// engine options, the optional memoization cache, and this run's
-/// dimension fingerprint for cache keys.
+/// engine options, the optional memoization cache, this run's dimension
+/// fingerprint for cache keys, and the scratch pool that recycles warp
+/// accounting arenas across the run's kernel launches.
 struct LaunchEnv<'a> {
     device: &'a gpu_sim::DeviceSpec,
     opts: RunOptions,
@@ -678,6 +681,7 @@ struct LaunchEnv<'a> {
     dims: (u64, u64),
     hits: std::cell::Cell<u64>,
     misses: std::cell::Cell<u64>,
+    scratch: ScratchPool,
 }
 
 fn run_kernel(
@@ -687,16 +691,24 @@ fn run_kernel(
     out: &mut Vec<KernelReport>,
 ) {
     let (stats, cached) = match env.cache {
-        Some(cache) => cache.launch(
+        Some(cache) => cache.launch_pooled(
             env.device,
             mem,
             kernel,
             env.opts.mode,
             env.opts.policy,
             env.dims,
+            &env.scratch,
         ),
         None => (
-            launch_with_policy(env.device, mem, kernel, env.opts.mode, env.opts.policy),
+            launch_pooled(
+                env.device,
+                mem,
+                kernel,
+                env.opts.mode,
+                env.opts.policy,
+                &env.scratch,
+            ),
             false,
         ),
     };

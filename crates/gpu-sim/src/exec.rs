@@ -23,8 +23,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::accounting::{BlockScratch, ScratchPool};
 use crate::kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig};
 use crate::mem::GlobalMem;
 use crate::spec::DeviceSpec;
@@ -37,10 +38,12 @@ pub enum ExecMode {
     Full,
     /// Execute every block (exact output) but record statistics on at most
     /// this many evenly-spaced blocks, scaling counters to the full grid.
+    /// The sample size must be at least 1; zero is rejected at launch.
     SampledStats(u32),
     /// Execute and record only this many evenly-spaced blocks; the rest of
     /// the output is left unwritten. Use in timing-only sweeps where the
-    /// workload is data-independent.
+    /// workload is data-independent. The sample size must be at least 1;
+    /// zero is rejected at launch.
     SampledExec(u32),
 }
 
@@ -160,10 +163,9 @@ impl KernelStats {
 }
 
 /// Which blocks to include in an evenly-spaced sample of size `sample`.
+/// Zero-sized samples are rejected earlier, in [`validate`].
 fn sample_stride(grid: u32, sample: u32) -> u32 {
-    if sample == 0 {
-        return u32::MAX;
-    }
+    debug_assert!(sample > 0, "zero sample rejected at validate()");
     grid.div_ceil(sample.min(grid)).max(1)
 }
 
@@ -176,9 +178,9 @@ fn sample_stride(grid: u32, sample: u32) -> u32 {
 /// # Panics
 ///
 /// Panics if the launch configuration is impossible for the device (block
-/// larger than `max_threads_per_block`, zero-sized grid/block, or more
-/// shared memory than a block may allocate) — mirroring a CUDA launch
-/// failure.
+/// larger than `max_threads_per_block`, zero-sized grid/block, more
+/// shared memory than a block may allocate, or a zero-sized statistics
+/// sample) — mirroring a CUDA launch failure.
 pub fn launch(
     device: &DeviceSpec,
     mem: &mut GlobalMem,
@@ -186,8 +188,16 @@ pub fn launch(
     mode: ExecMode,
 ) -> KernelStats {
     let (config, exec_stride, stat_stride) = validate(device, kernel, mode);
-    let (merged, recorded, executed) =
-        run_serial(device, mem, kernel, config, exec_stride, stat_stride);
+    let mut scratch = BlockScratch::new();
+    let (merged, recorded, executed) = run_serial(
+        device,
+        mem,
+        kernel,
+        config,
+        exec_stride,
+        stat_stride,
+        &mut scratch,
+    );
     finish(kernel, config, merged, recorded, executed)
 }
 
@@ -208,13 +218,40 @@ pub fn launch_with_policy(
     mode: ExecMode,
     policy: ExecPolicy,
 ) -> KernelStats {
+    launch_pooled(device, mem, kernel, mode, policy, &ScratchPool::new())
+}
+
+/// [`launch_with_policy`] drawing its per-worker [`BlockScratch`] arenas
+/// from `pool`, so accounting buffers are recycled across the launches of
+/// a sweep instead of reallocated per launch.
+///
+/// # Panics
+///
+/// Same launch-validation panics as [`launch`].
+pub fn launch_pooled(
+    device: &DeviceSpec,
+    mem: &mut GlobalMem,
+    kernel: &(dyn Kernel + Sync),
+    mode: ExecMode,
+    policy: ExecPolicy,
+    pool: &ScratchPool,
+) -> KernelStats {
     let (config, exec_stride, stat_stride) = validate(device, kernel, mode);
     // Number of blocks the stride actually executes.
     let n_exec = config.grid_dim.div_ceil(exec_stride);
     let workers = policy.workers().min(n_exec as usize).max(1);
     if workers == 1 {
-        let (merged, recorded, executed) =
-            run_serial(device, mem, kernel, config, exec_stride, stat_stride);
+        let mut scratch = pool.take();
+        let (merged, recorded, executed) = run_serial(
+            device,
+            mem,
+            kernel,
+            config,
+            exec_stride,
+            stat_stride,
+            &mut scratch,
+        );
+        pool.give(scratch);
         return finish(kernel, config, merged, recorded, executed);
     }
 
@@ -230,13 +267,16 @@ pub fn launch_with_policy(
             let hi = ((w + 1) * chunk).min(n_exec);
             let view = &view;
             handles.push(scope.spawn(move || {
+                // Each worker owns one scratch for its whole block range.
+                let mut scratch = pool.take();
                 let mut merged = BlockCounters::default();
                 let mut recorded = 0u32;
                 let mut executed = 0u32;
                 for i in lo..hi {
                     let block = i * exec_stride;
                     let record = block.is_multiple_of(stat_stride);
-                    let mut ctx = BlockCtx::new_shared(device, view, block, config, record);
+                    let mut ctx =
+                        BlockCtx::new_shared(device, view, block, config, record, &mut scratch);
                     kernel.run_block(block, &mut ctx);
                     let counters = ctx.finalize();
                     if record {
@@ -245,6 +285,7 @@ pub fn launch_with_policy(
                     }
                     executed += 1;
                 }
+                pool.give(scratch);
                 (merged, recorded, executed)
             }));
         }
@@ -289,6 +330,13 @@ fn validate(
         config.shared_words,
         device.shared_words_per_block
     );
+    if let ExecMode::SampledStats(s) | ExecMode::SampledExec(s) = mode {
+        assert!(
+            s > 0,
+            "launch with zero-sized sample ({mode:?}): sampled modes must \
+             record at least one block"
+        );
+    }
 
     let (exec_stride, stat_stride) = match mode {
         ExecMode::Full => (1, 1),
@@ -302,6 +350,7 @@ fn validate(
 }
 
 /// Serial block loop over the whole grid, merging counters in block order.
+/// `scratch` is reset and reused for every block.
 fn run_serial(
     device: &DeviceSpec,
     mem: &mut GlobalMem,
@@ -309,6 +358,7 @@ fn run_serial(
     config: LaunchConfig,
     exec_stride: u32,
     stat_stride: u32,
+    scratch: &mut BlockScratch,
 ) -> (BlockCounters, u32, u32) {
     let n_exec = config.grid_dim.div_ceil(exec_stride);
     let mut merged = BlockCounters::default();
@@ -317,7 +367,7 @@ fn run_serial(
     for i in 0..n_exec {
         let block = i * exec_stride;
         let record = block.is_multiple_of(stat_stride);
-        let mut ctx = BlockCtx::new(device, mem, block, config, record);
+        let mut ctx = BlockCtx::new(device, mem, block, config, record, scratch);
         kernel.run_block(block, &mut ctx);
         let counters = ctx.finalize();
         if record {
@@ -331,6 +381,23 @@ fn run_serial(
     (merged, recorded, executed)
 }
 
+/// Intern a kernel name: every launch of a kernel hands back the *same*
+/// `Arc<str>`, so the per-launch stats path performs no name allocation
+/// after a kernel's first launch. Kernel names are static-ish labels (one
+/// per generated kernel), so the interner stays small for the life of the
+/// process.
+fn intern_name(name: &str) -> Arc<str> {
+    static NAMES: OnceLock<Mutex<HashMap<String, Arc<str>>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = names.lock().unwrap();
+    if let Some(interned) = guard.get(name) {
+        return interned.clone();
+    }
+    let interned: Arc<str> = Arc::from(name);
+    guard.insert(name.to_string(), interned.clone());
+    interned
+}
+
 /// Scale merged counters into whole-grid [`KernelStats`].
 fn finish(
     kernel: &(impl Kernel + ?Sized),
@@ -341,7 +408,7 @@ fn finish(
 ) -> KernelStats {
     let scale = config.grid_dim as f64 / recorded.max(1) as f64;
     KernelStats {
-        name: Arc::from(kernel.name()),
+        name: intern_name(kernel.name()),
         config,
         totals: ScaledCounters::from_counters(&merged, scale),
         recorded_blocks: recorded,
@@ -349,15 +416,20 @@ fn finish(
     }
 }
 
-/// Key of one memoizable launch: the kernel's identity and geometry, the
-/// caller-supplied input-dimension fingerprint, and the execution mode.
+/// Key of one memoizable launch: the device, the kernel's identity and
+/// geometry, the caller-supplied input-dimension fingerprint, and the
+/// execution mode.
 ///
 /// Data *values* are deliberately not part of the key: memoization is meant
 /// for timing sweeps over data-independent workloads (the only place the
 /// harnesses re-launch identical configurations), where statistics depend
-/// on shapes, not values.
+/// on shapes, not values. The device *is* part of the key — counters
+/// depend on warp width, transaction geometry and bank count, so stats
+/// recorded on one [`DeviceSpec`] must never serve a launch on another.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LaunchKey {
+    /// Device fingerprint ([`DeviceSpec::fingerprint`]).
+    pub device: u64,
     /// Kernel name.
     pub name: Arc<str>,
     /// Launch geometry.
@@ -401,8 +473,25 @@ impl LaunchCache {
         policy: ExecPolicy,
         dims: (u64, u64),
     ) -> (KernelStats, bool) {
+        self.launch_pooled(device, mem, kernel, mode, policy, dims, &ScratchPool::new())
+    }
+
+    /// [`LaunchCache::launch`] drawing accounting scratch from `pool` on
+    /// misses (see [`launch_pooled`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_pooled(
+        &self,
+        device: &DeviceSpec,
+        mem: &mut GlobalMem,
+        kernel: &(dyn Kernel + Sync),
+        mode: ExecMode,
+        policy: ExecPolicy,
+        dims: (u64, u64),
+        pool: &ScratchPool,
+    ) -> (KernelStats, bool) {
         let key = LaunchKey {
-            name: Arc::from(kernel.name()),
+            device: device.fingerprint(),
+            name: intern_name(kernel.name()),
             config: kernel.config(),
             dims,
             mode,
@@ -411,7 +500,7 @@ impl LaunchCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (stats.clone(), true);
         }
-        let stats = launch_with_policy(device, mem, kernel, mode, policy);
+        let stats = launch_pooled(device, mem, kernel, mode, policy, pool);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.map.lock().unwrap().insert(key, stats.clone());
         (stats, false)
@@ -703,6 +792,159 @@ mod tests {
         assert_eq!(sample_stride(100, 10), 10);
         assert_eq!(sample_stride(7, 10), 1);
         assert_eq!(sample_stride(1, 1), 1);
-        assert_eq!(sample_stride(10, 0), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized sample")]
+    fn zero_sampled_stats_is_rejected() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc(128);
+        let y = mem.alloc(128);
+        let k = Scale2 {
+            x,
+            y,
+            n: 128,
+            block_dim: 128,
+        };
+        let _ = launch(&d, &mut mem, &k, ExecMode::SampledStats(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized sample")]
+    fn zero_sampled_exec_is_rejected() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc(128);
+        let y = mem.alloc(128);
+        let k = Scale2 {
+            x,
+            y,
+            n: 128,
+            block_dim: 128,
+        };
+        let _ = launch(&d, &mut mem, &k, ExecMode::SampledExec(0));
+    }
+
+    #[test]
+    fn kernel_names_are_interned_across_launches() {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc(256);
+        let y = mem.alloc(256);
+        let k = Scale2 {
+            x,
+            y,
+            n: 256,
+            block_dim: 128,
+        };
+        let a = launch(&d, &mut mem, &k, ExecMode::Full);
+        let b = launch(&d, &mut mem, &k, ExecMode::Full);
+        assert!(
+            Arc::ptr_eq(&a.name, &b.name),
+            "repeated launches must share one interned name"
+        );
+    }
+
+    /// Shared-memory kernel whose bank-conflict accounting depends on the
+    /// device (32 banks on Fermi, 16 on GT200).
+    struct SharedStride2;
+
+    impl Kernel for SharedStride2 {
+        fn name(&self) -> &str {
+            "shared_stride2"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig::new(1, 32, 64)
+        }
+
+        fn run_block(&self, _block: u32, ctx: &mut BlockCtx<'_>) {
+            for t in ctx.threads() {
+                ctx.st_shared(0, t, (t as usize * 2) % 64, t as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_keys_include_the_device() {
+        // Regression: stats recorded on one device must not serve a
+        // launch on another — 32-bank Fermi and 16-bank GT200 disagree on
+        // shared-memory serialization for the same kernel.
+        let fermi = DeviceSpec::tesla_c2050();
+        let gt200 = DeviceSpec::gtx285();
+        let cache = LaunchCache::new();
+        let mut mem = GlobalMem::new();
+        let (on_fermi, hit) = cache.launch(
+            &fermi,
+            &mut mem,
+            &SharedStride2,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            (0, 0),
+        );
+        assert!(!hit);
+        let (on_gt200, hit) = cache.launch(
+            &gt200,
+            &mut mem,
+            &SharedStride2,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            (0, 0),
+        );
+        assert!(!hit, "different device must miss, not reuse stats");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        // Stride-2: 2-way conflicts on 32 banks, still 2-way on 16 banks
+        // but over different words — counters genuinely differ.
+        assert_ne!(on_fermi.totals.shared_cycles, on_gt200.totals.shared_cycles);
+        // Same device again: now it hits.
+        let (_, hit) = cache.launch(
+            &fermi,
+            &mut mem,
+            &SharedStride2,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            (0, 0),
+        );
+        assert!(hit);
+    }
+
+    #[test]
+    fn pooled_launches_recycle_scratch() {
+        let d = DeviceSpec::tesla_c2050();
+        let pool = ScratchPool::new();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc_from(&vec![1.0; 1024]);
+        let y = mem.alloc(1024);
+        let k = Scale2 {
+            x,
+            y,
+            n: 1024,
+            block_dim: 128,
+        };
+        let baseline = launch(&d, &mut mem, &k, ExecMode::Full);
+        for _ in 0..3 {
+            let s = launch_pooled(&d, &mut mem, &k, ExecMode::Full, ExecPolicy::Serial, &pool);
+            assert_eq!(s, baseline);
+        }
+        assert_eq!(pool.idle(), 1, "serial launches share one scratch");
+        let s = launch_pooled(
+            &d,
+            &mut mem,
+            &k,
+            ExecMode::Full,
+            ExecPolicy::Parallel(4),
+            &pool,
+        );
+        assert_eq!(s, baseline);
+        // Every worker returns its scratch; a fast worker's scratch may be
+        // re-taken by a late-starting one, so the idle count lands anywhere
+        // in [1, workers].
+        let idle = pool.idle();
+        assert!(
+            (1..=4).contains(&idle),
+            "workers must return scratches, got {idle}"
+        );
     }
 }

@@ -13,9 +13,8 @@
 //! dynamic access of each lane at a given site forms one warp instruction,
 //! mirroring SIMT lockstep execution.
 
-use std::collections::HashMap;
-
-use crate::mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem, SharedMem};
+use crate::accounting::{AccessKind, BlockScratch};
+use crate::mem::{BufId, GlobalMem, SharedMem};
 use crate::spec::DeviceSpec;
 
 /// Launch geometry for a kernel.
@@ -71,13 +70,6 @@ pub trait Kernel {
 /// Static access-site identifier (one per load/store instruction in the
 /// kernel source).
 pub type Site = u32;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-enum AccessKind {
-    GlobalLoad,
-    GlobalStore,
-    Shared,
-}
 
 /// Raw per-block counters produced by executing one block with recording
 /// enabled.
@@ -154,14 +146,10 @@ pub struct BlockCtx<'a> {
     mem: MemRef<'a>,
     block: u32,
     config: LaunchConfig,
-    shared: Vec<f32>,
     record: bool,
-    /// Per-(site, kind, tid) occurrence counters.
-    occ: HashMap<(Site, AccessKind, u32), u32>,
-    /// Per-(site, kind, occurrence, warp) lane address vectors.
-    groups: HashMap<(Site, AccessKind, u32, u32), Vec<Option<u64>>>,
-    /// Per-thread compute instruction counts.
-    compute: Vec<u64>,
+    /// Reusable accounting arena owned by the engine worker; reset for
+    /// this block at construction (see [`BlockScratch`]).
+    scratch: &'a mut BlockScratch,
     syncs: u64,
     flops: u64,
 }
@@ -173,8 +161,9 @@ impl<'a> BlockCtx<'a> {
         block: u32,
         config: LaunchConfig,
         record: bool,
+        scratch: &'a mut BlockScratch,
     ) -> Self {
-        Self::with_mem(device, MemRef::Excl(mem), block, config, record)
+        Self::with_mem(device, MemRef::Excl(mem), block, config, record, scratch)
     }
 
     /// Context backed by the concurrent memory view (parallel engine).
@@ -184,8 +173,9 @@ impl<'a> BlockCtx<'a> {
         block: u32,
         config: LaunchConfig,
         record: bool,
+        scratch: &'a mut BlockScratch,
     ) -> Self {
-        Self::with_mem(device, MemRef::Shared(mem), block, config, record)
+        Self::with_mem(device, MemRef::Shared(mem), block, config, record, scratch)
     }
 
     fn with_mem(
@@ -194,17 +184,16 @@ impl<'a> BlockCtx<'a> {
         block: u32,
         config: LaunchConfig,
         record: bool,
+        scratch: &'a mut BlockScratch,
     ) -> Self {
+        scratch.begin_block(device, config.shared_words, config.block_dim);
         BlockCtx {
             device,
             mem,
             block,
             config,
-            shared: vec![0.0; config.shared_words as usize],
             record,
-            occ: HashMap::new(),
-            groups: HashMap::new(),
-            compute: vec![0; config.block_dim as usize],
+            scratch,
             syncs: 0,
             flops: 0,
         }
@@ -236,21 +225,12 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Record one warp-instruction-forming access.
+    #[inline]
     fn record_access(&mut self, site: Site, kind: AccessKind, tid: u32, addr: u64) {
         if !self.record {
             return;
         }
-        let occ_key = (site, kind, tid);
-        let occ = self.occ.entry(occ_key).or_insert(0);
-        let k = *occ;
-        *occ += 1;
-        let warp = tid / self.device.warp_size;
-        let lane = (tid % self.device.warp_size) as usize;
-        let group = self
-            .groups
-            .entry((site, kind, k, warp))
-            .or_insert_with(|| vec![None; self.device.warp_size as usize]);
-        group[lane] = Some(addr);
+        self.scratch.record(site, kind, tid, addr);
     }
 
     /// Global load by thread `tid` at word index `idx` of `buf`.
@@ -276,7 +256,7 @@ impl<'a> BlockCtx<'a> {
     #[inline]
     pub fn ld_shared(&mut self, site: Site, tid: u32, idx: usize) -> f32 {
         self.record_access(site, AccessKind::Shared, tid, idx as u64);
-        self.shared[idx]
+        self.scratch.shared[idx]
     }
 
     /// Shared-memory store.
@@ -287,7 +267,7 @@ impl<'a> BlockCtx<'a> {
     #[inline]
     pub fn st_shared(&mut self, site: Site, tid: u32, idx: usize, v: f32) {
         self.record_access(site, AccessKind::Shared, tid, idx as u64);
-        self.shared[idx] = v;
+        self.scratch.shared[idx] = v;
     }
 
     /// Barrier between phases (`__syncthreads()`).
@@ -299,7 +279,7 @@ impl<'a> BlockCtx<'a> {
     #[inline]
     pub fn compute(&mut self, tid: u32, n: u32) {
         if self.record {
-            self.compute[tid as usize] += n as u64;
+            self.scratch.compute[tid as usize] += n as u64;
         }
     }
 
@@ -312,43 +292,10 @@ impl<'a> BlockCtx<'a> {
         }
     }
 
-    /// Finish the block: collapse recorded groups into counters.
+    /// Finish the block: collapse the remaining recorded warp rows into
+    /// counters, leaving the scratch ready for the next block.
     pub(crate) fn finalize(self) -> BlockCounters {
-        let mut c = BlockCounters {
-            syncs: self.syncs,
-            flops: self.flops,
-            ..BlockCounters::default()
-        };
-        // Deterministic order: sort group keys.
-        let mut keys: Vec<_> = self.groups.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let (_, kind, _, _) = key;
-            let lanes = &self.groups[&key];
-            match kind {
-                AccessKind::GlobalLoad => {
-                    c.warp_load_insts += 1;
-                    c.load_transactions +=
-                        coalesce_transactions(lanes, self.device.transaction_words) as u64;
-                }
-                AccessKind::GlobalStore => {
-                    c.warp_store_insts += 1;
-                    c.store_transactions +=
-                        coalesce_transactions(lanes, self.device.transaction_words) as u64;
-                }
-                AccessKind::Shared => {
-                    c.shared_insts += 1;
-                    c.shared_cycles += bank_conflict_degree(lanes, self.device.shared_banks) as u64;
-                }
-            }
-        }
-        // Warp compute instructions: SIMT lockstep executes the longest
-        // lane's path.
-        let ws = self.device.warp_size as usize;
-        for warp in self.compute.chunks(ws) {
-            c.warp_compute_insts += warp.iter().copied().max().unwrap_or(0);
-        }
-        c
+        self.scratch.finish_block(self.syncs, self.flops)
     }
 }
 
@@ -366,7 +313,8 @@ mod tests {
         let mut mem = GlobalMem::new();
         let buf = mem.alloc(64);
         let cfg = LaunchConfig::new(1, 64, 0);
-        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true);
+        let mut scratch = BlockScratch::new();
+        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true, &mut scratch);
         for t in ctx.threads() {
             let _ = ctx.ld_global(0, t, buf, t as usize);
         }
@@ -381,7 +329,8 @@ mod tests {
         let mut mem = GlobalMem::new();
         let buf = mem.alloc(32 * 32);
         let cfg = LaunchConfig::new(1, 32, 0);
-        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true);
+        let mut scratch = BlockScratch::new();
+        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true, &mut scratch);
         for t in ctx.threads() {
             let _ = ctx.ld_global(0, t, buf, t as usize * 32);
         }
@@ -398,7 +347,8 @@ mod tests {
         let mut mem = GlobalMem::new();
         let buf = mem.alloc(64);
         let cfg = LaunchConfig::new(1, 32, 0);
-        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true);
+        let mut scratch = BlockScratch::new();
+        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true, &mut scratch);
         for t in ctx.threads() {
             let _ = ctx.ld_global(0, t, buf, t as usize);
             let _ = ctx.ld_global(0, t, buf, 32 + t as usize);
@@ -413,7 +363,8 @@ mod tests {
         let d = device();
         let mut mem = GlobalMem::new();
         let cfg = LaunchConfig::new(1, 32, 64);
-        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true);
+        let mut scratch = BlockScratch::new();
+        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true, &mut scratch);
         for t in ctx.threads() {
             ctx.st_shared(0, t, (t as usize * 2) % 64, t as f32);
         }
@@ -433,7 +384,8 @@ mod tests {
         let d = device();
         let mut mem = GlobalMem::new();
         let cfg = LaunchConfig::new(1, 32, 0);
-        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true);
+        let mut scratch = BlockScratch::new();
+        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, true, &mut scratch);
         for t in ctx.threads() {
             // Divergent work: lane 5 does 10 instructions, others 1.
             ctx.compute(t, if t == 5 { 10 } else { 1 });
@@ -448,7 +400,8 @@ mod tests {
         let mut mem = GlobalMem::new();
         let buf = mem.alloc(4);
         let cfg = LaunchConfig::new(1, 4, 0);
-        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, false);
+        let mut scratch = BlockScratch::new();
+        let mut ctx = BlockCtx::new(&d, &mut mem, 0, cfg, false, &mut scratch);
         for t in ctx.threads() {
             ctx.st_global(0, t, buf, t as usize, t as f32 + 1.0);
             ctx.compute(t, 100);

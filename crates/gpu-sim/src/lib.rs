@@ -52,14 +52,16 @@
 //! assert!(stats.totals.transactions() >= 2.0); // one load + one store
 //! ```
 
+pub mod accounting;
 pub mod exec;
 pub mod kernel;
 pub mod mem;
 pub mod spec;
 
+pub use accounting::{BlockScratch, ScratchPool};
 pub use exec::{
-    launch, launch_with_policy, ExecMode, ExecPolicy, KernelStats, LaunchCache, LaunchKey,
-    ScaledCounters,
+    launch, launch_pooled, launch_with_policy, ExecMode, ExecPolicy, KernelStats, LaunchCache,
+    LaunchKey, ScaledCounters,
 };
 pub use kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig, Site};
 pub use mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem};

@@ -156,11 +156,37 @@ impl SharedMem<'_> {
 pub fn coalesce_transactions(addrs: &[Option<u64>], transaction_words: u32) -> u32 {
     debug_assert!(transaction_words.is_power_of_two());
     let shift = transaction_words.trailing_zeros();
-    let mut segments: Vec<u64> = addrs.iter().flatten().map(|a| a >> shift).collect();
-    segments.sort_unstable();
-    segments.dedup();
-    segments.len() as u32
+    // Warp-sized rows (every in-repo caller) fit a stack buffer; this
+    // function runs once per simulated warp instruction, so it must not
+    // touch the heap.
+    if addrs.len() <= STACK_LANES {
+        let mut buf = [0u64; STACK_LANES];
+        let mut n = 0;
+        for a in addrs.iter().flatten() {
+            buf[n] = a >> shift;
+            n += 1;
+        }
+        let segments = &mut buf[..n];
+        segments.sort_unstable();
+        let mut distinct = 0u32;
+        let mut prev = None;
+        for &s in segments.iter() {
+            if Some(s) != prev {
+                distinct += 1;
+                prev = Some(s);
+            }
+        }
+        distinct
+    } else {
+        let mut segments: Vec<u64> = addrs.iter().flatten().map(|a| a >> shift).collect();
+        segments.sort_unstable();
+        segments.dedup();
+        segments.len() as u32
+    }
 }
+
+/// Stack-buffer capacity for the hot accounting paths (≥ any real warp).
+const STACK_LANES: usize = 64;
 
 /// Count the serialization degree of one warp-wide shared-memory access.
 ///
@@ -169,19 +195,50 @@ pub fn coalesce_transactions(addrs: &[Option<u64>], transaction_words: u32) -> u
 /// lanes broadcast-read the same word), otherwise the maximum number of
 /// *distinct words* mapped to a single bank.
 pub fn bank_conflict_degree(addrs: &[Option<u64>], banks: u32) -> u32 {
-    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); banks as usize];
-    for a in addrs.iter().flatten() {
-        let bank = (a % banks as u64) as usize;
-        if !per_bank[bank].contains(a) {
-            per_bank[bank].push(*a);
+    if addrs.len() <= STACK_LANES {
+        // Sort (bank, word) pairs on the stack; the degree is the longest
+        // run of distinct words within one bank.
+        let mut buf = [(0u64, 0u64); STACK_LANES];
+        let mut n = 0;
+        for a in addrs.iter().flatten() {
+            buf[n] = (a % banks as u64, *a);
+            n += 1;
         }
+        let pairs = &mut buf[..n];
+        pairs.sort_unstable();
+        let mut degree = 1u32;
+        let mut run = 0u32;
+        let mut prev = None;
+        for &(bank, word) in pairs.iter() {
+            match prev {
+                Some((b, w)) if b == bank && w == word => {} // same word again
+                Some((b, _)) if b == bank => {
+                    run += 1;
+                    degree = degree.max(run);
+                }
+                _ => {
+                    run = 1;
+                    degree = degree.max(run);
+                }
+            }
+            prev = Some((bank, word));
+        }
+        degree
+    } else {
+        let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); banks as usize];
+        for a in addrs.iter().flatten() {
+            let bank = (a % banks as u64) as usize;
+            if !per_bank[bank].contains(a) {
+                per_bank[bank].push(*a);
+            }
+        }
+        per_bank
+            .iter()
+            .map(|v| v.len() as u32)
+            .max()
+            .unwrap_or(0)
+            .max(1)
     }
-    per_bank
-        .iter()
-        .map(|v| v.len() as u32)
-        .max()
-        .unwrap_or(0)
-        .max(1)
 }
 
 #[cfg(test)]

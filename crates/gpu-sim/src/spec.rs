@@ -114,6 +114,31 @@ impl DeviceSpec {
         }
     }
 
+    /// Stable fingerprint over every architectural parameter, used to key
+    /// launch-statistics caches: two specs that could produce different
+    /// counters or timing must fingerprint differently.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.sm_count.hash(&mut h);
+        self.warp_size.hash(&mut h);
+        self.max_threads_per_sm.hash(&mut h);
+        self.max_blocks_per_sm.hash(&mut h);
+        self.max_threads_per_block.hash(&mut h);
+        self.shared_words_per_sm.hash(&mut h);
+        self.shared_words_per_block.hash(&mut h);
+        self.shared_banks.hash(&mut h);
+        self.clock_ghz.to_bits().hash(&mut h);
+        self.mem_bandwidth_gbps.to_bits().hash(&mut h);
+        self.mem_latency_cycles.to_bits().hash(&mut h);
+        self.departure_delay_cycles.to_bits().hash(&mut h);
+        self.transaction_words.hash(&mut h);
+        self.issue_cycles_per_warp_inst.to_bits().hash(&mut h);
+        self.launch_overhead_us.to_bits().hash(&mut h);
+        h.finish()
+    }
+
     /// Maximum concurrently-resident warps on one SM.
     pub fn max_warps_per_sm(&self) -> u32 {
         self.max_threads_per_sm / self.warp_size

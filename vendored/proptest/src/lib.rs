@@ -123,6 +123,24 @@ pub mod strategy {
 
     int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$i:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/0, B/1);
+        (A/0, B/1, C/2);
+        (A/0, B/1, C/2, D/3);
+        (A/0, B/1, C/2, D/3, E/4);
+    }
+
     macro_rules! float_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
