@@ -1,0 +1,120 @@
+//! Criterion benchmark of work-body evaluation: AST walking vs bytecode.
+//!
+//! Every simulated thread of every launch ultimately evaluates an actor's
+//! work body, so the evaluator is the inner loop of the whole
+//! reproduction. Two levels are measured on a Horner-style polynomial
+//! map body (a 16-iteration loop per element):
+//!
+//! * `ast_walk` / `bytecode` — the raw evaluators head-to-head over many
+//!   firings: a fresh `HashMap` of locals plus recursive AST walk per
+//!   firing, against one pooled register [`Frame`] reset per firing and a
+//!   flat opcode loop.
+//! * `pipeline_*` — the same body through the full compiled pipeline
+//!   (`ExecMode::Full`, every element executed), flipping only
+//!   [`RunOptions::with_ast_oracle`] so the two runs share planning,
+//!   memory movement, and accounting.
+//!
+//! Before/after numbers are recorded in `results/interp_speedup.txt`.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adaptic::bytecode::{self, compile_body, Frame};
+use adaptic::exec_ir::{exec_body, VecIo};
+use adaptic::{compile, InputAxis, RunOptions};
+use gpu_sim::{DeviceSpec, ExecMode};
+use streamir::parse::parse_program;
+
+const HORNER_SRC: &str = "pipeline P(N) {
+    actor H(pop 1, push 1) {
+        x = pop();
+        acc = 0.0;
+        for i in 0..16 { acc = acc * x + 0.5; }
+        push(acc * 0.001);
+    }
+}";
+
+const FIRINGS: usize = 4096;
+
+fn horner_input(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 31) % 97) as f32 / 97.0 - 0.5)
+        .collect()
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let program = parse_program(HORNER_SRC).unwrap();
+    let body = program.actor("H").unwrap().work.body.clone();
+    let binds = streamir::graph::bindings(&[("N", FIRINGS as i64)]);
+    let input = horner_input(FIRINGS);
+
+    let mut io = VecIo {
+        input: input.clone(),
+        ..VecIo::default()
+    };
+    c.bench_function("interp/ast_walk_4k_firings", |b| {
+        b.iter(|| {
+            io.cursor = 0;
+            io.output.clear();
+            for _ in 0..FIRINGS {
+                let mut locals = HashMap::new();
+                exec_body(&body, &mut locals, &binds, &mut io).unwrap();
+            }
+            io.output.len()
+        })
+    });
+
+    let prog = compile_body(&body, &binds, &[]).unwrap();
+    let proto = prog.bind(&binds).unwrap();
+    let mut frame = Frame::default();
+    frame.fit(&prog);
+    let mut io = VecIo {
+        input,
+        ..VecIo::default()
+    };
+    c.bench_function("interp/bytecode_4k_firings", |b| {
+        b.iter(|| {
+            io.cursor = 0;
+            io.output.clear();
+            for _ in 0..FIRINGS {
+                frame.reset(&proto);
+                bytecode::eval(&prog, &mut frame, &mut io);
+            }
+            io.output.len()
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let program = parse_program(HORNER_SRC).unwrap();
+    let axis = InputAxis::total_size("N", 256, 1 << 16);
+    let compiled = compile(&program, &device, &axis).unwrap();
+    let n = 1usize << 14;
+    let input = horner_input(n);
+
+    let fast = RunOptions::serial(ExecMode::Full);
+    c.bench_function("interp/pipeline_bytecode_16k", |b| {
+        b.iter(|| {
+            compiled
+                .run_opts(n as i64, &input, &[], fast, None)
+                .unwrap()
+        })
+    });
+    let oracle = fast.with_ast_oracle(true);
+    c.bench_function("interp/pipeline_ast_16k", |b| {
+        b.iter(|| {
+            compiled
+                .run_opts(n as i64, &input, &[], oracle, None)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_evaluators, bench_pipeline
+);
+criterion_main!(benches);

@@ -46,6 +46,7 @@ pub fn sweep_opts() -> RunOptions {
     RunOptions {
         mode: sweep_mode(),
         policy: sweep_policy(),
+        ast_oracle: false,
     }
 }
 

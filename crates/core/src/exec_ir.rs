@@ -27,6 +27,18 @@ pub trait IrIo {
     fn state_load(&mut self, array: &str, idx: i64) -> f32;
     /// Store to a bound state array.
     fn state_store(&mut self, array: &str, idx: i64, v: f32);
+    /// Load via a dense state id (see [`crate::bytecode::Program`]).
+    ///
+    /// `id` indexes the compiled program's state table; the default
+    /// forwards to the name-based hook so existing `IrIo`s keep working,
+    /// while templates override it with direct indexed access.
+    fn state_load_id(&mut self, _id: u16, array: &str, idx: i64) -> f32 {
+        self.state_load(array, idx)
+    }
+    /// Store via a dense state id; see [`IrIo::state_load_id`].
+    fn state_store_id(&mut self, _id: u16, array: &str, idx: i64, v: f32) {
+        self.state_store(array, idx, v)
+    }
 }
 
 /// Evaluate an expression under `locals`/`binds` with I/O through `io`.
@@ -72,7 +84,8 @@ pub fn eval_expr(
             let v = eval_expr(operand, locals, binds, io)?;
             match op {
                 UnOp::Neg => match v {
-                    Value::I64(i) => Ok(Value::I64(-i)),
+                    // Wrapping, matching `eval_binop` and the bytecode.
+                    Value::I64(i) => Ok(Value::I64(i.wrapping_neg())),
                     other => Ok(Value::F32(-other.as_f32()?)),
                 },
                 UnOp::Not => Ok(Value::Bool(!v.as_bool())),

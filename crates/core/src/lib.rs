@@ -47,6 +47,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bytecode;
 pub mod codegen;
 pub mod cost;
 pub mod exec_ir;

@@ -26,6 +26,7 @@ use crate::analysis::recurrence::ParallelLoop;
 use crate::analysis::reduction::ReductionPattern;
 use crate::analysis::stencil::StencilPattern;
 use crate::analysis::{classify, ActorClass};
+use crate::bytecode::{self, FramePool};
 use crate::cost::map_profile;
 use crate::layout::Layout;
 use crate::opt::integration::{can_fuse_horizontal, fuse_into_reduction, fuse_parallel_loops};
@@ -256,6 +257,97 @@ pub(crate) struct Segment {
     pub label: String,
 }
 
+/// Plan-time bytecode for one segment (parallel to
+/// [`CompiledProgram::segments`]): every work body is lowered exactly once
+/// at compile time; launches only re-bind parameter slots against the
+/// concrete axis value.
+#[derive(Debug, Clone)]
+pub(crate) enum SegPrograms {
+    Unit(Arc<bytecode::Program>),
+    Reduce {
+        elem: Arc<bytecode::Program>,
+        post: Option<Arc<bytecode::Program>>,
+        /// The serial (thread-per-array) lowering of the same pattern.
+        serial: Arc<bytecode::Program>,
+    },
+    Stencil(Arc<bytecode::Program>),
+    /// `(elem, post)` per sibling reduction.
+    HFused(Vec<(Arc<bytecode::Program>, Option<Arc<bytecode::Program>>)>),
+    MapSiblings(Vec<Arc<bytecode::Program>>),
+    /// Opaque host body; `None` when the body does not lower (the host
+    /// fallback then walks the AST).
+    Opaque(Option<Arc<bytecode::Program>>),
+}
+
+/// Lower every segment body to bytecode once. Parameter *names* are what
+/// matter here — [`InputAxis::bind`] produces the same keys at every axis
+/// value, so programs compiled at the probe point re-bind at any `x`.
+fn compile_programs(
+    program: &Program,
+    segments: &[Segment],
+    binds: &Bindings,
+) -> Result<Vec<SegPrograms>> {
+    let reduce_programs = |p: &ReductionPattern| -> Result<_> {
+        let elem = Arc::new(bytecode::compile_expr(&p.elem, binds, &[&p.loop_var])?);
+        let post = if p.post_is_identity() {
+            None
+        } else {
+            Some(Arc::new(bytecode::compile_expr(&p.post, binds, &[&p.acc])?))
+        };
+        Ok((elem, post))
+    };
+    segments
+        .iter()
+        .map(|seg| {
+            Ok(match &seg.kind {
+                SegKind::Unit(u) => {
+                    let presets: Vec<&str> = u.loop_var.iter().map(String::as_str).collect();
+                    SegPrograms::Unit(Arc::new(bytecode::compile_body(&u.body, binds, &presets)?))
+                }
+                SegKind::Reduce(r) => {
+                    let (elem, post) = reduce_programs(&r.pattern)?;
+                    let serial_body = crate::runtime::pattern_to_serial_body(&r.pattern);
+                    let serial = Arc::new(bytecode::compile_body(&serial_body, binds, &[])?);
+                    SegPrograms::Reduce { elem, post, serial }
+                }
+                SegKind::Stencil(s) => SegPrograms::Stencil(Arc::new(bytecode::compile_body(
+                    &s.pattern.body,
+                    binds,
+                    &[&s.pattern.loop_var],
+                )?)),
+                SegKind::HFused(h) => SegPrograms::HFused(
+                    h.patterns
+                        .iter()
+                        .map(reduce_programs)
+                        .collect::<Result<_>>()?,
+                ),
+                SegKind::MapSiblings(m) => SegPrograms::MapSiblings(
+                    m.branches
+                        .iter()
+                        .map(|(body, _, _)| Ok(Arc::new(bytecode::compile_body(body, binds, &[])?)))
+                        .collect::<Result<_>>()?,
+                ),
+                SegKind::Opaque(idx) => {
+                    let actor = &program.actors[*idx];
+                    let presets: Vec<&str> = actor
+                        .state
+                        .iter()
+                        .filter_map(|sv| match sv {
+                            streamir::actor::StateVar::Scalar { name, .. } => Some(name.as_str()),
+                            _ => None,
+                        })
+                        .collect();
+                    SegPrograms::Opaque(
+                        bytecode::compile_body(&actor.work.body, binds, &presets)
+                            .ok()
+                            .map(Arc::new),
+                    )
+                }
+            })
+        })
+        .collect()
+}
+
 /// Lowering decision for one segment in one variant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SegChoice {
@@ -302,6 +394,12 @@ pub struct CompiledProgram {
     pub(crate) axis: InputAxis,
     pub(crate) options: CompileOptions,
     pub(crate) segments: Vec<Segment>,
+    /// Per-segment bytecode, lowered once at compile time (parallel to
+    /// `segments`).
+    pub(crate) programs: Vec<SegPrograms>,
+    /// Frame pool shared by every launch of this program: kernel workers
+    /// recycle slot/stack frames across firings, blocks and runs.
+    pub(crate) frames: Arc<FramePool>,
     pub(crate) edge_layouts: Vec<Layout>,
     /// Variant table ordered by `lo`.
     pub variants: Vec<Variant>,
@@ -1031,6 +1129,7 @@ pub fn compile_with_options(
 ) -> Result<CompiledProgram> {
     let probe_binds = axis.bind(axis.probe_point());
     let (segments, structure_tags) = build_structure(program, &options, &probe_binds)?;
+    let seg_programs = compile_programs(program, &segments, &probe_binds)?;
     let layouts = choose_layouts(&segments, options.memory);
 
     let fg = program.flatten()?;
@@ -1110,6 +1209,8 @@ pub fn compile_with_options(
         axis: axis.clone(),
         options,
         segments,
+        programs: seg_programs,
+        frames: Arc::new(FramePool::new()),
         edge_layouts: layouts,
         variants,
     })

@@ -26,10 +26,11 @@ use streamir::value::Value;
 
 use crate::analysis::opcount::eval_bound;
 use crate::analysis::reduction::ReductionPattern;
+use crate::bytecode;
 use crate::exec_ir::{exec_body, VecIo};
 use crate::layout::{restructure, unrestructure, Layout};
 use crate::opt::segmentation::ReduceChoice;
-use crate::plan::{CompiledProgram, SegChoice, SegKind, UnitsPerFiring};
+use crate::plan::{CompiledProgram, SegChoice, SegKind, SegPrograms, UnitsPerFiring};
 use crate::templates::{
     two_kernel_reduce, FusedReduce, MapKernel, ReduceSpec, SingleKernelReduce, StencilKernel,
 };
@@ -72,6 +73,10 @@ pub struct RunOptions {
     pub mode: ExecMode,
     /// Serial or deterministic-parallel block execution.
     pub policy: ExecPolicy,
+    /// Evaluate work bodies by walking the AST instead of the compiled
+    /// bytecode. Slow; exists so differential tests can check that both
+    /// evaluators produce bit-identical outputs and kernel statistics.
+    pub ast_oracle: bool,
 }
 
 impl RunOptions {
@@ -80,6 +85,7 @@ impl RunOptions {
         RunOptions {
             mode,
             policy: ExecPolicy::Serial,
+            ast_oracle: false,
         }
     }
 
@@ -88,7 +94,14 @@ impl RunOptions {
         RunOptions {
             mode,
             policy: ExecPolicy::auto(),
+            ast_oracle: false,
         }
+    }
+
+    /// Switch work-body evaluation to the AST reference interpreter.
+    pub fn with_ast_oracle(mut self, on: bool) -> RunOptions {
+        self.ast_oracle = on;
+        self
     }
 }
 
@@ -223,12 +236,10 @@ impl CompiledProgram {
         }
 
         let mut mem = GlobalMem::new();
-        // Upload state arrays.
-        let mut state_bufs: HashMap<(String, String), BufId> = HashMap::new();
-        for sb in state {
-            let buf = mem.alloc_from(&sb.data);
-            state_bufs.insert((sb.actor.clone(), sb.array.clone()), buf);
-        }
+        // Upload state arrays once, in binding order. Segments resolve
+        // their arrays positionally against this dense table — no per-run
+        // map and no string clones on the resolution path.
+        let state_bufs: Vec<BufId> = state.iter().map(|sb| mem.alloc_from(&sb.data)).collect();
 
         let mut kernels: Vec<KernelReport> = Vec::new();
         let mut host_time_us = 0.0f64;
@@ -238,22 +249,21 @@ impl CompiledProgram {
         let mut cur_buf: Option<BufId> = None;
         let mut cur_layout = Layout::RowMajor;
 
-        let attach_state = |spec_state: &mut Vec<(String, BufId)>,
-                            actor: &ActorDef,
-                            state_bufs: &HashMap<(String, String), BufId>|
-         -> Result<()> {
+        let resolve_state = |actor: &ActorDef| -> Result<Vec<(String, BufId)>> {
+            let mut out = Vec::new();
             for sv in &actor.state {
                 if let StateVar::Array { name, .. } = sv {
-                    let buf = state_bufs
-                        .get(&(actor.name.clone(), name.clone()))
-                        .copied()
+                    let buf = state
+                        .iter()
+                        .position(|sb| sb.actor == actor.name && sb.array == *name)
+                        .map(|p| state_bufs[p])
                         .ok_or_else(|| {
                             Error::Runtime(format!("state array {}::{name} not bound", actor.name))
                         })?;
-                    spec_state.push((name.clone(), buf));
+                    out.push((name.clone(), buf));
                 }
             }
-            Ok(())
+            Ok(out)
         };
 
         for (i, seg) in self.segments.iter().enumerate() {
@@ -293,7 +303,10 @@ impl CompiledProgram {
                         in_items,
                     )?;
                     let out_buf = mem.alloc(out_items);
-                    let mut k = MapKernel::new(
+                    let SegPrograms::Unit(prog) = &self.programs[i] else {
+                        return Err(Error::Runtime("segment/program mismatch".into()));
+                    };
+                    let mut k = MapKernel::precompiled(
                         &seg.label,
                         u.body.clone(),
                         binds.clone(),
@@ -303,14 +316,19 @@ impl CompiledProgram {
                         u.pushes_per_unit,
                         in_buf,
                         out_buf,
+                        prog.clone(),
                     )
                     .with_layouts(cur_layout, self.edge_layouts[i + 1])
-                    .with_coarsen(*coarsen);
+                    .with_coarsen(*coarsen)
+                    .with_frames(self.frames.clone());
                     k.units_per_firing = upf;
                     k.window_pop = window;
+                    k.ast_oracle = opts.ast_oracle;
                     for actor_name in &u.state_actors {
                         if let Some(actor) = self.program.actor(actor_name) {
-                            attach_state(&mut k.state, actor, &state_bufs)?;
+                            for (n, b) in resolve_state(actor)? {
+                                k = k.with_state(&n, b);
+                            }
                         }
                     }
                     run_kernel(&env, &mut mem, &k, &mut kernels);
@@ -325,9 +343,15 @@ impl CompiledProgram {
                     let ppe = r.pattern.pops_per_elem.max(1);
                     let in_items = n_arrays * n_elements * ppe;
                     let out_buf_len = n_arrays;
+                    let SegPrograms::Reduce { elem, post, serial } = &self.programs[i] else {
+                        return Err(Error::Runtime("segment/program mismatch".into()));
+                    };
                     let mut spec = ReduceSpec::from_pattern(&r.pattern, binds.clone());
+                    spec.exec.precompiled = Some((elem.clone(), post.clone()));
+                    spec.exec.frames = self.frames.clone();
+                    spec.exec.ast_oracle = opts.ast_oracle;
                     if let Some(actor) = self.program.actor(&r.actor) {
-                        attach_state(&mut spec.state, actor, &state_bufs)?;
+                        spec.state.extend(resolve_state(actor)?);
                     }
                     match choice {
                         ReduceChoice::ThreadPerArray { block_dim } => {
@@ -344,7 +368,7 @@ impl CompiledProgram {
                             )?;
                             let out_buf = mem.alloc(out_buf_len);
                             let body = pattern_to_serial_body(&r.pattern);
-                            let mut k = MapKernel::new(
+                            let mut k = MapKernel::precompiled(
                                 &format!("{}_tpa", seg.label),
                                 body,
                                 binds.clone(),
@@ -354,10 +378,15 @@ impl CompiledProgram {
                                 1,
                                 in_buf,
                                 out_buf,
+                                serial.clone(),
                             )
                             .with_layouts(cur_layout, Layout::RowMajor)
-                            .with_block_dim(*block_dim);
-                            k.state = spec.state.clone();
+                            .with_block_dim(*block_dim)
+                            .with_frames(self.frames.clone());
+                            k.ast_oracle = opts.ast_oracle;
+                            for (n, b) in &spec.state {
+                                k = k.with_state(n, *b);
+                            }
                             run_kernel(&env, &mut mem, &k, &mut kernels);
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
@@ -458,7 +487,10 @@ impl CompiledProgram {
                         total as usize,
                     )?;
                     let out_buf = mem.alloc(total as usize);
-                    let mut k = StencilKernel::new(
+                    let SegPrograms::Stencil(prog) = &self.programs[i] else {
+                        return Err(Error::Runtime("segment/program mismatch".into()));
+                    };
+                    let mut k = StencilKernel::precompiled(
                         &seg.label,
                         s.pattern.body.clone(),
                         &s.pattern.loop_var,
@@ -471,9 +503,14 @@ impl CompiledProgram {
                         hc as usize,
                         in_buf,
                         out_buf,
-                    );
+                        prog.clone(),
+                    )
+                    .with_frames(self.frames.clone());
+                    k.ast_oracle = opts.ast_oracle;
                     if let Some(actor) = self.program.actor(&s.actor) {
-                        attach_state(&mut k.state, actor, &state_bufs)?;
+                        for (n, b) in resolve_state(actor)? {
+                            k = k.with_state(&n, b);
+                        }
                     }
                     run_kernel(&env, &mut mem, &k, &mut kernels);
                     cur_buf = Some(out_buf);
@@ -498,11 +535,19 @@ impl CompiledProgram {
                         in_items,
                     )?;
                     let out_buf = mem.alloc(n_arrays * k_out);
+                    let SegPrograms::HFused(sib_progs) = &self.programs[i] else {
+                        return Err(Error::Runtime("segment/program mismatch".into()));
+                    };
                     let mut specs = Vec::new();
-                    for (pat, actor_name) in h.patterns.iter().zip(&h.actors) {
+                    for ((pat, actor_name), (elem, post)) in
+                        h.patterns.iter().zip(&h.actors).zip(sib_progs)
+                    {
                         let mut spec = ReduceSpec::from_pattern(pat, binds.clone());
+                        spec.exec.precompiled = Some((elem.clone(), post.clone()));
+                        spec.exec.frames = self.frames.clone();
+                        spec.exec.ast_oracle = opts.ast_oracle;
                         if let Some(actor) = self.program.actor(actor_name) {
-                            attach_state(&mut spec.state, actor, &state_bufs)?;
+                            spec.state.extend(resolve_state(actor)?);
                         }
                         specs.push(spec);
                     }
@@ -561,9 +606,12 @@ impl CompiledProgram {
                         in_items,
                     )?;
                     let out_buf = mem.alloc(out_items);
+                    let SegPrograms::MapSiblings(branch_progs) = &self.programs[i] else {
+                        return Err(Error::Runtime("segment/program mismatch".into()));
+                    };
                     let mut offset = 0usize;
-                    for (body, pushes, actor_name) in &m.branches {
-                        let mut k = MapKernel::new(
+                    for ((body, pushes, actor_name), prog) in m.branches.iter().zip(branch_progs) {
+                        let mut k = MapKernel::precompiled(
                             &format!("{}_{actor_name}", seg.label),
                             body.clone(),
                             binds.clone(),
@@ -573,11 +621,16 @@ impl CompiledProgram {
                             *pushes,
                             in_buf,
                             out_buf,
+                            prog.clone(),
                         )
-                        .with_layouts(cur_layout, Layout::RowMajor);
+                        .with_layouts(cur_layout, Layout::RowMajor)
+                        .with_frames(self.frames.clone());
+                        k.ast_oracle = opts.ast_oracle;
                         k.out_group = Some((m.total_push, offset));
                         if let Some(actor) = self.program.actor(actor_name) {
-                            attach_state(&mut k.state, actor, &state_bufs)?;
+                            for (n, b) in resolve_state(actor)? {
+                                k = k.with_state(&n, b);
+                            }
                         }
                         run_kernel(&env, &mut mem, &k, &mut kernels);
                         offset += pushes;
@@ -593,7 +646,15 @@ impl CompiledProgram {
                         (None, Some(buf)) => mem.read(buf).to_vec(),
                         _ => unreachable!("stream is somewhere"),
                     };
-                    let (out, us) = run_opaque(actor, reps as usize, &data, &binds, state)?;
+                    let SegPrograms::Opaque(prog) = &self.programs[i] else {
+                        return Err(Error::Runtime("segment/program mismatch".into()));
+                    };
+                    let prog = if opts.ast_oracle {
+                        None
+                    } else {
+                        prog.as_deref()
+                    };
+                    let (out, us) = run_opaque(actor, reps as usize, &data, &binds, state, prog)?;
                     host_time_us += us;
                     cur_host = Some(out);
                     cur_buf = None;
@@ -760,12 +821,18 @@ pub(crate) fn pattern_to_serial_body(p: &ReductionPattern) -> Vec<Stmt> {
 }
 
 /// Interpret an opaque actor on the host for `firings` firings.
+///
+/// When the plan managed to lower the body to bytecode, `prog` is the
+/// compiled program and the hot loop runs on a single reused [`Frame`];
+/// scalar state lives in its slot and is copied back into the prototype
+/// after each firing so it persists. Otherwise fall back to AST walking.
 fn run_opaque(
     actor: &ActorDef,
     firings: usize,
     input: &[f32],
     binds: &Bindings,
     state: &[StateBinding],
+    prog: Option<&bytecode::Program>,
 ) -> Result<(Vec<f32>, f64)> {
     let pop = actor.work.pop.eval(binds)?.max(0) as usize;
     let needed = firings * pop;
@@ -788,30 +855,60 @@ fn run_opaque(
             io.state.insert(name.clone(), data);
         }
     }
-    let mut scalars: HashMap<String, Value> = actor
-        .state
-        .iter()
-        .filter_map(|sv| match sv {
-            StateVar::Scalar { name, init } => Some((name.clone(), Value::F32(*init))),
-            _ => None,
-        })
-        .collect();
-
-    let mut output = Vec::new();
     let counts = crate::analysis::opcount::body_counts(&actor.work.body, binds);
-    for f in 0..firings {
-        io.input = input[f * pop..(f + 1) * pop].to_vec();
-        io.cursor = 0;
-        io.output.clear();
-        let mut locals: HashMap<String, Value> = scalars.clone();
-        exec_body(&actor.work.body, &mut locals, binds, &mut io)?;
-        // Persist scalar state.
-        for (name, v) in &locals {
-            if scalars.contains_key(name) {
-                scalars.insert(name.clone(), *v);
+    let mut output = Vec::new();
+
+    if let Some(prog) = prog {
+        // Bytecode path: one frame reused across firings; scalar state is
+        // seeded into its preset slot and written back into the prototype
+        // after each firing.
+        let mut proto = prog.bind(binds)?;
+        let mut scalar_slots = Vec::new();
+        for sv in &actor.state {
+            if let StateVar::Scalar { name, init } = sv {
+                let slot = prog.slot_of(name).ok_or_else(|| {
+                    Error::Runtime(format!("scalar state {name} missing from program"))
+                })?;
+                proto[slot as usize] = Value::F32(*init);
+                scalar_slots.push(slot);
             }
         }
-        output.extend(io.output.iter().copied());
+        let mut frame = bytecode::Frame::default();
+        frame.fit(prog);
+        for f in 0..firings {
+            io.input = input[f * pop..(f + 1) * pop].to_vec();
+            io.cursor = 0;
+            io.output.clear();
+            frame.reset(&proto);
+            bytecode::eval(prog, &mut frame, &mut io);
+            for &slot in &scalar_slots {
+                proto[slot as usize] = frame.get(slot);
+            }
+            output.extend(io.output.iter().copied());
+        }
+    } else {
+        let mut scalars: HashMap<String, Value> = actor
+            .state
+            .iter()
+            .filter_map(|sv| match sv {
+                StateVar::Scalar { name, init } => Some((name.clone(), Value::F32(*init))),
+                _ => None,
+            })
+            .collect();
+        for f in 0..firings {
+            io.input = input[f * pop..(f + 1) * pop].to_vec();
+            io.cursor = 0;
+            io.output.clear();
+            let mut locals: HashMap<String, Value> = scalars.clone();
+            exec_body(&actor.work.body, &mut locals, binds, &mut io)?;
+            // Persist scalar state.
+            for (name, v) in &locals {
+                if scalars.contains_key(name) {
+                    scalars.insert(name.clone(), *v);
+                }
+            }
+            output.extend(io.output.iter().copied());
+        }
     }
     let host_us = crate::cost::host_cost_us(firings, counts.compute);
     Ok((output, host_us))
@@ -1171,5 +1268,67 @@ mod tests {
             .unwrap();
         assert_eq!(other.cache_hits, 0);
         assert!(other.cache_misses > 0);
+    }
+
+    #[test]
+    fn frame_pool_reuses_frames_across_runs() {
+        let src = r#"pipeline P(N) {
+            actor Scale(pop 1, push 1) { push(pop() * 2.0); }
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 16);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let n = 4096usize;
+        let input: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let first = compiled.run(n as i64, &input).unwrap();
+        let created_once = compiled.frames.created();
+        assert!(created_once > 0, "first run must populate the pool");
+        assert!(compiled.frames.idle() > 0, "frames return to the pool");
+        for _ in 0..3 {
+            let again = compiled.run(n as i64, &input).unwrap();
+            assert_eq!(again.output, first.output);
+        }
+        // Steady state: later runs allocate no new frames, only reuse.
+        assert_eq!(compiled.frames.created(), created_once);
+        assert!(compiled.frames.reused() > 0);
+    }
+
+    #[test]
+    fn ast_oracle_matches_bytecode_run() {
+        let src = r#"pipeline P(N) {
+            actor Scale(pop 1, push 1) { push(pop() * 2.0 + 0.5); }
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 16);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        let n = 4096usize;
+        let input: Vec<f32> = (0..n).map(|i| ((i * 13) % 29) as f32).collect();
+        let fast = compiled
+            .run_opts(n as i64, &input, &[], RunOptions::default(), None)
+            .unwrap();
+        let oracle = compiled
+            .run_opts(
+                n as i64,
+                &input,
+                &[],
+                RunOptions::default().with_ast_oracle(true),
+                None,
+            )
+            .unwrap();
+        assert_eq!(fast.output, oracle.output);
+        assert_eq!(fast.kernels.len(), oracle.kernels.len());
+        for (f, o) in fast.kernels.iter().zip(&oracle.kernels) {
+            assert_eq!(f.stats, o.stats, "kernel {}", f.name);
+        }
     }
 }

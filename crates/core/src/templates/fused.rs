@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
 use streamir::value::Value;
 
+use crate::bytecode;
 use crate::exec_ir::{eval_expr, IrIo};
 use crate::layout::Layout;
 use crate::templates::reduction::ReduceSpec;
@@ -53,6 +54,8 @@ struct WindowIo<'c, 'd, 's> {
     tid: u32,
     window: &'s [f32],
     cursor: usize,
+    /// Element-program state id → `spec.state` index.
+    state_slots: &'s [Option<u32>],
 }
 
 impl IrIo for WindowIo<'_, '_, '_> {
@@ -86,6 +89,20 @@ impl IrIo for WindowIo<'_, '_, '_> {
     fn state_store(&mut self, _: &str, _: i64, _: f32) {
         panic!("state store inside reduction element")
     }
+
+    fn state_load_id(&mut self, id: u16, array: &str, idx: i64) -> f32 {
+        if let Some(Some(slot)) = self.state_slots.get(id as usize) {
+            if let Some((n, b)) = self.spec.state.get(*slot as usize) {
+                if n == array {
+                    let (slot, buf) = (*slot, *b);
+                    return self
+                        .ctx
+                        .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize);
+                }
+            }
+        }
+        self.state_load(array, idx)
+    }
 }
 
 impl Kernel for FusedReduce {
@@ -107,6 +124,17 @@ impl Kernel for FusedReduce {
         let total_elems = self.n_arrays * self.n_elements;
         let k = self.specs.len();
         let bdim = self.block_dim as usize;
+        let comps: Vec<_> = self.specs.iter().map(|s| s.compiled().clone()).collect();
+        let mut frames: Vec<_> = self
+            .specs
+            .iter()
+            .zip(&comps)
+            .map(|(s, c)| {
+                let mut f = s.exec.frames.take();
+                f.fit(&c.elem);
+                f
+            })
+            .collect();
 
         // Phase 1: grid-stride; load each window once, feed all siblings.
         let mut accs = vec![0.0f32; k];
@@ -123,19 +151,32 @@ impl Kernel for FusedReduce {
                     *w = ctx.ld_global(SITE_ELEM, tid, self.in_buf, addr);
                 }
                 for (s, spec) in self.specs.iter().enumerate() {
-                    let mut locals: HashMap<String, Value> =
-                        HashMap::from([(spec.loop_var.clone(), Value::I64(e as i64))]);
+                    let comp = &comps[s];
                     let mut io = WindowIo {
                         ctx,
                         spec,
                         tid,
                         window: &window,
                         cursor: 0,
+                        state_slots: &comp.state_slots,
                     };
-                    let v = eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
-                        .expect("validated element")
-                        .as_f32()
-                        .expect("numeric element");
+                    let v = if spec.exec.ast_oracle {
+                        let mut locals: HashMap<String, Value> =
+                            HashMap::from([(spec.loop_var.clone(), Value::I64(e as i64))]);
+                        eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
+                            .expect("validated element")
+                            .as_f32()
+                            .expect("numeric element")
+                    } else {
+                        let frame = &mut frames[s];
+                        frame.reset(&comp.elem_proto);
+                        if let Some(slot) = comp.loop_slot {
+                            frame.set(slot, Value::I64(e as i64));
+                        }
+                        bytecode::eval_value(&comp.elem, frame, &mut io)
+                            .as_f32()
+                            .expect("numeric element")
+                    };
                     accs[s] = spec.op.apply(accs[s], v);
                     ctx.compute(tid, spec.compute_per_elem() as u32);
                     ctx.count_flops(1);
@@ -158,8 +199,11 @@ impl Kernel for FusedReduce {
         for (s, spec) in self.specs.iter().enumerate() {
             let combined = ctx.ld_shared(SITE_SHARED_LD, 0, s * bdim);
             let v = spec.op.apply(combined, spec.init);
-            let v = apply_post(spec, v);
+            let v = spec.apply_post(v);
             ctx.st_global(SITE_OUT, 0, self.out_buf, array * k + s, v);
+        }
+        for (spec, frame) in self.specs.iter().zip(frames) {
+            spec.exec.frames.give(frame);
         }
     }
 }
@@ -183,42 +227,11 @@ fn tree_reduce_segment(ctx: &mut BlockCtx<'_>, spec: &ReduceSpec, base: usize, s
     }
 }
 
-fn apply_post(spec: &ReduceSpec, acc: f32) -> f32 {
-    match &spec.post {
-        None => acc,
-        Some(post) => {
-            let mut locals: HashMap<String, Value> =
-                HashMap::from([(spec.acc_name.clone(), Value::F32(acc))]);
-            struct Pure;
-            impl IrIo for Pure {
-                fn pop(&mut self) -> f32 {
-                    panic!("pop in pure expression")
-                }
-                fn peek(&mut self, _: i64) -> f32 {
-                    panic!("peek in pure expression")
-                }
-                fn push(&mut self, _: f32) {
-                    panic!("push in pure expression")
-                }
-                fn state_load(&mut self, _: &str, _: i64) -> f32 {
-                    panic!("state load in pure expression")
-                }
-                fn state_store(&mut self, _: &str, _: i64, _: f32) {
-                    panic!("state store in pure expression")
-                }
-            }
-            eval_expr(post, &mut locals, &spec.binds, &mut Pure)
-                .expect("pure post")
-                .as_f32()
-                .expect("numeric post")
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::analysis::reduction::CombineOp;
+    use crate::templates::reduction::ReduceExec;
     use gpu_sim::{launch, DeviceSpec, ExecMode, GlobalMem};
     use streamir::graph::bindings;
     use streamir::ir::Expr;
@@ -347,6 +360,7 @@ mod tests {
             }),
             binds: bindings(&[]),
             state: Vec::new(),
+            exec: ReduceExec::default(),
         };
         let asum = ReduceSpec {
             op: CombineOp::Add,
@@ -361,6 +375,7 @@ mod tests {
             post: None,
             binds: bindings(&[]),
             state: Vec::new(),
+            exec: ReduceExec::default(),
         };
         let k = FusedReduce {
             specs: vec![nrm2, asum],

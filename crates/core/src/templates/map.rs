@@ -12,7 +12,7 @@
 //! thread processes several units, reducing the number of blocks when
 //! block counts are excessive.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
 use streamir::ir::Stmt;
@@ -20,7 +20,8 @@ use streamir::rates::Bindings;
 use streamir::value::Value;
 
 use crate::analysis::opcount::body_counts;
-use crate::exec_ir::{exec_body, IrIo};
+use crate::bytecode::{self, FramePool};
+use crate::exec_ir::IrIo;
 use crate::layout::Layout;
 
 /// Access-site ids used by this template.
@@ -84,6 +85,22 @@ pub struct MapKernel {
     pub compute_per_unit: u32,
     /// Precomputed per-unit floating-point operations.
     pub flops_per_unit: u64,
+    /// Compiled bytecode for `body` (plan-shared via
+    /// [`MapKernel::with_program`]).
+    pub program: Arc<bytecode::Program>,
+    /// `program` bound against `binds`: the slot prototype copied into the
+    /// frame at every firing.
+    pub(crate) proto: Vec<Value>,
+    /// Preset slot of the loop variable, when any.
+    pub(crate) loop_slot: Option<u16>,
+    /// Program state id → index into `state` (rebuilt by
+    /// [`MapKernel::with_state`]).
+    pub(crate) state_slots: Vec<Option<u32>>,
+    /// Frame pool shared with the engine (injected by the runtime).
+    pub(crate) frames: Arc<FramePool>,
+    /// Execute through the retained AST walker instead of the bytecode —
+    /// the differential-oracle switch used by stats-identity tests.
+    pub ast_oracle: bool,
 }
 
 impl MapKernel {
@@ -100,8 +117,71 @@ impl MapKernel {
         in_buf: BufId,
         out_buf: BufId,
     ) -> MapKernel {
+        Self::build(
+            name,
+            body,
+            binds,
+            loop_var,
+            units,
+            pops_per_unit,
+            pushes_per_unit,
+            in_buf,
+            out_buf,
+            None,
+        )
+    }
+
+    /// Like [`MapKernel::new`] but adopting a plan-precompiled program, so
+    /// launches only re-bind parameter slots instead of re-lowering.
+    #[allow(clippy::too_many_arguments)]
+    pub fn precompiled(
+        name: &str,
+        body: Vec<Stmt>,
+        binds: Bindings,
+        loop_var: Option<String>,
+        units: usize,
+        pops_per_unit: usize,
+        pushes_per_unit: usize,
+        in_buf: BufId,
+        out_buf: BufId,
+        program: Arc<bytecode::Program>,
+    ) -> MapKernel {
+        Self::build(
+            name,
+            body,
+            binds,
+            loop_var,
+            units,
+            pops_per_unit,
+            pushes_per_unit,
+            in_buf,
+            out_buf,
+            Some(program),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        name: &str,
+        body: Vec<Stmt>,
+        binds: Bindings,
+        loop_var: Option<String>,
+        units: usize,
+        pops_per_unit: usize,
+        pushes_per_unit: usize,
+        in_buf: BufId,
+        out_buf: BufId,
+        program: Option<Arc<bytecode::Program>>,
+    ) -> MapKernel {
         let counts = body_counts(&body, &binds);
-        MapKernel {
+        let program = program.unwrap_or_else(|| {
+            let presets: Vec<&str> = loop_var.iter().map(String::as_str).collect();
+            Arc::new(
+                bytecode::compile_body(&body, &binds, &presets)
+                    .expect("work body lowers to bytecode"),
+            )
+        });
+        let mut k = MapKernel {
             name: name.to_string(),
             body,
             binds,
@@ -122,7 +202,56 @@ impl MapKernel {
             block_dim: 256,
             compute_per_unit: counts.compute as u32,
             flops_per_unit: counts.flops as u64,
-        }
+            program,
+            proto: Vec::new(),
+            loop_slot: None,
+            state_slots: Vec::new(),
+            frames: Arc::new(FramePool::new()),
+            ast_oracle: false,
+        };
+        k.rebind_program();
+        k
+    }
+
+    /// Adopt a plan-precompiled program (so launches skip re-lowering) and
+    /// rebind its slots against this kernel's bindings.
+    pub fn with_program(mut self, program: Arc<bytecode::Program>) -> MapKernel {
+        self.program = program;
+        self.rebind_program();
+        self
+    }
+
+    /// Share the engine's frame pool (injected by the runtime so frames
+    /// recycle across launches).
+    pub fn with_frames(mut self, frames: Arc<FramePool>) -> MapKernel {
+        self.frames = frames;
+        self
+    }
+
+    fn rebind_program(&mut self) {
+        self.proto = self
+            .program
+            .bind(&self.binds)
+            .expect("kernel bindings cover program parameters");
+        self.loop_slot = self
+            .loop_var
+            .as_deref()
+            .and_then(|lv| self.program.slot_of(lv));
+        self.rebind_state_slots();
+    }
+
+    fn rebind_state_slots(&mut self) {
+        self.state_slots = self
+            .program
+            .state_names()
+            .iter()
+            .map(|n| {
+                self.state
+                    .iter()
+                    .position(|(s, _)| s == n)
+                    .map(|i| i as u32)
+            })
+            .collect();
     }
 
     /// Set input/output layouts (builder style).
@@ -153,7 +282,28 @@ impl MapKernel {
     /// Bind a state array to a global buffer.
     pub fn with_state(mut self, name: &str, buf: BufId) -> MapKernel {
         self.state.push((name.to_string(), buf));
+        self.rebind_state_slots();
         self
+    }
+
+    /// Resolve a program state id to this kernel's `(slot, buffer)` pair.
+    /// The precomputed dense mapping is guarded by a name check so
+    /// hand-built kernels that mutate `state` directly still resolve
+    /// correctly (via the find fallback).
+    fn state_ref(&self, id: u16, array: &str) -> (u32, BufId) {
+        if let Some(Some(slot)) = self.state_slots.get(id as usize) {
+            if let Some((n, b)) = self.state.get(*slot as usize) {
+                if n == array {
+                    return (*slot, *b);
+                }
+            }
+        }
+        self.state
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == array)
+            .map(|(i, (_, b))| (i as u32, *b))
+            .unwrap_or_else(|| panic!("unbound state array `{array}`"))
     }
 
     /// Units handled per block.
@@ -245,16 +395,7 @@ impl IrIo for MapIo<'_, '_, '_> {
             .find(|(_, (n, _))| n == array)
             .map(|(i, (_, b))| (i as u32, *b))
             .unwrap_or_else(|| panic!("unbound state array `{array}`"));
-        if let Some((_, v)) = self.state_cache.iter().find(|(k, _)| *k == (slot, idx)) {
-            return *v;
-        }
-        let v = self
-            .ctx
-            .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize);
-        if self.state_cache.len() < STATE_CACHE_CAP {
-            self.state_cache.push(((slot, idx), v));
-        }
-        v
+        self.cached_state_load(slot, buf, idx)
     }
 
     fn state_store(&mut self, array: &str, idx: i64, v: f32) {
@@ -268,6 +409,34 @@ impl IrIo for MapIo<'_, '_, '_> {
             .unwrap_or_else(|| panic!("unbound state array `{array}`"));
         self.ctx
             .st_global(SITE_STATE + slot, self.tid, buf, idx as usize, v);
+    }
+
+    fn state_load_id(&mut self, id: u16, array: &str, idx: i64) -> f32 {
+        let (slot, buf) = self.kernel.state_ref(id, array);
+        self.cached_state_load(slot, buf, idx)
+    }
+
+    fn state_store_id(&mut self, id: u16, array: &str, idx: i64, v: f32) {
+        let (slot, buf) = self.kernel.state_ref(id, array);
+        self.ctx
+            .st_global(SITE_STATE + slot, self.tid, buf, idx as usize, v);
+    }
+}
+
+impl MapIo<'_, '_, '_> {
+    /// Shared scalar-promotion cache used by both the name- and id-based
+    /// state hooks, so the two execution paths produce identical stats.
+    fn cached_state_load(&mut self, slot: u32, buf: BufId, idx: i64) -> f32 {
+        if let Some((_, v)) = self.state_cache.iter().find(|(k, _)| *k == (slot, idx)) {
+            return *v;
+        }
+        let v = self
+            .ctx
+            .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize);
+        if self.state_cache.len() < STATE_CACHE_CAP {
+            self.state_cache.push(((slot, idx), v));
+        }
+        v
     }
 }
 
@@ -315,7 +484,9 @@ impl Kernel for MapKernel {
             }
             ctx.sync();
         }
-        let mut locals: HashMap<String, Value> = HashMap::new();
+        let mut frame = self.frames.take();
+        frame.fit(&self.program);
+        let mut locals = std::collections::HashMap::new();
         let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
         for c in 0..self.coarsen {
             // Thread-strided within the block's contiguous range so each
@@ -325,11 +496,7 @@ impl Kernel for MapKernel {
                 if unit >= self.units {
                     continue;
                 }
-                locals.clear();
-                if let Some(lv) = &self.loop_var {
-                    let within = unit % self.units_per_firing.max(1);
-                    locals.insert(lv.clone(), Value::I64(within as i64));
-                }
+                let within = (unit % self.units_per_firing.max(1)) as i64;
                 let mut io = MapIo {
                     ctx,
                     kernel: self,
@@ -340,12 +507,25 @@ impl Kernel for MapKernel {
                     pushes: 0,
                     state_cache: &mut state_cache,
                 };
-                exec_body(&self.body, &mut locals, &self.binds, &mut io)
-                    .expect("validated body executes");
+                if self.ast_oracle {
+                    locals.clear();
+                    if let Some(lv) = &self.loop_var {
+                        locals.insert(lv.clone(), Value::I64(within));
+                    }
+                    crate::exec_ir::exec_body(&self.body, &mut locals, &self.binds, &mut io)
+                        .expect("validated body executes");
+                } else {
+                    frame.reset(&self.proto);
+                    if let Some(slot) = self.loop_slot {
+                        frame.set(slot, Value::I64(within));
+                    }
+                    bytecode::eval(&self.program, &mut frame, &mut io);
+                }
                 ctx.compute(tid, self.compute_per_unit);
                 ctx.count_flops(self.flops_per_unit);
             }
         }
+        self.frames.give(frame);
     }
 }
 

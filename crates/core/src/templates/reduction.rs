@@ -19,6 +19,7 @@
 //!   few — e.g. a dot product of two million-element vectors.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
 use streamir::ir::Expr;
@@ -27,6 +28,7 @@ use streamir::value::Value;
 
 use crate::analysis::opcount::body_counts;
 use crate::analysis::reduction::{CombineOp, ReductionPattern};
+use crate::bytecode::{self, Frame, FramePool};
 use crate::exec_ir::{eval_expr, IrIo};
 use crate::layout::Layout;
 
@@ -57,6 +59,38 @@ pub struct ReduceSpec {
     pub binds: Bindings,
     /// Bound state arrays.
     pub state: Vec<(String, BufId)>,
+    /// Bytecode execution machinery (programs, frame pool, oracle
+    /// switch); `Default` compiles lazily on first use.
+    pub exec: ReduceExec,
+}
+
+/// Bytecode machinery attached to a [`ReduceSpec`]: the (lazily) compiled
+/// element/post programs, the engine's frame pool, and the
+/// differential-oracle switch. `Default` leaves the cell empty so
+/// hand-built specs compile on first use; the runtime injects
+/// plan-precompiled programs and the shared pool.
+#[derive(Debug, Clone, Default)]
+pub struct ReduceExec {
+    /// Plan-precompiled `(elem, post)` programs; when present, the lazy
+    /// cell binds these instead of re-lowering per launch.
+    pub precompiled: Option<(Arc<bytecode::Program>, Option<Arc<bytecode::Program>>)>,
+    cell: OnceLock<Arc<CompiledReduce>>,
+    /// Frame pool shared with the engine (injected by the runtime).
+    pub frames: Arc<FramePool>,
+    /// Execute through the retained AST walker instead of the bytecode —
+    /// the differential-oracle switch used by stats-identity tests.
+    pub ast_oracle: bool,
+}
+
+/// A [`ReduceSpec`]'s programs bound against its bindings.
+#[derive(Debug)]
+pub struct CompiledReduce {
+    pub(crate) elem: Arc<bytecode::Program>,
+    pub(crate) elem_proto: Vec<Value>,
+    pub(crate) loop_slot: Option<u16>,
+    /// Element-program state id → index into `ReduceSpec::state`.
+    pub(crate) state_slots: Vec<Option<u32>>,
+    post: Option<(Arc<bytecode::Program>, Vec<Value>, Option<u16>)>,
 }
 
 impl ReduceSpec {
@@ -77,6 +111,7 @@ impl ReduceSpec {
             post,
             binds,
             state: Vec::new(),
+            exec: ReduceExec::default(),
         }
     }
 
@@ -92,6 +127,7 @@ impl ReduceSpec {
             post: None,
             binds,
             state: Vec::new(),
+            exec: ReduceExec::default(),
         }
     }
 
@@ -101,20 +137,80 @@ impl ReduceSpec {
         body_counts(&body, &self.binds).compute + 1.0
     }
 
+    /// The spec's bound bytecode programs, compiled on first use (or
+    /// adopted from [`ReduceExec::precompiled`]).
+    pub(crate) fn compiled(&self) -> &Arc<CompiledReduce> {
+        self.exec.cell.get_or_init(|| {
+            let (elem, post) = match &self.exec.precompiled {
+                Some((e, p)) => (e.clone(), p.clone()),
+                None => {
+                    let e = Arc::new(
+                        bytecode::compile_expr(&self.elem, &self.binds, &[&self.loop_var])
+                            .expect("element expression lowers to bytecode"),
+                    );
+                    let p = self.post.as_ref().map(|post| {
+                        Arc::new(
+                            bytecode::compile_expr(post, &self.binds, &[&self.acc_name])
+                                .expect("post expression lowers to bytecode"),
+                        )
+                    });
+                    (e, p)
+                }
+            };
+            let elem_proto = elem.bind(&self.binds).expect("bindings cover element");
+            let loop_slot = elem.slot_of(&self.loop_var);
+            let state_slots = elem
+                .state_names()
+                .iter()
+                .map(|n| {
+                    self.state
+                        .iter()
+                        .position(|(s, _)| s == n)
+                        .map(|i| i as u32)
+                })
+                .collect();
+            let post = post.map(|p| {
+                let proto = p.bind(&self.binds).expect("bindings cover post");
+                let acc_slot = p.slot_of(&self.acc_name);
+                (p, proto, acc_slot)
+            });
+            Arc::new(CompiledReduce {
+                elem,
+                elem_proto,
+                loop_slot,
+                state_slots,
+                post,
+            })
+        })
+    }
+
     /// Apply the final transform to a combined value.
-    fn apply_post(&self, acc: f32) -> f32 {
-        match &self.post {
-            None => acc,
-            Some(post) => {
-                let mut locals: HashMap<String, Value> =
-                    HashMap::from([(self.acc_name.clone(), Value::F32(acc))]);
-                let mut no_io = NoIo;
-                eval_expr(post, &mut locals, &self.binds, &mut no_io)
-                    .expect("post expression is pure")
-                    .as_f32()
-                    .expect("post is numeric")
-            }
+    pub(crate) fn apply_post(&self, acc: f32) -> f32 {
+        let Some(post) = &self.post else {
+            return acc;
+        };
+        if self.exec.ast_oracle {
+            let mut locals: HashMap<String, Value> =
+                HashMap::from([(self.acc_name.clone(), Value::F32(acc))]);
+            let mut no_io = NoIo;
+            return eval_expr(post, &mut locals, &self.binds, &mut no_io)
+                .expect("post expression is pure")
+                .as_f32()
+                .expect("post is numeric");
         }
+        let comp = self.compiled();
+        let (prog, proto, acc_slot) = comp.post.as_ref().expect("post compiled");
+        let mut frame = self.exec.frames.take();
+        frame.fit(prog);
+        frame.reset(proto);
+        if let Some(s) = acc_slot {
+            frame.set(*s, Value::F32(acc));
+        }
+        let v = bytecode::eval_value(prog, &mut frame, &mut NoIo)
+            .as_f32()
+            .expect("post is numeric");
+        self.exec.frames.give(frame);
+        v
     }
 }
 
@@ -154,6 +250,9 @@ struct ElemIo<'c, 'd, 's> {
     /// (see `templates::map`). Capped so per-element indexed state stays
     /// honestly counted.
     state_cache: &'c mut Vec<((u32, i64), f32)>,
+    /// Element-program state id → `spec.state` index (empty on the AST
+    /// oracle path, which only uses the name-based hooks).
+    state_slots: &'s [Option<u32>],
 }
 
 const STATE_CACHE_CAP: usize = 64;
@@ -187,6 +286,30 @@ impl IrIo for ElemIo<'_, '_, '_> {
             .find(|(_, (n, _))| n == array)
             .map(|(i, (_, b))| (i as u32, *b))
             .unwrap_or_else(|| panic!("unbound state array `{array}`"));
+        self.cached_state_load(slot, buf, idx)
+    }
+
+    fn state_store(&mut self, _: &str, _: i64, _: f32) {
+        panic!("state store inside reduction element")
+    }
+
+    fn state_load_id(&mut self, id: u16, array: &str, idx: i64) -> f32 {
+        if let Some(Some(slot)) = self.state_slots.get(id as usize) {
+            if let Some((n, b)) = self.spec.state.get(*slot as usize) {
+                if n == array {
+                    let buf = *b;
+                    return self.cached_state_load(*slot, buf, idx);
+                }
+            }
+        }
+        self.state_load(array, idx)
+    }
+}
+
+impl ElemIo<'_, '_, '_> {
+    /// Shared scalar-promotion cache used by both the name- and id-based
+    /// state hooks, so the two execution paths produce identical stats.
+    fn cached_state_load(&mut self, slot: u32, buf: BufId, idx: i64) -> f32 {
         if let Some((_, v)) = self.state_cache.iter().find(|(k, _)| *k == (slot, idx)) {
             return *v;
         }
@@ -198,16 +321,14 @@ impl IrIo for ElemIo<'_, '_, '_> {
         }
         v
     }
-
-    fn state_store(&mut self, _: &str, _: i64, _: f32) {
-        panic!("state store inside reduction element")
-    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn eval_element(
     ctx: &mut BlockCtx<'_>,
     spec: &ReduceSpec,
+    comp: &CompiledReduce,
+    frame: &mut Frame,
     tid: u32,
     in_buf: BufId,
     in_layout: Layout,
@@ -217,8 +338,6 @@ fn eval_element(
     total_elems: usize,
     state_cache: &mut Vec<((u32, i64), f32)>,
 ) -> f32 {
-    let mut locals: HashMap<String, Value> =
-        HashMap::from([(spec.loop_var.clone(), Value::I64(elem_in_array as i64))]);
     let mut io = ElemIo {
         ctx,
         spec,
@@ -229,9 +348,21 @@ fn eval_element(
         total_elems,
         pops: 0,
         state_cache,
+        state_slots: &comp.state_slots,
     };
-    eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
-        .expect("validated element expression")
+    if spec.exec.ast_oracle {
+        let mut locals: HashMap<String, Value> =
+            HashMap::from([(spec.loop_var.clone(), Value::I64(elem_in_array as i64))]);
+        return eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
+            .expect("validated element expression")
+            .as_f32()
+            .expect("element is numeric");
+    }
+    frame.reset(&comp.elem_proto);
+    if let Some(s) = comp.loop_slot {
+        frame.set(s, Value::I64(elem_in_array as i64));
+    }
+    bytecode::eval_value(&comp.elem, frame, &mut io)
         .as_f32()
         .expect("element is numeric")
 }
@@ -315,6 +446,9 @@ impl Kernel for SingleKernelReduce {
     fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
         let tpa = self.threads_per_array();
         let total_elems = self.n_arrays * self.n_elements;
+        let comp = self.spec.compiled().clone();
+        let mut frame = self.spec.exec.frames.take();
+        frame.fit(&comp.elem);
         let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
         // Phase 1: grid-stride accumulation into registers, then shared.
         for tid in ctx.threads() {
@@ -328,6 +462,8 @@ impl Kernel for SingleKernelReduce {
                     let v = eval_element(
                         ctx,
                         &self.spec,
+                        &comp,
+                        &mut frame,
                         tid,
                         self.in_buf,
                         self.in_layout,
@@ -373,6 +509,7 @@ impl Kernel for SingleKernelReduce {
                 v,
             );
         }
+        self.spec.exec.frames.give(frame);
     }
 }
 
@@ -417,6 +554,9 @@ impl Kernel for InitialReduce {
         let lo = (chunk * chunk_size).min(self.n_elements);
         let hi = ((chunk + 1) * chunk_size).min(self.n_elements);
         let total_elems = self.n_arrays * self.n_elements;
+        let comp = self.spec.compiled().clone();
+        let mut frame = self.spec.exec.frames.take();
+        frame.fit(&comp.elem);
         let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
 
         for tid in ctx.threads() {
@@ -426,6 +566,8 @@ impl Kernel for InitialReduce {
                 let v = eval_element(
                     ctx,
                     &self.spec,
+                    &comp,
+                    &mut frame,
                     tid,
                     self.in_buf,
                     self.in_layout,
@@ -453,6 +595,7 @@ impl Kernel for InitialReduce {
             array * self.initial_blocks + chunk,
             combined,
         );
+        self.spec.exec.frames.give(frame);
     }
 }
 
@@ -470,6 +613,8 @@ pub fn merge_kernel(
     raw.init = spec.init;
     raw.post = spec.post.clone();
     raw.acc_name = spec.acc_name.clone();
+    raw.exec.frames = spec.exec.frames.clone();
+    raw.exec.ast_oracle = spec.exec.ast_oracle;
     SingleKernelReduce {
         spec: raw,
         name: "reduce_merge".into(),
@@ -670,6 +815,7 @@ mod tests {
             post: Some(Expr::mul(Expr::var("m"), Expr::Float(2.0))),
             binds: bindings(&[]),
             state: Vec::new(),
+            exec: ReduceExec::default(),
         };
         let k = SingleKernelReduce {
             spec,
@@ -712,6 +858,7 @@ mod tests {
             post: None,
             binds: bindings(&[]),
             state: Vec::new(),
+            exec: ReduceExec::default(),
         };
 
         // Row-major (interleaved as-is).
@@ -791,6 +938,7 @@ mod tests {
             post: None,
             binds: bindings(&[("cols", cols as i64)]),
             state: Vec::new(),
+            exec: ReduceExec::default(),
         };
         spec.state.push(("x".into(), x_buf));
         let k = SingleKernelReduce {

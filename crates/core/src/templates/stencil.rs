@@ -12,6 +12,7 @@
 //! `peek(idx + Δ)` is redirected to the shared tile.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gpu_sim::{BlockCtx, BufId, Kernel, LaunchConfig};
 use streamir::ir::Stmt;
@@ -19,6 +20,7 @@ use streamir::rates::Bindings;
 use streamir::value::Value;
 
 use crate::analysis::opcount::body_counts;
+use crate::bytecode::{self, FramePool};
 use crate::exec_ir::{exec_body, IrIo};
 
 const SITE_LOAD: u32 = 0;
@@ -52,6 +54,17 @@ pub struct StencilKernel {
     /// Precomputed per-element instruction estimate.
     pub compute_per_elem: u32,
     pub flops_per_elem: u64,
+    /// The element body lowered to bytecode (see [`crate::bytecode`]).
+    pub program: Arc<bytecode::Program>,
+    /// Slot prototype with parameters bound.
+    pub(crate) proto: Vec<Value>,
+    pub(crate) loop_slot: Option<u16>,
+    /// Program state id → index into `state`.
+    pub(crate) state_slots: Vec<Option<u32>>,
+    /// Frame pool shared with the engine.
+    pub(crate) frames: Arc<FramePool>,
+    /// Execute through the AST walker instead (differential oracle).
+    pub ast_oracle: bool,
 }
 
 impl StencilKernel {
@@ -71,8 +84,71 @@ impl StencilKernel {
         in_buf: BufId,
         out_buf: BufId,
     ) -> StencilKernel {
+        Self::build(
+            name, body, loop_var, binds, rows, cols, tile_w, tile_h, halo_r, halo_c, in_buf,
+            out_buf, None,
+        )
+    }
+
+    /// Like [`StencilKernel::new`] but adopting a plan-precompiled
+    /// program, so launches only re-bind parameter slots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn precompiled(
+        name: &str,
+        body: Vec<Stmt>,
+        loop_var: &str,
+        binds: Bindings,
+        rows: usize,
+        cols: usize,
+        tile_w: usize,
+        tile_h: usize,
+        halo_r: usize,
+        halo_c: usize,
+        in_buf: BufId,
+        out_buf: BufId,
+        program: Arc<bytecode::Program>,
+    ) -> StencilKernel {
+        Self::build(
+            name,
+            body,
+            loop_var,
+            binds,
+            rows,
+            cols,
+            tile_w,
+            tile_h,
+            halo_r,
+            halo_c,
+            in_buf,
+            out_buf,
+            Some(program),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        name: &str,
+        body: Vec<Stmt>,
+        loop_var: &str,
+        binds: Bindings,
+        rows: usize,
+        cols: usize,
+        tile_w: usize,
+        tile_h: usize,
+        halo_r: usize,
+        halo_c: usize,
+        in_buf: BufId,
+        out_buf: BufId,
+        program: Option<Arc<bytecode::Program>>,
+    ) -> StencilKernel {
         let counts = body_counts(&body, &binds);
-        StencilKernel {
+        let program = program.unwrap_or_else(|| {
+            Arc::new(
+                bytecode::compile_body(&body, &binds, &[loop_var])
+                    .expect("stencil body lowers to bytecode"),
+            )
+        });
+        let mut k = StencilKernel {
             name: name.to_string(),
             body,
             loop_var: loop_var.to_string(),
@@ -89,7 +165,70 @@ impl StencilKernel {
             block_dim: 256,
             compute_per_elem: counts.compute as u32,
             flops_per_elem: counts.flops as u64,
+            program,
+            proto: Vec::new(),
+            loop_slot: None,
+            state_slots: Vec::new(),
+            frames: Arc::new(FramePool::new()),
+            ast_oracle: false,
+        };
+        k.rebind_program();
+        k
+    }
+
+    /// Adopt a plan-precompiled program (re-binding against this kernel's
+    /// bindings, which vary per launch).
+    pub fn with_program(mut self, program: Arc<bytecode::Program>) -> StencilKernel {
+        self.program = program;
+        self.rebind_program();
+        self
+    }
+
+    /// Share the engine's frame pool.
+    pub fn with_frames(mut self, frames: Arc<FramePool>) -> StencilKernel {
+        self.frames = frames;
+        self
+    }
+
+    fn rebind_program(&mut self) {
+        self.proto = self
+            .program
+            .bind(&self.binds)
+            .expect("bindings cover stencil body");
+        self.loop_slot = self.program.slot_of(&self.loop_var);
+        self.rebind_state_slots();
+    }
+
+    fn rebind_state_slots(&mut self) {
+        self.state_slots = self
+            .program
+            .state_names()
+            .iter()
+            .map(|n| {
+                self.state
+                    .iter()
+                    .position(|(s, _)| s == n)
+                    .map(|i| i as u32)
+            })
+            .collect();
+    }
+
+    /// Resolve a program state id to `(slot, buf)`, guarding against the
+    /// kernel's state list having been edited after compilation.
+    fn state_ref(&self, id: u16, array: &str) -> (u32, BufId) {
+        if let Some(Some(slot)) = self.state_slots.get(id as usize) {
+            if let Some((n, b)) = self.state.get(*slot as usize) {
+                if n == array {
+                    return (*slot, *b);
+                }
+            }
         }
+        self.state
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == array)
+            .map(|(i, (_, b))| (i as u32, *b))
+            .unwrap_or_else(|| panic!("unbound state array `{array}`"))
     }
 
     /// Extended (shared) tile width including halos.
@@ -113,6 +252,7 @@ impl StencilKernel {
     /// Bind a state array.
     pub fn with_state(mut self, name: &str, buf: BufId) -> StencilKernel {
         self.state.push((name.to_string(), buf));
+        self.rebind_state_slots();
         self
     }
 }
@@ -180,6 +320,12 @@ impl IrIo for StencilIo<'_, '_, '_> {
     fn state_store(&mut self, _: &str, _: i64, _: f32) {
         panic!("state store inside stencil element")
     }
+
+    fn state_load_id(&mut self, id: u16, array: &str, idx: i64) -> f32 {
+        let (slot, buf) = self.kernel.state_ref(id, array);
+        self.ctx
+            .ld_global(SITE_STATE + slot, self.tid, buf, idx as usize)
+    }
 }
 
 impl Kernel for StencilKernel {
@@ -237,6 +383,8 @@ impl Kernel for StencilKernel {
         // Phase 2: each thread computes tile elements, strided for
         // coalesced output stores.
         let elems = self.tile_w * self.tile_h;
+        let mut frame = self.frames.take();
+        frame.fit(&self.program);
         let mut locals: HashMap<String, Value> = HashMap::new();
         let mut e = 0usize;
         while e < elems {
@@ -251,8 +399,6 @@ impl Kernel for StencilKernel {
                     continue;
                 }
                 let global = r * self.cols + c;
-                locals.clear();
-                locals.insert(self.loop_var.clone(), Value::I64(global as i64));
                 let mut io = StencilIo {
                     ctx,
                     kernel: self,
@@ -262,13 +408,24 @@ impl Kernel for StencilKernel {
                     tile_c0,
                     pushed: false,
                 };
-                exec_body(&self.body, &mut locals, &self.binds, &mut io)
-                    .expect("validated stencil body");
+                if self.ast_oracle {
+                    locals.clear();
+                    locals.insert(self.loop_var.clone(), Value::I64(global as i64));
+                    exec_body(&self.body, &mut locals, &self.binds, &mut io)
+                        .expect("validated stencil body");
+                } else {
+                    frame.reset(&self.proto);
+                    if let Some(slot) = self.loop_slot {
+                        frame.set(slot, Value::I64(global as i64));
+                    }
+                    bytecode::eval(&self.program, &mut frame, &mut io);
+                }
                 ctx.compute(tid, self.compute_per_elem);
                 ctx.count_flops(self.flops_per_elem);
             }
             e += bdim;
         }
+        self.frames.give(frame);
     }
 }
 

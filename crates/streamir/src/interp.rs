@@ -431,7 +431,8 @@ impl FiringEnv<'_> {
                 let v = self.eval(operand)?;
                 match op {
                     UnOp::Neg => match v {
-                        Value::I64(i) => Ok(Value::I64(-i)),
+                        // Wrapping: `-i64::MIN` has no i64 representation.
+                        Value::I64(i) => Ok(Value::I64(i.wrapping_neg())),
                         other => Ok(Value::F32(-other.as_f32()?)),
                     },
                     UnOp::Not => Ok(Value::Bool(!v.as_bool())),
@@ -473,25 +474,31 @@ impl Interpreter<'_> {
 }
 
 /// Evaluate a binary operator on two values with numeric coercion.
+///
+/// Integer `+`/`-`/`*` (and `/`/`%` at the `i64::MIN / -1` edge) use
+/// two's-complement *wrapping* semantics, matching the generated CUDA
+/// code's machine arithmetic; only division/remainder by zero is a
+/// runtime error. The bytecode evaluator (`adaptic::bytecode`) mirrors
+/// these semantics exactly.
 pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value> {
     use BinOp::*;
     // Integer ops stay integral when both sides are integers.
     if let (Value::I64(x), Value::I64(y)) = (a, b) {
         return Ok(match op {
-            Add => Value::I64(x + y),
-            Sub => Value::I64(x - y),
-            Mul => Value::I64(x * y),
+            Add => Value::I64(x.wrapping_add(y)),
+            Sub => Value::I64(x.wrapping_sub(y)),
+            Mul => Value::I64(x.wrapping_mul(y)),
             Div => {
                 if y == 0 {
                     return Err(Error::Runtime("integer division by zero".into()));
                 }
-                Value::I64(x / y)
+                Value::I64(x.wrapping_div(y))
             }
             Rem => {
                 if y == 0 {
                     return Err(Error::Runtime("integer remainder by zero".into()));
                 }
-                Value::I64(x % y)
+                Value::I64(x.wrapping_rem(y))
             }
             Lt => Value::Bool(x < y),
             Le => Value::Bool(x <= y),

@@ -4,10 +4,33 @@
 
 use proptest::prelude::*;
 
-use adaptic_repro::adaptic::{compile, restructure, unrestructure, InputAxis};
+use std::collections::HashMap;
+
+use adaptic_repro::adaptic::bytecode::{self, compile_body, Frame};
+use adaptic_repro::adaptic::exec_ir::{exec_body, VecIo};
+use adaptic_repro::adaptic::{compile, restructure, unrestructure, InputAxis, RunOptions};
 use adaptic_repro::gpu_sim::DeviceSpec;
 use adaptic_repro::streamir::interp::Interpreter;
 use adaptic_repro::streamir::parse::parse_program;
+
+/// One random building block for a work body. Every block is valid by
+/// construction: it only reads variables that are definitely assigned
+/// (`x`, `k`, the 4-element state array `s`), keeps peeks in bounds, and
+/// keeps every integer divisor provably nonzero — so the AST reference
+/// interpreter never errors and the bytecode evaluator never diverges on
+/// an invalid program.
+fn body_block(sel: u8) -> &'static str {
+    match sel % 8 {
+        0 => "x = x + peek(0) * 0.5;",
+        1 => "k = k * 2654435761 + 12345;",
+        2 => "x = x + (k % 97) * 0.125;",
+        3 => "acc = 0.0; for i in 0..4 { acc = acc + peek(i); } x = x + acc;",
+        4 => "if (x < 0.0) { x = 0.0 - x; } else { x = x * 1.5; }",
+        5 => "s[1] = x + s[1]; x = x + s[2] * s[0];",
+        6 => "k = k - 7 * (k / 3); x = x / ((k % 7 + 8) * 1.0);",
+        _ => "x = max(x, 0.0 - 100.0) + pop();",
+    }
+}
 
 /// A random straight-line map body over one popped value.
 fn map_expr(ops: &[u8]) -> String {
@@ -162,5 +185,162 @@ proptest! {
         prop_assert_eq!(a.output, b.output);
         prop_assert_eq!(a.time_us, b.time_us);
         prop_assert_eq!(a.kernels.len(), b.kernels.len());
+    }
+
+    /// Random work bodies (loops, branches, peeks, state loads/stores,
+    /// wrapping integer arithmetic mixed with floats) evaluate
+    /// bit-identically under the compiled bytecode and the AST reference
+    /// interpreter: same outputs, same cursor, same final state.
+    #[test]
+    fn random_body_bytecode_matches_ast_oracle(
+        blocks in proptest::collection::vec(0u8..8, 0..8),
+        k0 in -1000i64..1000,
+        data in proptest::collection::vec(-50.0f32..50.0, 64..96),
+        sdata in proptest::collection::vec(-4.0f32..4.0, 4),
+    ) {
+        let body_src = blocks.iter().map(|b| body_block(*b)).collect::<Vec<_>>().join("\n");
+        let src = format!(
+            "pipeline P(N) {{
+                actor T(pop 16, push 2, peek 16) {{
+                    state s[4];
+                    x = pop();
+                    k = {k0};
+                    {body_src}
+                    push(x);
+                    push((k % 1000) * 1.0);
+                }}
+            }}"
+        );
+        let program = parse_program(&src).unwrap();
+        let actor = program.actor("T").unwrap();
+        let binds = adaptic_repro::streamir::graph::bindings(&[]);
+
+        let mut ast_io = VecIo {
+            input: data.clone(),
+            ..VecIo::default()
+        };
+        ast_io.state.insert("s".to_string(), sdata.clone());
+        let mut locals = HashMap::new();
+        exec_body(&actor.work.body, &mut locals, &binds, &mut ast_io).unwrap();
+
+        let prog = compile_body(&actor.work.body, &binds, &[]).unwrap();
+        let proto = prog.bind(&binds).unwrap();
+        let mut frame = Frame::default();
+        frame.fit(&prog);
+        frame.reset(&proto);
+        let mut bc_io = VecIo {
+            input: data.clone(),
+            ..VecIo::default()
+        };
+        bc_io.state.insert("s".to_string(), sdata.clone());
+        bytecode::eval(&prog, &mut frame, &mut bc_io);
+
+        prop_assert_eq!(ast_io.output.len(), bc_io.output.len());
+        for (i, (a, b)) in ast_io.output.iter().zip(&bc_io.output).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "output {} differs: {} vs {}", i, a, b);
+        }
+        prop_assert_eq!(ast_io.cursor, bc_io.cursor);
+        for (a, b) in ast_io.state["s"].iter().zip(&bc_io.state["s"]) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "state differs: {} vs {}", a, b);
+        }
+    }
+
+    /// Every template family (map, reduction, stencil, fused split-join)
+    /// produces bit-identical outputs AND kernel statistics whether work
+    /// bodies run on the bytecode evaluator or the AST oracle, on both
+    /// simulated devices.
+    #[test]
+    fn template_families_ast_oracle_stats_identical(
+        family in 0u8..4,
+        ops in proptest::collection::vec(0u8..5, 1..4),
+        log_n in 8u32..11,
+        dev_sel in 0u8..2,
+    ) {
+        let (src, is_stencil) = match family {
+            0 => (format!(
+                "pipeline P(N) {{
+                    actor A(pop 1, push 1) {{ x = pop(); push({}); }}
+                    actor B(pop 1, push 1) {{ x = pop(); push(x + 1.0); }}
+                }}",
+                map_expr(&ops),
+            ), false),
+            1 => (format!(
+                "pipeline P(N) {{
+                    actor R(pop N, push 1) {{
+                        acc = 0.0;
+                        for i in 0..N {{ x = pop(); acc = acc + {}; }}
+                        push(acc);
+                    }}
+                }}",
+                map_expr(&ops),
+            ), false),
+            2 => ("pipeline P(rows, cols) {
+                    actor S(pop rows*cols, push rows*cols, peek rows*cols) {
+                        for idx in 0..rows*cols {
+                            r = idx / cols;
+                            c = idx % cols;
+                            if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                                push(0.25 * (peek(idx - 1) + peek(idx + 1)
+                                    + peek(idx - cols) + peek(idx + cols)));
+                            } else {
+                                push(peek(idx));
+                            }
+                        }
+                    }
+                }".to_string(), true),
+            _ => ("pipeline P(N) {
+                    splitjoin {
+                        split duplicate;
+                        actor MaxA(pop N, push 1) {
+                            m = -100000.0;
+                            for i in 0..N { m = max(m, pop()); }
+                            push(m);
+                        }
+                        actor SumA(pop N, push 1) {
+                            s = 0.0;
+                            for i in 0..N { s = s + pop(); }
+                            push(s);
+                        }
+                        join roundrobin(1, 1);
+                    }
+                }".to_string(), false),
+        };
+        let program = parse_program(&src).unwrap();
+        let device = if dev_sel == 0 {
+            DeviceSpec::tesla_c2050()
+        } else {
+            DeviceSpec::gtx480()
+        };
+        let (axis, x, n_items) = if is_stencil {
+            let side = 1usize << (log_n / 2).max(4);
+            (
+                InputAxis::new("side", 16, 512, |s| {
+                    adaptic_repro::streamir::graph::bindings(&[("rows", s), ("cols", s)])
+                }),
+                side as i64,
+                side * side,
+            )
+        } else {
+            let n = 1usize << log_n;
+            (InputAxis::total_size("N", 64, 1 << 14), n as i64, n)
+        };
+        let compiled = compile(&program, &device, &axis).unwrap();
+        let input: Vec<f32> = (0..n_items).map(|i| ((i * 13) % 97) as f32 - 48.0).collect();
+
+        let fast = compiled
+            .run_opts(x, &input, &[], RunOptions::default(), None)
+            .unwrap();
+        let oracle = compiled
+            .run_opts(x, &input, &[], RunOptions::default().with_ast_oracle(true), None)
+            .unwrap();
+
+        prop_assert_eq!(fast.output.len(), oracle.output.len());
+        for (a, b) in fast.output.iter().zip(&oracle.output) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "output differs: {} vs {}", a, b);
+        }
+        prop_assert_eq!(fast.kernels.len(), oracle.kernels.len());
+        for (f, o) in fast.kernels.iter().zip(&oracle.kernels) {
+            prop_assert_eq!(&f.stats, &o.stats, "kernel {} stats diverge", f.name);
+        }
     }
 }
