@@ -14,7 +14,7 @@
 //!   *high overhead* region).
 
 use gpu_sim::{
-    BlockCtx, BufId, DeviceSpec, ExecMode, ExecPolicy, GlobalMem, Kernel, LaunchCache, LaunchConfig,
+    BlockCtx, BufId, DeviceSpec, ExecMode, ExecPolicy, GlobalMem, Kernel, LaunchConfig, StatsCache,
 };
 
 use crate::util::{launch_timed_opts, TimedRun};
@@ -106,7 +106,7 @@ pub fn tmv_with(
     cols: usize,
     mode: ExecMode,
     policy: ExecPolicy,
-    cache: Option<&LaunchCache>,
+    cache: Option<&dyn StatsCache>,
 ) -> TimedRun {
     assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
     assert_eq!(x.len(), cols, "vector length mismatch");

@@ -2,7 +2,7 @@
 
 use gpu_sim::{
     launch_with_policy, DeviceSpec, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats,
-    LaunchCache,
+    ScratchPool, StatsCache,
 };
 use perfmodel::estimate_stats;
 
@@ -58,11 +58,15 @@ pub(crate) fn launch_timed_opts(
     kernel: &(dyn Kernel + Sync),
     mode: ExecMode,
     policy: ExecPolicy,
-    cache: Option<(&LaunchCache, (u64, u64))>,
+    cache: Option<(&dyn StatsCache, (u64, u64))>,
     run: &mut TimedRun,
 ) {
     let stats = match cache {
-        Some((cache, dims)) => cache.launch(device, mem, kernel, mode, policy, dims).0,
+        Some((cache, dims)) => {
+            cache
+                .launch_cached(device, mem, kernel, mode, policy, dims, &ScratchPool::new())
+                .0
+        }
         None => launch_with_policy(device, mem, kernel, mode, policy),
     };
     run.time_us += estimate_stats(device, &stats).time_us;

@@ -3,21 +3,22 @@
 //! shapes at three fixed element counts.
 //!
 //! The sweep runs on the parallel engine ([`sweep_policy`]) and routes
-//! every launch through a shared [`LaunchCache`]: each (kernel, geometry,
-//! shape) point simulates once, and the closing memoized re-sweep replays
-//! the whole figure from cached statistics to show the cache at work.
+//! every launch through a shared [`ShardedLaunchCache`]: each (kernel,
+//! geometry, shape) point simulates once, and the closing memoized
+//! re-sweep replays the whole figure from cached statistics to show the
+//! concurrent cache at work.
 
 use adaptic::{compile, InputAxis, StateBinding};
 use adaptic_apps::programs;
 use adaptic_bench::{data, header, row, scale, size_label, sweep_opts, sweep_policy};
-use gpu_sim::{DeviceSpec, LaunchCache};
+use gpu_sim::{DeviceSpec, ShardedLaunchCache};
 
 fn main() {
     header("Figure 10: TMV GFLOPS, Adaptic vs CUBLAS, across shapes");
     let device = DeviceSpec::tesla_c2050();
     let bench = programs::tmv();
     let widths = [12usize, 12, 12, 10, 24];
-    let cache = LaunchCache::new();
+    let cache = ShardedLaunchCache::default();
 
     for base in [1usize << 20, 4 << 20, 16 << 20] {
         let total = base / scale();
@@ -138,13 +139,15 @@ fn main() {
     let new_hits = cache.hits() - hit_before;
     let new_misses = cache.misses() - miss_before;
     println!(
-        "Launch-stats cache: {} memoized launches; first sweep {} misses / {} hits; \
-         re-sweep {} hits / {} misses in {:.1} ms",
+        "Launch-stats cache: {} memoized launches across {} shards; first sweep \
+         {} misses / {} hits; re-sweep {} hits / {} misses / {} evictions in {:.1} ms",
         cache.len(),
+        cache.shard_count(),
         miss_before,
         hit_before,
         new_hits,
         new_misses,
+        cache.evictions(),
         start.elapsed().as_secs_f64() * 1e3,
     );
 }

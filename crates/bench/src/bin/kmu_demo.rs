@@ -1,0 +1,85 @@
+//! Kernel-management-unit demo: the analytical model deliberately
+//! mispredicts a break-even point, and the online KMU walks the boundary
+//! back to where measurement says it belongs.
+//!
+//! The model's prediction of variant 0's cost is skewed 5x low, so the
+//! planner-style boundary rebuild overextends variant 0's sub-range deep
+//! into its neighbor's territory. Launches in the disputed region then
+//! measure 5x worse than predicted; once the per-variant histogram has
+//! enough disagreeing samples, recalibration re-locates the break-even
+//! from the measurement-corrected curves and the selector flips to the
+//! measured-faster variant. The closing telemetry dump is the proof:
+//! recalibration moves, per-variant selections, and the model's mean
+//! error, straight from the counters.
+//!
+//! ```sh
+//! cargo run --release --bin kmu_demo
+//! ```
+
+use adaptic::{compile, ExecMode, InputAxis, KernelManager, RunOptions};
+use adaptic_bench::{data, header};
+use gpu_sim::DeviceSpec;
+use streamir::parse::parse_program;
+
+fn main() {
+    header("KMU: measured-feedback recalibration of a mispredicted break-even");
+    let program = parse_program(
+        r#"pipeline Sum(N) {
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#,
+    )
+    .expect("parse Sum");
+    let device = DeviceSpec::tesla_c2050();
+    let axis = InputAxis::total_size("N", 64, 1 << 20);
+    let compiled = compile(&program, &device, &axis).expect("compile Sum");
+    assert!(compiled.variant_count() >= 2, "need a boundary to move");
+
+    let honest: Vec<(i64, i64)> = compiled.variants.iter().map(|v| (v.lo, v.hi)).collect();
+    let true_boundary = honest[1].0;
+
+    // Skew the model: variant 0 predicted 5x cheaper than it measures.
+    let mut skews = vec![1.0; compiled.variant_count()];
+    skews[0] = 0.2;
+    let kmu = KernelManager::new(compiled)
+        .with_min_samples(3)
+        .with_model_skew(skews);
+    let skewed_boundary = kmu.telemetry().boundaries[1].0;
+    println!("honest boundary v0|v1 : {true_boundary}");
+    println!("mispredicted boundary : {skewed_boundary} (variant 0 overextended)\n");
+
+    // Launch repeatedly in the disputed region and watch the selector.
+    let x = ((true_boundary as f64) * (skewed_boundary as f64)).sqrt() as i64;
+    let input = data(x as usize, 7);
+    let opts = RunOptions::serial(ExecMode::SampledStats(32));
+    println!("launching at N = {x} (model says v0, measurement says v1):");
+    for launch in 0..8 {
+        let rep = kmu.run(x, &input, &[], opts).expect("kmu run");
+        let snap = rep.telemetry.as_ref().expect("kmu attaches telemetry");
+        println!(
+            "  launch {launch}: variant v{} ({:9.1} us measured), boundary at {}, {} moves",
+            rep.variant_index,
+            rep.time_us + rep.host_time_us,
+            snap.boundaries[1].0,
+            snap.recalibration_moves
+        );
+    }
+
+    println!("\nfinal telemetry:\n{}", kmu.telemetry());
+    let snap = kmu.telemetry();
+    assert!(snap.recalibration_moves >= 1, "demo must recalibrate");
+    assert!(
+        snap.boundaries[1].0 <= x,
+        "boundary must hand the disputed region to variant 1"
+    );
+    println!(
+        "converged: boundary {} -> {} (honest {}), model error seen {:.0}%",
+        skewed_boundary,
+        snap.boundaries[1].0,
+        true_boundary,
+        snap.mean_model_error * 100.0
+    );
+}

@@ -47,6 +47,7 @@ pub fn sweep_opts() -> RunOptions {
         mode: sweep_mode(),
         policy: sweep_policy(),
         ast_oracle: false,
+        force_variant: None,
     }
 }
 

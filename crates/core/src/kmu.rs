@@ -1,0 +1,589 @@
+//! The online kernel-management unit (§5 of the paper), with
+//! measured-feedback recalibration.
+//!
+//! The planner places variant boundaries where the *analytical* model says
+//! two lowerings break even. When the model is wrong for a device — and
+//! Hong & Kim-style models routinely are, by tens of percent — the table
+//! keeps launching the wrong variant near the boundary forever. The
+//! [`KernelManager`] closes the loop: every launch records measured cost
+//! (the simulated-cycle estimate read back from `gpu_sim` accounting plus
+//! host time) into a per-variant [`VariantHistogram`]; once enough samples
+//! disagree with the prediction, the break-even point is re-located from
+//! *measurement-corrected* cost curves and the boundary shifts — with
+//! hysteresis, so noise never makes it flap.
+//!
+//! The correction is a per-variant multiplicative ratio
+//! (EWMA of `measured / predicted`), learned from each variant's own
+//! launches. A boundary the model *overextended* is therefore fixed
+//! without any exploration: the variant being launched in the disputed
+//! region reveals its own underestimated cost, and the corrected crossover
+//! hands the region to the neighbor.
+//!
+//! Selection changes never change results: every variant of the table
+//! computes the same function (the conformance suite pins this
+//! bit-for-bit), so a boundary move only moves *time*.
+
+use std::sync::Mutex;
+
+use gpu_sim::{ExecMode, ShardedLaunchCache, StatsCache};
+use perfmodel::{recalibrated_boundary, Hysteresis};
+use streamir::error::{Error, Result};
+
+use crate::plan::CompiledProgram;
+use crate::runtime::{ExecutionReport, RunOptions, StateBinding};
+use crate::telemetry::{TelemetryCounters, TelemetrySnapshot};
+
+/// EWMA weight of the newest measured/predicted ratio sample.
+const RATIO_ALPHA: f64 = 0.3;
+
+/// Measured-cost history of one variant of the table.
+#[derive(Debug, Clone)]
+pub struct VariantHistogram {
+    /// Launches of this variant recorded so far.
+    pub samples: u64,
+    /// Samples since a boundary adjacent to this variant last moved.
+    pub since_move: u64,
+    /// EWMA of `measured / predicted` (1.0 = the model is exact).
+    pub ratio: f64,
+    /// Running `Σ |measured - predicted| / predicted` for telemetry.
+    sum_rel_err: f64,
+}
+
+impl Default for VariantHistogram {
+    fn default() -> Self {
+        VariantHistogram {
+            samples: 0,
+            since_move: 0,
+            ratio: 1.0,
+            sum_rel_err: 0.0,
+        }
+    }
+}
+
+/// Mutable selector state, guarded by one short-held mutex (launches
+/// themselves run outside it; only bookkeeping locks).
+#[derive(Debug)]
+struct KmuState {
+    /// Current (possibly recalibrated) sub-range per variant. Always tiles
+    /// the axis exactly.
+    ranges: Vec<(i64, i64)>,
+    hist: Vec<VariantHistogram>,
+    /// Multiplier applied to the model's prediction per variant — 1.0
+    /// normally; tests inject a deliberate misprediction here.
+    skew: Vec<f64>,
+}
+
+/// The online kernel-management unit: wraps a [`CompiledProgram`] with a
+/// recalibrating selector, a sharded launch-stats cache and telemetry.
+///
+/// `&KernelManager` is `Sync`: many threads can call
+/// [`run`](KernelManager::run) concurrently. Launches execute outside the
+/// selector lock, cache stripes are independently locked, and counters are
+/// atomic.
+#[derive(Debug)]
+pub struct KernelManager {
+    program: CompiledProgram,
+    cache: ShardedLaunchCache,
+    counters: TelemetryCounters,
+    state: Mutex<KmuState>,
+    hysteresis: Hysteresis,
+    /// Combined fresh samples an adjacent pair needs before its boundary
+    /// is re-examined.
+    min_samples: u64,
+}
+
+impl KernelManager {
+    /// Manage `program` with default cache geometry, hysteresis and
+    /// sample threshold.
+    pub fn new(program: CompiledProgram) -> KernelManager {
+        let ranges: Vec<(i64, i64)> = program.variants.iter().map(|v| (v.lo, v.hi)).collect();
+        let n = ranges.len();
+        KernelManager {
+            counters: TelemetryCounters::new(n),
+            state: Mutex::new(KmuState {
+                ranges,
+                hist: vec![VariantHistogram::default(); n],
+                skew: vec![1.0; n],
+            }),
+            cache: ShardedLaunchCache::default(),
+            hysteresis: Hysteresis::default(),
+            min_samples: 4,
+            program,
+        }
+    }
+
+    /// Replace the launch-stats cache geometry.
+    pub fn with_cache(mut self, shards: usize, capacity_per_shard: usize) -> KernelManager {
+        self.cache = ShardedLaunchCache::new(shards, capacity_per_shard);
+        self
+    }
+
+    /// Replace the recalibration hysteresis thresholds.
+    pub fn with_hysteresis(mut self, hysteresis: Hysteresis) -> KernelManager {
+        self.hysteresis = hysteresis;
+        self
+    }
+
+    /// Replace the fresh-sample threshold that arms recalibration.
+    pub fn with_min_samples(mut self, min_samples: u64) -> KernelManager {
+        self.min_samples = min_samples.max(1);
+        self
+    }
+
+    /// Override the selector's boundaries directly (one `(lo, hi)` per
+    /// variant). Tests use this to start the manager from a deliberately
+    /// wrong table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ranges do not exactly tile the compiled axis in
+    /// variant order.
+    pub fn with_boundaries(self, ranges: Vec<(i64, i64)>) -> KernelManager {
+        {
+            let mut st = self.state.lock().unwrap();
+            let (lo, hi) = self.program.axis_range();
+            assert_eq!(ranges.len(), st.ranges.len(), "one range per variant");
+            assert!(
+                ranges.first().map(|r| r.0) == Some(lo)
+                    && ranges.last().map(|r| r.1) == Some(hi)
+                    && ranges.iter().all(|r| r.0 <= r.1)
+                    && ranges.windows(2).all(|w| w[0].1 + 1 == w[1].0),
+                "ranges must tile [{lo}, {hi}]: {ranges:?}"
+            );
+            st.ranges = ranges;
+        }
+        self
+    }
+
+    /// Deliberately skew the model's prediction per variant (multiplier;
+    /// 1.0 = honest) and re-place every boundary from the skewed curves,
+    /// exactly as the planner would have if the model were *actually* this
+    /// wrong. The demo for measured-feedback convergence: skew a variant's
+    /// predicted cost down and watch the manager claw the boundary back
+    /// from measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `skews` does not have one entry per variant.
+    pub fn with_model_skew(self, skews: Vec<f64>) -> KernelManager {
+        {
+            let mut st = self.state.lock().unwrap();
+            assert_eq!(skews.len(), st.ranges.len(), "one skew per variant");
+            st.skew = skews;
+            // Re-place each boundary from the skewed curves (ratios are
+            // all 1.0 at this point), with hysteresis off: this *is* the
+            // table such a model would have produced.
+            let free = Hysteresis {
+                min_rel_shift: 0.0,
+                min_abs_shift: 1,
+            };
+            for left in 0..st.ranges.len().saturating_sub(1) {
+                let (lo, hi) = (st.ranges[left].0, st.ranges[left + 1].1);
+                let current = st.ranges[left + 1].0;
+                let (sl, sr) = (st.skew[left], st.skew[left + 1]);
+                let moved = recalibrated_boundary(
+                    lo,
+                    hi,
+                    current,
+                    |x| sl * self.predicted(x, left),
+                    |x| sr * self.predicted(x, left + 1),
+                    free,
+                );
+                if let Some(b) = moved {
+                    st.ranges[left].1 = b - 1;
+                    st.ranges[left + 1].0 = b;
+                }
+            }
+        }
+        self
+    }
+
+    /// The managed program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The launch-stats cache (hit/miss/eviction counters live here).
+    pub fn cache(&self) -> &ShardedLaunchCache {
+        &self.cache
+    }
+
+    /// The variant the *current* (possibly recalibrated) table selects for
+    /// axis value `x`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyVariantTable`] when there is nothing to select from;
+    /// [`Error::InputOutOfRange`] when `x` is outside the compiled range —
+    /// typed errors, never a panic or a silent clamp.
+    pub fn select(&self, x: i64) -> Result<usize> {
+        let st = self.state.lock().unwrap();
+        self.select_locked(&st, x)
+    }
+
+    fn select_locked(&self, st: &KmuState, x: i64) -> Result<usize> {
+        if st.ranges.is_empty() {
+            return Err(Error::EmptyVariantTable);
+        }
+        let (lo, hi) = self.program.axis_range();
+        if x < lo || x > hi {
+            return Err(Error::InputOutOfRange { x, lo, hi });
+        }
+        Ok(st
+            .ranges
+            .iter()
+            .position(|r| x >= r.0 && x <= r.1)
+            .expect("ranges tile the axis"))
+    }
+
+    /// Skewed model prediction of variant `v` at `x` (∞ when the model
+    /// cannot price it, so a crossover search treats it as never-winning).
+    fn predicted(&self, x: i64, v: usize) -> f64 {
+        self.program
+            .predicted_time_us(x, v)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Run the program at axis value `x`, selecting the variant from the
+    /// recalibrated table, recording measured cost, and re-examining the
+    /// adjacent boundaries.
+    ///
+    /// The launch-stats cache is engaged only for
+    /// [`ExecMode::SampledExec`] runs — the cache skips execution on hits,
+    /// which is only sound where outputs are already being discarded.
+    /// The returned report carries a [`TelemetrySnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Selection errors ([`Error::EmptyVariantTable`],
+    /// [`Error::InputOutOfRange`]) plus everything
+    /// [`CompiledProgram::run_opts`] returns.
+    pub fn run(
+        &self,
+        x: i64,
+        input: &[f32],
+        state: &[StateBinding],
+        opts: RunOptions,
+    ) -> Result<ExecutionReport> {
+        let idx = self.select(x)?;
+        let cache: Option<&dyn StatsCache> = match opts.mode {
+            ExecMode::SampledExec(_) => Some(&self.cache),
+            _ => None,
+        };
+        let mut report = self
+            .program
+            .run_opts(x, input, state, opts.with_variant(idx), cache)?;
+        self.counters.record_selection(idx);
+
+        let measured = report.time_us + report.host_time_us;
+        let mut st = self.state.lock().unwrap();
+        let predicted = st.skew[idx] * self.predicted(x, idx);
+        if predicted.is_finite() && predicted > 0.0 && measured.is_finite() {
+            let h = &mut st.hist[idx];
+            let ratio = measured / predicted;
+            h.ratio = if h.samples == 0 {
+                ratio
+            } else {
+                RATIO_ALPHA * ratio + (1.0 - RATIO_ALPHA) * h.ratio
+            };
+            h.samples += 1;
+            h.since_move += 1;
+            h.sum_rel_err += (measured - predicted).abs() / predicted;
+            if idx > 0 {
+                self.recalibrate_pair(&mut st, idx - 1);
+            }
+            self.recalibrate_pair(&mut st, idx);
+        }
+        report.telemetry = Some(self.snapshot_locked(&st));
+        Ok(report)
+    }
+
+    /// Re-locate the boundary between variants `left` and `left + 1` from
+    /// ratio-corrected cost curves, once the pair has accumulated enough
+    /// fresh samples. An applied move resets both sides' freshness, so the
+    /// next move needs new evidence.
+    fn recalibrate_pair(&self, st: &mut KmuState, left: usize) {
+        let right = left + 1;
+        if right >= st.ranges.len() {
+            return;
+        }
+        if st.hist[left].since_move + st.hist[right].since_move < self.min_samples {
+            return;
+        }
+        let (lo, hi) = (st.ranges[left].0, st.ranges[right].1);
+        let current = st.ranges[right].0;
+        let (cl, cr) = (
+            st.hist[left].ratio * st.skew[left],
+            st.hist[right].ratio * st.skew[right],
+        );
+        let moved = recalibrated_boundary(
+            lo,
+            hi,
+            current,
+            |x| cl * self.predicted(x, left),
+            |x| cr * self.predicted(x, right),
+            self.hysteresis,
+        );
+        if let Some(b) = moved {
+            st.ranges[left].1 = b - 1;
+            st.ranges[right].0 = b;
+            st.hist[left].since_move = 0;
+            st.hist[right].since_move = 0;
+            self.counters.record_move();
+        }
+    }
+
+    /// A point-in-time copy of all telemetry.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let st = self.state.lock().unwrap();
+        self.snapshot_locked(&st)
+    }
+
+    fn snapshot_locked(&self, st: &KmuState) -> TelemetrySnapshot {
+        let samples: u64 = st.hist.iter().map(|h| h.samples).sum();
+        let sum_err: f64 = st.hist.iter().map(|h| h.sum_rel_err).sum();
+        TelemetrySnapshot {
+            launches: self
+                .counters
+                .launches
+                .load(std::sync::atomic::Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            selections: self.counters.selection_counts(),
+            recalibration_moves: self
+                .counters
+                .recalibration_moves
+                .load(std::sync::atomic::Ordering::Relaxed),
+            mean_model_error: if samples > 0 {
+                sum_err / samples as f64
+            } else {
+                0.0
+            },
+            boundaries: st.ranges.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile, InputAxis};
+    use gpu_sim::DeviceSpec;
+    use streamir::parse::parse_program;
+
+    const SUM_SRC: &str = r#"pipeline P(N) {
+        actor Sum(pop N, push 1) {
+            acc = 0.0;
+            for i in 0..N { acc = acc + pop(); }
+            push(acc);
+        }
+    }"#;
+
+    fn compiled_sum() -> CompiledProgram {
+        let p = parse_program(SUM_SRC).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 20);
+        compile(&p, &DeviceSpec::tesla_c2050(), &axis).unwrap()
+    }
+
+    #[test]
+    fn selector_rejects_out_of_range_and_empty_table() {
+        let compiled = compiled_sum();
+        let kmu = KernelManager::new(compiled.clone());
+        assert!(matches!(
+            kmu.select(63),
+            Err(Error::InputOutOfRange { x: 63, lo: 64, .. })
+        ));
+        assert!(matches!(
+            kmu.select((1 << 20) + 1),
+            Err(Error::InputOutOfRange { .. })
+        ));
+        assert!(matches!(
+            kmu.run(1 << 30, &[1.0; 4], &[], RunOptions::default()),
+            Err(Error::InputOutOfRange { .. })
+        ));
+
+        let mut empty = compiled;
+        empty.variants.clear();
+        assert!(matches!(
+            empty.try_variant_for(1024),
+            Err(Error::EmptyVariantTable)
+        ));
+        let kmu = KernelManager::new(empty);
+        assert!(matches!(kmu.select(1024), Err(Error::EmptyVariantTable)));
+    }
+
+    #[test]
+    fn hysteresis_freezes_and_recalibration_keeps_tiling() {
+        let compiled = compiled_sum();
+        let before: Vec<(i64, i64)> = compiled.variants.iter().map(|v| (v.lo, v.hi)).collect();
+        let opts = RunOptions::serial(ExecMode::SampledStats(32));
+        let sizes = [256usize, 1024, 4096, 16384, 65536];
+
+        // An insurmountable hysteresis bar: measured-vs-model disagreement
+        // never moves a boundary, no matter how many samples accrue.
+        let frozen = KernelManager::new(compiled.clone())
+            .with_min_samples(2)
+            .with_hysteresis(Hysteresis {
+                min_rel_shift: f64::INFINITY,
+                min_abs_shift: i64::MAX,
+            });
+        for &n in &sizes {
+            let input = vec![1.0f32; n];
+            let rep = frozen.run(n as i64, &input, &[], opts).unwrap();
+            assert_eq!(rep.telemetry.unwrap().boundaries, before);
+        }
+        let snap = frozen.telemetry();
+        assert_eq!(snap.recalibration_moves, 0);
+        assert_eq!(snap.launches, 5);
+        assert_eq!(snap.selections.iter().sum::<u64>(), 5);
+
+        // Default hysteresis: moves may happen (measurement legitimately
+        // disagrees with the analytical model), but the table always keeps
+        // tiling the declared axis exactly.
+        let live = KernelManager::new(compiled.clone()).with_min_samples(2);
+        for &n in &sizes {
+            let input = vec![1.0f32; n];
+            let snap = live
+                .run(n as i64, &input, &[], opts)
+                .unwrap()
+                .telemetry
+                .unwrap();
+            let (lo, hi) = compiled.axis_range();
+            assert_eq!(snap.boundaries.first().unwrap().0, lo);
+            assert_eq!(snap.boundaries.last().unwrap().1, hi);
+            for w in snap.boundaries.windows(2) {
+                assert_eq!(w[0].1 + 1, w[1].0, "gap/overlap in {:?}", snap.boundaries);
+            }
+        }
+    }
+
+    /// The ISSUE's acceptance demo: the model deliberately mispredicts a
+    /// break-even point (variant 0's cost skewed 5x low, so its region
+    /// swallows its neighbor's); measured feedback converges the selector
+    /// to the measured-faster variant within a handful of launches, and
+    /// the telemetry counters prove the recalibration happened.
+    #[test]
+    fn kmu_converges_to_measured_faster_variant() {
+        let compiled = compiled_sum();
+        assert!(compiled.variant_count() >= 2, "need a boundary to move");
+        let true_boundary = compiled.variants[1].lo;
+
+        let mut skews = vec![1.0; compiled.variant_count()];
+        skews[0] = 0.2; // model claims variant 0 is 5x cheaper than it is
+        let kmu = KernelManager::new(compiled.clone())
+            .with_min_samples(3)
+            .with_model_skew(skews);
+        let skewed_boundary = kmu.telemetry().boundaries[1].0;
+        assert!(
+            skewed_boundary > true_boundary,
+            "skewed model must overextend variant 0: {skewed_boundary} vs {true_boundary}"
+        );
+
+        // A disputed input: the skewed table says variant 0, measurement
+        // says variant 1.
+        let x = ((true_boundary as f64) * (skewed_boundary as f64)).sqrt() as i64;
+        assert!(x > true_boundary && x < skewed_boundary);
+        let input = vec![1.0f32; x as usize];
+        let opts = RunOptions::serial(ExecMode::SampledStats(32));
+        let forced0 = compiled
+            .run_opts(x, &input, &[], opts.with_variant(0), None)
+            .unwrap();
+        let forced1 = compiled
+            .run_opts(x, &input, &[], opts.with_variant(1), None)
+            .unwrap();
+        assert!(
+            forced1.time_us < forced0.time_us,
+            "variant 1 must measure faster at x={x}: {} vs {}",
+            forced1.time_us,
+            forced0.time_us
+        );
+
+        let mut converged_at = None;
+        for launch in 0..12 {
+            let rep = kmu.run(x, &input, &[], opts).unwrap();
+            if rep.variant_index == 1 {
+                converged_at = Some(launch);
+                break;
+            }
+        }
+        let converged_at = converged_at.expect("KMU converged to the measured-faster variant");
+        assert!(
+            converged_at <= 6,
+            "convergence took {converged_at} launches"
+        );
+
+        let snap = kmu.telemetry();
+        assert!(snap.recalibration_moves >= 1, "a boundary must have moved");
+        assert!(
+            snap.boundaries[1].0 <= x,
+            "recalibrated boundary {} must hand x={x} to variant 1",
+            snap.boundaries[1].0
+        );
+        assert!(snap.selections[0] >= 1 && snap.selections[1] >= 1);
+        assert!(
+            snap.mean_model_error > 1.0,
+            "a 5x misprediction shows up as model error: {}",
+            snap.mean_model_error
+        );
+        // Recalibration stays within the declared range and keeps tiling.
+        let (lo, hi) = compiled.axis_range();
+        assert_eq!(snap.boundaries.first().unwrap().0, lo);
+        assert_eq!(snap.boundaries.last().unwrap().1, hi);
+        for w in snap.boundaries.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn forced_variants_compute_identical_results() {
+        // Selection changes must never change results: every variant is
+        // the same function. (The conformance suite pins this across
+        // engines; this pins it across the table.)
+        let compiled = compiled_sum();
+        let n = 8192usize;
+        let input: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let baseline = compiled.run(n as i64, &input).unwrap();
+        for v in 0..compiled.variant_count() {
+            let forced = compiled
+                .run_opts(
+                    n as i64,
+                    &input,
+                    &[],
+                    RunOptions::default().with_variant(v),
+                    None,
+                )
+                .unwrap();
+            assert_eq!(forced.variant_index, v);
+            let expected: f32 = input.iter().sum();
+            assert!(
+                (forced.output[0] - expected).abs() <= 1e-3 * expected,
+                "variant {v}: {} vs {expected}",
+                forced.output[0]
+            );
+            assert_eq!(forced.output.len(), baseline.output.len());
+        }
+    }
+
+    #[test]
+    fn kmu_cache_engages_only_for_sampled_exec() {
+        let compiled = compiled_sum();
+        let kmu = KernelManager::new(compiled);
+        let n = 4096usize;
+        let input = vec![1.0f32; n];
+        // Full mode: no cache traffic.
+        kmu.run(n as i64, &input, &[], RunOptions::serial(ExecMode::Full))
+            .unwrap();
+        assert_eq!(kmu.cache().hits() + kmu.cache().misses(), 0);
+        // SampledExec: cold misses, then hits.
+        let opts = RunOptions::serial(ExecMode::SampledExec(8));
+        let cold = kmu.run(n as i64, &input, &[], opts).unwrap();
+        assert!(cold.cache_misses > 0);
+        let warm = kmu.run(n as i64, &input, &[], opts).unwrap();
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        let snap = kmu.telemetry();
+        assert_eq!(snap.cache_hits, warm.cache_hits);
+        assert_eq!(snap.cache_misses, cold.cache_misses);
+    }
+}

@@ -51,20 +51,24 @@ pub mod bytecode;
 pub mod codegen;
 pub mod cost;
 pub mod exec_ir;
+pub mod kmu;
 pub mod layout;
 pub mod opt;
 pub mod plan;
 pub mod runtime;
+pub mod telemetry;
 pub mod templates;
 
 pub use analysis::{classify, ActorClass};
+pub use kmu::{KernelManager, VariantHistogram};
 pub use layout::{restructure, unrestructure, Layout};
 pub use plan::{
     compile, compile_single, compile_with_options, CompileOptions, CompiledProgram, InputAxis,
     OptTag, SegChoice, Variant,
 };
 pub use runtime::{ExecutionReport, KernelReport, RunOptions, StateBinding};
+pub use telemetry::{TelemetryCounters, TelemetrySnapshot};
 // Execution-engine knobs surface through the runtime API, so re-export
 // them: callers pick serial/parallel and share a launch-stats cache
 // without depending on `gpu_sim` directly.
-pub use gpu_sim::{ExecMode, ExecPolicy, LaunchCache};
+pub use gpu_sim::{ExecMode, ExecPolicy, LaunchCache, ShardedLaunchCache, StatsCache};

@@ -407,14 +407,192 @@ pub struct CompiledProgram {
 
 impl CompiledProgram {
     /// The variant covering axis value `x` (clamped into the range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variant table is empty; use
+    /// [`try_variant_for`](CompiledProgram::try_variant_for) for a typed
+    /// error instead.
     pub fn variant_for(&self, x: i64) -> (usize, &Variant) {
         let x = x.clamp(self.axis.lo, self.axis.hi);
+        self.try_variant_for(x)
+            .expect("variant table tiles the axis")
+    }
+
+    /// The variant covering axis value `x`, rejecting invalid selections
+    /// with typed errors instead of clamping or panicking: an empty table
+    /// is [`Error::EmptyVariantTable`], an `x` outside the compiled range
+    /// is [`Error::InputOutOfRange`].
+    pub fn try_variant_for(&self, x: i64) -> Result<(usize, &Variant)> {
+        if self.variants.is_empty() {
+            return Err(Error::EmptyVariantTable);
+        }
+        if x < self.axis.lo || x > self.axis.hi {
+            return Err(Error::InputOutOfRange {
+                x,
+                lo: self.axis.lo,
+                hi: self.axis.hi,
+            });
+        }
         let idx = self
             .variants
             .iter()
             .position(|v| x >= v.lo && x <= v.hi)
             .expect("variant table tiles the axis");
-        (idx, &self.variants[idx])
+        Ok((idx, &self.variants[idx]))
+    }
+
+    /// The declared input range `[lo, hi]` of the compiled axis.
+    pub fn axis_range(&self) -> (i64, i64) {
+        (self.axis.lo, self.axis.hi)
+    }
+
+    /// The analytical model's predicted execution time (µs) of running
+    /// variant `variant_index`'s lowering decisions at axis value `x` —
+    /// the same per-segment cost readout the planner used to place the
+    /// table's boundaries, exposed so the runtime kernel-management unit
+    /// can compare prediction against measurement and recalibrate.
+    ///
+    /// `x` need not lie inside the variant's own sub-range: the KMU
+    /// evaluates each variant's cost curve across a *neighboring* range
+    /// when re-locating a break-even point. Returns `None` when the
+    /// variant index is out of bounds or the axis value cannot be
+    /// scheduled.
+    pub fn predicted_time_us(&self, x: i64, variant_index: usize) -> Option<f64> {
+        let variant = self.variants.get(variant_index)?;
+        let binds = self.axis.bind(x);
+        let fg = self.program.flatten().ok()?;
+        let sched = rate_match(&fg, &binds).ok()?;
+        let iterations = self.axis.expected_iterations(x, sched.steady_input);
+        let layouts = &self.edge_layouts;
+        let mut total = 0.0f64;
+        for (i, (seg, choice)) in self.segments.iter().zip(&variant.choices).enumerate() {
+            let reps = sched.reps(seg.node).max(1) * iterations.max(1);
+            let t = match (&seg.kind, choice) {
+                (SegKind::Unit(u), SegChoice::Map { coarsen }) => {
+                    let units = (probe_units(u, seg.node, &sched, &binds).unwrap_or(1).max(1)
+                        * iterations.max(1) as i64) as usize;
+                    let counts = body_counts(&u.body, &binds);
+                    let p = map_profile(
+                        &self.device,
+                        units,
+                        u.pops_per_unit,
+                        u.pushes_per_unit,
+                        counts.state_loads + counts.state_stores + counts.peeks,
+                        counts.compute,
+                        counts.flops,
+                        layouts[i],
+                        layouts[i + 1],
+                        *coarsen,
+                        256,
+                    );
+                    estimate(&self.device, &p).time_us
+                }
+                (SegKind::Reduce(r), SegChoice::Reduce { choice }) => {
+                    let n_arrays = reps as usize;
+                    let n_elements =
+                        eval_bound(&r.pattern.bound, &binds).unwrap_or(1).max(1) as usize;
+                    let ec = body_counts(&[Stmt::Push(r.pattern.elem.clone())], &binds);
+                    crate::opt::segmentation::reduce_choice_time(
+                        &self.device,
+                        *choice,
+                        n_arrays,
+                        n_elements,
+                        r.pattern.pops_per_elem,
+                        ec.state_loads,
+                        ec.compute + 1.0,
+                        layouts[i],
+                    )
+                }
+                (SegKind::Stencil(s), SegChoice::Stencil { tile }) => {
+                    let total_pts = eval_bound(&s.pattern.bound, &binds).unwrap_or(1).max(1);
+                    let cols = match &s.pattern.width_param {
+                        Some(w) => binds.get(w).copied().unwrap_or(total_pts).max(1),
+                        None => total_pts,
+                    };
+                    let rows = (total_pts / cols).max(1);
+                    let (hr, hc) = s.pattern.halo();
+                    let taps = s.pattern.offsets.len();
+                    let ext = (tile.0 + 2 * hc as usize) * (tile.1 + 2 * hr as usize);
+                    if ext > self.device.shared_words_per_block as usize {
+                        return Some(f64::INFINITY);
+                    }
+                    let p = crate::cost::stencil_profile(
+                        &self.device,
+                        rows as usize,
+                        cols as usize,
+                        tile.0,
+                        tile.1,
+                        hr as usize,
+                        hc as usize,
+                        taps,
+                        2.0 * taps as f64 + 2.0,
+                        taps as f64,
+                        256,
+                    );
+                    estimate(&self.device, &p).time_us
+                }
+                (SegKind::HFused(h), SegChoice::HFused { fused }) => {
+                    let n_arrays = reps as usize;
+                    let first = h.patterns.first()?;
+                    let n_elements = eval_bound(&first.bound, &binds).unwrap_or(1).max(1) as usize;
+                    let per = h.patterns.iter().map(|pat| {
+                        let ec = body_counts(&[Stmt::Push(pat.elem.clone())], &binds);
+                        crate::opt::segmentation::reduce_choice_time(
+                            &self.device,
+                            ReduceChoice::OneKernel {
+                                arrays_per_block: 1,
+                                block_dim: 256,
+                            },
+                            n_arrays,
+                            n_elements,
+                            pat.pops_per_elem,
+                            ec.state_loads,
+                            ec.compute + 1.0,
+                            layouts[i],
+                        )
+                    });
+                    if *fused {
+                        // One kernel reads the shared window once; cost is
+                        // dominated by the most expensive sibling.
+                        per.fold(0.0, f64::max)
+                    } else {
+                        per.sum()
+                    }
+                }
+                (SegKind::MapSiblings(m), SegChoice::MapSiblings) => {
+                    let units = reps as usize;
+                    m.branches
+                        .iter()
+                        .map(|(body, pushes, _)| {
+                            let counts = body_counts(body, &binds);
+                            let p = map_profile(
+                                &self.device,
+                                units,
+                                m.pops_per_unit,
+                                *pushes,
+                                counts.state_loads + counts.state_stores + counts.peeks,
+                                counts.compute,
+                                counts.flops,
+                                layouts[i],
+                                Layout::RowMajor,
+                                1,
+                                256,
+                            );
+                            estimate(&self.device, &p).time_us
+                        })
+                        .sum()
+                }
+                (SegKind::Opaque(idx), SegChoice::Opaque) => {
+                    let actor = &self.program.actors[*idx];
+                    let counts = body_counts(&actor.work.body, &binds);
+                    crate::cost::host_cost_us(reps as usize, counts.compute)
+                }
+                _ => return None,
+            };
+            total += t;
+        }
+        Some(total)
     }
 
     /// Number of generated kernel variants (a proxy for the paper's code

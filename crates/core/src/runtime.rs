@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gpu_sim::{
-    launch_pooled, BufId, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats, LaunchCache,
-    ScratchPool,
+    launch_pooled, BufId, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats, ScratchPool,
+    StatsCache,
 };
 use perfmodel::{estimate_stats, TimingEstimate};
 use streamir::actor::{ActorDef, StateVar};
@@ -60,8 +60,8 @@ pub struct KernelReport {
     pub name: Arc<str>,
     pub stats: KernelStats,
     pub estimate: TimingEstimate,
-    /// True when the stats were served from a [`LaunchCache`] instead of
-    /// being re-simulated.
+    /// True when the stats were served from a [`crate::LaunchCache`] (or
+    /// any other [`StatsCache`]) instead of being re-simulated.
     pub cached: bool,
 }
 
@@ -77,6 +77,11 @@ pub struct RunOptions {
     /// bytecode. Slow; exists so differential tests can check that both
     /// evaluators produce bit-identical outputs and kernel statistics.
     pub ast_oracle: bool,
+    /// Run this variant of the table instead of the one selected for the
+    /// input. The kernel-management unit uses it to launch the variant its
+    /// *recalibrated* boundaries picked; tests use it to measure a variant
+    /// outside its model-assigned sub-range.
+    pub force_variant: Option<usize>,
 }
 
 impl RunOptions {
@@ -86,6 +91,7 @@ impl RunOptions {
             mode,
             policy: ExecPolicy::Serial,
             ast_oracle: false,
+            force_variant: None,
         }
     }
 
@@ -95,12 +101,20 @@ impl RunOptions {
             mode,
             policy: ExecPolicy::auto(),
             ast_oracle: false,
+            force_variant: None,
         }
     }
 
     /// Switch work-body evaluation to the AST reference interpreter.
     pub fn with_ast_oracle(mut self, on: bool) -> RunOptions {
         self.ast_oracle = on;
+        self
+    }
+
+    /// Force a specific variant of the table, bypassing input-based
+    /// selection.
+    pub fn with_variant(mut self, index: usize) -> RunOptions {
+        self.force_variant = Some(index);
         self
     }
 }
@@ -129,6 +143,9 @@ pub struct ExecutionReport {
     /// Kernel launches that had to simulate in this run (always equals the
     /// launch count when no cache was supplied).
     pub cache_misses: u64,
+    /// Kernel-management-unit telemetry, filled in when the run went
+    /// through a [`crate::KernelManager`]; `None` for direct runs.
+    pub telemetry: Option<crate::telemetry::TelemetrySnapshot>,
 }
 
 impl ExecutionReport {
@@ -204,7 +221,7 @@ impl CompiledProgram {
         input: &[f32],
         state: &[StateBinding],
         opts: RunOptions,
-        cache: Option<&LaunchCache>,
+        cache: Option<&dyn StatsCache>,
     ) -> Result<ExecutionReport> {
         let env = LaunchEnv {
             device: &self.device,
@@ -219,7 +236,18 @@ impl CompiledProgram {
             misses: std::cell::Cell::new(0),
             scratch: ScratchPool::new(),
         };
-        let (variant_index, variant) = self.variant_for(x);
+        let (variant_index, variant) = match opts.force_variant {
+            Some(idx) => {
+                let variant = self.variants.get(idx).ok_or_else(|| {
+                    Error::Runtime(format!(
+                        "forced variant {idx} out of bounds (table has {})",
+                        self.variants.len()
+                    ))
+                })?;
+                (idx, variant)
+            }
+            None => self.try_variant_for(x.clamp(self.axis_range().0, self.axis_range().1))?,
+        };
         let choices = variant.choices.clone();
         let binds = self.axis.bind(x);
         let fg = self.program.flatten()?;
@@ -692,6 +720,7 @@ impl CompiledProgram {
             variant_index,
             cache_hits: env.hits.get(),
             cache_misses: env.misses.get(),
+            telemetry: None,
         })
     }
 }
@@ -738,7 +767,7 @@ fn ensure_device(
 struct LaunchEnv<'a> {
     device: &'a gpu_sim::DeviceSpec,
     opts: RunOptions,
-    cache: Option<&'a LaunchCache>,
+    cache: Option<&'a dyn StatsCache>,
     dims: (u64, u64),
     hits: std::cell::Cell<u64>,
     misses: std::cell::Cell<u64>,
@@ -752,7 +781,7 @@ fn run_kernel(
     out: &mut Vec<KernelReport>,
 ) {
     let (stats, cached) = match env.cache {
-        Some(cache) => cache.launch_pooled(
+        Some(cache) => cache.launch_cached(
             env.device,
             mem,
             kernel,
@@ -918,7 +947,7 @@ fn run_opaque(
 mod tests {
     use super::*;
     use crate::plan::{compile, compile_with_options, CompileOptions, InputAxis};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, LaunchCache};
     use streamir::interp::Interpreter;
     use streamir::parse::parse_program;
 

@@ -1,0 +1,143 @@
+//! Kernel-management-unit telemetry: what the online runtime observed and
+//! what it did about it.
+//!
+//! The paper's kernel-management unit (§5) is a black box that "always
+//! picks the right variant"; a production runtime has to *prove* it keeps
+//! picking right. This module carries the evidence: per-variant selection
+//! counts, launch-cache traffic, how far the analytical model strayed from
+//! measured cost, and how many times measured feedback actually moved a
+//! break-even boundary. [`crate::KernelManager`] maintains the live
+//! counters and attaches a [`TelemetrySnapshot`] to every
+//! [`crate::ExecutionReport`] it produces; the figure benches dump the
+//! final snapshot next to their timing tables.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by every launch through one [`crate::KernelManager`].
+///
+/// All counters are relaxed atomics: they are monotone tallies, never used
+/// to synchronize, so concurrent callers pay one uncontended RMW each.
+#[derive(Debug)]
+pub struct TelemetryCounters {
+    /// Completed launches through the manager.
+    pub launches: AtomicU64,
+    /// Boundary moves applied by measured-feedback recalibration.
+    pub recalibration_moves: AtomicU64,
+    /// Times each variant of the table was selected (indexed by variant).
+    pub selections: Vec<AtomicU64>,
+}
+
+impl TelemetryCounters {
+    /// Counters for a table of `variants` entries.
+    pub fn new(variants: usize) -> TelemetryCounters {
+        TelemetryCounters {
+            launches: AtomicU64::new(0),
+            recalibration_moves: AtomicU64::new(0),
+            selections: (0..variants).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one launch that selected `variant`.
+    pub fn record_selection(&self, variant: usize) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.selections.get(variant) {
+            s.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one applied boundary move.
+    pub fn record_move(&self) {
+        self.recalibration_moves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current per-variant selection counts.
+    pub fn selection_counts(&self) -> Vec<u64> {
+        self.selections
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A point-in-time copy of everything the kernel-management unit knows
+/// about its own behaviour. Attached to [`crate::ExecutionReport`]s
+/// produced through [`crate::KernelManager::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Completed launches through the manager so far.
+    pub launches: u64,
+    /// Launch-stats cache hits (0 when no cache was engaged).
+    pub cache_hits: u64,
+    /// Launch-stats cache misses.
+    pub cache_misses: u64,
+    /// Entries the bounded cache evicted to stay within capacity.
+    pub cache_evictions: u64,
+    /// Times each variant was selected, indexed by variant.
+    pub selections: Vec<u64>,
+    /// Boundary moves applied by measured-feedback recalibration.
+    pub recalibration_moves: u64,
+    /// Mean of `|measured - predicted| / predicted` over all sampled
+    /// launches — how wrong the analytical model has been on this device.
+    pub mean_model_error: f64,
+    /// The table's current (possibly recalibrated) sub-ranges, in variant
+    /// order.
+    pub boundaries: Vec<(i64, i64)>,
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kmu: {} launches, cache {}h/{}m/{}e, {} recalibration moves, \
+             mean model error {:.1}%",
+            self.launches,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.recalibration_moves,
+            self.mean_model_error * 100.0
+        )?;
+        for (i, ((lo, hi), n)) in self.boundaries.iter().zip(&self.selections).enumerate() {
+            writeln!(f, "  variant {i}: [{lo}, {hi}] selected {n}x")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally_selections_and_moves() {
+        let c = TelemetryCounters::new(3);
+        c.record_selection(0);
+        c.record_selection(2);
+        c.record_selection(2);
+        c.record_selection(99); // out of range: launch counted, selection dropped
+        c.record_move();
+        assert_eq!(c.launches.load(Ordering::Relaxed), 4);
+        assert_eq!(c.selection_counts(), vec![1, 0, 2]);
+        assert_eq!(c.recalibration_moves.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn snapshot_display_is_complete() {
+        let snap = TelemetrySnapshot {
+            launches: 7,
+            cache_hits: 3,
+            cache_misses: 4,
+            cache_evictions: 1,
+            selections: vec![5, 2],
+            recalibration_moves: 1,
+            mean_model_error: 0.25,
+            boundaries: vec![(1, 99), (100, 4096)],
+        };
+        let s = snap.to_string();
+        assert!(s.contains("7 launches"));
+        assert!(s.contains("3h/4m/1e"));
+        assert!(s.contains("variant 0: [1, 99] selected 5x"));
+        assert!(s.contains("25.0%"));
+    }
+}

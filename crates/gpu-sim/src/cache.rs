@@ -1,0 +1,325 @@
+//! Lock-striped, LRU-bounded launch-statistics cache.
+//!
+//! [`crate::LaunchCache`] guards one `HashMap` with one mutex — fine for a
+//! figure sweep on one thread, a serialization point when many callers
+//! share a kernel-management unit. [`ShardedLaunchCache`] stripes the key
+//! space over independently locked shards (key hash picks the shard, so a
+//! lookup contends only with lookups that would collide anyway) and bounds
+//! every shard with least-recently-used eviction, so a long-running
+//! service cannot grow the cache without limit. Eviction, hit and miss
+//! counters feed the runtime's telemetry.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::accounting::ScratchPool;
+use crate::exec::{launch_key, launch_pooled, ExecMode, ExecPolicy, KernelStats, StatsCache};
+use crate::exec::{LaunchCache, LaunchKey};
+use crate::kernel::Kernel;
+use crate::mem::GlobalMem;
+use crate::spec::DeviceSpec;
+
+/// One stripe: a bounded map from launch key to stats plus the recency
+/// tick of each entry's last use.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<LaunchKey, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    stats: KernelStats,
+    last_used: u64,
+}
+
+/// A concurrent [`StatsCache`]: lock-striped over `shards` mutexes, each
+/// shard LRU-bounded to `capacity_per_shard` entries.
+///
+/// Semantics match [`LaunchCache`] exactly — hits return memoized stats
+/// without executing the kernel (device memory untouched), so the same
+/// restriction applies: use only where outputs are already discarded
+/// (timing-only sweeps, [`crate::ExecMode::SampledExec`]-style usage).
+/// Unlike [`LaunchCache`] it is safe *and fast* under many concurrent
+/// callers, and it never outgrows `shards * capacity_per_shard` entries.
+#[derive(Debug)]
+pub struct ShardedLaunchCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Shard-picking hasher; `RandomState` per cache keeps stripe choice
+    /// O(1) and private to this cache.
+    hasher: RandomState,
+    capacity_per_shard: usize,
+    /// Monotonic recency clock; ticks on every lookup.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ShardedLaunchCache {
+    fn default() -> Self {
+        ShardedLaunchCache::new(16, 256)
+    }
+}
+
+impl ShardedLaunchCache {
+    /// A cache with `shards` stripes (rounded up to a power of two, at
+    /// least 1) of at most `capacity_per_shard` entries each (at least 1).
+    pub fn new(shards: usize, capacity_per_shard: usize) -> ShardedLaunchCache {
+        let n = shards.max(1).next_power_of_two();
+        ShardedLaunchCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            hasher: RandomState::new(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &LaunchKey) -> &Mutex<Shard> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (self.shards.len() - 1)]
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Upper bound on memoized entries (`shards * capacity_per_shard`).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.capacity_per_shard
+    }
+
+    /// Memoized launches currently held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to execute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped to respect the per-shard capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m > 0.0 {
+            h / (h + m)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl StatsCache for ShardedLaunchCache {
+    fn launch_cached(
+        &self,
+        device: &DeviceSpec,
+        mem: &mut GlobalMem,
+        kernel: &(dyn Kernel + Sync),
+        mode: ExecMode,
+        policy: ExecPolicy,
+        dims: (u64, u64),
+        pool: &ScratchPool,
+    ) -> (KernelStats, bool) {
+        let key = launch_key(device, kernel, mode, dims);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard_of(&key).lock().unwrap();
+            if let Some(entry) = shard.map.get_mut(&key) {
+                entry.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (entry.stats.clone(), true);
+            }
+        }
+        // Simulate outside the shard lock: a slow launch must not stall
+        // unrelated lookups. Two callers racing on the same key both
+        // simulate; the stats are a pure function of the key, so whichever
+        // insert lands last changes nothing.
+        let stats = launch_pooled(device, mem, kernel, mode, policy, pool);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
+            // Full: drop the least-recently-used entry. The scan is
+            // O(capacity) but runs only on insert into a full shard, and
+            // capacities are small (hundreds).
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                stats: stats.clone(),
+                last_used: now,
+            },
+        );
+        (stats, false)
+    }
+
+    fn hit_count(&self) -> u64 {
+        self.hits()
+    }
+
+    fn miss_count(&self) -> u64 {
+        self.misses()
+    }
+
+    fn eviction_count(&self) -> u64 {
+        self.evictions()
+    }
+}
+
+/// The unbounded single-mutex cache also reports through the same
+/// counters, so code generic over [`StatsCache`] can swap either in.
+impl LaunchCache {
+    /// View this cache as a [`StatsCache`] trait object.
+    pub fn as_stats_cache(&self) -> &dyn StatsCache {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{BlockCtx, LaunchConfig};
+    use crate::mem::BufId;
+
+    /// y[i] = x[i] + 1, one thread per element; `n` varies the key.
+    struct AddOne {
+        x: BufId,
+        y: BufId,
+        n: usize,
+    }
+
+    impl Kernel for AddOne {
+        fn name(&self) -> &str {
+            "add_one"
+        }
+
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig::new((self.n as u32).div_ceil(128), 128, 0)
+        }
+
+        fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
+            for t in ctx.threads() {
+                let i = (block * ctx.block_dim() + t) as usize;
+                if i < self.n {
+                    let v = ctx.ld_global(0, t, self.x, i);
+                    ctx.st_global(1, t, self.y, i, v + 1.0);
+                }
+            }
+        }
+    }
+
+    fn run_once(cache: &ShardedLaunchCache, n: usize, dims: (u64, u64)) -> (KernelStats, bool) {
+        let d = DeviceSpec::tesla_c2050();
+        let mut mem = GlobalMem::new();
+        let x = mem.alloc_from(&vec![1.0; n]);
+        let y = mem.alloc(n);
+        let k = AddOne { x, y, n };
+        cache.launch_cached(
+            &d,
+            &mut mem,
+            &k,
+            ExecMode::Full,
+            ExecPolicy::Serial,
+            dims,
+            &ScratchPool::new(),
+        )
+    }
+
+    #[test]
+    fn hits_match_single_mutex_cache_semantics() {
+        let sharded = ShardedLaunchCache::new(4, 8);
+        let (first, hit) = run_once(&sharded, 1024, (1024, 0));
+        assert!(!hit);
+        let (second, hit) = run_once(&sharded, 1024, (1024, 0));
+        assert!(hit);
+        assert_eq!(first, second);
+        // Different dims miss.
+        let (_, hit) = run_once(&sharded, 1024, (1024, 1));
+        assert!(!hit);
+        assert_eq!(sharded.hits(), 1);
+        assert_eq!(sharded.misses(), 2);
+        assert_eq!(sharded.evictions(), 0);
+        assert_eq!(sharded.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_every_shard() {
+        // One shard of capacity 2 makes the LRU order observable.
+        let cache = ShardedLaunchCache::new(1, 2);
+        run_once(&cache, 128, (1, 0));
+        run_once(&cache, 128, (2, 0));
+        // Touch (1, 0) so (2, 0) is the least recently used.
+        let (_, hit) = run_once(&cache, 128, (1, 0));
+        assert!(hit);
+        // Inserting a third key evicts (2, 0).
+        run_once(&cache, 128, (3, 0));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        let (_, hit) = run_once(&cache, 128, (1, 0));
+        assert!(hit, "recently-used entry survives");
+        let (_, hit) = run_once(&cache, 128, (2, 0));
+        assert!(!hit, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn concurrent_callers_agree_on_stats() {
+        let cache = ShardedLaunchCache::new(8, 64);
+        let baseline = run_once(&cache, 2048, (2048, 0)).0;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for dims in [(2048u64, 0u64), (4096, 0), (2048, 7)] {
+                        let (stats, _) = run_once(&cache, 2048, dims);
+                        if dims == (2048, 0) {
+                            assert_eq!(stats, baseline);
+                        }
+                    }
+                });
+            }
+        });
+        // 3 distinct keys, no capacity pressure: everything else hit.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits() + cache.misses(), 25);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedLaunchCache::new(3, 4).shard_count(), 4);
+        assert_eq!(ShardedLaunchCache::new(0, 4).shard_count(), 1);
+        assert_eq!(ShardedLaunchCache::new(16, 4).shard_count(), 16);
+        assert_eq!(ShardedLaunchCache::new(5, 0).capacity(), 8);
+    }
+}

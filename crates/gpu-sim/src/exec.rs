@@ -440,6 +440,37 @@ pub struct LaunchKey {
     pub mode: ExecMode,
 }
 
+/// A launch-statistics memoization layer the runtime can route launches
+/// through. Implemented by the single-map [`LaunchCache`] and the
+/// lock-striped [`crate::ShardedLaunchCache`]; the runtime only sees this
+/// trait, so callers pick the concurrency profile they need.
+pub trait StatsCache: Sync {
+    /// Launch through the cache: on a hit return the memoized stats (the
+    /// kernel is *not* executed, `mem` is untouched); on a miss execute
+    /// with `policy`, memoize, and return. The boolean is `true` on a hit.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_cached(
+        &self,
+        device: &DeviceSpec,
+        mem: &mut GlobalMem,
+        kernel: &(dyn Kernel + Sync),
+        mode: ExecMode,
+        policy: ExecPolicy,
+        dims: (u64, u64),
+        pool: &ScratchPool,
+    ) -> (KernelStats, bool);
+
+    /// Lookups served from the cache so far.
+    fn hit_count(&self) -> u64;
+
+    /// Lookups that had to execute so far.
+    fn miss_count(&self) -> u64;
+
+    /// Memoized entries dropped to respect a capacity bound (0 for
+    /// unbounded caches).
+    fn eviction_count(&self) -> u64;
+}
+
 /// Memoization cache of [`KernelStats`] for repeated identical launches.
 ///
 /// Figure sweeps re-simulate the same baseline/variant configuration many
@@ -489,13 +520,7 @@ impl LaunchCache {
         dims: (u64, u64),
         pool: &ScratchPool,
     ) -> (KernelStats, bool) {
-        let key = LaunchKey {
-            device: device.fingerprint(),
-            name: intern_name(kernel.name()),
-            config: kernel.config(),
-            dims,
-            mode,
-        };
+        let key = launch_key(device, kernel, mode, dims);
         if let Some(stats) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (stats.clone(), true);
@@ -534,6 +559,50 @@ impl LaunchCache {
         } else {
             0.0
         }
+    }
+}
+
+impl StatsCache for LaunchCache {
+    fn launch_cached(
+        &self,
+        device: &DeviceSpec,
+        mem: &mut GlobalMem,
+        kernel: &(dyn Kernel + Sync),
+        mode: ExecMode,
+        policy: ExecPolicy,
+        dims: (u64, u64),
+        pool: &ScratchPool,
+    ) -> (KernelStats, bool) {
+        self.launch_pooled(device, mem, kernel, mode, policy, dims, pool)
+    }
+
+    fn hit_count(&self) -> u64 {
+        self.hits()
+    }
+
+    fn miss_count(&self) -> u64 {
+        self.misses()
+    }
+
+    fn eviction_count(&self) -> u64 {
+        0
+    }
+}
+
+/// Build the [`LaunchKey`] of one launch (shared by every [`StatsCache`]
+/// implementation so all caches agree on what identifies a launch).
+pub(crate) fn launch_key(
+    device: &DeviceSpec,
+    kernel: &(dyn Kernel + Sync),
+    mode: ExecMode,
+    dims: (u64, u64),
+) -> LaunchKey {
+    LaunchKey {
+        device: device.fingerprint(),
+        name: intern_name(kernel.name()),
+        config: kernel.config(),
+        dims,
+        mode,
     }
 }
 

@@ -53,15 +53,17 @@
 //! ```
 
 pub mod accounting;
+pub mod cache;
 pub mod exec;
 pub mod kernel;
 pub mod mem;
 pub mod spec;
 
 pub use accounting::{BlockScratch, ScratchPool};
+pub use cache::ShardedLaunchCache;
 pub use exec::{
     launch, launch_pooled, launch_with_policy, ExecMode, ExecPolicy, KernelStats, LaunchCache,
-    LaunchKey, ScaledCounters,
+    LaunchKey, ScaledCounters, StatsCache,
 };
 pub use kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig, Site};
 pub use mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem};

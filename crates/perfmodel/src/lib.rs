@@ -39,5 +39,8 @@
 pub mod crossover;
 pub mod model;
 
-pub use crossover::{find_crossover, partition_range, tiles_exactly, RangeAssignment};
+pub use crossover::{
+    apply_boundary, find_crossover, partition_range, recalibrated_boundary, tiles_exactly,
+    Hysteresis, RangeAssignment,
+};
 pub use model::{estimate, estimate_stats, KernelClass, LaunchProfile, TimingEstimate};

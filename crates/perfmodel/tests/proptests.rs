@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use gpu_sim::DeviceSpec;
-use perfmodel::{estimate, find_crossover, partition_range, tiles_exactly, LaunchProfile};
+use perfmodel::{
+    apply_boundary, estimate, find_crossover, partition_range, recalibrated_boundary,
+    tiles_exactly, Hysteresis, LaunchProfile, RangeAssignment,
+};
 
 fn profile(grid: u32, block: u32, mem: f64, trans: f64, compute: f64) -> LaunchProfile {
     LaunchProfile {
@@ -114,6 +117,78 @@ proptest! {
             let best = if costs[0] <= costs[1] { 0 } else { 1 };
             // Ties may go either way; require within-epsilon optimality.
             prop_assert!(costs[r.variant] <= costs[best] * (1.0 + 1e-9));
+        }
+    }
+
+    /// Partitioning still tiles exactly — no gaps, no overlap — for any
+    /// number of variants with random affine cost curves.
+    #[test]
+    fn partition_tiles_for_any_variant_count(
+        lo in 1i64..50,
+        span in 10i64..50_000,
+        curves in prop::collection::vec((0.0f64..500.0, 0.01f64..5.0), 1..6),
+    ) {
+        let hi = lo + span;
+        let mut variants: Vec<Box<dyn FnMut(i64) -> f64>> = curves
+            .iter()
+            .map(|&(b, m)| Box::new(move |x: i64| b + m * x as f64) as Box<dyn FnMut(i64) -> f64>)
+            .collect();
+        let ranges = partition_range(lo, hi, &mut variants);
+        prop_assert!(tiles_exactly(lo, hi, &ranges));
+        for r in &ranges {
+            prop_assert!(r.variant < curves.len());
+        }
+    }
+
+    /// The break-even point moves monotonically when one cost curve is
+    /// perturbed: uniformly inflating the variant that wins at large
+    /// inputs (`f`, the flatter curve) can only delay its break-even —
+    /// the crossover never moves toward smaller inputs.
+    #[test]
+    fn crossover_monotone_under_perturbation(
+        a0 in 10.0f64..1000.0,
+        b1 in 1.1f64..4.0,
+        scale in 1.0f64..8.0,
+    ) {
+        // g = b1*x wins small x (no offset); f = a0 + x wins large x
+        // (smaller slope). The crossover is the first x where f <= g.
+        let f = move |x: i64| a0 + x as f64;
+        let g = move |x: i64| b1 * x as f64;
+        let base = find_crossover(1, 1 << 30, f, g);
+        let scaled = find_crossover(1, 1 << 30, move |x| scale * f(x), g);
+        if let (Some(c0), Some(c1)) = (base, scaled) {
+            prop_assert!(
+                c1 >= c0,
+                "inflating f by {scale} moved its break-even down: {c0} -> {c1}"
+            );
+        }
+    }
+
+    /// Recalibrated boundaries always land inside the declared range and
+    /// keep the assignment table tiling exactly when applied.
+    #[test]
+    fn recalibrated_boundary_stays_in_declared_range(
+        lo in 1i64..100,
+        span in 2i64..100_000,
+        cut in 0.001f64..0.999,
+        a0 in 1.0f64..1000.0,
+        b1 in 1.01f64..8.0,
+        left_scale in 0.05f64..20.0,
+        right_scale in 0.05f64..20.0,
+    ) {
+        let hi = lo + span;
+        // Any interior starting boundary.
+        let current = lo + 1 + ((span - 1) as f64 * cut) as i64;
+        let left = move |x: i64| left_scale * (a0 + x as f64);
+        let right = move |x: i64| right_scale * b1 * x as f64;
+        if let Some(b) = recalibrated_boundary(lo, hi, current, left, right, Hysteresis::default()) {
+            prop_assert!(b > lo && b <= hi, "boundary {b} escaped ({lo}, {hi}]");
+            let mut ranges = vec![
+                RangeAssignment { lo, hi: current - 1, variant: 0 },
+                RangeAssignment { lo: current, hi, variant: 1 },
+            ];
+            prop_assert!(apply_boundary(&mut ranges, 0, b));
+            prop_assert!(tiles_exactly(lo, hi, &ranges));
         }
     }
 }

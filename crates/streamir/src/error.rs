@@ -27,6 +27,11 @@ pub enum Error {
     Runtime(String),
     /// The input stream did not contain enough data for one steady state.
     InsufficientInput { needed: usize, got: usize },
+    /// A compiled program's variant table has no entries to select from.
+    EmptyVariantTable,
+    /// The selector was asked for an input size outside the range the
+    /// program's variant table was compiled for.
+    InputOutOfRange { x: i64, lo: i64, hi: i64 },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +49,12 @@ impl fmt::Display for Error {
             Error::Runtime(m) => write!(f, "runtime error: {m}"),
             Error::InsufficientInput { needed, got } => {
                 write!(f, "insufficient input: needed {needed} items, got {got}")
+            }
+            Error::EmptyVariantTable => {
+                write!(f, "variant table is empty: nothing to select from")
+            }
+            Error::InputOutOfRange { x, lo, hi } => {
+                write!(f, "input size {x} outside the compiled range [{lo}, {hi}]")
             }
         }
     }
@@ -72,6 +83,12 @@ mod tests {
             Error::UnboundParam("N".into()),
             Error::Runtime("pop on empty channel".into()),
             Error::InsufficientInput { needed: 8, got: 3 },
+            Error::EmptyVariantTable,
+            Error::InputOutOfRange {
+                x: 0,
+                lo: 1,
+                hi: 64,
+            },
         ];
         for c in cases {
             let s = c.to_string();

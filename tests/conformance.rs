@@ -1,0 +1,323 @@
+//! Cross-engine conformance suite: every template family, on both device
+//! presets, must produce **bit-identical** outputs, stream cursors and
+//! kernel statistics under all four execution engines — serial bytecode,
+//! parallel bytecode, serial AST-oracle, parallel AST-oracle.
+//!
+//! The engines are different evaluators of the same plan, so any
+//! divergence is a bug by definition; comparing at the bit level (not
+//! within-epsilon) is what lets the deterministic-parallel claim and the
+//! bytecode compiler be trusted at all.
+//!
+//! Inputs come from the replayable seed corpus in
+//! `tests/corpus/conformance_seeds.txt`: each seed drives a deterministic
+//! LCG, and every failure message names the family, device, engine, seed
+//! and size, so a red run replays exactly.
+
+use adaptic_repro::adaptic::{
+    compile_with_options, CompileOptions, CompiledProgram, ExecMode, ExecPolicy, InputAxis,
+    RunOptions, StateBinding,
+};
+use adaptic_repro::apps::programs;
+use adaptic_repro::gpu_sim::DeviceSpec;
+use adaptic_repro::streamir::graph::Program;
+use adaptic_repro::streamir::parse::parse_program;
+
+/// The checked-in seed corpus (one u64 per line, `#` comments).
+fn corpus_seeds() -> Vec<u64> {
+    let text = include_str!("corpus/conformance_seeds.txt");
+    let seeds: Vec<u64> = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            if let Some(hex) = l.strip_prefix("0x").or_else(|| l.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).expect("hex seed")
+            } else {
+                l.parse().expect("decimal seed")
+            }
+        })
+        .collect();
+    assert!(!seeds.is_empty(), "seed corpus must not be empty");
+    seeds
+}
+
+/// Deterministic pseudo-random stream in [-1, 1) — same LCG as the bench
+/// harness, so corpus seeds mean the same data everywhere.
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// One conformance case: a program exercising one template family.
+struct Case {
+    family: &'static str,
+    program: Program,
+    opts: CompileOptions,
+    /// Axis values to run at (small enough for `ExecMode::Full`).
+    sizes: &'static [i64],
+    /// Stream length for axis value `x`.
+    items: fn(i64) -> usize,
+    /// Axis for compilation.
+    axis: fn() -> InputAxis,
+    /// State bindings, if the program needs them.
+    state: fn() -> Vec<StateBinding>,
+}
+
+fn no_state() -> Vec<StateBinding> {
+    Vec::new()
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        // Unit (map) template: elementwise records with bound state.
+        Case {
+            family: "unit-map",
+            program: programs::black_scholes().program,
+            opts: CompileOptions::default(),
+            sizes: &[64, 1024],
+            items: |x| 3 * x as usize,
+            axis: || InputAxis::total_size("N", 16, 1 << 16),
+            state: || vec![StateBinding::new("Price", "rv", vec![0.02, 0.3])],
+        },
+        // Reduce template: single accumulation over the stream.
+        Case {
+            family: "reduce",
+            program: programs::sasum().program,
+            opts: CompileOptions::default(),
+            sizes: &[256, 8192],
+            items: |x| x as usize,
+            axis: || InputAxis::total_size("N", 256, 1 << 18),
+            state: no_state,
+        },
+        // Stencil template: neighboring access over a 2-D grid.
+        Case {
+            family: "stencil",
+            program: parse_program(
+                r#"pipeline Heat(rows, cols) {
+                    actor Diffuse(pop rows*cols, push rows*cols, peek rows*cols) {
+                        for idx in 0..rows*cols {
+                            r = idx / cols;
+                            c = idx % cols;
+                            if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                                push(peek(idx)
+                                    + 0.2 * (peek(idx - 1) + peek(idx + 1)
+                                        + peek(idx - cols) + peek(idx + cols)
+                                        - 4.0 * peek(idx)));
+                            } else {
+                                push(peek(idx));
+                            }
+                        }
+                    }
+                }"#,
+            )
+            .unwrap(),
+            opts: CompileOptions::default(),
+            sizes: &[24, 48],
+            items: |x| (x * x) as usize,
+            axis: || {
+                InputAxis::new("side", 16, 256, |s| {
+                    adaptic_repro::streamir::graph::bindings(&[("rows", s), ("cols", s)])
+                })
+            },
+            state: no_state,
+        },
+        // HFused template: duplicate splitjoin of two reductions fused
+        // into one kernel.
+        Case {
+            family: "hfused",
+            program: parse_program(
+                r#"pipeline MaxSum(N) {
+                    splitjoin {
+                        split duplicate;
+                        actor MaxA(pop N, push 1) {
+                            m = -100000.0;
+                            for i in 0..N { m = max(m, pop()); }
+                            push(m);
+                        }
+                        actor SumA(pop N, push 1) {
+                            s = 0.0;
+                            for i in 0..N { s = s + pop(); }
+                            push(s);
+                        }
+                        join roundrobin(1, 1);
+                    }
+                }"#,
+            )
+            .unwrap(),
+            opts: CompileOptions::default(),
+            sizes: &[512, 4096],
+            items: |x| x as usize,
+            axis: || InputAxis::total_size("N", 256, 1 << 18),
+            state: no_state,
+        },
+        // MapSiblings template: the same splitjoin shape over maps, with
+        // horizontal integration disabled so the sibling-branch engine
+        // (not the fused kernel) runs.
+        Case {
+            family: "map-siblings",
+            program: parse_program(
+                r#"pipeline SinCos(N) {
+                    splitjoin {
+                        split duplicate;
+                        actor SinA(pop 1, push 1) { push(sin(pop())); }
+                        actor CosA(pop 1, push 1) { push(cos(pop())); }
+                        join roundrobin(1, 1);
+                    }
+                }"#,
+            )
+            .unwrap(),
+            opts: CompileOptions {
+                integration: false,
+                ..CompileOptions::default()
+            },
+            sizes: &[512, 2048],
+            items: |x| x as usize,
+            axis: || InputAxis::total_size("N", 64, 1 << 16),
+            state: no_state,
+        },
+    ]
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![DeviceSpec::tesla_c2050(), DeviceSpec::gtx285()]
+}
+
+/// The four engines under test. Serial bytecode is the baseline the other
+/// three are compared against.
+fn engines() -> Vec<(&'static str, RunOptions)> {
+    vec![
+        ("serial-bytecode", RunOptions::serial(ExecMode::Full)),
+        (
+            "parallel-bytecode",
+            RunOptions {
+                policy: ExecPolicy::Parallel(4),
+                ..RunOptions::serial(ExecMode::Full)
+            },
+        ),
+        (
+            "serial-ast",
+            RunOptions::serial(ExecMode::Full).with_ast_oracle(true),
+        ),
+        (
+            "parallel-ast",
+            RunOptions {
+                policy: ExecPolicy::Parallel(4),
+                ..RunOptions::serial(ExecMode::Full)
+            }
+            .with_ast_oracle(true),
+        ),
+    ]
+}
+
+fn compiled_for(case: &Case, device: &DeviceSpec) -> CompiledProgram {
+    compile_with_options(&case.program, device, &(case.axis)(), case.opts)
+        .unwrap_or_else(|e| panic!("{} fails to compile for {}: {e}", case.family, device.name))
+}
+
+#[test]
+fn engines_are_bit_identical_across_families_devices_and_seeds() {
+    let seeds = corpus_seeds();
+    for case in cases() {
+        for device in devices() {
+            let compiled = compiled_for(&case, &device);
+            for &x in case.sizes {
+                for &seed in &seeds {
+                    let input = data((case.items)(x), seed);
+                    let state = (case.state)();
+                    let ctx = format!(
+                        "family={} device={} x={x} seed={seed}",
+                        case.family, device.name
+                    );
+
+                    let engines = engines();
+                    let (_, base_opts) = engines[0];
+                    let base = compiled
+                        .run_opts(x, &input, &state, base_opts, None)
+                        .unwrap_or_else(|e| panic!("{ctx}: baseline run failed: {e}"));
+
+                    for (engine, opts) in &engines[1..] {
+                        let got = compiled
+                            .run_opts(x, &input, &state, *opts, None)
+                            .unwrap_or_else(|e| panic!("{ctx} engine={engine}: {e}"));
+
+                        // Output stream: identical cursor (length) and
+                        // bit-identical values.
+                        assert_eq!(
+                            got.output.len(),
+                            base.output.len(),
+                            "{ctx} engine={engine}: output cursor diverged"
+                        );
+                        for (i, (g, b)) in got.output.iter().zip(&base.output).enumerate() {
+                            assert_eq!(
+                                g.to_bits(),
+                                b.to_bits(),
+                                "{ctx} engine={engine}: output[{i}] {g} vs {b}"
+                            );
+                        }
+
+                        // Selection and kernel statistics.
+                        assert_eq!(
+                            got.variant_index, base.variant_index,
+                            "{ctx} engine={engine}: variant diverged"
+                        );
+                        assert_eq!(
+                            got.kernels.len(),
+                            base.kernels.len(),
+                            "{ctx} engine={engine}: launch count diverged"
+                        );
+                        for (g, b) in got.kernels.iter().zip(&base.kernels) {
+                            assert_eq!(g.name, b.name, "{ctx} engine={engine}");
+                            assert_eq!(
+                                g.stats, b.stats,
+                                "{ctx} engine={engine} kernel={}: stats diverged",
+                                g.name
+                            );
+                            assert_eq!(
+                                g.estimate, b.estimate,
+                                "{ctx} engine={engine} kernel={}: estimate diverged",
+                                g.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_covers_every_template_family() {
+    // The suite's coverage claim, pinned: if a new template family is
+    // added to the compiler, this test reminds the author to extend the
+    // conformance matrix.
+    use adaptic_repro::adaptic::SegChoice;
+    let mut seen = std::collections::BTreeSet::new();
+    let device = DeviceSpec::tesla_c2050();
+    for case in cases() {
+        let compiled = compiled_for(&case, &device);
+        for v in &compiled.variants {
+            for c in &v.choices {
+                seen.insert(match c {
+                    SegChoice::Reduce { .. } => "reduce",
+                    SegChoice::Map { .. } => "unit-map",
+                    SegChoice::Stencil { .. } => "stencil",
+                    SegChoice::HFused { .. } => "hfused",
+                    SegChoice::MapSiblings => "map-siblings",
+                    SegChoice::Opaque => "host",
+                });
+            }
+        }
+    }
+    for family in ["unit-map", "reduce", "stencil", "hfused", "map-siblings"] {
+        assert!(seen.contains(family), "family {family} not exercised");
+    }
+}
