@@ -73,6 +73,22 @@ struct KmuState {
     skew: Vec<f64>,
 }
 
+/// Everything the unlocked boundary search needs about one adjacent pair,
+/// copied out of [`KmuState`] under the lock. `lo`/`hi`/`current` double as
+/// the validity witness: a move is applied only if they still match.
+#[derive(Debug, Clone, Copy)]
+struct PairSnapshot {
+    /// Index of the pair's left variant (the boundary is `ranges[left + 1].0`).
+    left: usize,
+    lo: i64,
+    hi: i64,
+    current: i64,
+    /// Ratio-corrected cost multipliers (EWMA ratio × model skew) of the
+    /// left and right variants at snapshot time.
+    cl: f64,
+    cr: f64,
+}
+
 /// The online kernel-management unit: wraps a [`CompiledProgram`] with a
 /// recalibrating selector, a sharded launch-stats cache and telemetry.
 ///
@@ -276,61 +292,104 @@ impl KernelManager {
         self.counters.record_selection(idx);
 
         let measured = report.time_us + report.host_time_us;
-        let mut st = self.state.lock().unwrap();
-        let predicted = st.skew[idx] * self.predicted(x, idx);
-        if predicted.is_finite() && predicted > 0.0 && measured.is_finite() {
-            let h = &mut st.hist[idx];
-            let ratio = measured / predicted;
-            h.ratio = if h.samples == 0 {
-                ratio
-            } else {
-                RATIO_ALPHA * ratio + (1.0 - RATIO_ALPHA) * h.ratio
-            };
-            h.samples += 1;
-            h.since_move += 1;
-            h.sum_rel_err += (measured - predicted).abs() / predicted;
-            if idx > 0 {
-                self.recalibrate_pair(&mut st, idx - 1);
+        // Price the launch before taking the lock: predicted_time_us does
+        // a full program flatten + rate_match, far too slow to serialize
+        // concurrent callers behind.
+        let base_pred = self.predicted(x, idx);
+        let candidates = {
+            let mut st = self.state.lock().unwrap();
+            let predicted = st.skew[idx] * base_pred;
+            let mut out = Vec::new();
+            if predicted.is_finite() && predicted > 0.0 && measured.is_finite() {
+                let h = &mut st.hist[idx];
+                let ratio = measured / predicted;
+                h.ratio = if h.samples == 0 {
+                    ratio
+                } else {
+                    RATIO_ALPHA * ratio + (1.0 - RATIO_ALPHA) * h.ratio
+                };
+                h.samples += 1;
+                h.since_move += 1;
+                h.sum_rel_err += (measured - predicted).abs() / predicted;
+                if idx > 0 {
+                    out.extend(self.pair_snapshot(&st, idx - 1));
+                }
+                out.extend(self.pair_snapshot(&st, idx));
             }
-            self.recalibrate_pair(&mut st, idx);
-        }
+            out
+        };
+        // Solve each armed boundary from the snapshot, unlocked — this is
+        // the O(log range)-probes binary search over the cost curves — then
+        // re-validate under the lock before applying.
+        let moves: Vec<(PairSnapshot, i64)> = candidates
+            .into_iter()
+            .filter_map(|c| self.solve_boundary(&c).map(|b| (c, b)))
+            .collect();
+        let st = {
+            let mut st = self.state.lock().unwrap();
+            for (c, b) in moves {
+                self.apply_boundary_move(&mut st, &c, b);
+            }
+            st
+        };
         report.telemetry = Some(self.snapshot_locked(&st));
         Ok(report)
     }
 
-    /// Re-locate the boundary between variants `left` and `left + 1` from
-    /// ratio-corrected cost curves, once the pair has accumulated enough
-    /// fresh samples. An applied move resets both sides' freshness, so the
-    /// next move needs new evidence.
-    fn recalibrate_pair(&self, st: &mut KmuState, left: usize) {
+    /// Under the lock: if the boundary between `left` and `left + 1` has
+    /// accumulated enough fresh samples, copy everything the unlocked
+    /// crossover search needs.
+    fn pair_snapshot(&self, st: &KmuState, left: usize) -> Option<PairSnapshot> {
         let right = left + 1;
         if right >= st.ranges.len() {
-            return;
+            return None;
         }
         if st.hist[left].since_move + st.hist[right].since_move < self.min_samples {
+            return None;
+        }
+        Some(PairSnapshot {
+            left,
+            lo: st.ranges[left].0,
+            hi: st.ranges[right].1,
+            current: st.ranges[right].0,
+            cl: st.hist[left].ratio * st.skew[left],
+            cr: st.hist[right].ratio * st.skew[right],
+        })
+    }
+
+    /// Outside the lock: re-locate the snapshotted pair's boundary from
+    /// its ratio-corrected cost curves.
+    fn solve_boundary(&self, c: &PairSnapshot) -> Option<i64> {
+        recalibrated_boundary(
+            c.lo,
+            c.hi,
+            c.current,
+            |x| c.cl * self.predicted(x, c.left),
+            |x| c.cr * self.predicted(x, c.left + 1),
+            self.hysteresis,
+        )
+    }
+
+    /// Back under the lock: apply a solved move only if the pair's span and
+    /// boundary still match the snapshot (a concurrent caller may have
+    /// moved either in the meantime — then this solution priced a stale
+    /// table and is dropped; the pair's freshness is untouched, so the next
+    /// launch re-examines it). An applied move resets both sides'
+    /// freshness, so the next move needs new evidence.
+    fn apply_boundary_move(&self, st: &mut KmuState, c: &PairSnapshot, b: i64) {
+        let right = c.left + 1;
+        if right >= st.ranges.len()
+            || st.ranges[c.left].0 != c.lo
+            || st.ranges[right].1 != c.hi
+            || st.ranges[right].0 != c.current
+        {
             return;
         }
-        let (lo, hi) = (st.ranges[left].0, st.ranges[right].1);
-        let current = st.ranges[right].0;
-        let (cl, cr) = (
-            st.hist[left].ratio * st.skew[left],
-            st.hist[right].ratio * st.skew[right],
-        );
-        let moved = recalibrated_boundary(
-            lo,
-            hi,
-            current,
-            |x| cl * self.predicted(x, left),
-            |x| cr * self.predicted(x, right),
-            self.hysteresis,
-        );
-        if let Some(b) = moved {
-            st.ranges[left].1 = b - 1;
-            st.ranges[right].0 = b;
-            st.hist[left].since_move = 0;
-            st.hist[right].since_move = 0;
-            self.counters.record_move();
-        }
+        st.ranges[c.left].1 = b - 1;
+        st.ranges[right].0 = b;
+        st.hist[c.left].since_move = 0;
+        st.hist[right].since_move = 0;
+        self.counters.record_move();
     }
 
     /// A point-in-time copy of all telemetry.
@@ -533,6 +592,42 @@ mod tests {
         for w in snap.boundaries.windows(2) {
             assert_eq!(w[0].1 + 1, w[1].0);
         }
+    }
+
+    #[test]
+    fn concurrent_runs_keep_the_table_tiling() {
+        // Many threads recording measurements and recalibrating at once:
+        // boundary moves are solved outside the state lock and re-validated
+        // before applying, so a stale solution must never break the tiling
+        // invariant or lose the axis endpoints.
+        let compiled = compiled_sum();
+        let (lo, hi) = compiled.axis_range();
+        let kmu = KernelManager::new(compiled).with_min_samples(2);
+        let opts = RunOptions::serial(ExecMode::SampledStats(16));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let kmu = &kmu;
+                scope.spawn(move || {
+                    for n in [256usize, 1024, 4096, 16384] {
+                        let n = n << (t % 2);
+                        let input = vec![1.0f32; n];
+                        let snap = kmu
+                            .run(n as i64, &input, &[], opts)
+                            .unwrap()
+                            .telemetry
+                            .unwrap();
+                        assert_eq!(snap.boundaries.first().unwrap().0, lo);
+                        assert_eq!(snap.boundaries.last().unwrap().1, hi);
+                        for w in snap.boundaries.windows(2) {
+                            assert_eq!(w[0].1 + 1, w[1].0, "gap/overlap in {:?}", snap.boundaries);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = kmu.telemetry();
+        assert_eq!(snap.launches, 16);
+        assert_eq!(snap.selections.iter().sum::<u64>(), 16);
     }
 
     #[test]

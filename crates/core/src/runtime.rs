@@ -238,6 +238,16 @@ impl CompiledProgram {
         };
         let (variant_index, variant) = match opts.force_variant {
             Some(idx) => {
+                // Forcing bypasses selection, not the input contract: an
+                // axis value outside the compiled range is a typed error
+                // (the unforced path clamps because selection alone moves;
+                // here the caller named a specific (variant, x) pair, so
+                // silently running a different point would falsify the
+                // measurement they asked for).
+                let (lo, hi) = self.axis_range();
+                if x < lo || x > hi {
+                    return Err(Error::InputOutOfRange { x, lo, hi });
+                }
                 let variant = self.variants.get(idx).ok_or_else(|| {
                     Error::Runtime(format!(
                         "forced variant {idx} out of bounds (table has {})",
@@ -1325,6 +1335,35 @@ mod tests {
         // Steady state: later runs allocate no new frames, only reuse.
         assert_eq!(compiled.frames.created(), created_once);
         assert!(compiled.frames.reused() > 0);
+    }
+
+    #[test]
+    fn forced_variant_rejects_out_of_range_axis_value() {
+        let src = r#"pipeline P(N) {
+            actor Sum(pop N, push 1) {
+                acc = 0.0;
+                for i in 0..N { acc = acc + pop(); }
+                push(acc);
+            }
+        }"#;
+        let p = parse_program(src).unwrap();
+        let axis = InputAxis::total_size("N", 64, 1 << 16);
+        let compiled = compile(&p, &device(), &axis).unwrap();
+        for x in [63i64, (1 << 16) + 1] {
+            let err = compiled
+                .run_opts(
+                    x,
+                    &vec![1.0; 128],
+                    &[],
+                    RunOptions::default().with_variant(0),
+                    None,
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::InputOutOfRange { x: ex, lo: 64, .. } if ex == x),
+                "x={x}: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -309,9 +309,13 @@ mod tests {
                 });
             }
         });
-        // 3 distinct keys, no capacity pressure: everything else hit.
+        // 3 distinct keys, no capacity pressure. Threads racing on the
+        // same cold key may each simulate (misses are recorded outside the
+        // shard lock, by design), so the miss count is a floor, not an
+        // exact value; every lookup still resolves to a hit or a miss and
+        // duplicate inserts merge.
         assert_eq!(cache.len(), 3);
-        assert_eq!(cache.misses(), 3);
+        assert!(cache.misses() >= 3, "misses = {}", cache.misses());
         assert_eq!(cache.hits() + cache.misses(), 25);
     }
 
