@@ -2,7 +2,7 @@
 
 use gpu_sim::{
     launch_with_policy, DeviceSpec, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats,
-    ScratchPool, StatsCache,
+    LaunchControl, ScratchPool, StatsCache,
 };
 use perfmodel::estimate_stats;
 
@@ -64,7 +64,17 @@ pub(crate) fn launch_timed_opts(
     let stats = match cache {
         Some((cache, dims)) => {
             cache
-                .launch_cached(device, mem, kernel, mode, policy, dims, &ScratchPool::new())
+                .launch_cached(
+                    device,
+                    mem,
+                    kernel,
+                    mode,
+                    policy,
+                    dims,
+                    &ScratchPool::new(),
+                    LaunchControl::default(),
+                )
+                .expect("baseline sweeps launch without fault injection")
                 .0
         }
         None => launch_with_policy(device, mem, kernel, mode, policy),

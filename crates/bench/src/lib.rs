@@ -42,12 +42,11 @@ pub fn sweep_policy() -> ExecPolicy {
 }
 
 /// [`sweep_mode`] + [`sweep_policy`] bundled for `run_opts`.
-pub fn sweep_opts() -> RunOptions {
+pub fn sweep_opts() -> RunOptions<'static> {
     RunOptions {
         mode: sweep_mode(),
         policy: sweep_policy(),
-        ast_oracle: false,
-        force_variant: None,
+        ..RunOptions::serial(sweep_mode())
     }
 }
 

@@ -23,9 +23,10 @@
 //! computes the same function (the conformance suite pins this
 //! bit-for-bit), so a boundary move only moves *time*.
 
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use gpu_sim::{ExecMode, ShardedLaunchCache, StatsCache};
+use gpu_sim::{ExecMode, ExecPolicy, ShardedLaunchCache, StatsCache};
 use perfmodel::{recalibrated_boundary, Hysteresis};
 use streamir::error::{Error, Result};
 
@@ -35,6 +36,71 @@ use crate::telemetry::{TelemetryCounters, TelemetrySnapshot};
 
 /// EWMA weight of the newest measured/predicted ratio sample.
 const RATIO_ALPHA: f64 = 0.3;
+
+/// Per-variant circuit breaker: quarantines a variant whose launches keep
+/// failing, so selection stops feeding inputs to a lowering the device
+/// currently cannot run.
+///
+/// Time is the manager's *logical clock* (one tick per
+/// [`KernelManager::run`]), not wall time — deterministic under fault
+/// injection, and a quarantined variant is re-probed after a bounded
+/// number of subsequent runs rather than a wall-clock timeout.
+///
+/// States: **closed** (`open_until == 0`, healthy), **open**
+/// (`tick < open_until`, quarantined — never selected), **half-open**
+/// (`open_until != 0 && tick >= open_until` — the next selection is a
+/// probe: success re-admits the variant, failure re-opens it with a
+/// doubled window).
+#[derive(Debug, Clone, Default)]
+struct Breaker {
+    /// Launch failures since the last success (closed state only).
+    consecutive_failures: u32,
+    /// Logical tick at which quarantine ends; 0 = not tripped.
+    open_until: u64,
+    /// Window applied at the last trip (doubles while probes keep failing).
+    window: u64,
+}
+
+impl Breaker {
+    fn is_open(&self, tick: u64) -> bool {
+        tick < self.open_until
+    }
+
+    fn is_half_open(&self, tick: u64) -> bool {
+        self.open_until != 0 && tick >= self.open_until
+    }
+
+    /// Record a successful launch. Returns `true` when this was a
+    /// half-open probe succeeding (the variant is re-admitted).
+    fn record_success(&mut self) -> bool {
+        let readmitted = self.open_until != 0;
+        self.consecutive_failures = 0;
+        self.open_until = 0;
+        self.window = 0;
+        readmitted
+    }
+
+    /// Record a launch failure at `tick`. Returns `true` when this trips
+    /// the breaker open (first quarantine or a failed probe re-opening it).
+    fn record_failure(&mut self, tick: u64, threshold: u32, base_window: u64) -> bool {
+        if self.open_until != 0 {
+            // A half-open probe failed: re-open with a doubled window.
+            self.window = self.window.saturating_mul(2).max(1);
+            self.open_until = tick.saturating_add(self.window);
+            true
+        } else {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures >= threshold.max(1) {
+                self.consecutive_failures = 0;
+                self.window = base_window.max(1);
+                self.open_until = tick.saturating_add(self.window);
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
 
 /// Measured-cost history of one variant of the table.
 #[derive(Debug, Clone)]
@@ -71,6 +137,11 @@ struct KmuState {
     /// Multiplier applied to the model's prediction per variant — 1.0
     /// normally; tests inject a deliberate misprediction here.
     skew: Vec<f64>,
+    /// Per-variant circuit breakers (quarantine on repeated failure).
+    breakers: Vec<Breaker>,
+    /// Logical clock: one tick per [`KernelManager::run`] call; breakers
+    /// measure quarantine windows against it.
+    clock: u64,
 }
 
 /// Everything the unlocked boundary search needs about one adjacent pair,
@@ -106,6 +177,11 @@ pub struct KernelManager {
     /// Combined fresh samples an adjacent pair needs before its boundary
     /// is re-examined.
     min_samples: u64,
+    /// Consecutive launch failures that quarantine a variant.
+    quarantine_threshold: u32,
+    /// Initial quarantine length in logical ticks (doubles while half-open
+    /// probes keep failing).
+    quarantine_window: u64,
 }
 
 impl KernelManager {
@@ -120,12 +196,26 @@ impl KernelManager {
                 ranges,
                 hist: vec![VariantHistogram::default(); n],
                 skew: vec![1.0; n],
+                breakers: vec![Breaker::default(); n],
+                clock: 0,
             }),
             cache: ShardedLaunchCache::default(),
             hysteresis: Hysteresis::default(),
             min_samples: 4,
+            quarantine_threshold: 3,
+            quarantine_window: 8,
             program,
         }
+    }
+
+    /// Replace the circuit-breaker policy: `threshold` consecutive launch
+    /// failures quarantine a variant for `window` logical ticks (both
+    /// clamped to at least 1; the window doubles while half-open probes
+    /// keep failing).
+    pub fn with_quarantine(mut self, threshold: u32, window: u64) -> KernelManager {
+        self.quarantine_threshold = threshold.max(1);
+        self.quarantine_window = window.max(1);
+        self
     }
 
     /// Replace the launch-stats cache geometry.
@@ -156,7 +246,7 @@ impl KernelManager {
     /// variant order.
     pub fn with_boundaries(self, ranges: Vec<(i64, i64)>) -> KernelManager {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.lock_state();
             let (lo, hi) = self.program.axis_range();
             assert_eq!(ranges.len(), st.ranges.len(), "one range per variant");
             assert!(
@@ -183,7 +273,7 @@ impl KernelManager {
     /// Panics when `skews` does not have one entry per variant.
     pub fn with_model_skew(self, skews: Vec<f64>) -> KernelManager {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.lock_state();
             assert_eq!(skews.len(), st.ranges.len(), "one skew per variant");
             st.skew = skews;
             // Re-place each boundary from the skewed curves (ratios are
@@ -214,6 +304,14 @@ impl KernelManager {
         self
     }
 
+    /// Lock the selector state, recovering from poison: state mutations
+    /// are single-field scalar/element writes, so a panic mid-critical
+    /// section cannot leave the table half-updated — the recovered state
+    /// is always consistent.
+    fn lock_state(&self) -> MutexGuard<'_, KmuState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The managed program.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
@@ -233,7 +331,7 @@ impl KernelManager {
     /// [`Error::InputOutOfRange`] when `x` is outside the compiled range —
     /// typed errors, never a panic or a silent clamp.
     pub fn select(&self, x: i64) -> Result<usize> {
-        let st = self.state.lock().unwrap();
+        let st = self.lock_state();
         self.select_locked(&st, x)
     }
 
@@ -264,6 +362,16 @@ impl KernelManager {
     /// recalibrated table, recording measured cost, and re-examining the
     /// adjacent boundaries.
     ///
+    /// Launches are resilient: a variant whose launch fails (after the
+    /// runtime's own retry budget, [`crate::RetryPolicy`]) is retried on
+    /// the next-nearest non-quarantined variant — every variant computes
+    /// the same function, so a fallback changes only time, never results.
+    /// A variant that keeps failing is *quarantined* by a per-variant
+    /// circuit breaker (see [`KernelManager::with_quarantine`]) and
+    /// re-probed half-open after its window of logical ticks. When every
+    /// variant is unavailable, the run completes on the serial engine with
+    /// a doubled retry budget — the degraded-but-correct last resort.
+    ///
     /// The launch-stats cache is engaged only for
     /// [`ExecMode::SampledExec`] runs — the cache skips execution on hits,
     /// which is only sound where outputs are already being discarded.
@@ -272,24 +380,138 @@ impl KernelManager {
     /// # Errors
     ///
     /// Selection errors ([`Error::EmptyVariantTable`],
-    /// [`Error::InputOutOfRange`]) plus everything
-    /// [`CompiledProgram::run_opts`] returns.
+    /// [`Error::InputOutOfRange`]), everything
+    /// [`CompiledProgram::run_opts`] returns, and
+    /// [`Error::LaunchFailed`] only when the entire degradation ladder —
+    /// every admitted variant plus the serial last resort — failed.
     pub fn run(
         &self,
         x: i64,
         input: &[f32],
         state: &[StateBinding],
-        opts: RunOptions,
+        opts: RunOptions<'_>,
     ) -> Result<ExecutionReport> {
-        let idx = self.select(x)?;
+        let primary = self.select(x)?;
         let cache: Option<&dyn StatsCache> = match opts.mode {
             ExecMode::SampledExec(_) => Some(&self.cache),
             _ => None,
         };
-        let mut report = self
+
+        // Admission, under the lock: advance the logical clock and build
+        // the candidate ladder — the primary first, then the remaining
+        // variants by distance from it, skipping quarantined (open)
+        // breakers. A half-open breaker is admitted as a probe.
+        let (tick, candidates) = {
+            let mut st = self.lock_state();
+            st.clock += 1;
+            let tick = st.clock;
+            let mut order: Vec<usize> = (0..st.ranges.len()).collect();
+            order.sort_by_key(|&v| (v.abs_diff(primary), v));
+            let candidates: Vec<(usize, bool)> = order
+                .into_iter()
+                .filter(|&v| !st.breakers[v].is_open(tick))
+                .map(|v| (v, st.breakers[v].is_half_open(tick)))
+                .collect();
+            (tick, candidates)
+        };
+
+        for (v, probe) in candidates {
+            if probe {
+                self.counters
+                    .half_open_probes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            match self
+                .program
+                .run_opts(x, input, state, opts.with_variant(v), cache)
+            {
+                Ok(report) => {
+                    let readmitted = self.lock_state().breakers[v].record_success();
+                    if readmitted {
+                        self.counters.readmissions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if v != primary {
+                        self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return self.finish_run(x, v, opts, report);
+                }
+                Err(e) => {
+                    let Error::LaunchFailed { attempts, .. } = &e else {
+                        // Not a launch failure (bad input, semantic error,
+                        // ...): no other variant can do better — propagate.
+                        return Err(e);
+                    };
+                    self.counters.record_resilience(
+                        u64::from(attempts.saturating_sub(1)),
+                        u64::from(*attempts),
+                        0,
+                    );
+                    let opened = self.lock_state().breakers[v].record_failure(
+                        tick,
+                        self.quarantine_threshold,
+                        self.quarantine_window,
+                    );
+                    if opened {
+                        self.counters.quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        // Degraded-but-correct last resort: every variant is quarantined
+        // or just failed, so run the primary on the serial engine with a
+        // doubled retry budget. Faults are still injected here — an
+        // injector hot enough to kill this too surfaces as
+        // `Error::LaunchFailed` to the caller.
+        let mut degraded = RunOptions {
+            policy: ExecPolicy::Serial,
+            ..opts
+        };
+        degraded.retry.max_attempts = degraded.retry.max_attempts.max(1).saturating_mul(2);
+        match self
             .program
-            .run_opts(x, input, state, opts.with_variant(idx), cache)?;
+            .run_opts(x, input, state, degraded.with_variant(primary), cache)
+        {
+            Ok(report) => {
+                self.counters.degraded_runs.fetch_add(1, Ordering::Relaxed);
+                self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.finish_run(x, primary, opts, report)
+            }
+            Err(e) => {
+                if let Error::LaunchFailed { attempts, .. } = &e {
+                    self.counters.record_resilience(
+                        u64::from(attempts.saturating_sub(1)),
+                        u64::from(*attempts),
+                        0,
+                    );
+                }
+                if let Some(f) = opts.faults {
+                    self.counters.record_faults_injected(f.injected());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Post-success bookkeeping for a run that executed variant `idx`:
+    /// selection and resilience telemetry, measured-feedback recording,
+    /// boundary re-examination, and the report's telemetry snapshot.
+    fn finish_run(
+        &self,
+        x: i64,
+        idx: usize,
+        opts: RunOptions<'_>,
+        mut report: ExecutionReport,
+    ) -> Result<ExecutionReport> {
         self.counters.record_selection(idx);
+        self.counters.record_resilience(
+            report.retries,
+            report.faults_observed,
+            report.deadline_overruns,
+        );
+        if let Some(f) = opts.faults {
+            self.counters.record_faults_injected(f.injected());
+        }
 
         let measured = report.time_us + report.host_time_us;
         // Price the launch before taking the lock: predicted_time_us does
@@ -297,7 +519,7 @@ impl KernelManager {
         // concurrent callers behind.
         let base_pred = self.predicted(x, idx);
         let candidates = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.lock_state();
             let predicted = st.skew[idx] * base_pred;
             let mut out = Vec::new();
             if predicted.is_finite() && predicted > 0.0 && measured.is_finite() {
@@ -326,7 +548,7 @@ impl KernelManager {
             .filter_map(|c| self.solve_boundary(&c).map(|b| (c, b)))
             .collect();
         let st = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.lock_state();
             for (c, b) in moves {
                 self.apply_boundary_move(&mut st, &c, b);
             }
@@ -394,32 +616,43 @@ impl KernelManager {
 
     /// A point-in-time copy of all telemetry.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        let st = self.state.lock().unwrap();
+        let st = self.lock_state();
         self.snapshot_locked(&st)
     }
 
     fn snapshot_locked(&self, st: &KmuState) -> TelemetrySnapshot {
         let samples: u64 = st.hist.iter().map(|h| h.samples).sum();
         let sum_err: f64 = st.hist.iter().map(|h| h.sum_rel_err).sum();
+        let c = &self.counters;
         TelemetrySnapshot {
-            launches: self
-                .counters
-                .launches
-                .load(std::sync::atomic::Ordering::Relaxed),
+            launches: c.launches.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
-            selections: self.counters.selection_counts(),
-            recalibration_moves: self
-                .counters
-                .recalibration_moves
-                .load(std::sync::atomic::Ordering::Relaxed),
+            selections: c.selection_counts(),
+            recalibration_moves: c.recalibration_moves.load(Ordering::Relaxed),
             mean_model_error: if samples > 0 {
                 sum_err / samples as f64
             } else {
                 0.0
             },
             boundaries: st.ranges.clone(),
+            retries: c.retries.load(Ordering::Relaxed),
+            faults_observed: c.faults_observed.load(Ordering::Relaxed),
+            faults_injected: c.faults_injected.load(Ordering::Relaxed),
+            deadline_overruns: c.deadline_overruns.load(Ordering::Relaxed),
+            fallbacks: c.fallbacks.load(Ordering::Relaxed),
+            quarantines: c.quarantines.load(Ordering::Relaxed),
+            half_open_probes: c.half_open_probes.load(Ordering::Relaxed),
+            readmissions: c.readmissions.load(Ordering::Relaxed),
+            degraded_runs: c.degraded_runs.load(Ordering::Relaxed),
+            quarantined_variants: st
+                .breakers
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_open(st.clock))
+                .map(|(i, _)| i)
+                .collect(),
         }
     }
 }
@@ -428,7 +661,8 @@ impl KernelManager {
 mod tests {
     use super::*;
     use crate::plan::{compile, InputAxis};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Fault, FaultInjector};
+    use std::sync::atomic::{AtomicBool, AtomicU64};
     use streamir::parse::parse_program;
 
     const SUM_SRC: &str = r#"pipeline P(N) {
@@ -658,6 +892,163 @@ mod tests {
             );
             assert_eq!(forced.output.len(), baseline.output.len());
         }
+    }
+
+    /// An injector with an on/off switch: while hot it rejects every
+    /// launch; cold it is inert. Lets a test script "the whole device is
+    /// failing, then recovers" without counting consultations.
+    #[derive(Debug)]
+    struct Switchable {
+        hot: AtomicBool,
+        handed: AtomicU64,
+    }
+
+    impl Switchable {
+        fn new(hot: bool) -> Switchable {
+            Switchable {
+                hot: AtomicBool::new(hot),
+                handed: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl FaultInjector for Switchable {
+        fn on_launch(&self, _kernel: &str) -> Option<Fault> {
+            if self.hot.load(Ordering::Relaxed) {
+                self.handed.fetch_add(1, Ordering::Relaxed);
+                Some(Fault::LaunchReject)
+            } else {
+                None
+            }
+        }
+
+        fn injected(&self) -> u64 {
+            self.handed.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn kmu_quarantines_failing_variants_and_readmits_after_probe() {
+        let kmu = KernelManager::new(compiled_sum()).with_quarantine(1, 2);
+        let inj = Switchable::new(true);
+        let n = 4096usize;
+        let input = vec![1.0f32; n];
+        let opts = RunOptions::serial(ExecMode::Full).with_faults(&inj);
+
+        // Tick 1: the injector rejects every launch, so every admitted
+        // variant fails and trips its breaker (threshold 1), and the
+        // serial last resort fails too — the whole ladder is exhausted.
+        let err = kmu.run(n as i64, &input, &[], opts).unwrap_err();
+        assert!(matches!(err, Error::LaunchFailed { .. }), "{err}");
+        let snap = kmu.telemetry();
+        assert!(snap.quarantines >= 1);
+        assert!(!snap.quarantined_variants.is_empty());
+        assert!(snap.faults_observed > 0 && snap.retries > 0);
+        assert!(snap.faults_injected > 0);
+        assert_eq!(snap.launches, 0, "no launch completed");
+
+        // The fault clears, but the breakers are still open (window 2):
+        // tick 2 completes on the degraded serial last resort, correctly.
+        inj.hot.store(false, Ordering::Relaxed);
+        let rep = kmu.run(n as i64, &input, &[], opts).unwrap();
+        assert!((rep.output[0] - n as f32).abs() <= 1e-3 * n as f32);
+        let snap = rep.telemetry.clone().expect("kmu run carries telemetry");
+        assert!(snap.degraded_runs >= 1);
+        assert!(snap.fallbacks >= 1);
+        assert!(!snap.quarantined_variants.is_empty());
+
+        // Tick 3: the window elapsed — the primary is probed half-open,
+        // the probe succeeds, and the variant is re-admitted.
+        let rep = kmu.run(n as i64, &input, &[], opts).unwrap();
+        let snap = rep.telemetry.expect("kmu run carries telemetry");
+        assert!(snap.half_open_probes >= 1);
+        assert!(snap.readmissions >= 1);
+        assert!(snap.quarantined_variants.is_empty());
+    }
+
+    /// An injector that rejects only the first `limit` consultations: with
+    /// `limit` = the runtime's per-launch attempt budget, it deterministically
+    /// kills exactly the first candidate the manager tries (its first kernel
+    /// burns the whole budget) and lets every later candidate through.
+    #[derive(Debug)]
+    struct FirstN {
+        limit: u64,
+        seen: AtomicU64,
+        handed: AtomicU64,
+    }
+
+    impl FirstN {
+        fn new(limit: u64) -> FirstN {
+            FirstN {
+                limit,
+                seen: AtomicU64::new(0),
+                handed: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl FaultInjector for FirstN {
+        fn on_launch(&self, _kernel: &str) -> Option<Fault> {
+            if self.seen.fetch_add(1, Ordering::Relaxed) < self.limit {
+                self.handed.fetch_add(1, Ordering::Relaxed);
+                Some(Fault::LaunchReject)
+            } else {
+                None
+            }
+        }
+
+        fn injected(&self) -> u64 {
+            self.handed.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn kmu_falls_back_past_a_flaky_variant_then_stops_launching_it() {
+        let compiled = compiled_sum();
+        assert!(compiled.variant_count() >= 2, "need a fallback target");
+        let kmu = KernelManager::new(compiled).with_quarantine(2, 64);
+        let x = kmu.telemetry().boundaries[0].0; // primary = variant 0
+        let input = vec![1.0f32; x as usize];
+        let expected: f32 = x as f32;
+        let budget = u64::from(crate::runtime::RetryPolicy::default().max_attempts);
+
+        // Runs 1-2: the primary burns its whole attempt budget on a
+        // rejected first kernel, the run falls back to the next variant and
+        // still computes the right answer; the second failure trips the
+        // primary's breaker.
+        for _ in 0..2 {
+            let inj = FirstN::new(budget);
+            let rep = kmu
+                .run(
+                    x,
+                    &input,
+                    &[],
+                    RunOptions::serial(ExecMode::Full).with_faults(&inj),
+                )
+                .unwrap();
+            assert_ne!(
+                rep.variant_index, 0,
+                "must not complete on the flaky variant"
+            );
+            assert!((rep.output[0] - expected).abs() <= 1e-3 * expected);
+            assert_eq!(inj.injected(), budget, "primary burned its budget");
+        }
+        let snap = kmu.telemetry();
+        assert_eq!(snap.quarantined_variants, vec![0]);
+        assert_eq!(snap.quarantines, 1);
+        assert!(snap.fallbacks >= 2);
+        assert!(snap.faults_observed >= 2 * budget && snap.retries >= 2);
+
+        // Run 3 (fault-free): the quarantined variant is skipped outright —
+        // selection goes straight to a healthy neighbor.
+        let rep = kmu
+            .run(x, &input, &[], RunOptions::serial(ExecMode::Full))
+            .unwrap();
+        assert_ne!(rep.variant_index, 0);
+        assert!((rep.output[0] - expected).abs() <= 1e-3 * expected);
+        let snap = rep.telemetry.expect("kmu run carries telemetry");
+        assert_eq!(snap.quarantined_variants, vec![0], "window 64 still open");
+        assert!(snap.degraded_runs == 0, "healthy fallback, not degraded");
     }
 
     #[test]

@@ -66,9 +66,12 @@ pub use plan::{
     compile, compile_single, compile_with_options, CompileOptions, CompiledProgram, InputAxis,
     OptTag, SegChoice, Variant,
 };
-pub use runtime::{ExecutionReport, KernelReport, RunOptions, StateBinding};
+pub use runtime::{ExecutionReport, KernelReport, RetryPolicy, RunOptions, StateBinding};
 pub use telemetry::{TelemetryCounters, TelemetrySnapshot};
 // Execution-engine knobs surface through the runtime API, so re-export
-// them: callers pick serial/parallel and share a launch-stats cache
-// without depending on `gpu_sim` directly.
-pub use gpu_sim::{ExecMode, ExecPolicy, LaunchCache, ShardedLaunchCache, StatsCache};
+// them: callers pick serial/parallel, share a launch-stats cache, and
+// script fault injection without depending on `gpu_sim` directly.
+pub use gpu_sim::{
+    ExecMode, ExecPolicy, Fault, FaultInjector, FaultKind, FaultPlan, LaunchCache, LaunchError,
+    ShardedLaunchCache, StatsCache,
+};

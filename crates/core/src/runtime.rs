@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gpu_sim::{
-    launch_pooled, BufId, ExecMode, ExecPolicy, GlobalMem, Kernel, KernelStats, ScratchPool,
-    StatsCache,
+    try_launch_pooled, BufId, ExecMode, ExecPolicy, FaultInjector, GlobalMem, Kernel, KernelStats,
+    LaunchControl, LaunchError, ScratchPool, StatsCache,
 };
 use perfmodel::{estimate_stats, TimingEstimate};
 use streamir::actor::{ActorDef, StateVar};
@@ -65,10 +65,53 @@ pub struct KernelReport {
     pub cached: bool,
 }
 
-/// How the runtime executes a program's kernels: the grid-sampling mode
-/// and the engine driving the block loop.
+/// How failed launches are retried before the runtime gives up on a
+/// kernel: attempt budget, bounded exponential backoff between attempts,
+/// and an optional per-launch deadline.
+///
+/// The default policy changes nothing about fault-free runs: retries only
+/// trigger on a failed launch, and `deadline_us == 0` disables the
+/// watchdog entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunOptions {
+pub struct RetryPolicy {
+    /// Total attempts per launch (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base << (k-1)`, capped below.
+    pub backoff_base_us: u64,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap_us: u64,
+    /// Per-launch wall-clock budget; 0 disables the deadline watchdog.
+    pub deadline_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_us: 50,
+            backoff_cap_us: 800,
+            deadline_us: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep before retrying after `failed_attempts` failures.
+    pub(crate) fn backoff_us(&self, failed_attempts: u32) -> u64 {
+        let shift = failed_attempts.saturating_sub(1).min(16);
+        (self.backoff_base_us << shift).min(self.backoff_cap_us)
+    }
+}
+
+/// How the runtime executes a program's kernels: the grid-sampling mode
+/// and the engine driving the block loop, plus the resilience knobs (fault
+/// injector, retry policy).
+///
+/// The lifetime ties an optional borrowed [`FaultInjector`] to the options
+/// value; fault-free callers use `RunOptions<'static>` (what the
+/// constructors return) and never see it.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions<'f> {
     /// How much of each grid to execute/record.
     pub mode: ExecMode,
     /// Serial or deterministic-parallel block execution.
@@ -82,44 +125,71 @@ pub struct RunOptions {
     /// *recalibrated* boundaries picked; tests use it to measure a variant
     /// outside its model-assigned sub-range.
     pub force_variant: Option<usize>,
+    /// Fault injector consulted once per launch attempt (chaos testing);
+    /// `None` in production runs.
+    pub faults: Option<&'f dyn FaultInjector>,
+    /// Retry/backoff/deadline policy applied to every launch.
+    pub retry: RetryPolicy,
 }
 
-impl RunOptions {
+impl<'f> RunOptions<'f> {
     /// The given mode on the serial engine (the historical behaviour).
-    pub fn serial(mode: ExecMode) -> RunOptions {
+    pub fn serial(mode: ExecMode) -> RunOptions<'static> {
         RunOptions {
             mode,
             policy: ExecPolicy::Serial,
             ast_oracle: false,
             force_variant: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// The given mode on the parallel engine sized to the host.
-    pub fn parallel(mode: ExecMode) -> RunOptions {
+    pub fn parallel(mode: ExecMode) -> RunOptions<'static> {
         RunOptions {
             mode,
             policy: ExecPolicy::auto(),
             ast_oracle: false,
             force_variant: None,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Switch work-body evaluation to the AST reference interpreter.
-    pub fn with_ast_oracle(mut self, on: bool) -> RunOptions {
+    pub fn with_ast_oracle(mut self, on: bool) -> RunOptions<'f> {
         self.ast_oracle = on;
         self
     }
 
     /// Force a specific variant of the table, bypassing input-based
     /// selection.
-    pub fn with_variant(mut self, index: usize) -> RunOptions {
+    pub fn with_variant(mut self, index: usize) -> RunOptions<'f> {
         self.force_variant = Some(index);
+        self
+    }
+
+    /// Consult this injector on every launch attempt (shortens the
+    /// lifetime to the injector's borrow).
+    pub fn with_faults<'g>(self, faults: &'g dyn FaultInjector) -> RunOptions<'g>
+    where
+        'f: 'g,
+    {
+        RunOptions {
+            faults: Some(faults),
+            ..self
+        }
+    }
+
+    /// Replace the retry/backoff/deadline policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RunOptions<'f> {
+        self.retry = retry;
         self
     }
 }
 
-impl Default for RunOptions {
+impl Default for RunOptions<'static> {
     fn default() -> Self {
         RunOptions::serial(ExecMode::Full)
     }
@@ -143,6 +213,14 @@ pub struct ExecutionReport {
     /// Kernel launches that had to simulate in this run (always equals the
     /// launch count when no cache was supplied).
     pub cache_misses: u64,
+    /// Launch attempts re-issued after a failed attempt in this run.
+    pub retries: u64,
+    /// Launch failures the resilient pipeline observed (each either
+    /// retried away or escalated to [`Error::LaunchFailed`]).
+    pub faults_observed: u64,
+    /// Launch attempts that overran their deadline budget (injected hangs
+    /// and genuine overruns).
+    pub deadline_overruns: u64,
     /// Kernel-management-unit telemetry, filled in when the run went
     /// through a [`crate::KernelManager`]; `None` for direct runs.
     pub telemetry: Option<crate::telemetry::TelemetrySnapshot>,
@@ -220,7 +298,7 @@ impl CompiledProgram {
         x: i64,
         input: &[f32],
         state: &[StateBinding],
-        opts: RunOptions,
+        opts: RunOptions<'_>,
         cache: Option<&dyn StatsCache>,
     ) -> Result<ExecutionReport> {
         let env = LaunchEnv {
@@ -234,6 +312,9 @@ impl CompiledProgram {
             dims: (x as u64, input.len() as u64),
             hits: std::cell::Cell::new(0),
             misses: std::cell::Cell::new(0),
+            retries: std::cell::Cell::new(0),
+            faults_observed: std::cell::Cell::new(0),
+            deadline_overruns: std::cell::Cell::new(0),
             scratch: ScratchPool::new(),
         };
         let (variant_index, variant) = match opts.force_variant {
@@ -369,7 +450,7 @@ impl CompiledProgram {
                             }
                         }
                     }
-                    run_kernel(&env, &mut mem, &k, &mut kernels);
+                    run_kernel(&env, &mut mem, &k, &mut kernels)?;
                     cur_buf = Some(out_buf);
                     cur_layout = self.edge_layouts[i + 1];
                 }
@@ -425,7 +506,7 @@ impl CompiledProgram {
                             for (n, b) in &spec.state {
                                 k = k.with_state(n, *b);
                             }
-                            run_kernel(&env, &mut mem, &k, &mut kernels);
+                            run_kernel(&env, &mut mem, &k, &mut kernels)?;
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
                         }
@@ -457,7 +538,7 @@ impl CompiledProgram {
                                 out_stride: 1,
                                 out_offset: 0,
                             };
-                            run_kernel(&env, &mut mem, &k, &mut kernels);
+                            run_kernel(&env, &mut mem, &k, &mut kernels)?;
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
                         }
@@ -491,8 +572,8 @@ impl CompiledProgram {
                                 partials,
                                 out_buf,
                             );
-                            run_kernel(&env, &mut mem, &k1, &mut kernels);
-                            run_kernel(&env, &mut mem, &k2, &mut kernels);
+                            run_kernel(&env, &mut mem, &k1, &mut kernels)?;
+                            run_kernel(&env, &mut mem, &k2, &mut kernels)?;
                             cur_buf = Some(out_buf);
                             cur_layout = Layout::RowMajor;
                         }
@@ -550,7 +631,7 @@ impl CompiledProgram {
                             k = k.with_state(&n, b);
                         }
                     }
-                    run_kernel(&env, &mut mem, &k, &mut kernels);
+                    run_kernel(&env, &mut mem, &k, &mut kernels)?;
                     cur_buf = Some(out_buf);
                     cur_layout = Layout::RowMajor;
                 }
@@ -607,7 +688,7 @@ impl CompiledProgram {
                             in_layout: cur_layout,
                             out_buf,
                         };
-                        run_kernel(&env, &mut mem, &k, &mut kernels);
+                        run_kernel(&env, &mut mem, &k, &mut kernels)?;
                     } else {
                         for (s_idx, spec) in specs.into_iter().enumerate() {
                             let k = SingleKernelReduce {
@@ -624,7 +705,7 @@ impl CompiledProgram {
                                 out_stride: k_out,
                                 out_offset: s_idx,
                             };
-                            run_kernel(&env, &mut mem, &k, &mut kernels);
+                            run_kernel(&env, &mut mem, &k, &mut kernels)?;
                         }
                     }
                     cur_buf = Some(out_buf);
@@ -670,7 +751,7 @@ impl CompiledProgram {
                                 k = k.with_state(&n, b);
                             }
                         }
-                        run_kernel(&env, &mut mem, &k, &mut kernels);
+                        run_kernel(&env, &mut mem, &k, &mut kernels)?;
                         offset += pushes;
                     }
                     cur_buf = Some(out_buf);
@@ -730,6 +811,9 @@ impl CompiledProgram {
             variant_index,
             cache_hits: env.hits.get(),
             cache_misses: env.misses.get(),
+            retries: env.retries.get(),
+            faults_observed: env.faults_observed.get(),
+            deadline_overruns: env.deadline_overruns.get(),
             telemetry: None,
         })
     }
@@ -764,53 +848,96 @@ fn ensure_device(
         *cur_layout = if window > 1 { want } else { Layout::RowMajor };
         return Ok(buf);
     }
-    let buf = cur_buf.expect("stream on device");
     // Device-resident data keeps whatever layout its producer wrote; the
-    // planner guarantees producer/consumer agreement.
-    Ok(buf)
+    // planner guarantees producer/consumer agreement. A stream that is on
+    // neither side is a planner bug, surfaced as a typed error rather than
+    // a panic so callers in long-running services keep control.
+    cur_buf.ok_or_else(|| Error::Runtime("stream is neither on host nor device".into()))
 }
 
 /// Per-run launch context threaded through [`run_kernel`]: the device, the
 /// engine options, the optional memoization cache, this run's dimension
-/// fingerprint for cache keys, and the scratch pool that recycles warp
-/// accounting arenas across the run's kernel launches.
+/// fingerprint for cache keys, the resilience counters, and the scratch
+/// pool that recycles warp accounting arenas across the run's kernel
+/// launches.
 struct LaunchEnv<'a> {
     device: &'a gpu_sim::DeviceSpec,
-    opts: RunOptions,
+    opts: RunOptions<'a>,
     cache: Option<&'a dyn StatsCache>,
     dims: (u64, u64),
     hits: std::cell::Cell<u64>,
     misses: std::cell::Cell<u64>,
+    retries: std::cell::Cell<u64>,
+    faults_observed: std::cell::Cell<u64>,
+    deadline_overruns: std::cell::Cell<u64>,
     scratch: ScratchPool,
 }
 
+/// Launch one kernel under the resilient pipeline: every attempt runs
+/// fallibly (panic-isolated, deadline-budgeted, injector-consulted); a
+/// failed attempt is retried with bounded exponential backoff up to
+/// [`RetryPolicy::max_attempts`], after which the launch escalates as
+/// [`Error::LaunchFailed`]. Retrying is sound because kernels never write
+/// their input buffers: a partially-executed grid recomputes byte-identical
+/// output on the next attempt.
 fn run_kernel(
     env: &LaunchEnv<'_>,
     mem: &mut GlobalMem,
     kernel: &(dyn Kernel + Sync),
     out: &mut Vec<KernelReport>,
-) {
-    let (stats, cached) = match env.cache {
-        Some(cache) => cache.launch_cached(
-            env.device,
-            mem,
-            kernel,
-            env.opts.mode,
-            env.opts.policy,
-            env.dims,
-            &env.scratch,
-        ),
-        None => (
-            launch_pooled(
+) -> Result<()> {
+    let retry = env.opts.retry;
+    let ctl = LaunchControl {
+        faults: env.opts.faults,
+        deadline: (retry.deadline_us > 0)
+            .then(|| std::time::Duration::from_micros(retry.deadline_us)),
+    };
+    let mut attempt = 0u32;
+    let (stats, cached) = loop {
+        attempt += 1;
+        let result = match env.cache {
+            Some(cache) => cache.launch_cached(
+                env.device,
+                mem,
+                kernel,
+                env.opts.mode,
+                env.opts.policy,
+                env.dims,
+                &env.scratch,
+                ctl,
+            ),
+            None => try_launch_pooled(
                 env.device,
                 mem,
                 kernel,
                 env.opts.mode,
                 env.opts.policy,
                 &env.scratch,
-            ),
-            false,
-        ),
+                ctl,
+            )
+            .map(|stats| (stats, false)),
+        };
+        match result {
+            Ok(r) => break r,
+            Err(e) => {
+                env.faults_observed.set(env.faults_observed.get() + 1);
+                if matches!(e, LaunchError::DeadlineExceeded { .. }) {
+                    env.deadline_overruns.set(env.deadline_overruns.get() + 1);
+                }
+                if attempt >= retry.max_attempts.max(1) {
+                    return Err(Error::LaunchFailed {
+                        kernel: kernel.name().to_string(),
+                        attempts: attempt,
+                        cause: e.to_string(),
+                    });
+                }
+                env.retries.set(env.retries.get() + 1);
+                let backoff = retry.backoff_us(attempt);
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(backoff));
+                }
+            }
+        }
     };
     if cached {
         env.hits.set(env.hits.get() + 1);
@@ -824,6 +951,7 @@ fn run_kernel(
         estimate,
         cached,
     });
+    Ok(())
 }
 
 /// Rebuild a serial reduction body from its pattern (used by the

@@ -26,6 +26,28 @@ pub struct TelemetryCounters {
     pub recalibration_moves: AtomicU64,
     /// Times each variant of the table was selected (indexed by variant).
     pub selections: Vec<AtomicU64>,
+    /// Launch attempts re-issued after a failed attempt.
+    pub retries: AtomicU64,
+    /// Launch failures the resilient pipeline observed.
+    pub faults_observed: AtomicU64,
+    /// Faults handed out by the run's injector (high-water mark; 0 without
+    /// fault injection).
+    pub faults_injected: AtomicU64,
+    /// Launch attempts that overran their deadline budget.
+    pub deadline_overruns: AtomicU64,
+    /// Runs where selection fell back from the primary variant to another
+    /// variant because the primary was quarantined or kept failing.
+    pub fallbacks: AtomicU64,
+    /// Times a variant's circuit breaker opened (the variant was
+    /// quarantined).
+    pub quarantines: AtomicU64,
+    /// Quarantined variants probed after their window elapsed (half-open).
+    pub half_open_probes: AtomicU64,
+    /// Half-open probes that succeeded, re-admitting the variant.
+    pub readmissions: AtomicU64,
+    /// Runs that exhausted every variant and completed on the serial
+    /// degraded-but-correct last resort.
+    pub degraded_runs: AtomicU64,
 }
 
 impl TelemetryCounters {
@@ -35,6 +57,15 @@ impl TelemetryCounters {
             launches: AtomicU64::new(0),
             recalibration_moves: AtomicU64::new(0),
             selections: (0..variants).map(|_| AtomicU64::new(0)).collect(),
+            retries: AtomicU64::new(0),
+            faults_observed: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            deadline_overruns: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            half_open_probes: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+            degraded_runs: AtomicU64::new(0),
         }
     }
 
@@ -49,6 +80,22 @@ impl TelemetryCounters {
     /// Record one applied boundary move.
     pub fn record_move(&self) {
         self.recalibration_moves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one run's resilience tallies (from its `ExecutionReport`
+    /// deltas) into the manager-lifetime counters.
+    pub fn record_resilience(&self, retries: u64, faults_observed: u64, deadline_overruns: u64) {
+        self.retries.fetch_add(retries, Ordering::Relaxed);
+        self.faults_observed
+            .fetch_add(faults_observed, Ordering::Relaxed);
+        self.deadline_overruns
+            .fetch_add(deadline_overruns, Ordering::Relaxed);
+    }
+
+    /// Raise the injected-fault high-water mark to `total` (injectors
+    /// report a lifetime total, not a delta).
+    pub fn record_faults_injected(&self, total: u64) {
+        self.faults_injected.fetch_max(total, Ordering::Relaxed);
     }
 
     /// Current per-variant selection counts.
@@ -83,6 +130,26 @@ pub struct TelemetrySnapshot {
     /// The table's current (possibly recalibrated) sub-ranges, in variant
     /// order.
     pub boundaries: Vec<(i64, i64)>,
+    /// Launch attempts re-issued after a failed attempt.
+    pub retries: u64,
+    /// Launch failures the resilient pipeline observed.
+    pub faults_observed: u64,
+    /// Faults handed out by the fault injector (0 without injection).
+    pub faults_injected: u64,
+    /// Launch attempts that overran their deadline budget.
+    pub deadline_overruns: u64,
+    /// Runs that fell back from the primary variant.
+    pub fallbacks: u64,
+    /// Times a variant was quarantined by its circuit breaker.
+    pub quarantines: u64,
+    /// Half-open probes of quarantined variants.
+    pub half_open_probes: u64,
+    /// Probes that succeeded and re-admitted their variant.
+    pub readmissions: u64,
+    /// Runs completed on the serial degraded-but-correct last resort.
+    pub degraded_runs: u64,
+    /// Variants currently quarantined (circuit open), by index.
+    pub quarantined_variants: Vec<usize>,
 }
 
 impl fmt::Display for TelemetrySnapshot {
@@ -98,8 +165,28 @@ impl fmt::Display for TelemetrySnapshot {
             self.recalibration_moves,
             self.mean_model_error * 100.0
         )?;
+        writeln!(
+            f,
+            "  resilience: {} faults injected, {} observed, {} retries, \
+             {} overruns, {} fallbacks, {} quarantines, {} probes, \
+             {} readmissions, {} degraded runs",
+            self.faults_injected,
+            self.faults_observed,
+            self.retries,
+            self.deadline_overruns,
+            self.fallbacks,
+            self.quarantines,
+            self.half_open_probes,
+            self.readmissions,
+            self.degraded_runs
+        )?;
         for (i, ((lo, hi), n)) in self.boundaries.iter().zip(&self.selections).enumerate() {
-            writeln!(f, "  variant {i}: [{lo}, {hi}] selected {n}x")?;
+            let mark = if self.quarantined_variants.contains(&i) {
+                " [quarantined]"
+            } else {
+                ""
+            };
+            writeln!(f, "  variant {i}: [{lo}, {hi}] selected {n}x{mark}")?;
         }
         Ok(())
     }
@@ -133,11 +220,39 @@ mod tests {
             recalibration_moves: 1,
             mean_model_error: 0.25,
             boundaries: vec![(1, 99), (100, 4096)],
+            retries: 6,
+            faults_observed: 8,
+            faults_injected: 9,
+            deadline_overruns: 2,
+            fallbacks: 3,
+            quarantines: 1,
+            half_open_probes: 1,
+            readmissions: 1,
+            degraded_runs: 0,
+            quarantined_variants: vec![1],
         };
         let s = snap.to_string();
         assert!(s.contains("7 launches"));
         assert!(s.contains("3h/4m/1e"));
         assert!(s.contains("variant 0: [1, 99] selected 5x"));
         assert!(s.contains("25.0%"));
+        assert!(s.contains("9 faults injected"));
+        assert!(s.contains("6 retries"));
+        assert!(s.contains("3 fallbacks"));
+        assert!(s.contains("1 quarantines"));
+        assert!(s.contains("variant 1: [100, 4096] selected 2x [quarantined]"));
+    }
+
+    #[test]
+    fn resilience_counters_accumulate() {
+        let c = TelemetryCounters::new(2);
+        c.record_resilience(2, 3, 1);
+        c.record_resilience(1, 1, 0);
+        c.record_faults_injected(5);
+        c.record_faults_injected(4); // high-water mark: no decrease
+        assert_eq!(c.retries.load(Ordering::Relaxed), 3);
+        assert_eq!(c.faults_observed.load(Ordering::Relaxed), 4);
+        assert_eq!(c.deadline_overruns.load(Ordering::Relaxed), 1);
+        assert_eq!(c.faults_injected.load(Ordering::Relaxed), 5);
     }
 }

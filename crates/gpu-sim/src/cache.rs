@@ -8,30 +8,83 @@
 //! every shard with least-recently-used eviction, so a long-running
 //! service cannot grow the cache without limit. Eviction, hit and miss
 //! counters feed the runtime's telemetry.
+//!
+//! Robustness properties (see DESIGN.md "Fault model"):
+//!
+//! * **Single-flight** — each shard tracks keys currently being simulated;
+//!   callers racing on a cold key wait on the shard's condvar instead of
+//!   simulating the same launch twice.
+//! * **Poison recovery** — every shard lock is taken through
+//!   [`PoisonError::into_inner`]; a caller that panics (kernel assert or
+//!   injected fault) cannot permanently poison a stripe. Shard state is
+//!   only ever mutated to a consistent snapshot while the lock is held, so
+//!   recovering the lock is sound.
+//! * **In-flight eviction** — the in-flight marker is held by an RAII
+//!   guard; if the simulating caller panics or the launch fails, the key
+//!   is removed and waiters are woken (one of them takes over the flight)
+//!   instead of deadlocking. Failed launches are never memoized.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::accounting::ScratchPool;
-use crate::exec::{launch_key, launch_pooled, ExecMode, ExecPolicy, KernelStats, StatsCache};
+use crate::exec::{launch_key, try_launch_pooled, ExecMode, ExecPolicy, KernelStats, StatsCache};
 use crate::exec::{LaunchCache, LaunchKey};
+use crate::faults::{LaunchControl, LaunchError};
 use crate::kernel::Kernel;
 use crate::mem::GlobalMem;
 use crate::spec::DeviceSpec;
 
 /// One stripe: a bounded map from launch key to stats plus the recency
-/// tick of each entry's last use.
+/// tick of each entry's last use, and the set of keys some caller is
+/// currently simulating (single-flight).
 #[derive(Debug, Default)]
 struct Shard {
     map: HashMap<LaunchKey, Entry>,
+    inflight: HashSet<LaunchKey>,
 }
 
 #[derive(Debug)]
 struct Entry {
     stats: KernelStats,
     last_used: u64,
+}
+
+/// A shard plus the condvar its waiters park on while another caller
+/// simulates a cold key.
+#[derive(Debug, Default)]
+struct ShardSlot {
+    state: Mutex<Shard>,
+    /// Signalled whenever a flight completes — successfully (stats are in
+    /// the map) or not (the key left `inflight` and a waiter takes over).
+    done: Condvar,
+}
+
+/// Lock a shard, recovering from poisoning. A panic while the lock was
+/// held can only have happened between complete mutations (all updates
+/// below are single-statement inserts/removes), so the recovered state is
+/// consistent.
+fn lock_shard(slot: &ShardSlot) -> MutexGuard<'_, Shard> {
+    slot.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Removes `key` from the shard's in-flight set and wakes waiters when
+/// dropped — on success, failure, *or unwind* — so a panicking simulate
+/// can never strand waiters behind a key that nobody is computing.
+struct InflightGuard<'a> {
+    slot: &'a ShardSlot,
+    key: LaunchKey,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut shard = lock_shard(self.slot);
+        shard.inflight.remove(&self.key);
+        drop(shard);
+        self.slot.done.notify_all();
+    }
 }
 
 /// A concurrent [`StatsCache`]: lock-striped over `shards` mutexes, each
@@ -45,7 +98,7 @@ struct Entry {
 /// callers, and it never outgrows `shards * capacity_per_shard` entries.
 #[derive(Debug)]
 pub struct ShardedLaunchCache {
-    shards: Box<[Mutex<Shard>]>,
+    shards: Box<[ShardSlot]>,
     /// Shard-picking hasher; `RandomState` per cache keeps stripe choice
     /// O(1) and private to this cache.
     hasher: RandomState,
@@ -69,7 +122,7 @@ impl ShardedLaunchCache {
     pub fn new(shards: usize, capacity_per_shard: usize) -> ShardedLaunchCache {
         let n = shards.max(1).next_power_of_two();
         ShardedLaunchCache {
-            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..n).map(|_| ShardSlot::default()).collect(),
             hasher: RandomState::new(),
             capacity_per_shard: capacity_per_shard.max(1),
             tick: AtomicU64::new(0),
@@ -79,7 +132,7 @@ impl ShardedLaunchCache {
         }
     }
 
-    fn shard_of(&self, key: &LaunchKey) -> &Mutex<Shard> {
+    fn shard_of(&self, key: &LaunchKey) -> &ShardSlot {
         let h = self.hasher.hash_one(key) as usize;
         &self.shards[h & (self.shards.len() - 1)]
     }
@@ -96,10 +149,7 @@ impl ShardedLaunchCache {
 
     /// Memoized launches currently held.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 
     /// True when nothing has been memoized yet.
@@ -143,24 +193,46 @@ impl StatsCache for ShardedLaunchCache {
         policy: ExecPolicy,
         dims: (u64, u64),
         pool: &ScratchPool,
-    ) -> (KernelStats, bool) {
+        ctl: LaunchControl<'_>,
+    ) -> Result<(KernelStats, bool), LaunchError> {
         let key = launch_key(device, kernel, mode, dims);
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut shard = self.shard_of(&key).lock().unwrap();
-            if let Some(entry) = shard.map.get_mut(&key) {
-                entry.last_used = now;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return (entry.stats.clone(), true);
+        let slot = self.shard_of(&key);
+        // Single-flight admission: leave with either a hit, or ownership
+        // of the flight for this key (registered in `inflight`, released
+        // by `_guard` on every exit path including unwind).
+        let _guard = {
+            let mut shard = lock_shard(slot);
+            loop {
+                if let Some(entry) = shard.map.get_mut(&key) {
+                    entry.last_used = now;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((entry.stats.clone(), true));
+                }
+                if !shard.inflight.contains(&key) {
+                    shard.inflight.insert(key.clone());
+                    break;
+                }
+                // Another caller is simulating this key: park until its
+                // flight resolves, then re-check (the flight may have
+                // failed, in which case we take over).
+                shard = slot
+                    .done
+                    .wait(shard)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
-        }
+            InflightGuard {
+                slot,
+                key: key.clone(),
+            }
+        };
         // Simulate outside the shard lock: a slow launch must not stall
-        // unrelated lookups. Two callers racing on the same key both
-        // simulate; the stats are a pure function of the key, so whichever
-        // insert lands last changes nothing.
-        let stats = launch_pooled(device, mem, kernel, mode, policy, pool);
+        // unrelated lookups. Failed launches (`Err` here, or a panic that
+        // unwinds past us) are not memoized; `_guard` evicts the in-flight
+        // marker so waiters retry instead of deadlocking.
+        let stats = try_launch_pooled(device, mem, kernel, mode, policy, pool, ctl)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(&key).lock().unwrap();
+        let mut shard = lock_shard(slot);
         if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
             // Full: drop the least-recently-used entry. The scan is
             // O(capacity) but runs only on insert into a full shard, and
@@ -182,7 +254,7 @@ impl StatsCache for ShardedLaunchCache {
                 last_used: now,
             },
         );
-        (stats, false)
+        Ok((stats, false))
     }
 
     fn hit_count(&self) -> u64 {
@@ -210,6 +282,7 @@ impl LaunchCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan};
     use crate::kernel::{BlockCtx, LaunchConfig};
     use crate::mem::BufId;
 
@@ -240,7 +313,12 @@ mod tests {
         }
     }
 
-    fn run_once(cache: &ShardedLaunchCache, n: usize, dims: (u64, u64)) -> (KernelStats, bool) {
+    fn run_ctl(
+        cache: &ShardedLaunchCache,
+        n: usize,
+        dims: (u64, u64),
+        ctl: LaunchControl<'_>,
+    ) -> Result<(KernelStats, bool), LaunchError> {
         let d = DeviceSpec::tesla_c2050();
         let mut mem = GlobalMem::new();
         let x = mem.alloc_from(&vec![1.0; n]);
@@ -254,7 +332,12 @@ mod tests {
             ExecPolicy::Serial,
             dims,
             &ScratchPool::new(),
+            ctl,
         )
+    }
+
+    fn run_once(cache: &ShardedLaunchCache, n: usize, dims: (u64, u64)) -> (KernelStats, bool) {
+        run_ctl(cache, n, dims, LaunchControl::default()).expect("fault-free launch")
     }
 
     #[test]
@@ -309,13 +392,11 @@ mod tests {
                 });
             }
         });
-        // 3 distinct keys, no capacity pressure. Threads racing on the
-        // same cold key may each simulate (misses are recorded outside the
-        // shard lock, by design), so the miss count is a floor, not an
-        // exact value; every lookup still resolves to a hit or a miss and
-        // duplicate inserts merge.
+        // 3 distinct keys, no capacity pressure. Single-flight admission
+        // guarantees each cold key is simulated exactly once — threads
+        // racing on it park on the shard condvar and resolve as hits.
         assert_eq!(cache.len(), 3);
-        assert!(cache.misses() >= 3, "misses = {}", cache.misses());
+        assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits() + cache.misses(), 25);
     }
 
@@ -325,5 +406,80 @@ mod tests {
         assert_eq!(ShardedLaunchCache::new(0, 4).shard_count(), 1);
         assert_eq!(ShardedLaunchCache::new(16, 4).shard_count(), 16);
         assert_eq!(ShardedLaunchCache::new(5, 0).capacity(), 8);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let cache = ShardedLaunchCache::new(1, 8);
+        // Poison the only shard: panic while holding its lock.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _held = cache.shards[0].state.lock().unwrap();
+            panic!("poison the shard");
+        }));
+        assert!(poison.is_err());
+        assert!(cache.shards[0].state.is_poisoned());
+        // The cache keeps serving: lookups recover the lock.
+        let (_, hit) = run_once(&cache, 128, (1, 0));
+        assert!(!hit);
+        let (_, hit) = run_once(&cache, 128, (1, 0));
+        assert!(hit, "poisoned shard still serves hits");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_launch_not_memoized_and_inflight_key_released() {
+        let cache = ShardedLaunchCache::new(1, 8);
+        // Every consult rejects the launch.
+        let plan = FaultPlan::new(7)
+            .with_rate(1.0)
+            .with_kinds(vec![FaultKind::LaunchReject]);
+        let err = run_ctl(&cache, 128, (1, 0), LaunchControl::with_faults(&plan));
+        assert!(matches!(err, Err(LaunchError::Rejected)));
+        // The failure was not cached and the in-flight marker is gone: a
+        // fault-free retry on the same key simulates (a miss, no deadlock).
+        assert_eq!(cache.len(), 0);
+        let (_, hit) = run_once(&cache, 128, (1, 0));
+        assert!(!hit);
+        assert!(cache.shards[0].state.lock().unwrap().inflight.is_empty());
+    }
+
+    #[test]
+    fn panicking_simulation_evicts_inflight_key() {
+        let cache = ShardedLaunchCache::new(1, 8);
+        // Zero-thread blocks fail launch *validation*, which panics (a
+        // programming error, not a runtime fault) — and the panic unwinds
+        // straight through launch_cached while the key is in flight.
+        struct Invalid;
+        impl Kernel for Invalid {
+            fn name(&self) -> &str {
+                "invalid"
+            }
+            fn config(&self) -> LaunchConfig {
+                LaunchConfig::new(1, 0, 0)
+            }
+            fn run_block(&self, _: u32, _: &mut BlockCtx<'_>) {}
+        }
+        let d = DeviceSpec::tesla_c2050();
+        for _ in 0..2 {
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut mem = GlobalMem::new();
+                cache.launch_cached(
+                    &d,
+                    &mut mem,
+                    &Invalid,
+                    ExecMode::Full,
+                    ExecPolicy::Serial,
+                    (0, 0),
+                    &ScratchPool::new(),
+                    LaunchControl::default(),
+                )
+            }));
+            assert!(unwound.is_err());
+            // Guard ran during unwind: nothing in flight, nothing cached,
+            // so the second iteration does not park forever.
+            let shard = lock_shard(&cache.shards[0]);
+            assert!(shard.inflight.is_empty());
+            assert!(shard.map.is_empty());
+        }
     }
 }

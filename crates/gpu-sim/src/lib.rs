@@ -55,6 +55,7 @@
 pub mod accounting;
 pub mod cache;
 pub mod exec;
+pub mod faults;
 pub mod kernel;
 pub mod mem;
 pub mod spec;
@@ -62,9 +63,10 @@ pub mod spec;
 pub use accounting::{BlockScratch, ScratchPool};
 pub use cache::ShardedLaunchCache;
 pub use exec::{
-    launch, launch_pooled, launch_with_policy, ExecMode, ExecPolicy, KernelStats, LaunchCache,
-    LaunchKey, ScaledCounters, StatsCache,
+    launch, launch_pooled, launch_with_policy, try_launch_pooled, ExecMode, ExecPolicy,
+    KernelStats, LaunchCache, LaunchKey, ScaledCounters, StatsCache,
 };
+pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, LaunchControl, LaunchError};
 pub use kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig, Site};
 pub use mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem};
 pub use spec::DeviceSpec;

@@ -32,6 +32,13 @@ pub enum Error {
     /// The selector was asked for an input size outside the range the
     /// program's variant table was compiled for.
     InputOutOfRange { x: i64, lo: i64, hi: i64 },
+    /// A kernel launch kept failing after the runtime exhausted its retry
+    /// budget; `cause` is the last launch failure.
+    LaunchFailed {
+        kernel: String,
+        attempts: u32,
+        cause: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +62,16 @@ impl fmt::Display for Error {
             }
             Error::InputOutOfRange { x, lo, hi } => {
                 write!(f, "input size {x} outside the compiled range [{lo}, {hi}]")
+            }
+            Error::LaunchFailed {
+                kernel,
+                attempts,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "kernel `{kernel}` failed after {attempts} attempts: {cause}"
+                )
             }
         }
     }
@@ -88,6 +105,11 @@ mod tests {
                 x: 0,
                 lo: 1,
                 hi: 64,
+            },
+            Error::LaunchFailed {
+                kernel: "sum".into(),
+                attempts: 3,
+                cause: "launch rejected by the device".into(),
             },
         ];
         for c in cases {

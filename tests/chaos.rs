@@ -1,0 +1,303 @@
+//! Chaos suite: the conformance corpus re-run under seeded fault
+//! injection, pinning the resilient launch pipeline's recovery guarantee.
+//!
+//! Every template family runs with a [`FaultPlan`] drawn from the same
+//! replayable seed corpus the conformance suite uses (plus an optional
+//! `ADAPTIC_CHAOS_SEED` from the environment — the CI chaos job sweeps
+//! three fixed seeds through it). The pinned invariants:
+//!
+//! * **Completion** — the degradation ladder (retry → variant fallback →
+//!   quarantine → serial last resort) absorbs every injected fault; a run
+//!   that exhausts the whole ladder is a test failure.
+//! * **Bit-identical recovery** — a run that succeeds after faults
+//!   produces the exact output bytes and kernel statistics of a
+//!   fault-free run of the variant that completed. (Different variants
+//!   reduce in different orders, so cross-variant agreement is only
+//!   within rounding — recovery is compared per variant, which is the
+//!   strongest claim a variant-switching pipeline can make.)
+//! * **Determinism** — the same seed replays the same fault schedule,
+//!   the same recovery path and the same bytes, so a red chaos run in CI
+//!   reproduces locally by exporting the seed it names.
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use adaptic_repro::adaptic::{
+    CompiledProgram, ExecMode, ExecutionReport, Fault, FaultInjector, FaultKind, FaultPlan,
+    KernelManager, RetryPolicy, RunOptions, StateBinding,
+};
+use adaptic_repro::gpu_sim::DeviceSpec;
+use adaptic_repro::perfmodel::Hysteresis;
+use adaptic_repro::streamir::error::Error;
+use common::{cases, compiled_for, corpus_seeds, data, Case};
+use proptest::prelude::*;
+
+/// Corpus seeds plus the CI-provided `ADAPTIC_CHAOS_SEED`, if any.
+fn chaos_seeds() -> Vec<u64> {
+    let mut seeds = corpus_seeds();
+    if let Ok(raw) = std::env::var("ADAPTIC_CHAOS_SEED") {
+        let raw = raw.trim();
+        let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16)
+        } else {
+            raw.parse()
+        };
+        seeds.push(parsed.unwrap_or_else(|_| panic!("bad ADAPTIC_CHAOS_SEED: {raw:?}")));
+    }
+    seeds
+}
+
+/// A [`FaultPlan`] wrapper that records which fault kinds it handed out,
+/// so the suite can assert the schedule actually exercised the taxonomy.
+#[derive(Debug)]
+struct KindTally {
+    plan: FaultPlan,
+    kinds: Mutex<HashSet<FaultKind>>,
+}
+
+impl KindTally {
+    fn new(plan: FaultPlan) -> KindTally {
+        KindTally {
+            plan,
+            kinds: Mutex::new(HashSet::new()),
+        }
+    }
+
+    fn kinds(&self) -> HashSet<FaultKind> {
+        self.kinds.lock().unwrap().clone()
+    }
+}
+
+impl FaultInjector for KindTally {
+    fn on_launch(&self, kernel: &str) -> Option<Fault> {
+        let fault = self.plan.on_launch(kernel);
+        if let Some(f) = fault {
+            self.kinds.lock().unwrap().insert(f.kind());
+        }
+        fault
+    }
+
+    fn injected(&self) -> u64 {
+        self.plan.injected()
+    }
+}
+
+/// Fault-free reference run of every variant at `(x, input, state)`:
+/// recovery is bit-identical *to the variant that completed*.
+fn variant_baselines(
+    compiled: &CompiledProgram,
+    x: i64,
+    input: &[f32],
+    state: &[StateBinding],
+) -> Vec<ExecutionReport> {
+    (0..compiled.variant_count())
+        .map(|v| {
+            compiled
+                .run_opts(
+                    x,
+                    input,
+                    state,
+                    RunOptions::serial(ExecMode::Full).with_variant(v),
+                    None,
+                )
+                .unwrap_or_else(|e| panic!("fault-free baseline of variant {v} failed: {e}"))
+        })
+        .collect()
+}
+
+/// Assert `rep` matches the fault-free baseline of the variant it
+/// completed on: output cursor, output bits, launch schedule and kernel
+/// statistics.
+fn assert_bit_identical(ctx: &str, rep: &ExecutionReport, baselines: &[ExecutionReport]) {
+    let base = &baselines[rep.variant_index];
+    assert_eq!(
+        rep.output.len(),
+        base.output.len(),
+        "{ctx}: output cursor diverged after recovery"
+    );
+    for (i, (g, b)) in rep.output.iter().zip(&base.output).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            b.to_bits(),
+            "{ctx}: output[{i}] {g} vs {b} after recovery"
+        );
+    }
+    assert_eq!(
+        rep.kernels.len(),
+        base.kernels.len(),
+        "{ctx}: launch count diverged after recovery"
+    );
+    for (g, b) in rep.kernels.iter().zip(&base.kernels) {
+        assert_eq!(g.name, b.name, "{ctx}: launch schedule diverged");
+        assert_eq!(
+            g.stats, b.stats,
+            "{ctx} kernel={}: stats diverged after recovery",
+            g.name
+        );
+    }
+}
+
+fn reduce_case() -> Case {
+    cases()
+        .into_iter()
+        .find(|c| c.family == "reduce")
+        .expect("corpus has a reduce case")
+}
+
+#[test]
+fn chaos_recovery_is_bit_identical_across_the_corpus() {
+    let device = DeviceSpec::tesla_c2050();
+    let seeds = chaos_seeds();
+    let mut kinds_seen: HashSet<FaultKind> = HashSet::new();
+    let mut total_injected = 0u64;
+    let mut total_retries = 0u64;
+    for case in cases() {
+        let compiled = compiled_for(&case, &device);
+        let kmu = KernelManager::new(compiled);
+        for &x in case.sizes {
+            let state = (case.state)();
+            for &seed in &seeds {
+                let input = data((case.items)(x), seed);
+                let baselines = variant_baselines(kmu.program(), x, &input, &state);
+                let inj = KindTally::new(FaultPlan::new(seed).with_rate(0.35));
+                let ctx = format!("family={} x={x} seed={seed}", case.family);
+                let rep = kmu
+                    .run(
+                        x,
+                        &input,
+                        &state,
+                        RunOptions::serial(ExecMode::Full).with_faults(&inj),
+                    )
+                    .unwrap_or_else(|e| panic!("{ctx}: ladder failed to complete: {e}"));
+                assert_bit_identical(&ctx, &rep, &baselines);
+                kinds_seen.extend(inj.kinds());
+                total_injected += inj.injected();
+            }
+        }
+        total_retries += kmu.telemetry().retries;
+    }
+    assert!(total_injected > 0, "the schedule must actually inject");
+    assert!(total_retries > 0, "some faults must have been retried away");
+    assert!(
+        kinds_seen.len() >= 3,
+        "schedule must exercise >=3 fault kinds, saw {kinds_seen:?}"
+    );
+}
+
+#[test]
+fn chaos_replays_identically_for_a_fixed_seed() {
+    let device = DeviceSpec::tesla_c2050();
+    let case = reduce_case();
+    let compiled = compiled_for(&case, &device);
+    let x = case.sizes[0];
+    let input = data((case.items)(x), 42);
+
+    // Boundaries frozen: recalibration feeds on wall-clock measurements,
+    // which must not be allowed to change variant selection between the
+    // two passes — everything else is schedule-driven and deterministic.
+    let frozen = Hysteresis {
+        min_rel_shift: f64::INFINITY,
+        min_abs_shift: i64::MAX,
+    };
+    let run_pass = || {
+        let kmu = KernelManager::new(compiled.clone()).with_hysteresis(frozen);
+        let plan = FaultPlan::new(0xDEADBEEF).with_rate(0.5);
+        let mut trace: Vec<u64> = Vec::new();
+        for _ in 0..4 {
+            let rep = kmu
+                .run(
+                    x,
+                    &input,
+                    &[],
+                    RunOptions::serial(ExecMode::Full).with_faults(&plan),
+                )
+                .expect("the ladder must complete");
+            trace.push(rep.variant_index as u64);
+            trace.extend(rep.output.iter().map(|v| u64::from(v.to_bits())));
+        }
+        let snap = kmu.telemetry();
+        trace.extend([
+            plan.injected(),
+            plan.consulted(),
+            snap.faults_observed,
+            snap.retries,
+            snap.fallbacks,
+            snap.quarantines,
+        ]);
+        trace
+    };
+    assert_eq!(
+        run_pass(),
+        run_pass(),
+        "the same seed must replay the same faults, path and bytes"
+    );
+}
+
+#[test]
+fn hard_fault_window_quarantines_then_readmits() {
+    let device = DeviceSpec::tesla_c2050();
+    let case = reduce_case();
+    let compiled = compiled_for(&case, &device);
+    assert!(compiled.variant_count() >= 2, "need a fallback target");
+    let kmu = KernelManager::new(compiled).with_quarantine(1, 2);
+    let x = kmu.telemetry().boundaries[0].0; // the table's primary is variant 0
+    let input = data(x as usize, 7);
+    let baselines = variant_baselines(kmu.program(), x, &input, &[]);
+
+    // Reject exactly the primary's whole attempt budget, then go inert.
+    let budget = u64::from(RetryPolicy::default().max_attempts);
+    let plan = FaultPlan::new(7)
+        .with_rate(1.0)
+        .with_kinds(vec![FaultKind::LaunchReject])
+        .with_window(0, budget);
+    for round in 0..4 {
+        let rep = kmu
+            .run(
+                x,
+                &input,
+                &[],
+                RunOptions::serial(ExecMode::Full).with_faults(&plan),
+            )
+            .unwrap_or_else(|e| panic!("round {round}: ladder failed: {e}"));
+        assert_bit_identical(&format!("round {round}"), &rep, &baselines);
+    }
+    let snap = kmu.telemetry();
+    assert_eq!(
+        snap.quarantines, 1,
+        "the primary must have been quarantined"
+    );
+    assert!(snap.fallbacks >= 1, "a neighbor must have served meanwhile");
+    assert_eq!(snap.half_open_probes, 1, "one probe after the window");
+    assert_eq!(snap.readmissions, 1, "the probe must re-admit the primary");
+    assert!(snap.quarantined_variants.is_empty(), "breaker closed again");
+    assert_eq!(snap.faults_injected, budget);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite invariant: for *any* seeded plan, a run that the ladder
+    /// completes is bit-identical to the fault-free run of the variant
+    /// that completed; a run the ladder cannot complete surfaces as the
+    /// typed `Error::LaunchFailed`, never a panic or corrupt output.
+    #[test]
+    fn any_seeded_plan_recovers_bit_identical(seed in any::<u64>(), rate in 0.05f64..0.5) {
+        let device = DeviceSpec::tesla_c2050();
+        let case = reduce_case();
+        let compiled = compiled_for(&case, &device);
+        let x = case.sizes[0];
+        let input = data((case.items)(x), seed);
+        let baselines = variant_baselines(&compiled, x, &input, &[]);
+        let kmu = KernelManager::new(compiled);
+        let plan = FaultPlan::new(seed).with_rate(rate);
+        match kmu.run(x, &input, &[], RunOptions::serial(ExecMode::Full).with_faults(&plan)) {
+            Ok(rep) => assert_bit_identical(&format!("seed={seed} rate={rate}"), &rep, &baselines),
+            Err(e) => prop_assert!(
+                matches!(e, Error::LaunchFailed { .. }),
+                "only the typed launch failure may escape: {e}"
+            ),
+        }
+    }
+}
