@@ -13,8 +13,11 @@
 //! All three run under full recording (`ExecMode::Full`) on the serial
 //! engine, isolating recorder cost from thread fan-out. Before/after
 //! numbers for the streaming accounting engine are recorded in
-//! `results/accounting_speedup.txt`.
+//! `results/accounting_speedup.txt`; the trailing JSON pass writes a
+//! machine-readable copy of the latest run to
+//! `results/BENCH_accounting.json`.
 
+use adaptic_bench::{bench_json, measure};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gpu_sim::{
@@ -179,9 +182,44 @@ fn bench_accounting(c: &mut Criterion) {
     group.finish();
 }
 
+/// Re-measure the three kernels with plain wall-clock timing and write
+/// `results/BENCH_accounting.json` (speedups are relative to the
+/// coalesced sweep, the recorder's best case).
+fn emit_json(_c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    let n = (GRID * BLOCK_DIM) as usize;
+
+    let mut mem = GlobalMem::new();
+    let a = mem.alloc_from(&vec![1.0; n]);
+    let b = mem.alloc(n);
+    let run = |kernel: &(dyn Kernel + Sync), mem: &mut GlobalMem| {
+        launch_with_policy(&device, mem, kernel, ExecMode::Full, ExecPolicy::Serial);
+    };
+
+    let coalesced = Coalesced { a, b, n };
+    let scattered = Scattered { a, b, n };
+    let shared = SharedHeavy { a, b, n };
+    let base = measure("accounting/full/coalesced", 10, || {
+        run(&coalesced, &mut mem)
+    });
+    let records = [
+        base.clone(),
+        measure("accounting/full/scattered", 10, || {
+            run(&scattered, &mut mem)
+        })
+        .vs(&base),
+        measure("accounting/full/shared_heavy", 10, || {
+            run(&shared, &mut mem)
+        })
+        .vs(&base),
+    ];
+    let path = bench_json("accounting", &records).expect("write BENCH_accounting.json");
+    println!("wrote {}", path.display());
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_accounting
+    targets = bench_accounting, emit_json
 );
 criterion_main!(benches);

@@ -7,6 +7,9 @@
 //! environment variable; `1` reproduces the paper's sizes at the cost of
 //! long simulation times).
 
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
 use adaptic::RunOptions;
 use gpu_sim::{ExecMode, ExecPolicy};
 
@@ -95,6 +98,116 @@ pub fn header(title: &str) {
     );
 }
 
+/// One measured benchmark for [`bench_json`].
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    /// Mean-over-mean speedup relative to a baseline record (set via
+    /// [`BenchRecord::vs`]); `None` marks a baseline itself.
+    pub speedup: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Tag this record with its speedup over `baseline` (baseline mean /
+    /// this mean, so > 1 means faster than the baseline).
+    pub fn vs(mut self, baseline: &BenchRecord) -> BenchRecord {
+        self.speedup = Some(baseline.mean_ns / self.mean_ns);
+        self
+    }
+}
+
+/// Time `samples` invocations of `f` (after one warm-up call) and return
+/// min/mean/max wall-clock nanoseconds as a [`BenchRecord`].
+pub fn measure(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
+    assert!(samples > 0, "at least one sample");
+    f();
+    let (mut min, mut max, mut sum) = (f64::INFINITY, 0.0f64, 0.0f64);
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        let ns = t.elapsed().as_nanos() as f64;
+        min = min.min(ns);
+        max = max.max(ns);
+        sum += ns;
+    }
+    BenchRecord {
+        name: name.to_string(),
+        mean_ns: sum / samples as f64,
+        min_ns: min,
+        max_ns: max,
+        speedup: None,
+    }
+}
+
+/// Current git revision, or `"unknown"` outside a repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Render bench records as the machine-readable JSON document written by
+/// [`bench_json`] (no serde in the dependency set, so it is assembled by
+/// hand; names must be plain ASCII without quotes or backslashes).
+pub fn render_bench_json(stem: &str, rev: &str, records: &[BenchRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{stem}\",\n"));
+    s.push_str(&format!("  \"git_rev\": \"{rev}\",\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        debug_assert!(
+            !r.name.contains(['"', '\\']),
+            "bench names must not need JSON escaping"
+        );
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}",
+            r.name, r.mean_ns, r.min_ns, r.max_ns
+        ));
+        if let Some(sp) = r.speedup {
+            s.push_str(&format!(", \"speedup\": {sp:.3}"));
+        }
+        s.push('}');
+        if i + 1 < records.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write `records` to `<dir>/BENCH_<stem>.json` and return the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing.
+pub fn bench_json_to(dir: &Path, stem: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{stem}.json"));
+    std::fs::write(&path, render_bench_json(stem, &git_rev(), records))?;
+    Ok(path)
+}
+
+/// Write `records` to `results/BENCH_<stem>.json` at the workspace root,
+/// alongside the prose `results/*.txt` records.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing.
+pub fn bench_json(stem: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    bench_json_to(&dir, stem, records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +238,52 @@ mod tests {
         let opts = sweep_opts();
         assert_eq!(opts.mode, sweep_mode());
         assert!(opts.policy.workers() >= 1);
+    }
+
+    #[test]
+    fn measure_reports_ordered_bounds() {
+        let mut n = 0u64;
+        let r = measure("spin", 5, || {
+            for i in 0..10_000u64 {
+                n = n.wrapping_add(i);
+            }
+        });
+        std::hint::black_box(n);
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+        assert!(r.speedup.is_none());
+    }
+
+    #[test]
+    fn bench_json_renders_and_writes() {
+        let base = BenchRecord {
+            name: "base".into(),
+            mean_ns: 200.0,
+            min_ns: 150.0,
+            max_ns: 260.0,
+            speedup: None,
+        };
+        let fast = BenchRecord {
+            name: "fast".into(),
+            mean_ns: 50.0,
+            min_ns: 40.0,
+            max_ns: 61.0,
+            speedup: None,
+        }
+        .vs(&base);
+        assert_eq!(fast.speedup, Some(4.0));
+
+        let doc = render_bench_json("demo", "deadbeef", &[base.clone(), fast.clone()]);
+        assert!(doc.contains("\"bench\": \"demo\""));
+        assert!(doc.contains("\"git_rev\": \"deadbeef\""));
+        assert!(doc.contains("\"name\": \"base\", \"mean_ns\": 200.0"));
+        assert!(doc.contains("\"speedup\": 4.000"));
+
+        let dir = std::env::temp_dir().join(format!("bench_json_test_{}", std::process::id()));
+        let path = bench_json_to(&dir, "demo", &[base, fast]).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_demo.json");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(on_disk.contains("\"results\": ["));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -41,7 +41,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use streamir::error::{Error, Result};
 use streamir::interp::{eval_binop, eval_intrinsic};
@@ -571,9 +571,19 @@ impl FramePool {
         FramePool::default()
     }
 
+    /// Lock the pool, recovering from poison: pooled frames are fully
+    /// reset (`Frame::reset`) before every use, so a worker that
+    /// panicked mid-`Vec::push` cannot leave state the next taker could
+    /// observe — same reasoning as `Kmu::lock_state`. Without recovery,
+    /// one panicking worker (e.g. under fault injection) would wedge
+    /// frame recycling for every later launch on the engine.
+    fn lock_inner(&self) -> MutexGuard<'_, Vec<Frame>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Take a frame (recycled when available).
     pub fn take(&self) -> Frame {
-        let recycled = self.inner.lock().expect("frame pool poisoned").pop();
+        let recycled = self.lock_inner().pop();
         match recycled {
             Some(f) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
@@ -588,7 +598,7 @@ impl FramePool {
 
     /// Return a frame for reuse.
     pub fn give(&self, frame: Frame) {
-        self.inner.lock().expect("frame pool poisoned").push(frame);
+        self.lock_inner().push(frame);
     }
 
     /// Frames allocated fresh over the pool's lifetime.
@@ -603,25 +613,27 @@ impl FramePool {
 
     /// Frames currently idle in the pool.
     pub fn idle(&self) -> usize {
-        self.inner.lock().expect("frame pool poisoned").len()
+        self.lock_inner().len()
     }
 }
 
 #[inline]
-fn as_f32(v: Value) -> f32 {
+pub(crate) fn as_f32(v: Value) -> f32 {
     v.as_f32().expect("validated body: numeric value")
 }
 
 #[inline]
-fn as_i64(v: Value) -> i64 {
+pub(crate) fn as_i64(v: Value) -> i64 {
     v.as_i64().expect("validated body: integral value")
 }
 
 /// Infallible binop mirroring [`streamir::interp::eval_binop`] (including
 /// wrapping integer arithmetic); data-dependent faults panic like the
-/// templates' `.expect` on the AST path.
+/// templates' `.expect` on the AST path. Shared with [`crate::warp`] so
+/// the scalar and warp-batched evaluators are per-lane bit-identical by
+/// construction.
 #[inline]
-fn bin(op: BinOp, a: Value, b: Value) -> Value {
+pub(crate) fn bin(op: BinOp, a: Value, b: Value) -> Value {
     use BinOp::*;
     if let (Value::I64(x), Value::I64(y)) = (a, b) {
         return match op {
@@ -673,7 +685,7 @@ fn bin(op: BinOp, a: Value, b: Value) -> Value {
 }
 
 #[inline]
-fn call(intr: Intrinsic, args: &[Value]) -> Value {
+pub(crate) fn call(intr: Intrinsic, args: &[Value]) -> Value {
     let f = |i: usize| as_f32(args[i]);
     match intr {
         Intrinsic::Sqrt => Value::F32(f(0).sqrt()),
@@ -1026,6 +1038,25 @@ mod tests {
         pool.give(f1);
         let _f2 = pool.take();
         assert_eq!(pool.created(), 1);
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
+    fn frame_pool_survives_poisoned_lock() {
+        // A worker panicking while holding the pool lock (fault
+        // injection, a faulting body) must not wedge recycling for the
+        // rest of the engine: every entry point recovers from poison.
+        let pool = std::sync::Arc::new(FramePool::new());
+        pool.give(Frame::default());
+        let p2 = std::sync::Arc::clone(&pool);
+        let _ = std::thread::spawn(move || {
+            let _guard = p2.inner.lock().unwrap();
+            panic!("poison the pool");
+        })
+        .join();
+        assert_eq!(pool.idle(), 1);
+        let f = pool.take();
+        pool.give(f);
         assert_eq!(pool.reused(), 1);
     }
 

@@ -58,6 +58,7 @@ pub mod plan;
 pub mod runtime;
 pub mod telemetry;
 pub mod templates;
+pub mod warp;
 
 pub use analysis::{classify, ActorClass};
 pub use kmu::{KernelManager, VariantHistogram};
@@ -66,7 +67,9 @@ pub use plan::{
     compile, compile_single, compile_with_options, CompileOptions, CompiledProgram, InputAxis,
     OptTag, SegChoice, Variant,
 };
-pub use runtime::{ExecutionReport, KernelReport, RetryPolicy, RunOptions, StateBinding};
+pub use runtime::{
+    EvalBackend, ExecutionReport, KernelReport, RetryPolicy, RunOptions, StateBinding,
+};
 pub use telemetry::{TelemetryCounters, TelemetrySnapshot};
 // Execution-engine knobs surface through the runtime API, so re-export
 // them: callers pick serial/parallel, share a launch-stats cache, and

@@ -400,6 +400,9 @@ pub struct CompiledProgram {
     /// Frame pool shared by every launch of this program: kernel workers
     /// recycle slot/stack frames across firings, blocks and runs.
     pub(crate) frames: Arc<FramePool>,
+    /// Warp-frame pool: the SoA lane-row analogue of `frames`, recycled
+    /// by the warp-batched evaluator across blocks and runs.
+    pub(crate) warp_frames: Arc<crate::warp::WarpFramePool>,
     pub(crate) edge_layouts: Vec<Layout>,
     /// Variant table ordered by `lo`.
     pub variants: Vec<Variant>,
@@ -1389,6 +1392,7 @@ pub fn compile_with_options(
         segments,
         programs: seg_programs,
         frames: Arc::new(FramePool::new()),
+        warp_frames: Arc::new(crate::warp::WarpFramePool::new()),
         edge_layouts: layouts,
         variants,
     })

@@ -103,6 +103,23 @@ impl RetryPolicy {
     }
 }
 
+/// Which evaluator executes compiled work bodies inside the kernel
+/// templates. The default is the warp-batched SIMT interpreter
+/// ([`crate::warp`]); the two slower evaluators are retained as
+/// differential oracles, the PR 2–3 pattern: proptests assert all three
+/// produce bit-identical outputs and kernel statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalBackend {
+    /// Warp-batched bytecode dispatch with lane masks (the fast path).
+    #[default]
+    Warp,
+    /// The scalar bytecode interpreter: one dispatch loop per thread per
+    /// firing (the PR 3 engine, now the first-line oracle).
+    Scalar,
+    /// The AST walker (the original evaluator, the deepest oracle).
+    Ast,
+}
+
 /// How the runtime executes a program's kernels: the grid-sampling mode
 /// and the engine driving the block loop, plus the resilience knobs (fault
 /// injector, retry policy).
@@ -116,10 +133,9 @@ pub struct RunOptions<'f> {
     pub mode: ExecMode,
     /// Serial or deterministic-parallel block execution.
     pub policy: ExecPolicy,
-    /// Evaluate work bodies by walking the AST instead of the compiled
-    /// bytecode. Slow; exists so differential tests can check that both
-    /// evaluators produce bit-identical outputs and kernel statistics.
-    pub ast_oracle: bool,
+    /// Which evaluator runs work bodies (warp-batched, scalar bytecode,
+    /// or the AST walker; the latter two are differential oracles).
+    pub backend: EvalBackend,
     /// Run this variant of the table instead of the one selected for the
     /// input. The kernel-management unit uses it to launch the variant its
     /// *recalibrated* boundaries picked; tests use it to measure a variant
@@ -138,7 +154,7 @@ impl<'f> RunOptions<'f> {
         RunOptions {
             mode,
             policy: ExecPolicy::Serial,
-            ast_oracle: false,
+            backend: EvalBackend::Warp,
             force_variant: None,
             faults: None,
             retry: RetryPolicy::default(),
@@ -150,16 +166,27 @@ impl<'f> RunOptions<'f> {
         RunOptions {
             mode,
             policy: ExecPolicy::auto(),
-            ast_oracle: false,
+            backend: EvalBackend::Warp,
             force_variant: None,
             faults: None,
             retry: RetryPolicy::default(),
         }
     }
 
-    /// Switch work-body evaluation to the AST reference interpreter.
+    /// Select the work-body evaluator.
+    pub fn with_backend(mut self, backend: EvalBackend) -> RunOptions<'f> {
+        self.backend = backend;
+        self
+    }
+
+    /// Switch work-body evaluation to the AST reference interpreter
+    /// (sugar for [`RunOptions::with_backend`], kept for the PR 3 tests).
     pub fn with_ast_oracle(mut self, on: bool) -> RunOptions<'f> {
-        self.ast_oracle = on;
+        self.backend = if on {
+            EvalBackend::Ast
+        } else {
+            EvalBackend::Warp
+        };
         self
     }
 
@@ -439,10 +466,11 @@ impl CompiledProgram {
                     )
                     .with_layouts(cur_layout, self.edge_layouts[i + 1])
                     .with_coarsen(*coarsen)
-                    .with_frames(self.frames.clone());
+                    .with_frames(self.frames.clone())
+                    .with_warp_frames(self.warp_frames.clone());
                     k.units_per_firing = upf;
                     k.window_pop = window;
-                    k.ast_oracle = opts.ast_oracle;
+                    k.backend = opts.backend;
                     for actor_name in &u.state_actors {
                         if let Some(actor) = self.program.actor(actor_name) {
                             for (n, b) in resolve_state(actor)? {
@@ -468,7 +496,8 @@ impl CompiledProgram {
                     let mut spec = ReduceSpec::from_pattern(&r.pattern, binds.clone());
                     spec.exec.precompiled = Some((elem.clone(), post.clone()));
                     spec.exec.frames = self.frames.clone();
-                    spec.exec.ast_oracle = opts.ast_oracle;
+                    spec.exec.warp_frames = self.warp_frames.clone();
+                    spec.exec.backend = opts.backend;
                     if let Some(actor) = self.program.actor(&r.actor) {
                         spec.state.extend(resolve_state(actor)?);
                     }
@@ -501,8 +530,9 @@ impl CompiledProgram {
                             )
                             .with_layouts(cur_layout, Layout::RowMajor)
                             .with_block_dim(*block_dim)
-                            .with_frames(self.frames.clone());
-                            k.ast_oracle = opts.ast_oracle;
+                            .with_frames(self.frames.clone())
+                            .with_warp_frames(self.warp_frames.clone());
+                            k.backend = opts.backend;
                             for (n, b) in &spec.state {
                                 k = k.with_state(n, *b);
                             }
@@ -624,8 +654,9 @@ impl CompiledProgram {
                         out_buf,
                         prog.clone(),
                     )
-                    .with_frames(self.frames.clone());
-                    k.ast_oracle = opts.ast_oracle;
+                    .with_frames(self.frames.clone())
+                    .with_warp_frames(self.warp_frames.clone());
+                    k.backend = opts.backend;
                     if let Some(actor) = self.program.actor(&s.actor) {
                         for (n, b) in resolve_state(actor)? {
                             k = k.with_state(&n, b);
@@ -664,7 +695,9 @@ impl CompiledProgram {
                         let mut spec = ReduceSpec::from_pattern(pat, binds.clone());
                         spec.exec.precompiled = Some((elem.clone(), post.clone()));
                         spec.exec.frames = self.frames.clone();
-                        spec.exec.ast_oracle = opts.ast_oracle;
+                        spec.exec.warp_frames = self.warp_frames.clone();
+                        spec.exec.warp_frames = self.warp_frames.clone();
+                        spec.exec.backend = opts.backend;
                         if let Some(actor) = self.program.actor(actor_name) {
                             spec.state.extend(resolve_state(actor)?);
                         }
@@ -743,8 +776,9 @@ impl CompiledProgram {
                             prog.clone(),
                         )
                         .with_layouts(cur_layout, Layout::RowMajor)
-                        .with_frames(self.frames.clone());
-                        k.ast_oracle = opts.ast_oracle;
+                        .with_frames(self.frames.clone())
+                        .with_warp_frames(self.warp_frames.clone());
+                        k.backend = opts.backend;
                         k.out_group = Some((m.total_push, offset));
                         if let Some(actor) = self.program.actor(actor_name) {
                             for (n, b) in resolve_state(actor)? {
@@ -768,7 +802,9 @@ impl CompiledProgram {
                     let SegPrograms::Opaque(prog) = &self.programs[i] else {
                         return Err(Error::Runtime("segment/program mismatch".into()));
                     };
-                    let prog = if opts.ast_oracle {
+                    // Host execution has no warp machinery; anything but
+                    // the AST oracle runs the scalar bytecode.
+                    let prog = if opts.backend == EvalBackend::Ast {
                         None
                     } else {
                         prog.as_deref()
@@ -1453,14 +1489,35 @@ mod tests {
         let n = 4096usize;
         let input: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
         let first = compiled.run(n as i64, &input).unwrap();
-        let created_once = compiled.frames.created();
-        assert!(created_once > 0, "first run must populate the pool");
-        assert!(compiled.frames.idle() > 0, "frames return to the pool");
+        let warp_created = compiled.warp_frames.created();
+        assert!(warp_created > 0, "first run must populate the warp pool");
+        assert!(
+            compiled.warp_frames.idle() > 0,
+            "warp frames return to the pool"
+        );
         for _ in 0..3 {
             let again = compiled.run(n as i64, &input).unwrap();
             assert_eq!(again.output, first.output);
         }
         // Steady state: later runs allocate no new frames, only reuse.
+        assert_eq!(compiled.warp_frames.created(), warp_created);
+        assert!(compiled.warp_frames.reused() > 0);
+
+        // The scalar backend drives the scalar frame pool the same way.
+        let opts = RunOptions::serial(ExecMode::Full).with_backend(EvalBackend::Scalar);
+        let scalar_first = compiled
+            .run_opts(n as i64, &input, &[], opts, None)
+            .unwrap();
+        assert_eq!(scalar_first.output, first.output);
+        let created_once = compiled.frames.created();
+        assert!(created_once > 0, "scalar run must populate the pool");
+        assert!(compiled.frames.idle() > 0, "frames return to the pool");
+        for _ in 0..3 {
+            let again = compiled
+                .run_opts(n as i64, &input, &[], opts, None)
+                .unwrap();
+            assert_eq!(again.output, first.output);
+        }
         assert_eq!(compiled.frames.created(), created_once);
         assert!(compiled.frames.reused() > 0);
     }

@@ -16,7 +16,10 @@ use streamir::value::Value;
 use crate::bytecode;
 use crate::exec_ir::{eval_expr, IrIo};
 use crate::layout::Layout;
-use crate::templates::reduction::ReduceSpec;
+use crate::runtime::EvalBackend;
+use crate::templates::reduction::{CompiledReduce, ReduceSpec};
+use crate::warp::{self, for_lanes, WarpIo, MAX_LANES};
+use std::sync::Arc;
 
 const SITE_ELEM: u32 = 0;
 const SITE_SHARED_ST: u32 = 1;
@@ -105,6 +108,69 @@ impl IrIo for WindowIo<'_, '_, '_> {
     }
 }
 
+/// Warp-granular window reader: pops come from the pre-loaded per-lane
+/// element windows (`windows[j][lane]` is lane `lane`'s `j`-th popped
+/// word), state loads go straight to global as whole rows (the fused
+/// template has no scalar-promotion cache, matching [`WindowIo`]).
+struct WindowWarpIo<'c, 'd, 's> {
+    ctx: &'c mut BlockCtx<'d>,
+    spec: &'s ReduceSpec,
+    warp: u32,
+    windows: &'s [Vec<f32>],
+    cursor: [usize; MAX_LANES],
+    state_slots: &'s [Option<u32>],
+    addrs: &'c mut [Option<u64>],
+    vals: &'c mut [f32],
+}
+
+impl WarpIo for WindowWarpIo<'_, '_, '_> {
+    fn pop_row(&mut self, mask: u64, out: &mut [Value]) {
+        for_lanes(mask, out.len(), |l| {
+            out[l] = Value::F32(self.windows[self.cursor[l]][l]);
+            self.cursor[l] += 1;
+        });
+    }
+
+    fn peek_row(&mut self, _: u64, _: &mut [Value]) {
+        panic!("peek rejected by reduction detection")
+    }
+
+    fn push_row(&mut self, _: u64, _: &[Value]) {
+        panic!("push inside reduction element")
+    }
+
+    fn state_load_row(&mut self, id: u16, array: &str, mask: u64, row: &mut [Value]) {
+        let (slot, buf) = if let Some(Some(slot)) = self.state_slots.get(id as usize) {
+            match self.spec.state.get(*slot as usize) {
+                Some((n, b)) if n == array => (*slot, *b),
+                _ => resolve_state(self.spec, array),
+            }
+        } else {
+            resolve_state(self.spec, array)
+        };
+        for_lanes(mask, row.len(), |l| {
+            self.addrs[l] = Some(bytecode::as_i64(row[l]) as u64);
+        });
+        self.ctx
+            .ld_global_row(SITE_STATE + slot, self.warp, buf, self.addrs, self.vals);
+        for_lanes(mask, row.len(), |l| row[l] = Value::F32(self.vals[l]));
+        self.addrs.fill(None);
+    }
+
+    fn state_store_row(&mut self, _: u16, _: &str, _: u64, _: &[Value], _: &[Value]) {
+        panic!("state store inside reduction element")
+    }
+}
+
+fn resolve_state(spec: &ReduceSpec, array: &str) -> (u32, BufId) {
+    spec.state
+        .iter()
+        .enumerate()
+        .find(|(_, (n, _))| n == array)
+        .map(|(i, (_, b))| (i as u32, *b))
+        .unwrap_or_else(|| panic!("unbound state array `{array}`"))
+}
+
 impl Kernel for FusedReduce {
     fn name(&self) -> &str {
         &self.name
@@ -120,15 +186,55 @@ impl Kernel for FusedReduce {
 
     fn run_block(&self, block: u32, ctx: &mut BlockCtx<'_>) {
         let array = block as usize;
-        let ppe = self.pops_per_elem();
-        let total_elems = self.n_arrays * self.n_elements;
         let k = self.specs.len();
         let bdim = self.block_dim as usize;
         let comps: Vec<_> = self.specs.iter().map(|s| s.compiled().clone()).collect();
+        let warp_mode = !self.specs.is_empty()
+            && self
+                .specs
+                .iter()
+                .all(|s| s.exec.backend == EvalBackend::Warp);
+
+        if warp_mode {
+            self.run_phase1_warp(array, ctx, &comps);
+        } else {
+            self.run_phase1_scalar(array, ctx, &comps);
+        }
+        ctx.sync();
+
+        // Phase 2: one tree reduction per sibling segment.
+        for (s, spec) in self.specs.iter().enumerate() {
+            tree_reduce_segment(ctx, spec, s * bdim, bdim);
+        }
+        ctx.sync();
+
+        // Phase 3: lane 0 applies init/post and writes each output.
+        for (s, spec) in self.specs.iter().enumerate() {
+            let combined = ctx.ld_shared(SITE_SHARED_LD, 0, s * bdim);
+            let v = spec.op.apply(combined, spec.init);
+            let v = spec.apply_post(v);
+            ctx.st_global(SITE_OUT, 0, self.out_buf, array * k + s, v);
+        }
+    }
+}
+
+impl FusedReduce {
+    /// Phase 1 under the scalar bytecode / AST backends: per-thread
+    /// grid-stride, each window loaded word-at-a-time and fed to every
+    /// sibling in turn.
+    fn run_phase1_scalar(
+        &self,
+        array: usize,
+        ctx: &mut BlockCtx<'_>,
+        comps: &[Arc<CompiledReduce>],
+    ) {
+        let ppe = self.pops_per_elem();
+        let total_elems = self.n_arrays * self.n_elements;
+        let bdim = self.block_dim as usize;
         let mut frames: Vec<_> = self
             .specs
             .iter()
-            .zip(&comps)
+            .zip(comps)
             .map(|(s, c)| {
                 let mut f = s.exec.frames.take();
                 f.fit(&c.elem);
@@ -136,8 +242,7 @@ impl Kernel for FusedReduce {
             })
             .collect();
 
-        // Phase 1: grid-stride; load each window once, feed all siblings.
-        let mut accs = vec![0.0f32; k];
+        let mut accs = vec![0.0f32; self.specs.len()];
         let mut window = vec![0.0f32; ppe];
         for tid in ctx.threads() {
             for (s, spec) in self.specs.iter().enumerate() {
@@ -160,7 +265,7 @@ impl Kernel for FusedReduce {
                         cursor: 0,
                         state_slots: &comp.state_slots,
                     };
-                    let v = if spec.exec.ast_oracle {
+                    let v = if spec.exec.backend == EvalBackend::Ast {
                         let mut locals: HashMap<String, Value> =
                             HashMap::from([(spec.loop_var.clone(), Value::I64(e as i64))]);
                         eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
@@ -187,23 +292,116 @@ impl Kernel for FusedReduce {
                 ctx.st_shared(SITE_SHARED_ST, tid, s * bdim + tid as usize, *acc);
             }
         }
-        ctx.sync();
-
-        // Phase 2: one tree reduction per sibling segment.
-        for (s, spec) in self.specs.iter().enumerate() {
-            tree_reduce_segment(ctx, spec, s * bdim, bdim);
-        }
-        ctx.sync();
-
-        // Phase 3: lane 0 applies init/post and writes each output.
-        for (s, spec) in self.specs.iter().enumerate() {
-            let combined = ctx.ld_shared(SITE_SHARED_LD, 0, s * bdim);
-            let v = spec.op.apply(combined, spec.init);
-            let v = spec.apply_post(v);
-            ctx.st_global(SITE_OUT, 0, self.out_buf, array * k + s, v);
-        }
         for (spec, frame) in self.specs.iter().zip(frames) {
             spec.exec.frames.give(frame);
+        }
+    }
+
+    /// Phase 1 under the warp backend: whole warps march the grid-stride
+    /// loop in lockstep. Each popped word becomes one batched load row
+    /// shared by every sibling, each sibling's (branch-free) element
+    /// program runs once per warp via [`warp::eval_row`], and the final
+    /// accumulators land in shared memory as one row per sibling.
+    ///
+    /// Per lane the `(site, occurrence) -> address` stream is identical
+    /// to the scalar loop's, and the accounting engine groups accesses by
+    /// occurrence rather than arrival order, so counters stay
+    /// bit-identical to the scalar backend.
+    fn run_phase1_warp(&self, array: usize, ctx: &mut BlockCtx<'_>, comps: &[Arc<CompiledReduce>]) {
+        let ppe = self.pops_per_elem();
+        let total_elems = self.n_arrays * self.n_elements;
+        let bdim = self.block_dim as usize;
+        let ws = ctx.warp_size() as usize;
+        let width = ws.min(bdim);
+        let mut wfs: Vec<_> = self
+            .specs
+            .iter()
+            .zip(comps)
+            .map(|(s, c)| {
+                let mut wf = s.exec.warp_frames.take();
+                wf.fit(&c.elem, width);
+                wf
+            })
+            .collect();
+        let mut addrs = vec![None; ws];
+        let mut vals = vec![0.0f32; ws];
+        let mut windows: Vec<Vec<f32>> = vec![vec![0.0; ws]; ppe];
+        let mut row = [0.0f32; MAX_LANES];
+        let mut accs = vec![[0.0f32; MAX_LANES]; self.specs.len()];
+        let mut elems = [0usize; MAX_LANES];
+
+        let mut lane0 = 0usize;
+        while lane0 < bdim {
+            let live = (bdim - lane0).min(ws);
+            let warp = (lane0 / ws) as u32;
+            for (s, spec) in self.specs.iter().enumerate() {
+                accs[s][..live].fill(spec.op.identity());
+            }
+            let mut mask = 0u64;
+            for (l, elem) in elems.iter_mut().enumerate().take(live) {
+                *elem = lane0 + l;
+                if *elem < self.n_elements {
+                    mask |= 1 << l;
+                }
+            }
+            while mask != 0 {
+                for (j, w) in windows.iter_mut().enumerate() {
+                    for_lanes(mask, live, |l| {
+                        let global_elem = array * self.n_elements + elems[l];
+                        addrs[l] =
+                            Some(self.in_layout.addr(global_elem, j, ppe, total_elems) as u64);
+                    });
+                    ctx.ld_global_row(SITE_ELEM, warp, self.in_buf, &addrs, &mut vals);
+                    for_lanes(mask, live, |l| w[l] = vals[l]);
+                    addrs.fill(None);
+                }
+                for (s, spec) in self.specs.iter().enumerate() {
+                    let comp = &comps[s];
+                    let wf = &mut wfs[s];
+                    wf.reset(&comp.elem_proto);
+                    if let Some(slot) = comp.loop_slot {
+                        for_lanes(mask, live, |l| {
+                            wf.set_lane(slot, l, Value::I64(elems[l] as i64));
+                        });
+                    }
+                    let mut io = WindowWarpIo {
+                        ctx,
+                        spec,
+                        warp,
+                        windows: &windows,
+                        cursor: [0; MAX_LANES],
+                        state_slots: &comp.state_slots,
+                        addrs: &mut addrs,
+                        vals: &mut vals,
+                    };
+                    warp::eval_row(&comp.elem, wf, mask, &mut io, &mut row);
+                    for_lanes(mask, live, |l| {
+                        accs[s][l] = spec.op.apply(accs[s][l], row[l]);
+                        ctx.compute((lane0 + l) as u32, spec.compute_per_elem() as u32);
+                        ctx.count_flops(1);
+                    });
+                }
+                let mut next = 0u64;
+                for_lanes(mask, live, |l| {
+                    elems[l] += bdim;
+                    if elems[l] < self.n_elements {
+                        next |= 1 << l;
+                    }
+                });
+                mask = next;
+            }
+            for (s, _) in self.specs.iter().enumerate() {
+                for l in 0..live {
+                    addrs[l] = Some((s * bdim + lane0 + l) as u64);
+                    vals[l] = accs[s][l];
+                }
+                ctx.st_shared_row(SITE_SHARED_ST, warp, &addrs, &vals);
+                addrs.fill(None);
+            }
+            lane0 += ws;
+        }
+        for (spec, wf) in self.specs.iter().zip(wfs) {
+            spec.exec.warp_frames.give(wf);
         }
     }
 }

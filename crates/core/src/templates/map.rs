@@ -23,6 +23,8 @@ use crate::analysis::opcount::body_counts;
 use crate::bytecode::{self, FramePool};
 use crate::exec_ir::IrIo;
 use crate::layout::Layout;
+use crate::runtime::EvalBackend;
+use crate::warp::{self, for_lanes, full_mask, WarpFramePool, WarpIo, MAX_LANES};
 
 /// Access-site ids used by this template.
 const SITE_POP: u32 = 0;
@@ -98,9 +100,12 @@ pub struct MapKernel {
     pub(crate) state_slots: Vec<Option<u32>>,
     /// Frame pool shared with the engine (injected by the runtime).
     pub(crate) frames: Arc<FramePool>,
-    /// Execute through the retained AST walker instead of the bytecode —
-    /// the differential-oracle switch used by stats-identity tests.
-    pub ast_oracle: bool,
+    /// Warp-frame pool shared with the engine (injected by the runtime).
+    pub(crate) warp_frames: Arc<WarpFramePool>,
+    /// Which evaluator runs the work body: the warp-batched dispatcher
+    /// (default), or one of the differential oracles used by the
+    /// stats-identity tests.
+    pub backend: EvalBackend,
 }
 
 impl MapKernel {
@@ -207,7 +212,8 @@ impl MapKernel {
             loop_slot: None,
             state_slots: Vec::new(),
             frames: Arc::new(FramePool::new()),
-            ast_oracle: false,
+            warp_frames: Arc::new(WarpFramePool::new()),
+            backend: EvalBackend::default(),
         };
         k.rebind_program();
         k
@@ -225,6 +231,13 @@ impl MapKernel {
     /// recycle across launches).
     pub fn with_frames(mut self, frames: Arc<FramePool>) -> MapKernel {
         self.frames = frames;
+        self
+    }
+
+    /// Share the engine's warp-frame pool (the [`crate::warp`] analogue
+    /// of [`MapKernel::with_frames`]).
+    pub fn with_warp_frames(mut self, frames: Arc<WarpFramePool>) -> MapKernel {
+        self.warp_frames = frames;
         self
     }
 
@@ -328,6 +341,16 @@ struct MapIo<'c, 'd, 'k> {
     state_cache: &'c mut Vec<((u32, i64), f32)>,
 }
 
+/// Maximum distinct `(slot, idx)` keys promoted per block.
+///
+/// When a block probes more keys than this, which ones get promoted
+/// depends on probe order: the warp backend fills the cache op-major
+/// (lockstep warps touch memory one instruction at a time — the order
+/// real hardware would populate its constant cache in), while the scalar
+/// backends fill it tid-major (each thread runs to completion). Load
+/// counters can therefore differ between backends on overflowing blocks;
+/// outputs never do, and stats stay bit-identical whenever the block's
+/// state working set fits the cache.
 const STATE_CACHE_CAP: usize = 64;
 
 impl IrIo for MapIo<'_, '_, '_> {
@@ -440,6 +463,164 @@ impl MapIo<'_, '_, '_> {
     }
 }
 
+/// Warp-granular I/O for the map template: each [`WarpIo`] call serves
+/// one opcode for a whole warp of units, handing `gpu_sim` complete
+/// `addrs[lane]` rows (one accounting call per warp memory instruction)
+/// instead of reassembling warps lane-by-lane. Lane `l` executes unit
+/// `unit0 + l` as thread `tid0 + l`; pop/push cursors are per lane, since
+/// divergent lanes consume and produce independently.
+struct MapWarpIo<'c, 'd, 'k> {
+    ctx: &'c mut BlockCtx<'d>,
+    kernel: &'k MapKernel,
+    /// Warp index within the block (drives the accounting row key).
+    warp: u32,
+    /// Thread id of lane 0.
+    tid0: u32,
+    /// Unit of lane 0 (units are lane-consecutive by construction).
+    unit0: usize,
+    /// First unit handled by this block (staging offsets are block-local).
+    block_base: usize,
+    /// Per-lane pop counts so far (= the scalar `MapIo::pops` cursor).
+    pops: [usize; MAX_LANES],
+    /// Per-lane push counts so far.
+    pushes: [usize; MAX_LANES],
+    /// Reused address row, `warp_size` wide; `None` = predicated off.
+    addrs: &'c mut [Option<u64>],
+    /// Reused value row for loads/stores.
+    vals: &'c mut [f32],
+    /// The block's scalar-promotion cache, shared with every warp of the
+    /// block (same structure the scalar path uses).
+    state_cache: &'c mut Vec<((u32, i64), f32)>,
+}
+
+impl MapWarpIo<'_, '_, '_> {
+    #[inline]
+    fn lanes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Issue the row in `self.addrs` as a load of `kind` and scatter the
+    /// results into `out` as `F32` values.
+    fn load_row(&mut self, site: u32, buf: Option<BufId>, mask: u64, out: &mut [Value]) {
+        match buf {
+            Some(b) => self
+                .ctx
+                .ld_global_row(site, self.warp, b, self.addrs, self.vals),
+            None => self
+                .ctx
+                .ld_shared_row(site, self.warp, self.addrs, self.vals),
+        }
+        for_lanes(mask, out.len(), |l| out[l] = Value::F32(self.vals[l]));
+        self.addrs.fill(None);
+    }
+}
+
+impl WarpIo for MapWarpIo<'_, '_, '_> {
+    fn pop_row(&mut self, mask: u64, out: &mut [Value]) {
+        let k = self.kernel;
+        if k.stage_window {
+            for_lanes(mask, out.len(), |l| {
+                let unit = self.unit0 + l;
+                let local = (unit - self.block_base) * k.pops_per_unit + self.pops[l];
+                self.pops[l] += 1;
+                self.addrs[l] = Some(local as u64);
+            });
+            self.load_row(SITE_STAGE_RD, None, mask, out);
+            return;
+        }
+        for_lanes(mask, out.len(), |l| {
+            let addr = k
+                .in_layout
+                .addr(self.unit0 + l, self.pops[l], k.pops_per_unit, k.units);
+            self.pops[l] += 1;
+            self.addrs[l] = Some(addr as u64);
+        });
+        self.load_row(SITE_POP, Some(k.in_buf), mask, out);
+    }
+
+    fn peek_row(&mut self, mask: u64, row: &mut [Value]) {
+        let k = self.kernel;
+        if k.stage_window && k.window_pop.is_none() {
+            for_lanes(mask, row.len(), |l| {
+                let unit = self.unit0 + l;
+                let off = bytecode::as_i64(row[l]) as usize;
+                let local = (unit - self.block_base) * k.pops_per_unit + off;
+                self.addrs[l] = Some(local as u64);
+            });
+            self.load_row(SITE_STAGE_RD, None, mask, row);
+            return;
+        }
+        for_lanes(mask, row.len(), |l| {
+            let unit = self.unit0 + l;
+            let off = bytecode::as_i64(row[l]) as usize;
+            let addr = match k.window_pop {
+                Some(w) => {
+                    let firing = unit / k.units_per_firing.max(1);
+                    firing * w + off
+                }
+                None => k.in_layout.addr(unit, off, k.pops_per_unit, k.units),
+            };
+            self.addrs[l] = Some(addr as u64);
+        });
+        self.load_row(SITE_PEEK, Some(k.in_buf), mask, row);
+    }
+
+    fn push_row(&mut self, mask: u64, vals: &[Value]) {
+        let k = self.kernel;
+        for_lanes(mask, vals.len(), |l| {
+            let unit = self.unit0 + l;
+            let addr = match k.out_group {
+                Some((total, offset)) => unit * total + offset + self.pushes[l],
+                None => k
+                    .out_layout
+                    .addr(unit, self.pushes[l], k.pushes_per_unit, k.units),
+            };
+            self.pushes[l] += 1;
+            self.addrs[l] = Some(addr as u64);
+            self.vals[l] = bytecode::as_f32(vals[l]);
+        });
+        self.ctx
+            .st_global_row(SITE_PUSH, self.warp, k.out_buf, self.addrs, self.vals);
+        self.addrs.fill(None);
+    }
+
+    fn state_load_row(&mut self, id: u16, array: &str, mask: u64, row: &mut [Value]) {
+        // State loads go through the block's scalar-promotion cache, so
+        // rows mix hits (no access) and misses (one access) — served per
+        // lane in ascending lane order, exactly like the scalar path.
+        let (slot, buf) = self.kernel.state_ref(id, array);
+        let lanes = self.lanes().min(row.len());
+        for_lanes(mask, lanes, |l| {
+            let idx = bytecode::as_i64(row[l]);
+            let v = if let Some((_, v)) =
+                self.state_cache.iter().find(|(key, _)| *key == (slot, idx))
+            {
+                *v
+            } else {
+                let v =
+                    self.ctx
+                        .ld_global(SITE_STATE + slot, self.tid0 + l as u32, buf, idx as usize);
+                if self.state_cache.len() < STATE_CACHE_CAP {
+                    self.state_cache.push(((slot, idx), v));
+                }
+                v
+            };
+            row[l] = Value::F32(v);
+        });
+    }
+
+    fn state_store_row(&mut self, id: u16, array: &str, mask: u64, idx: &[Value], vals: &[Value]) {
+        let (slot, buf) = self.kernel.state_ref(id, array);
+        for_lanes(mask, idx.len(), |l| {
+            self.addrs[l] = Some(bytecode::as_i64(idx[l]) as u64);
+            self.vals[l] = bytecode::as_f32(vals[l]);
+        });
+        self.ctx
+            .st_global_row(SITE_STATE + slot, self.warp, buf, self.addrs, self.vals);
+        self.addrs.fill(None);
+    }
+}
+
 impl Kernel for MapKernel {
     fn name(&self) -> &str {
         &self.name
@@ -484,10 +665,14 @@ impl Kernel for MapKernel {
             }
             ctx.sync();
         }
+        let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
+        if self.backend == EvalBackend::Warp {
+            self.run_block_warp(base, ctx, &mut state_cache);
+            return;
+        }
         let mut frame = self.frames.take();
         frame.fit(&self.program);
         let mut locals = std::collections::HashMap::new();
-        let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
         for c in 0..self.coarsen {
             // Thread-strided within the block's contiguous range so each
             // sweep touches consecutive units.
@@ -507,7 +692,7 @@ impl Kernel for MapKernel {
                     pushes: 0,
                     state_cache: &mut state_cache,
                 };
-                if self.ast_oracle {
+                if self.backend == EvalBackend::Ast {
                     locals.clear();
                     if let Some(lv) = &self.loop_var {
                         locals.insert(lv.clone(), Value::I64(within));
@@ -526,6 +711,69 @@ impl Kernel for MapKernel {
             }
         }
         self.frames.give(frame);
+    }
+}
+
+impl MapKernel {
+    /// Warp-batched block execution: one [`crate::warp::eval`] per warp
+    /// of units, each opcode dispatched once and applied across the
+    /// warp's lanes, with whole address rows handed to the accounting
+    /// engine. Unit assignment, addressing, state caching and
+    /// compute/flop charging are identical to the scalar loop.
+    fn run_block_warp(
+        &self,
+        base: usize,
+        ctx: &mut BlockCtx<'_>,
+        state_cache: &mut Vec<((u32, i64), f32)>,
+    ) {
+        let ws = ctx.warp_size() as usize;
+        let bdim = self.block_dim as usize;
+        let width = ws.min(bdim);
+        let upf = self.units_per_firing.max(1);
+        let mut wf = self.warp_frames.take();
+        wf.fit(&self.program, width);
+        let mut addrs = vec![None; ws];
+        let mut vals = vec![0.0f32; ws];
+        for c in 0..self.coarsen {
+            let sweep0 = base + c * bdim;
+            let mut lane0 = 0usize;
+            while lane0 < bdim {
+                let unit0 = sweep0 + lane0;
+                if unit0 >= self.units {
+                    break;
+                }
+                // Lanes past the unit count are simply not resident
+                // (the ragged final warp).
+                let live = (self.units - unit0).min((bdim - lane0).min(ws));
+                wf.reset(&self.proto);
+                if let Some(slot) = self.loop_slot {
+                    for l in 0..live {
+                        wf.set_lane(slot, l, Value::I64(((unit0 + l) % upf) as i64));
+                    }
+                }
+                let mut io = MapWarpIo {
+                    ctx,
+                    kernel: self,
+                    warp: (lane0 / ws) as u32,
+                    tid0: lane0 as u32,
+                    unit0,
+                    block_base: base,
+                    pops: [0; MAX_LANES],
+                    pushes: [0; MAX_LANES],
+                    addrs: &mut addrs,
+                    vals: &mut vals,
+                    state_cache: &mut *state_cache,
+                };
+                warp::eval(&self.program, &mut wf, full_mask(live), &mut io);
+                for l in 0..live {
+                    let tid = (lane0 + l) as u32;
+                    ctx.compute(tid, self.compute_per_unit);
+                    ctx.count_flops(self.flops_per_unit);
+                }
+                lane0 += ws;
+            }
+        }
+        self.warp_frames.give(wf);
     }
 }
 

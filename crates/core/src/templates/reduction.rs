@@ -31,6 +31,8 @@ use crate::analysis::reduction::{CombineOp, ReductionPattern};
 use crate::bytecode::{self, Frame, FramePool};
 use crate::exec_ir::{eval_expr, IrIo};
 use crate::layout::Layout;
+use crate::runtime::EvalBackend;
+use crate::warp::{self, for_lanes, WarpFramePool, WarpIo, MAX_LANES};
 
 const SITE_ELEM: u32 = 0;
 const SITE_SHARED_ST: u32 = 1;
@@ -77,9 +79,11 @@ pub struct ReduceExec {
     cell: OnceLock<Arc<CompiledReduce>>,
     /// Frame pool shared with the engine (injected by the runtime).
     pub frames: Arc<FramePool>,
-    /// Execute through the retained AST walker instead of the bytecode —
-    /// the differential-oracle switch used by stats-identity tests.
-    pub ast_oracle: bool,
+    /// Warp-frame pool shared with the engine.
+    pub warp_frames: Arc<WarpFramePool>,
+    /// Which evaluator runs element expressions: warp-batched by default,
+    /// with the scalar bytecode and AST walker as differential oracles.
+    pub backend: EvalBackend,
 }
 
 /// A [`ReduceSpec`]'s programs bound against its bindings.
@@ -189,7 +193,7 @@ impl ReduceSpec {
         let Some(post) = &self.post else {
             return acc;
         };
-        if self.exec.ast_oracle {
+        if self.exec.backend == EvalBackend::Ast {
             let mut locals: HashMap<String, Value> =
                 HashMap::from([(self.acc_name.clone(), Value::F32(acc))]);
             let mut no_io = NoIo;
@@ -323,6 +327,208 @@ impl ElemIo<'_, '_, '_> {
     }
 }
 
+/// Warp-granular element reader: the [`WarpIo`] counterpart of [`ElemIo`].
+/// Element expressions are branch-free (`select` is eager), so a warp of
+/// elements evaluates with a constant mask; each lane reads its own
+/// `(array, element)` pair and whole address rows flow to the accounting
+/// engine in one call.
+struct ElemWarpIo<'c, 'd, 's> {
+    ctx: &'c mut BlockCtx<'d>,
+    spec: &'s ReduceSpec,
+    warp: u32,
+    tid0: u32,
+    in_buf: BufId,
+    in_layout: Layout,
+    /// Per-lane global element index.
+    globals: [usize; MAX_LANES],
+    total_elems: usize,
+    /// Per-lane pop cursor within the current element.
+    pops: [usize; MAX_LANES],
+    state_cache: &'c mut Vec<((u32, i64), f32)>,
+    state_slots: &'s [Option<u32>],
+    addrs: &'c mut [Option<u64>],
+    vals: &'c mut [f32],
+}
+
+impl ElemWarpIo<'_, '_, '_> {
+    fn state_ref(&self, id: u16, array: &str) -> (u32, BufId) {
+        if let Some(Some(slot)) = self.state_slots.get(id as usize) {
+            if let Some((n, b)) = self.spec.state.get(*slot as usize) {
+                if n == array {
+                    return (*slot, *b);
+                }
+            }
+        }
+        self.spec
+            .state
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == array)
+            .map(|(i, (_, b))| (i as u32, *b))
+            .unwrap_or_else(|| panic!("unbound state array `{array}`"))
+    }
+}
+
+impl WarpIo for ElemWarpIo<'_, '_, '_> {
+    fn pop_row(&mut self, mask: u64, out: &mut [Value]) {
+        let ppe = self.spec.pops_per_elem;
+        for_lanes(mask, out.len(), |l| {
+            let addr = self
+                .in_layout
+                .addr(self.globals[l], self.pops[l], ppe, self.total_elems);
+            self.pops[l] += 1;
+            self.addrs[l] = Some(addr as u64);
+        });
+        self.ctx
+            .ld_global_row(SITE_ELEM, self.warp, self.in_buf, self.addrs, self.vals);
+        for_lanes(mask, out.len(), |l| out[l] = Value::F32(self.vals[l]));
+        self.addrs.fill(None);
+    }
+
+    fn peek_row(&mut self, _: u64, _: &mut [Value]) {
+        panic!("peek rejected by reduction detection")
+    }
+
+    fn push_row(&mut self, _: u64, _: &[Value]) {
+        panic!("push inside reduction element")
+    }
+
+    fn state_load_row(&mut self, id: u16, array: &str, mask: u64, row: &mut [Value]) {
+        // Served per lane through the block's scalar-promotion cache in
+        // ascending lane order, mirroring the scalar path exactly.
+        let (slot, buf) = self.state_ref(id, array);
+        for_lanes(mask, row.len(), |l| {
+            let idx = bytecode::as_i64(row[l]);
+            let v = if let Some((_, v)) =
+                self.state_cache.iter().find(|(key, _)| *key == (slot, idx))
+            {
+                *v
+            } else {
+                let v =
+                    self.ctx
+                        .ld_global(SITE_STATE + slot, self.tid0 + l as u32, buf, idx as usize);
+                if self.state_cache.len() < STATE_CACHE_CAP {
+                    self.state_cache.push(((slot, idx), v));
+                }
+                v
+            };
+            row[l] = Value::F32(v);
+        });
+    }
+
+    fn state_store_row(&mut self, _: u16, _: &str, _: u64, _: &[Value], _: &[Value]) {
+        panic!("state store inside reduction element")
+    }
+}
+
+/// One warp-wide accumulation sweep shared by [`SingleKernelReduce`] and
+/// [`InitialReduce`] phase 1: lanes carry `(array, element, accumulator)`
+/// triples, each round evaluates one element row via [`crate::warp::eval_row`]
+/// and folds it in, and lanes whose element stream runs dry drop out of
+/// the round mask (the reduction analogue of uneven trip counts).
+#[allow(clippy::too_many_arguments)]
+fn warp_accumulate(
+    ctx: &mut BlockCtx<'_>,
+    spec: &ReduceSpec,
+    comp: &CompiledReduce,
+    wf: &mut warp::WarpFrame,
+    scratch: &mut WarpScratch,
+    state_cache: &mut Vec<((u32, i64), f32)>,
+    warp_idx: u32,
+    tid0: u32,
+    live: usize,
+    in_buf: BufId,
+    in_layout: Layout,
+    n_elements: usize,
+    total_elems: usize,
+    arrays: &[usize; MAX_LANES],
+    elems: &mut [usize; MAX_LANES],
+    stride: usize,
+    limit: usize,
+    mut mask: u64,
+    acc: &mut [f32; MAX_LANES],
+) {
+    let cpe = spec.compute_per_elem() as u32;
+    let fpe = 1 + spec.pops_per_elem as u64;
+    while mask != 0 {
+        wf.reset(&comp.elem_proto);
+        if let Some(slot) = comp.loop_slot {
+            for_lanes(mask, live, |l| {
+                wf.set_lane(slot, l, Value::I64(elems[l] as i64));
+            });
+        }
+        let mut globals = [0usize; MAX_LANES];
+        for_lanes(mask, live, |l| {
+            globals[l] = arrays[l] * n_elements + elems[l];
+        });
+        let mut io = ElemWarpIo {
+            ctx,
+            spec,
+            warp: warp_idx,
+            tid0,
+            in_buf,
+            in_layout,
+            globals,
+            total_elems,
+            pops: [0; MAX_LANES],
+            state_cache: &mut *state_cache,
+            state_slots: &comp.state_slots,
+            addrs: &mut scratch.addrs,
+            vals: &mut scratch.vals,
+        };
+        warp::eval_row(&comp.elem, wf, mask, &mut io, &mut scratch.row);
+        let mut still = 0u64;
+        for_lanes(mask, live, |l| {
+            acc[l] = spec.op.apply(acc[l], scratch.row[l]);
+            let tid = tid0 + l as u32;
+            ctx.compute(tid, cpe);
+            ctx.count_flops(fpe);
+            elems[l] += stride;
+            if elems[l] < limit {
+                still |= 1 << l;
+            }
+        });
+        mask = still;
+    }
+}
+
+/// Reused per-block warp row buffers (`warp_size`-wide address/value rows
+/// plus the `eval_row` result row).
+struct WarpScratch {
+    addrs: Vec<Option<u64>>,
+    vals: Vec<f32>,
+    row: [f32; MAX_LANES],
+}
+
+impl WarpScratch {
+    fn new(ws: usize) -> WarpScratch {
+        WarpScratch {
+            addrs: vec![None; ws],
+            vals: vec![0.0; ws],
+            row: [0.0; MAX_LANES],
+        }
+    }
+
+    /// Store each live lane's accumulator to its thread's shared slot as
+    /// one row (the warp form of the scalar loop's per-thread
+    /// `st_shared`).
+    fn store_accs(
+        &mut self,
+        ctx: &mut BlockCtx<'_>,
+        warp_idx: u32,
+        tid0: usize,
+        live: usize,
+        acc: &[f32; MAX_LANES],
+    ) {
+        for (l, slot) in self.addrs.iter_mut().enumerate().take(live) {
+            *slot = Some((tid0 + l) as u64);
+            self.vals[l] = acc[l];
+        }
+        ctx.st_shared_row(SITE_SHARED_ST, warp_idx, &self.addrs, &self.vals);
+        self.addrs.fill(None);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn eval_element(
     ctx: &mut BlockCtx<'_>,
@@ -350,7 +556,7 @@ fn eval_element(
         state_cache,
         state_slots: &comp.state_slots,
     };
-    if spec.exec.ast_oracle {
+    if spec.exec.backend == EvalBackend::Ast {
         let mut locals: HashMap<String, Value> =
             HashMap::from([(spec.loop_var.clone(), Value::I64(elem_in_array as i64))]);
         return eval_expr(&spec.elem, &mut locals, &spec.binds, &mut io)
@@ -447,39 +653,93 @@ impl Kernel for SingleKernelReduce {
         let tpa = self.threads_per_array();
         let total_elems = self.n_arrays * self.n_elements;
         let comp = self.spec.compiled().clone();
-        let mut frame = self.spec.exec.frames.take();
-        frame.fit(&comp.elem);
         let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
         // Phase 1: grid-stride accumulation into registers, then shared.
-        for tid in ctx.threads() {
-            let local_array = tid as usize / tpa;
-            let lane = tid as usize % tpa;
-            let array = block as usize * self.arrays_per_block + local_array;
-            let mut acc = self.spec.op.identity();
-            if local_array < self.arrays_per_block && array < self.n_arrays {
-                let mut e = lane;
-                while e < self.n_elements {
-                    let v = eval_element(
-                        ctx,
-                        &self.spec,
-                        &comp,
-                        &mut frame,
-                        tid,
-                        self.in_buf,
-                        self.in_layout,
-                        e,
-                        array,
-                        self.n_elements,
-                        total_elems,
-                        &mut state_cache,
-                    );
-                    acc = self.spec.op.apply(acc, v);
-                    ctx.compute(tid, self.spec.compute_per_elem() as u32);
-                    ctx.count_flops(1 + self.spec.pops_per_elem as u64);
-                    e += tpa;
+        if self.spec.exec.backend == EvalBackend::Warp {
+            let ws = ctx.warp_size() as usize;
+            let bdim = self.block_dim as usize;
+            let mut wf = self.spec.exec.warp_frames.take();
+            wf.fit(&comp.elem, ws.min(bdim));
+            let mut scratch = WarpScratch::new(ws);
+            let mut lane0 = 0usize;
+            while lane0 < bdim {
+                let live = (bdim - lane0).min(ws);
+                let mut acc = [self.spec.op.identity(); MAX_LANES];
+                let mut arrays = [0usize; MAX_LANES];
+                let mut elems = [0usize; MAX_LANES];
+                let mut mask = 0u64;
+                for l in 0..live {
+                    let tid = lane0 + l;
+                    let local_array = tid / tpa;
+                    arrays[l] = block as usize * self.arrays_per_block + local_array;
+                    elems[l] = tid % tpa;
+                    if local_array < self.arrays_per_block
+                        && arrays[l] < self.n_arrays
+                        && elems[l] < self.n_elements
+                    {
+                        mask |= 1 << l;
+                    }
                 }
+                let warp_idx = (lane0 / ws) as u32;
+                warp_accumulate(
+                    ctx,
+                    &self.spec,
+                    &comp,
+                    &mut wf,
+                    &mut scratch,
+                    &mut state_cache,
+                    warp_idx,
+                    lane0 as u32,
+                    live,
+                    self.in_buf,
+                    self.in_layout,
+                    self.n_elements,
+                    total_elems,
+                    &arrays,
+                    &mut elems,
+                    tpa,
+                    self.n_elements,
+                    mask,
+                    &mut acc,
+                );
+                scratch.store_accs(ctx, warp_idx, lane0, live, &acc);
+                lane0 += ws;
             }
-            ctx.st_shared(SITE_SHARED_ST, tid, tid as usize, acc);
+            self.spec.exec.warp_frames.give(wf);
+        } else {
+            let mut frame = self.spec.exec.frames.take();
+            frame.fit(&comp.elem);
+            for tid in ctx.threads() {
+                let local_array = tid as usize / tpa;
+                let lane = tid as usize % tpa;
+                let array = block as usize * self.arrays_per_block + local_array;
+                let mut acc = self.spec.op.identity();
+                if local_array < self.arrays_per_block && array < self.n_arrays {
+                    let mut e = lane;
+                    while e < self.n_elements {
+                        let v = eval_element(
+                            ctx,
+                            &self.spec,
+                            &comp,
+                            &mut frame,
+                            tid,
+                            self.in_buf,
+                            self.in_layout,
+                            e,
+                            array,
+                            self.n_elements,
+                            total_elems,
+                            &mut state_cache,
+                        );
+                        acc = self.spec.op.apply(acc, v);
+                        ctx.compute(tid, self.spec.compute_per_elem() as u32);
+                        ctx.count_flops(1 + self.spec.pops_per_elem as u64);
+                        e += tpa;
+                    }
+                }
+                ctx.st_shared(SITE_SHARED_ST, tid, tid as usize, acc);
+            }
+            self.spec.exec.frames.give(frame);
         }
         ctx.sync();
         // Phase 2: tree reduction per array group.
@@ -509,7 +769,6 @@ impl Kernel for SingleKernelReduce {
                 v,
             );
         }
-        self.spec.exec.frames.give(frame);
     }
 }
 
@@ -555,34 +814,83 @@ impl Kernel for InitialReduce {
         let hi = ((chunk + 1) * chunk_size).min(self.n_elements);
         let total_elems = self.n_arrays * self.n_elements;
         let comp = self.spec.compiled().clone();
-        let mut frame = self.spec.exec.frames.take();
-        frame.fit(&comp.elem);
         let mut state_cache: Vec<((u32, i64), f32)> = Vec::new();
 
-        for tid in ctx.threads() {
-            let mut acc = self.spec.op.identity();
-            let mut e = lo + tid as usize;
-            while e < hi {
-                let v = eval_element(
+        if self.spec.exec.backend == EvalBackend::Warp {
+            let ws = ctx.warp_size() as usize;
+            let bdim = self.block_dim as usize;
+            let mut wf = self.spec.exec.warp_frames.take();
+            wf.fit(&comp.elem, ws.min(bdim));
+            let mut scratch = WarpScratch::new(ws);
+            let mut arrays = [0usize; MAX_LANES];
+            arrays.fill(array);
+            let mut lane0 = 0usize;
+            while lane0 < bdim {
+                let live = (bdim - lane0).min(ws);
+                let mut acc = [self.spec.op.identity(); MAX_LANES];
+                let mut elems = [0usize; MAX_LANES];
+                let mut mask = 0u64;
+                for (l, elem) in elems.iter_mut().enumerate().take(live) {
+                    *elem = lo + lane0 + l;
+                    if *elem < hi {
+                        mask |= 1 << l;
+                    }
+                }
+                let warp_idx = (lane0 / ws) as u32;
+                warp_accumulate(
                     ctx,
                     &self.spec,
                     &comp,
-                    &mut frame,
-                    tid,
+                    &mut wf,
+                    &mut scratch,
+                    &mut state_cache,
+                    warp_idx,
+                    lane0 as u32,
+                    live,
                     self.in_buf,
                     self.in_layout,
-                    e,
-                    array,
                     self.n_elements,
                     total_elems,
-                    &mut state_cache,
+                    &arrays,
+                    &mut elems,
+                    bdim,
+                    hi,
+                    mask,
+                    &mut acc,
                 );
-                acc = self.spec.op.apply(acc, v);
-                ctx.compute(tid, self.spec.compute_per_elem() as u32);
-                ctx.count_flops(1 + self.spec.pops_per_elem as u64);
-                e += self.block_dim as usize;
+                scratch.store_accs(ctx, warp_idx, lane0, live, &acc);
+                lane0 += ws;
             }
-            ctx.st_shared(SITE_SHARED_ST, tid, tid as usize, acc);
+            self.spec.exec.warp_frames.give(wf);
+        } else {
+            let mut frame = self.spec.exec.frames.take();
+            frame.fit(&comp.elem);
+            for tid in ctx.threads() {
+                let mut acc = self.spec.op.identity();
+                let mut e = lo + tid as usize;
+                while e < hi {
+                    let v = eval_element(
+                        ctx,
+                        &self.spec,
+                        &comp,
+                        &mut frame,
+                        tid,
+                        self.in_buf,
+                        self.in_layout,
+                        e,
+                        array,
+                        self.n_elements,
+                        total_elems,
+                        &mut state_cache,
+                    );
+                    acc = self.spec.op.apply(acc, v);
+                    ctx.compute(tid, self.spec.compute_per_elem() as u32);
+                    ctx.count_flops(1 + self.spec.pops_per_elem as u64);
+                    e += self.block_dim as usize;
+                }
+                ctx.st_shared(SITE_SHARED_ST, tid, tid as usize, acc);
+            }
+            self.spec.exec.frames.give(frame);
         }
         ctx.sync();
         shared_tree_reduce(ctx, self.spec.op, 0, self.block_dim as usize);
@@ -595,7 +903,6 @@ impl Kernel for InitialReduce {
             array * self.initial_blocks + chunk,
             combined,
         );
-        self.spec.exec.frames.give(frame);
     }
 }
 
@@ -614,7 +921,8 @@ pub fn merge_kernel(
     raw.post = spec.post.clone();
     raw.acc_name = spec.acc_name.clone();
     raw.exec.frames = spec.exec.frames.clone();
-    raw.exec.ast_oracle = spec.exec.ast_oracle;
+    raw.exec.warp_frames = spec.exec.warp_frames.clone();
+    raw.exec.backend = spec.exec.backend;
     SingleKernelReduce {
         spec: raw,
         name: "reduce_merge".into(),

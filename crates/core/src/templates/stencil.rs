@@ -22,6 +22,8 @@ use streamir::value::Value;
 use crate::analysis::opcount::body_counts;
 use crate::bytecode::{self, FramePool};
 use crate::exec_ir::{exec_body, IrIo};
+use crate::runtime::EvalBackend;
+use crate::warp::{self, for_lanes, WarpFramePool, WarpIo, MAX_LANES};
 
 const SITE_LOAD: u32 = 0;
 const SITE_TILE_ST: u32 = 1;
@@ -63,8 +65,11 @@ pub struct StencilKernel {
     pub(crate) state_slots: Vec<Option<u32>>,
     /// Frame pool shared with the engine.
     pub(crate) frames: Arc<FramePool>,
-    /// Execute through the AST walker instead (differential oracle).
-    pub ast_oracle: bool,
+    /// Warp-frame pool shared with the engine.
+    pub(crate) warp_frames: Arc<WarpFramePool>,
+    /// Which evaluator runs the element body (warp-batched by default;
+    /// scalar bytecode and the AST walker are differential oracles).
+    pub backend: EvalBackend,
 }
 
 impl StencilKernel {
@@ -170,7 +175,8 @@ impl StencilKernel {
             loop_slot: None,
             state_slots: Vec::new(),
             frames: Arc::new(FramePool::new()),
-            ast_oracle: false,
+            warp_frames: Arc::new(WarpFramePool::new()),
+            backend: EvalBackend::default(),
         };
         k.rebind_program();
         k
@@ -187,6 +193,12 @@ impl StencilKernel {
     /// Share the engine's frame pool.
     pub fn with_frames(mut self, frames: Arc<FramePool>) -> StencilKernel {
         self.frames = frames;
+        self
+    }
+
+    /// Share the engine's warp-frame pool.
+    pub fn with_warp_frames(mut self, frames: Arc<WarpFramePool>) -> StencilKernel {
+        self.warp_frames = frames;
         self
     }
 
@@ -328,6 +340,85 @@ impl IrIo for StencilIo<'_, '_, '_> {
     }
 }
 
+/// Warp-granular I/O for the stencil template: tile peeks and output
+/// pushes travel as whole lane-rows. Lane `l` computes global element
+/// `globals[l]` as thread `tid0 + l`; edge tiles leave holes in the
+/// lane mask, which simply become `None` addresses in the rows.
+struct StencilWarpIo<'c, 'd, 'k> {
+    ctx: &'c mut BlockCtx<'d>,
+    kernel: &'k StencilKernel,
+    warp: u32,
+    /// Tile origin (warp-uniform).
+    tile_r0: usize,
+    tile_c0: usize,
+    /// Per-lane global element index (valid for masked lanes only).
+    globals: [usize; MAX_LANES],
+    pushed: [bool; MAX_LANES],
+    /// Reused address row, `warp_size` wide.
+    addrs: &'c mut [Option<u64>],
+    vals: &'c mut [f32],
+}
+
+impl WarpIo for StencilWarpIo<'_, '_, '_> {
+    fn pop_row(&mut self, _mask: u64, _out: &mut [Value]) {
+        panic!("pop inside stencil element (rejected at detection)")
+    }
+
+    fn peek_row(&mut self, mask: u64, row: &mut [Value]) {
+        let k = self.kernel;
+        for_lanes(mask, row.len(), |l| {
+            let offset = bytecode::as_i64(row[l]);
+            assert!(
+                offset >= 0 && (offset as usize) < k.rows * k.cols,
+                "stencil peek at {offset} outside the input (guard missing?)"
+            );
+            let g = offset as usize;
+            let (r, c) = (g / k.cols, g % k.cols);
+            let er = r as i64 - self.tile_r0 as i64 + k.halo_r as i64;
+            let ec = c as i64 - self.tile_c0 as i64 + k.halo_c as i64;
+            assert!(
+                er >= 0 && (er as usize) < k.ext_h() && ec >= 0 && (ec as usize) < k.ext_w(),
+                "stencil peek at ({r},{c}) escapes the halo of tile ({},{})",
+                self.tile_r0,
+                self.tile_c0
+            );
+            self.addrs[l] = Some((er as usize * k.ext_w() + ec as usize) as u64);
+        });
+        self.ctx
+            .ld_shared_row(SITE_TILE_LD, self.warp, self.addrs, self.vals);
+        for_lanes(mask, row.len(), |l| row[l] = Value::F32(self.vals[l]));
+        self.addrs.fill(None);
+    }
+
+    fn push_row(&mut self, mask: u64, vals: &[Value]) {
+        let k = self.kernel;
+        for_lanes(mask, vals.len(), |l| {
+            assert!(!self.pushed[l], "stencil element pushed twice");
+            self.pushed[l] = true;
+            self.addrs[l] = Some(self.globals[l] as u64);
+            self.vals[l] = bytecode::as_f32(vals[l]);
+        });
+        self.ctx
+            .st_global_row(SITE_PUSH, self.warp, k.out_buf, self.addrs, self.vals);
+        self.addrs.fill(None);
+    }
+
+    fn state_load_row(&mut self, id: u16, array: &str, mask: u64, row: &mut [Value]) {
+        let (slot, buf) = self.kernel.state_ref(id, array);
+        for_lanes(mask, row.len(), |l| {
+            self.addrs[l] = Some(bytecode::as_i64(row[l]) as u64);
+        });
+        self.ctx
+            .ld_global_row(SITE_STATE + slot, self.warp, buf, self.addrs, self.vals);
+        for_lanes(mask, row.len(), |l| row[l] = Value::F32(self.vals[l]));
+        self.addrs.fill(None);
+    }
+
+    fn state_store_row(&mut self, _: u16, _: &str, _: u64, _: &[Value], _: &[Value]) {
+        panic!("state store inside stencil element")
+    }
+}
+
 impl Kernel for StencilKernel {
     fn name(&self) -> &str {
         &self.name
@@ -382,6 +473,10 @@ impl Kernel for StencilKernel {
 
         // Phase 2: each thread computes tile elements, strided for
         // coalesced output stores.
+        if self.backend == EvalBackend::Warp {
+            self.run_phase2_warp(tile_r0, tile_c0, ctx);
+            return;
+        }
         let elems = self.tile_w * self.tile_h;
         let mut frame = self.frames.take();
         frame.fit(&self.program);
@@ -408,7 +503,7 @@ impl Kernel for StencilKernel {
                     tile_c0,
                     pushed: false,
                 };
-                if self.ast_oracle {
+                if self.backend == EvalBackend::Ast {
                     locals.clear();
                     locals.insert(self.loop_var.clone(), Value::I64(global as i64));
                     exec_body(&self.body, &mut locals, &self.binds, &mut io)
@@ -426,6 +521,71 @@ impl Kernel for StencilKernel {
             e += bdim;
         }
         self.frames.give(frame);
+    }
+}
+
+impl StencilKernel {
+    /// Warp-batched phase 2: warps of lane-consecutive tile elements run
+    /// through [`crate::warp::eval`], peeking the shared tile and pushing
+    /// output as whole lane-rows. Edge tiles produce holes in the lane
+    /// mask (elements past the grid edge), matching the scalar loop's
+    /// `continue`s.
+    fn run_phase2_warp(&self, tile_r0: usize, tile_c0: usize, ctx: &mut BlockCtx<'_>) {
+        let elems = self.tile_w * self.tile_h;
+        let ws = ctx.warp_size() as usize;
+        let bdim = self.block_dim as usize;
+        let width = ws.min(bdim);
+        let mut wf = self.warp_frames.take();
+        wf.fit(&self.program, width);
+        let mut addrs = vec![None; ws];
+        let mut vals = vec![0.0f32; ws];
+        let mut e = 0usize;
+        while e < elems {
+            let mut lane0 = 0usize;
+            while lane0 < bdim && e + lane0 < elems {
+                let live = (elems - e - lane0).min((bdim - lane0).min(ws));
+                let mut mask = 0u64;
+                let mut globals = [0usize; MAX_LANES];
+                for (l, global) in globals.iter_mut().enumerate().take(live) {
+                    let el = e + lane0 + l;
+                    let (dr, dc) = (el / self.tile_w, el % self.tile_w);
+                    let (r, c) = (tile_r0 + dr, tile_c0 + dc);
+                    if r >= self.rows || c >= self.cols {
+                        continue;
+                    }
+                    mask |= 1 << l;
+                    *global = r * self.cols + c;
+                }
+                if mask != 0 {
+                    wf.reset(&self.proto);
+                    if let Some(slot) = self.loop_slot {
+                        for_lanes(mask, live, |l| {
+                            wf.set_lane(slot, l, Value::I64(globals[l] as i64));
+                        });
+                    }
+                    let mut io = StencilWarpIo {
+                        ctx,
+                        kernel: self,
+                        warp: (lane0 / ws) as u32,
+                        tile_r0,
+                        tile_c0,
+                        globals,
+                        pushed: [false; MAX_LANES],
+                        addrs: &mut addrs,
+                        vals: &mut vals,
+                    };
+                    warp::eval(&self.program, &mut wf, mask, &mut io);
+                    for_lanes(mask, live, |l| {
+                        let tid = (lane0 + l) as u32;
+                        ctx.compute(tid, self.compute_per_elem);
+                        ctx.count_flops(self.flops_per_elem);
+                    });
+                }
+                lane0 += ws;
+            }
+            e += bdim;
+        }
+        self.warp_frames.give(wf);
     }
 }
 

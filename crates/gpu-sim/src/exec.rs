@@ -18,6 +18,16 @@
 //!   identical to the serial engine's. This is sound because blocks of one
 //!   launch never communicate (see the invariant on [`Kernel`]).
 //!
+//! Either engine serves both scalar and warp-batched kernels: a kernel's
+//! `run_block` may record accesses one lane at a time
+//! ([`BlockCtx::ld_global`] etc.) or one warp-row per instruction
+//! ([`BlockCtx::ld_global_row`] etc., the warp evaluator's shape). The
+//! streaming accounting engine groups accesses by
+//! `(site, kind, occurrence, warp)` and its collapse contributions
+//! commute, so counters depend only on each lane's own access sequence,
+//! never on cross-lane arrival order — row-batched and lane-at-a-time
+//! recording produce bit-identical [`KernelStats`].
+//!
 //! Repeated identical launches inside figure sweeps can additionally be
 //! memoized with [`LaunchCache`].
 

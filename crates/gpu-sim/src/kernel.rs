@@ -270,6 +270,87 @@ impl<'a> BlockCtx<'a> {
         self.scratch.shared[idx] = v;
     }
 
+    /// Record a whole warp-row access in one call: `addrs[lane]` is the
+    /// address of each active lane (`None` = predicated off), for warp
+    /// `warp` of this block. Equivalent to per-lane [`record_access`]
+    /// calls in ascending lane order; uniform full-warp rows take the
+    /// accounting engine's single-pass collapse path.
+    ///
+    /// [`record_access`]: Self::record_access
+    #[inline]
+    fn record_row(&mut self, site: Site, kind: AccessKind, warp: u32, addrs: &[Option<u64>]) {
+        if !self.record {
+            return;
+        }
+        self.scratch.record_row(site, kind, warp, addrs);
+    }
+
+    /// Warp-batched global load: one accounting row for warp `warp`, one
+    /// value loaded per active lane (`addrs[lane]`) into `out[lane]`.
+    pub fn ld_global_row(
+        &mut self,
+        site: Site,
+        warp: u32,
+        buf: BufId,
+        addrs: &[Option<u64>],
+        out: &mut [f32],
+    ) {
+        self.record_row(site, AccessKind::GlobalLoad, warp, addrs);
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                out[lane] = self.mem.load(buf, *a as usize);
+            }
+        }
+    }
+
+    /// Warp-batched global store: one accounting row, `vals[lane]` stored
+    /// at `addrs[lane]` for each active lane, in ascending lane order.
+    pub fn st_global_row(
+        &mut self,
+        site: Site,
+        warp: u32,
+        buf: BufId,
+        addrs: &[Option<u64>],
+        vals: &[f32],
+    ) {
+        self.record_row(site, AccessKind::GlobalStore, warp, addrs);
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                self.mem.store(buf, *a as usize, vals[lane]);
+            }
+        }
+    }
+
+    /// Warp-batched shared-memory load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any active address exceeds the declared shared
+    /// allocation, like [`Self::ld_shared`].
+    pub fn ld_shared_row(&mut self, site: Site, warp: u32, addrs: &[Option<u64>], out: &mut [f32]) {
+        self.record_row(site, AccessKind::Shared, warp, addrs);
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                out[lane] = self.scratch.shared[*a as usize];
+            }
+        }
+    }
+
+    /// Warp-batched shared-memory store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any active address exceeds the declared shared
+    /// allocation.
+    pub fn st_shared_row(&mut self, site: Site, warp: u32, addrs: &[Option<u64>], vals: &[f32]) {
+        self.record_row(site, AccessKind::Shared, warp, addrs);
+        for (lane, addr) in addrs.iter().enumerate() {
+            if let Some(a) = addr {
+                self.scratch.shared[*a as usize] = vals[lane];
+            }
+        }
+    }
+
     /// Barrier between phases (`__syncthreads()`).
     pub fn sync(&mut self) {
         self.syncs += 1;

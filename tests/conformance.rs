@@ -1,7 +1,7 @@
 //! Cross-engine conformance suite: every template family, on both device
 //! presets, must produce **bit-identical** outputs, stream cursors and
-//! kernel statistics under all four execution engines — serial bytecode,
-//! parallel bytecode, serial AST-oracle, parallel AST-oracle.
+//! kernel statistics under all six execution engines — {warp-batched,
+//! scalar bytecode, AST-oracle} × {serial, parallel}.
 //!
 //! The engines are different evaluators of the same plan, so any
 //! divergence is a bug by definition; comparing at the bit level (not
@@ -16,35 +16,33 @@
 
 mod common;
 
-use adaptic_repro::adaptic::{ExecMode, ExecPolicy, RunOptions};
+use adaptic_repro::adaptic::{EvalBackend, ExecMode, ExecPolicy, RunOptions};
 use adaptic_repro::gpu_sim::DeviceSpec;
 use common::{cases, compiled_for, corpus_seeds, data, devices};
 
-/// The four engines under test. Serial bytecode is the baseline the other
-/// three are compared against.
-fn engines() -> Vec<(&'static str, RunOptions<'static>)> {
-    vec![
-        ("serial-bytecode", RunOptions::serial(ExecMode::Full)),
-        (
-            "parallel-bytecode",
-            RunOptions {
-                policy: ExecPolicy::Parallel(4),
-                ..RunOptions::serial(ExecMode::Full)
-            },
-        ),
-        (
-            "serial-ast",
-            RunOptions::serial(ExecMode::Full).with_ast_oracle(true),
-        ),
-        (
-            "parallel-ast",
+/// The six engines under test. Serial warp-batched (the default) is the
+/// baseline the other five are compared against.
+fn engines() -> Vec<(String, RunOptions<'static>)> {
+    let mut v = Vec::new();
+    for (backend, tag) in [
+        (EvalBackend::Warp, "warp"),
+        (EvalBackend::Scalar, "bytecode"),
+        (EvalBackend::Ast, "ast"),
+    ] {
+        v.push((
+            format!("serial-{tag}"),
+            RunOptions::serial(ExecMode::Full).with_backend(backend),
+        ));
+        v.push((
+            format!("parallel-{tag}"),
             RunOptions {
                 policy: ExecPolicy::Parallel(4),
                 ..RunOptions::serial(ExecMode::Full)
             }
-            .with_ast_oracle(true),
-        ),
-    ]
+            .with_backend(backend),
+        ));
+    }
+    v
 }
 
 #[test]
@@ -63,9 +61,9 @@ fn engines_are_bit_identical_across_families_devices_and_seeds() {
                     );
 
                     let engines = engines();
-                    let (_, base_opts) = engines[0];
+                    let (_, base_opts) = &engines[0];
                     let base = compiled
-                        .run_opts(x, &input, &state, base_opts, None)
+                        .run_opts(x, &input, &state, *base_opts, None)
                         .unwrap_or_else(|e| panic!("{ctx}: baseline run failed: {e}"));
 
                     for (engine, opts) in &engines[1..] {

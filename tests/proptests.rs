@@ -8,8 +8,11 @@ use std::collections::HashMap;
 
 use adaptic_repro::adaptic::bytecode::{self, compile_body, Frame};
 use adaptic_repro::adaptic::exec_ir::{exec_body, VecIo};
-use adaptic_repro::adaptic::{compile, restructure, unrestructure, InputAxis, RunOptions};
-use adaptic_repro::gpu_sim::DeviceSpec;
+use adaptic_repro::adaptic::warp::{self, full_mask, VecWarpIo, WarpFrame};
+use adaptic_repro::adaptic::{
+    compile, restructure, unrestructure, EvalBackend, InputAxis, RunOptions,
+};
+use adaptic_repro::gpu_sim::{DeviceSpec, ExecMode, ExecPolicy};
 use adaptic_repro::streamir::interp::Interpreter;
 use adaptic_repro::streamir::parse::parse_program;
 
@@ -29,6 +32,23 @@ fn body_block(sel: u8) -> &'static str {
         5 => "s[1] = x + s[1]; x = x + s[2] * s[0];",
         6 => "k = k - 7 * (k / 3); x = x / ((k % 7 + 8) * 1.0);",
         _ => "x = max(x, 0.0 - 100.0) + pop();",
+    }
+}
+
+/// One random *divergence-heavy* building block: data-dependent
+/// branches and loop trip counts, so neighbouring warp lanes take
+/// different control paths and reconverge. Stateless on purpose — warp
+/// lanes share one state array in lockstep, so sequential-firing state
+/// semantics only apply lane-privately (which the templates guarantee
+/// and `random_body_bytecode_matches_ast_oracle` covers scalar-side).
+fn divergent_block(sel: u8) -> &'static str {
+    match sel % 6 {
+        0 => "if (x > 0.0) { t = 6; } else { t = 2; } for i in 0..t { x = x * 0.75 + 0.25; }",
+        1 => "if (x < 0.0) { x = 0.0 - x; } else { x = x * 1.125; }",
+        2 => "if (x > 2.0) { x = x - 4.0; } else { if (x > 0.5) { x = x * 0.5; } else { x = x + 1.0; } }",
+        3 => "t = 1; if (x > 1.0) { t = t + 3; } if (x > 3.0) { t = t + 4; } for i in 0..t { x = x * 0.875; }",
+        4 => "for i in 0..3 { if (x > 1.0) { x = x * 0.5; } else { x = x + 0.375; } }",
+        _ => "x = x + 0.0625;",
     }
 }
 
@@ -341,6 +361,212 @@ proptest! {
         prop_assert_eq!(fast.kernels.len(), oracle.kernels.len());
         for (f, o) in fast.kernels.iter().zip(&oracle.kernels) {
             prop_assert_eq!(&f.stats, &o.stats, "kernel {} stats diverge", f.name);
+        }
+    }
+
+    /// Branch-heavy bodies with uneven, data-dependent loop trip counts
+    /// evaluate bit-identically on the warp-batched evaluator (lanes
+    /// diverging and reconverging under predicate masks, including a
+    /// ragged final warp), the scalar bytecode evaluator, and the AST
+    /// walker.
+    #[test]
+    fn warp_eval_matches_scalar_and_ast_on_divergent_bodies(
+        blocks in proptest::collection::vec(0u8..6, 1..6),
+        lanes in 2usize..33,
+        data in proptest::collection::vec(-6.0f32..6.0, 33..97),
+    ) {
+        let body_src = blocks.iter().map(|b| divergent_block(*b)).collect::<Vec<_>>().join("\n");
+        let src = format!(
+            "pipeline P(N) {{
+                actor D(pop 1, push 1) {{
+                    x = pop();
+                    {body_src}
+                    push(x);
+                }}
+            }}"
+        );
+        let program = parse_program(&src).unwrap();
+        let actor = program.actor("D").unwrap();
+        let binds = adaptic_repro::streamir::graph::bindings(&[]);
+        let firings = data.len();
+
+        // AST walker, one firing at a time.
+        let mut ast_io = VecIo { input: data.clone(), ..VecIo::default() };
+        for _ in 0..firings {
+            let mut locals = HashMap::new();
+            exec_body(&actor.work.body, &mut locals, &binds, &mut ast_io).unwrap();
+        }
+
+        // Scalar bytecode, one firing at a time.
+        let prog = compile_body(&actor.work.body, &binds, &[]).unwrap();
+        let proto = prog.bind(&binds).unwrap();
+        let mut frame = Frame::default();
+        frame.fit(&prog);
+        let mut bc_io = VecIo { input: data.clone(), ..VecIo::default() };
+        for _ in 0..firings {
+            frame.reset(&proto);
+            bytecode::eval(&prog, &mut frame, &mut bc_io);
+        }
+
+        // Warp-batched, `lanes` firings per eval; the final warp is
+        // ragged whenever `firings % lanes != 0`.
+        let mut wf = WarpFrame::default();
+        wf.fit(&prog, lanes);
+        let mut wio = VecWarpIo {
+            input: data.clone(),
+            cursor: vec![0; lanes],
+            output: vec![0.0; firings],
+            out_pos: vec![0; lanes],
+            state: HashMap::new(),
+        };
+        let mut base = 0;
+        while base < firings {
+            let live = lanes.min(firings - base);
+            for l in 0..live {
+                wio.cursor[l] = base + l;
+                wio.out_pos[l] = base + l;
+            }
+            wf.reset(&proto);
+            warp::eval(&prog, &mut wf, full_mask(live), &mut wio);
+            base += live;
+        }
+
+        prop_assert_eq!(ast_io.output.len(), firings);
+        prop_assert_eq!(bc_io.output.len(), firings);
+        for i in 0..firings {
+            prop_assert_eq!(
+                ast_io.output[i].to_bits(),
+                bc_io.output[i].to_bits(),
+                "firing {}: ast {} vs scalar {}", i, ast_io.output[i], bc_io.output[i]
+            );
+            prop_assert_eq!(
+                ast_io.output[i].to_bits(),
+                wio.output[i].to_bits(),
+                "firing {}: ast {} vs warp {}", i, ast_io.output[i], wio.output[i]
+            );
+        }
+    }
+
+    /// Five template families (divergent map, map chain, reduction,
+    /// stencil, fused split-join) produce bit-identical outputs, kernel
+    /// statistics, and report telemetry under every evaluator backend
+    /// (warp-batched, scalar bytecode, AST walker) on both execution
+    /// engines and both simulated devices. Input sizes are odd so final
+    /// warps are ragged.
+    #[test]
+    fn template_families_backend_stats_identical(
+        family in 0u8..5,
+        log_n in 8u32..11,
+        dev_sel in 0u8..2,
+    ) {
+        let (src, is_stencil) = match family {
+            0 => ("pipeline P(N) {
+                    actor D(pop 1, push 1) {
+                        x = pop();
+                        if (x > 0.0) { t = 5; } else { t = 2; }
+                        acc = 0.0;
+                        for i in 0..t { acc = acc + x * 0.25; x = x * 0.5 + 0.125; }
+                        if (acc > 1.0) { push(acc); } else { push(acc - x); }
+                    }
+                }".to_string(), false),
+            1 => ("pipeline P(N) {
+                    actor A(pop 1, push 1) { x = pop(); push(max(abs(x) * 0.5, 0.25)); }
+                    actor B(pop 1, push 1) { x = pop(); push(x + 1.0); }
+                }".to_string(), false),
+            2 => ("pipeline P(N) {
+                    actor R(pop N, push 1) {
+                        acc = 0.0;
+                        for i in 0..N { x = pop(); acc = acc + abs(x); }
+                        push(acc);
+                    }
+                }".to_string(), false),
+            3 => ("pipeline P(rows, cols) {
+                    actor S(pop rows*cols, push rows*cols, peek rows*cols) {
+                        for idx in 0..rows*cols {
+                            r = idx / cols;
+                            c = idx % cols;
+                            if (r > 0 && r < rows - 1 && c > 0 && c < cols - 1) {
+                                push(0.25 * (peek(idx - 1) + peek(idx + 1)
+                                    + peek(idx - cols) + peek(idx + cols)));
+                            } else {
+                                push(peek(idx));
+                            }
+                        }
+                    }
+                }".to_string(), true),
+            _ => ("pipeline P(N) {
+                    splitjoin {
+                        split duplicate;
+                        actor MaxA(pop N, push 1) {
+                            m = -100000.0;
+                            for i in 0..N { m = max(m, pop()); }
+                            push(m);
+                        }
+                        actor SumA(pop N, push 1) {
+                            s = 0.0;
+                            for i in 0..N { s = s + pop(); }
+                            push(s);
+                        }
+                        join roundrobin(1, 1);
+                    }
+                }".to_string(), false),
+        };
+        let program = parse_program(&src).unwrap();
+        let device = if dev_sel == 0 {
+            DeviceSpec::tesla_c2050()
+        } else {
+            DeviceSpec::gtx480()
+        };
+        let (axis, x, n_items) = if is_stencil {
+            let side = (1usize << (log_n / 2).max(4)) + 1;
+            (
+                InputAxis::new("side", 16, 512, |s| {
+                    adaptic_repro::streamir::graph::bindings(&[("rows", s), ("cols", s)])
+                }),
+                side as i64,
+                side * side,
+            )
+        } else {
+            let n = (1usize << log_n) + 3;
+            (InputAxis::total_size("N", 64, 1 << 14), n as i64, n)
+        };
+        let compiled = compile(&program, &device, &axis).unwrap();
+        let input: Vec<f32> = (0..n_items).map(|i| ((i * 13) % 97) as f32 - 48.0).collect();
+
+        let mut reports = Vec::new();
+        for backend in [EvalBackend::Warp, EvalBackend::Scalar, EvalBackend::Ast] {
+            for policy in [ExecPolicy::Serial, ExecPolicy::Parallel(2)] {
+                let opts = RunOptions {
+                    policy,
+                    ..RunOptions::serial(ExecMode::Full)
+                }
+                .with_backend(backend);
+                reports.push((backend, policy, compiled.run_opts(x, &input, &[], opts, None).unwrap()));
+            }
+        }
+        let (_, _, first) = &reports[0];
+        for (backend, policy, r) in &reports[1..] {
+            prop_assert_eq!(
+                first.output.len(), r.output.len(),
+                "{:?}/{:?} output length", backend, policy
+            );
+            for (a, b) in first.output.iter().zip(&r.output) {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{:?}/{:?} output differs: {} vs {}", backend, policy, a, b
+                );
+            }
+            prop_assert_eq!(first.kernels.len(), r.kernels.len());
+            for (f, o) in first.kernels.iter().zip(&r.kernels) {
+                prop_assert_eq!(
+                    &f.stats, &o.stats,
+                    "{:?}/{:?} kernel {} stats diverge", backend, policy, f.name
+                );
+            }
+            prop_assert_eq!(first.time_us, r.time_us, "{:?}/{:?} time", backend, policy);
+            prop_assert_eq!(first.host_time_us, r.host_time_us);
+            prop_assert_eq!(first.variant_index, r.variant_index);
+            prop_assert_eq!(&first.telemetry, &r.telemetry);
         }
     }
 }

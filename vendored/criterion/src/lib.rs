@@ -17,11 +17,18 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver (stub of `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
+    /// Smoke mode (`cargo bench ... -- --test`, like real criterion):
+    /// run every routine exactly once to prove it works, skip the timed
+    /// samples and the report.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -57,6 +64,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if self.test_mode {
+            smoke(id, &mut f);
+            return self;
+        }
         let m = run_bench(self.sample_size, &mut f);
         report(id, m);
         self
@@ -69,6 +80,16 @@ impl Criterion {
             name: name.to_string(),
         }
     }
+}
+
+/// One untimed pass (smoke mode).
+fn smoke<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    println!("Testing {id}: ok");
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> Measurement {
@@ -174,9 +195,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let samples = self.criterion.sample_size;
-        let m = run_bench(samples, &mut |b: &mut Bencher| f(b, input));
-        report(&format!("{}/{}", self.name, id.id), m);
+        let full_id = format!("{}/{}", self.name, id.id);
+        let mut g = |b: &mut Bencher| f(b, input);
+        if self.criterion.test_mode {
+            smoke(&full_id, &mut g);
+            return self;
+        }
+        let m = run_bench(self.criterion.sample_size, &mut g);
+        report(&full_id, m);
         self
     }
 
@@ -186,9 +212,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = self.criterion.sample_size;
-        let m = run_bench(samples, &mut f);
-        report(&format!("{}/{id}", self.name), m);
+        let full_id = format!("{}/{id}", self.name);
+        if self.criterion.test_mode {
+            smoke(&full_id, &mut f);
+            return self;
+        }
+        let m = run_bench(self.criterion.sample_size, &mut f);
+        report(&full_id, m);
         self
     }
 
@@ -228,9 +258,18 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// A driver with the given knobs, independent of the process args
+    /// (the test harness's own flags must not flip smoke mode).
+    fn criterion(sample_size: usize, test_mode: bool) -> Criterion {
+        Criterion {
+            sample_size,
+            test_mode,
+        }
+    }
+
     #[test]
     fn bench_function_measures_and_reports() {
-        let mut c = Criterion::default().sample_size(3);
+        let mut c = criterion(3, false);
         let mut ran = 0u32;
         c.bench_function("noop", |b| {
             b.iter(|| {
@@ -243,8 +282,29 @@ mod tests {
     }
 
     #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = criterion(20, true);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 1);
+        let mut group_ran = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                group_ran += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(group_ran, 1);
+    }
+
+    #[test]
     fn groups_and_ids_work() {
-        let mut c = Criterion::default().sample_size(2);
+        let mut c = criterion(2, false);
         let mut group = c.benchmark_group("g");
         let input = vec![1u64, 2, 3];
         group.bench_with_input(BenchmarkId::from_parameter(3), &input, |b, input| {
