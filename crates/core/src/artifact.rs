@@ -1,0 +1,1428 @@
+//! Persistent compilation artifacts and the warm-start autotune cache.
+//!
+//! Every process used to recompile every plan and relearn every KMU
+//! boundary from scratch — the adaptive selection of §5 only pays off
+//! after warm-up, so a fleet-scale deployment wasted that warm-up on
+//! every boot. This module persists the two halves of that warm-up to a
+//! content-addressed on-disk store:
+//!
+//! - **plan-time state** ([`PlanArtifact`]): the per-segment bytecode
+//!   programs, edge layouts and the planner's variant table — everything
+//!   `compile` derives from the program that does not depend on any
+//!   launch. A store hit skips bytecode lowering and the probe/binary-
+//!   search construction of the variant table entirely.
+//! - **run-time *learned* state** ([`LearnedState`]): the kernel-management
+//!   unit's recalibrated boundaries and per-variant [`VariantHistogram`]
+//!   EWMA summaries. A reloaded manager starts where the last process
+//!   left off — and [`LearnedState::to_bytes`] lets one node ship its
+//!   learned boundaries to peers. Circuit-breaker/quarantine state is
+//!   deliberately **not** part of this type: quarantine reflects *this
+//!   process's* observation of a possibly-transient device fault, and a
+//!   fresh process must start with closed (healthy) breakers.
+//!
+//! Artifacts are keyed by ([`content hash`](crate::plan::content_hash),
+//! [`DeviceSpec::fingerprint`](gpu_sim::DeviceSpec::fingerprint),
+//! [`FORMAT_VERSION`]). No serde exists in this offline workspace, so the
+//! format is a hand-rolled length-prefixed binary codec: a magic header,
+//! a format-version field, the key (so a hash-named file cannot be
+//! swapped for another), then length-prefixed records each carrying an
+//! FNV-1a checksum. Corrupt, truncated or version-mismatched files are
+//! *counted misses* ([`ArtifactStore`] telemetry), never a crash: every
+//! decode path returns a typed [`ArtifactError`].
+//!
+//! Writes are atomic (write to a temp file in the same directory, then
+//! rename), so a crashed writer can never leave a half-written artifact
+//! that a later boot would read.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use streamir::ir::{BinOp, Intrinsic};
+
+use crate::bytecode::{self, Op, SlotKind};
+use crate::kmu::VariantHistogram;
+use crate::layout::Layout;
+use crate::opt::segmentation::ReduceChoice;
+use crate::plan::{OptTag, SegChoice, SegPrograms, Variant};
+
+/// Bump on any change to the on-disk layout *or* to the semantics of what
+/// is persisted (opcode set, variant-table meaning, histogram fields).
+/// Version-mismatched files are rejected as misses and overwritten.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every artifact file.
+const MAGIC: [u8; 4] = *b"ADPT";
+
+/// File kind discriminants (byte after the version field).
+const KIND_PLAN: u8 = 1;
+const KIND_LEARNED: u8 = 2;
+
+/// Why an artifact could not be used. Every decoder path returns this —
+/// never a panic, never silent garbage.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem error reading or writing the store.
+    Io(io::Error),
+    /// The file does not open with the expected magic bytes.
+    BadMagic,
+    /// The file was written by a different format version.
+    Version { found: u32, expected: u32 },
+    /// The file's embedded key does not match the requested key (a
+    /// renamed or hash-colliding file).
+    KeyMismatch,
+    /// The payload ended before a field could be read.
+    Truncated,
+    /// A record's checksum does not match its payload.
+    Checksum,
+    /// A decoded value is structurally invalid (unknown tag, index out of
+    /// range, non-UTF-8 string, table that does not tile its axis, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not an artifact file (bad magic)"),
+            ArtifactError::Version { found, expected } => {
+                write!(f, "artifact format v{found}, expected v{expected}")
+            }
+            ArtifactError::KeyMismatch => write!(f, "artifact key does not match request"),
+            ArtifactError::Truncated => write!(f, "artifact truncated"),
+            ArtifactError::Checksum => write!(f, "artifact checksum mismatch"),
+            ArtifactError::Malformed(why) => write!(f, "malformed artifact: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, ArtifactError>;
+
+/// FNV-1a 64-bit — the store's stable hash, used for record checksums and
+/// (via [`crate::plan::content_hash`]) content addressing. Chosen over
+/// `DefaultHasher` because artifacts outlive processes: the hash must be
+/// identical across runs, builds and Rust versions.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The content address of one compiled program on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Structural hash of (program AST, compile options, input axis) —
+    /// see [`crate::plan::content_hash`].
+    pub content: u64,
+    /// [`gpu_sim::DeviceSpec::fingerprint`] of the target device.
+    pub device: u64,
+}
+
+impl ArtifactKey {
+    fn stem(&self) -> String {
+        format!("{:016x}-{:016x}", self.content, self.device)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec primitives
+// ---------------------------------------------------------------------------
+
+/// Little-endian append-only encoder.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    /// Element count prefix (shared by every variable-length sequence).
+    fn count(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+}
+
+/// Bounds-checked little-endian reader over one record's payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(ArtifactError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ArtifactError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(ArtifactError::Malformed(format!("bool byte {b}"))),
+        }
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| ArtifactError::Malformed(format!("usize {v}")))
+    }
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Malformed("non-UTF-8 string".into()))
+    }
+    /// Element count, sanity-bounded by the bytes remaining (every element
+    /// encodes to at least one byte) so a corrupted count cannot trigger a
+    /// huge allocation.
+    fn count(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(ArtifactError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags
+// ---------------------------------------------------------------------------
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::Lt => 5,
+        BinOp::Le => 6,
+        BinOp::Gt => 7,
+        BinOp::Ge => 8,
+        BinOp::Eq => 9,
+        BinOp::Ne => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn binop_of(tag: u8) -> Result<BinOp> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::Lt,
+        6 => BinOp::Le,
+        7 => BinOp::Gt,
+        8 => BinOp::Ge,
+        9 => BinOp::Eq,
+        10 => BinOp::Ne,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        t => return Err(ArtifactError::Malformed(format!("binop tag {t}"))),
+    })
+}
+
+fn intrinsic_tag(i: Intrinsic) -> u8 {
+    match i {
+        Intrinsic::Sqrt => 0,
+        Intrinsic::Exp => 1,
+        Intrinsic::Log => 2,
+        Intrinsic::Abs => 3,
+        Intrinsic::Sin => 4,
+        Intrinsic::Cos => 5,
+        Intrinsic::Floor => 6,
+        Intrinsic::Max => 7,
+        Intrinsic::Min => 8,
+        Intrinsic::Pow => 9,
+        Intrinsic::Select => 10,
+    }
+}
+
+fn intrinsic_of(tag: u8) -> Result<Intrinsic> {
+    Ok(match tag {
+        0 => Intrinsic::Sqrt,
+        1 => Intrinsic::Exp,
+        2 => Intrinsic::Log,
+        3 => Intrinsic::Abs,
+        4 => Intrinsic::Sin,
+        5 => Intrinsic::Cos,
+        6 => Intrinsic::Floor,
+        7 => Intrinsic::Max,
+        8 => Intrinsic::Min,
+        9 => Intrinsic::Pow,
+        10 => Intrinsic::Select,
+        t => return Err(ArtifactError::Malformed(format!("intrinsic tag {t}"))),
+    })
+}
+
+fn layout_tag(l: Layout) -> u8 {
+    match l {
+        Layout::RowMajor => 0,
+        Layout::Transposed => 1,
+    }
+}
+
+fn layout_of(tag: u8) -> Result<Layout> {
+    Ok(match tag {
+        0 => Layout::RowMajor,
+        1 => Layout::Transposed,
+        t => return Err(ArtifactError::Malformed(format!("layout tag {t}"))),
+    })
+}
+
+fn opt_tag_tag(t: OptTag) -> u8 {
+    match t {
+        OptTag::MemoryRestructuring => 0,
+        OptTag::NeighboringAccess => 1,
+        OptTag::StreamReduction => 2,
+        OptTag::IntraActorParallelization => 3,
+        OptTag::VerticalIntegration => 4,
+        OptTag::HorizontalIntegration => 5,
+        OptTag::ThreadIntegration => 6,
+    }
+}
+
+fn opt_tag_of(tag: u8) -> Result<OptTag> {
+    Ok(match tag {
+        0 => OptTag::MemoryRestructuring,
+        1 => OptTag::NeighboringAccess,
+        2 => OptTag::StreamReduction,
+        3 => OptTag::IntraActorParallelization,
+        4 => OptTag::VerticalIntegration,
+        5 => OptTag::HorizontalIntegration,
+        6 => OptTag::ThreadIntegration,
+        t => return Err(ArtifactError::Malformed(format!("opt tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode programs
+// ---------------------------------------------------------------------------
+
+fn enc_op(e: &mut Enc, op: Op) {
+    match op {
+        Op::ConstF(x) => {
+            e.u8(0);
+            e.f32(x);
+        }
+        Op::ConstI(i) => {
+            e.u8(1);
+            e.i64(i);
+        }
+        Op::ConstB(b) => {
+            e.u8(2);
+            e.bool(b);
+        }
+        Op::Load(s) => {
+            e.u8(3);
+            e.u16(s);
+        }
+        Op::Store(s) => {
+            e.u8(4);
+            e.u16(s);
+        }
+        Op::Pop => e.u8(5),
+        Op::Peek => e.u8(6),
+        Op::StateLoad(id) => {
+            e.u8(7);
+            e.u16(id);
+        }
+        Op::StateStore(id) => {
+            e.u8(8);
+            e.u16(id);
+        }
+        Op::PushOut => e.u8(9),
+        Op::Bin(op) => {
+            e.u8(10);
+            e.u8(binop_tag(op));
+        }
+        Op::Neg => e.u8(11),
+        Op::Not => e.u8(12),
+        Op::Call(i) => {
+            e.u8(13);
+            e.u8(intrinsic_tag(i));
+        }
+        Op::Jump(t) => {
+            e.u8(14);
+            e.u32(t);
+        }
+        Op::JumpIfFalse(t) => {
+            e.u8(15);
+            e.u32(t);
+        }
+        Op::ForInit { counter, end } => {
+            e.u8(16);
+            e.u16(counter);
+            e.u16(end);
+        }
+        Op::ForTest {
+            counter,
+            end,
+            var,
+            exit,
+        } => {
+            e.u8(17);
+            e.u16(counter);
+            e.u16(end);
+            e.u16(var);
+            e.u32(exit);
+        }
+        Op::ForStep { counter, head } => {
+            e.u8(18);
+            e.u16(counter);
+            e.u32(head);
+        }
+    }
+}
+
+fn dec_op(d: &mut Dec<'_>) -> Result<Op> {
+    Ok(match d.u8()? {
+        0 => Op::ConstF(d.f32()?),
+        1 => Op::ConstI(d.i64()?),
+        2 => Op::ConstB(d.bool()?),
+        3 => Op::Load(d.u16()?),
+        4 => Op::Store(d.u16()?),
+        5 => Op::Pop,
+        6 => Op::Peek,
+        7 => Op::StateLoad(d.u16()?),
+        8 => Op::StateStore(d.u16()?),
+        9 => Op::PushOut,
+        10 => Op::Bin(binop_of(d.u8()?)?),
+        11 => Op::Neg,
+        12 => Op::Not,
+        13 => Op::Call(intrinsic_of(d.u8()?)?),
+        14 => Op::Jump(d.u32()?),
+        15 => Op::JumpIfFalse(d.u32()?),
+        16 => Op::ForInit {
+            counter: d.u16()?,
+            end: d.u16()?,
+        },
+        17 => Op::ForTest {
+            counter: d.u16()?,
+            end: d.u16()?,
+            var: d.u16()?,
+            exit: d.u32()?,
+        },
+        18 => Op::ForStep {
+            counter: d.u16()?,
+            head: d.u32()?,
+        },
+        t => return Err(ArtifactError::Malformed(format!("opcode tag {t}"))),
+    })
+}
+
+fn enc_program(e: &mut Enc, p: &bytecode::Program) {
+    e.count(p.ops().len());
+    for &op in p.ops() {
+        enc_op(e, op);
+    }
+    e.count(p.kinds().len());
+    for (kind, name) in p.kinds().iter().zip(p.names()) {
+        e.u8(match kind {
+            SlotKind::Local => 0,
+            SlotKind::Param => 1,
+            SlotKind::Preset => 2,
+        });
+        e.str(name);
+    }
+    e.count(p.state_names().len());
+    for s in p.state_names() {
+        e.str(s);
+    }
+    e.usize(p.max_stack());
+}
+
+fn dec_program(d: &mut Dec<'_>) -> Result<bytecode::Program> {
+    let n_ops = d.count()?;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        ops.push(dec_op(d)?);
+    }
+    let n_slots = d.count()?;
+    let mut kinds = Vec::with_capacity(n_slots);
+    let mut names = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        kinds.push(match d.u8()? {
+            0 => SlotKind::Local,
+            1 => SlotKind::Param,
+            2 => SlotKind::Preset,
+            t => return Err(ArtifactError::Malformed(format!("slot kind {t}"))),
+        });
+        names.push(d.str()?);
+    }
+    let n_state = d.count()?;
+    let mut state_names = Vec::with_capacity(n_state);
+    for _ in 0..n_state {
+        state_names.push(d.str()?);
+    }
+    let max_stack = d.usize()?;
+    bytecode::Program::from_raw(ops, kinds, names, state_names, max_stack)
+        .map_err(ArtifactError::Malformed)
+}
+
+fn enc_arc_program(e: &mut Enc, p: &Arc<bytecode::Program>) {
+    enc_program(e, p);
+}
+
+fn enc_opt_program(e: &mut Enc, p: &Option<Arc<bytecode::Program>>) {
+    match p {
+        Some(p) => {
+            e.bool(true);
+            enc_program(e, p);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn dec_arc_program(d: &mut Dec<'_>) -> Result<Arc<bytecode::Program>> {
+    Ok(Arc::new(dec_program(d)?))
+}
+
+fn dec_opt_program(d: &mut Dec<'_>) -> Result<Option<Arc<bytecode::Program>>> {
+    Ok(if d.bool()? {
+        Some(dec_arc_program(d)?)
+    } else {
+        None
+    })
+}
+
+fn enc_seg_programs(e: &mut Enc, sp: &SegPrograms) {
+    match sp {
+        SegPrograms::Unit(p) => {
+            e.u8(0);
+            enc_arc_program(e, p);
+        }
+        SegPrograms::Reduce { elem, post, serial } => {
+            e.u8(1);
+            enc_arc_program(e, elem);
+            enc_opt_program(e, post);
+            enc_arc_program(e, serial);
+        }
+        SegPrograms::Stencil(p) => {
+            e.u8(2);
+            enc_arc_program(e, p);
+        }
+        SegPrograms::HFused(v) => {
+            e.u8(3);
+            e.count(v.len());
+            for (elem, post) in v {
+                enc_arc_program(e, elem);
+                enc_opt_program(e, post);
+            }
+        }
+        SegPrograms::MapSiblings(v) => {
+            e.u8(4);
+            e.count(v.len());
+            for p in v {
+                enc_arc_program(e, p);
+            }
+        }
+        SegPrograms::Opaque(p) => {
+            e.u8(5);
+            enc_opt_program(e, p);
+        }
+    }
+}
+
+fn dec_seg_programs(d: &mut Dec<'_>) -> Result<SegPrograms> {
+    Ok(match d.u8()? {
+        0 => SegPrograms::Unit(dec_arc_program(d)?),
+        1 => SegPrograms::Reduce {
+            elem: dec_arc_program(d)?,
+            post: dec_opt_program(d)?,
+            serial: dec_arc_program(d)?,
+        },
+        2 => SegPrograms::Stencil(dec_arc_program(d)?),
+        3 => {
+            let n = d.count()?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push((dec_arc_program(d)?, dec_opt_program(d)?));
+            }
+            SegPrograms::HFused(v)
+        }
+        4 => {
+            let n = d.count()?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(dec_arc_program(d)?);
+            }
+            SegPrograms::MapSiblings(v)
+        }
+        5 => SegPrograms::Opaque(dec_opt_program(d)?),
+        t => return Err(ArtifactError::Malformed(format!("segment tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Variant table
+// ---------------------------------------------------------------------------
+
+fn enc_choice(e: &mut Enc, c: &SegChoice) {
+    match c {
+        SegChoice::Map { coarsen } => {
+            e.u8(0);
+            e.usize(*coarsen);
+        }
+        SegChoice::Reduce { choice } => {
+            e.u8(1);
+            match choice {
+                ReduceChoice::TwoKernel { block_dim } => {
+                    e.u8(0);
+                    e.u32(*block_dim);
+                }
+                ReduceChoice::OneKernel {
+                    arrays_per_block,
+                    block_dim,
+                } => {
+                    e.u8(1);
+                    e.usize(*arrays_per_block);
+                    e.u32(*block_dim);
+                }
+                ReduceChoice::ThreadPerArray { block_dim } => {
+                    e.u8(2);
+                    e.u32(*block_dim);
+                }
+            }
+        }
+        SegChoice::Stencil { tile } => {
+            e.u8(2);
+            e.usize(tile.0);
+            e.usize(tile.1);
+        }
+        SegChoice::HFused { fused } => {
+            e.u8(3);
+            e.bool(*fused);
+        }
+        SegChoice::MapSiblings => e.u8(4),
+        SegChoice::Opaque => e.u8(5),
+    }
+}
+
+fn dec_choice(d: &mut Dec<'_>) -> Result<SegChoice> {
+    Ok(match d.u8()? {
+        0 => SegChoice::Map {
+            coarsen: d.usize()?,
+        },
+        1 => SegChoice::Reduce {
+            choice: match d.u8()? {
+                0 => ReduceChoice::TwoKernel {
+                    block_dim: d.u32()?,
+                },
+                1 => ReduceChoice::OneKernel {
+                    arrays_per_block: d.usize()?,
+                    block_dim: d.u32()?,
+                },
+                2 => ReduceChoice::ThreadPerArray {
+                    block_dim: d.u32()?,
+                },
+                t => return Err(ArtifactError::Malformed(format!("reduce tag {t}"))),
+            },
+        },
+        2 => SegChoice::Stencil {
+            tile: (d.usize()?, d.usize()?),
+        },
+        3 => SegChoice::HFused { fused: d.bool()? },
+        4 => SegChoice::MapSiblings,
+        5 => SegChoice::Opaque,
+        t => return Err(ArtifactError::Malformed(format!("choice tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Artifact payload types
+// ---------------------------------------------------------------------------
+
+/// The plan-time half of a compiled program: everything `compile` derives
+/// from (program, device, axis, options) that is independent of any
+/// launch. Paired at load time with a freshly rebuilt structure (the
+/// segment list) to reconstitute a
+/// [`CompiledProgram`](crate::CompiledProgram) without re-lowering.
+#[derive(Debug, Clone)]
+pub struct PlanArtifact {
+    /// Per-segment bytecode, parallel to the rebuilt segment list.
+    pub(crate) programs: Vec<SegPrograms>,
+    /// Chosen layout per pipeline edge (`segments + 1` entries).
+    pub(crate) edge_layouts: Vec<Layout>,
+    /// The planner's variant table, ordered by `lo`.
+    pub(crate) variants: Vec<Variant>,
+}
+
+impl PlanArtifact {
+    pub(crate) fn new(
+        programs: Vec<SegPrograms>,
+        edge_layouts: Vec<Layout>,
+        variants: Vec<Variant>,
+    ) -> PlanArtifact {
+        PlanArtifact {
+            programs,
+            edge_layouts,
+            variants,
+        }
+    }
+
+    /// Number of segments this plan was lowered for.
+    pub fn segment_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Number of variants in the persisted table.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    fn encode_records(&self) -> (Vec<u8>, Vec<u8>) {
+        // Record 1: bytecode programs + edge layouts.
+        let mut e = Enc::default();
+        e.count(self.programs.len());
+        for sp in &self.programs {
+            enc_seg_programs(&mut e, sp);
+        }
+        e.count(self.edge_layouts.len());
+        for &l in &self.edge_layouts {
+            e.u8(layout_tag(l));
+        }
+        let code = e.buf;
+
+        // Record 2: the variant table.
+        let mut e = Enc::default();
+        e.count(self.variants.len());
+        for v in &self.variants {
+            e.i64(v.lo);
+            e.i64(v.hi);
+            e.count(v.choices.len());
+            for c in &v.choices {
+                enc_choice(&mut e, c);
+            }
+            e.count(v.tags.len());
+            for &t in &v.tags {
+                e.u8(opt_tag_tag(t));
+            }
+        }
+        (code, e.buf)
+    }
+
+    fn decode_records(code: &[u8], table: &[u8]) -> Result<PlanArtifact> {
+        let mut d = Dec::new(code);
+        let n_segs = d.count()?;
+        let mut programs = Vec::with_capacity(n_segs);
+        for _ in 0..n_segs {
+            programs.push(dec_seg_programs(&mut d)?);
+        }
+        let n_edges = d.count()?;
+        let mut edge_layouts = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            edge_layouts.push(layout_of(d.u8()?)?);
+        }
+        if !d.done() {
+            return Err(ArtifactError::Malformed(
+                "trailing bytes in code record".into(),
+            ));
+        }
+
+        let mut d = Dec::new(table);
+        let n_variants = d.count()?;
+        let mut variants = Vec::with_capacity(n_variants);
+        for _ in 0..n_variants {
+            let lo = d.i64()?;
+            let hi = d.i64()?;
+            let n_choices = d.count()?;
+            let mut choices = Vec::with_capacity(n_choices);
+            for _ in 0..n_choices {
+                choices.push(dec_choice(&mut d)?);
+            }
+            let n_tags = d.count()?;
+            let mut tags = Vec::with_capacity(n_tags);
+            for _ in 0..n_tags {
+                tags.push(opt_tag_of(d.u8()?)?);
+            }
+            variants.push(Variant {
+                lo,
+                hi,
+                choices,
+                tags,
+            });
+        }
+        if !d.done() {
+            return Err(ArtifactError::Malformed(
+                "trailing bytes in table record".into(),
+            ));
+        }
+        Ok(PlanArtifact {
+            programs,
+            edge_layouts,
+            variants,
+        })
+    }
+
+    /// Structural fit against a freshly rebuilt program structure: the
+    /// persisted plan must have one bytecode program per segment, one
+    /// layout per edge, and a variant table whose rows cover every
+    /// segment and exactly tile `[lo, hi]`.
+    pub(crate) fn fits(&self, segments: usize, lo: i64, hi: i64) -> bool {
+        self.programs.len() == segments
+            && self.edge_layouts.len() == segments + 1
+            && !self.variants.is_empty()
+            && self.variants.iter().all(|v| v.choices.len() == segments)
+            && self.variants.first().map(|v| v.lo) == Some(lo)
+            && self.variants.last().map(|v| v.hi) == Some(hi)
+            && self.variants.iter().all(|v| v.lo <= v.hi)
+            && self.variants.windows(2).all(|w| w[0].hi + 1 == w[1].lo)
+    }
+}
+
+/// The run-time *learned* state of a [`crate::KernelManager`]: the
+/// recalibrated variant boundaries and the per-variant measured-feedback
+/// histograms. This is exactly what a warm boot should inherit — and
+/// exactly what a peer node can usefully import.
+///
+/// Deliberately **absent**: circuit-breaker/quarantine state, the logical
+/// clock, and model-skew test knobs. Quarantine encodes "this device, in
+/// this process, is currently failing" — shipping it forward would leave a
+/// healthy process refusing healthy variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedState {
+    /// Current (recalibrated) sub-range per variant, tiling the axis.
+    pub boundaries: Vec<(i64, i64)>,
+    /// Per-variant measured-cost summaries, parallel to `boundaries`.
+    pub histograms: Vec<VariantHistogram>,
+}
+
+impl LearnedState {
+    fn encode_record(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.count(self.boundaries.len());
+        for &(lo, hi) in &self.boundaries {
+            e.i64(lo);
+            e.i64(hi);
+        }
+        e.count(self.histograms.len());
+        for h in &self.histograms {
+            e.u64(h.samples);
+            e.u64(h.since_move);
+            e.f64(h.ratio);
+            e.f64(h.sum_rel_err());
+        }
+        e.buf
+    }
+
+    fn decode_record(payload: &[u8]) -> Result<LearnedState> {
+        let mut d = Dec::new(payload);
+        let n = d.count()?;
+        let mut boundaries = Vec::with_capacity(n);
+        for _ in 0..n {
+            boundaries.push((d.i64()?, d.i64()?));
+        }
+        let n = d.count()?;
+        let mut histograms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let samples = d.u64()?;
+            let since_move = d.u64()?;
+            let ratio = d.f64()?;
+            let sum_rel_err = d.f64()?;
+            if !(ratio.is_finite() && ratio > 0.0) {
+                return Err(ArtifactError::Malformed(format!("ratio {ratio}")));
+            }
+            if !(sum_rel_err.is_finite() && sum_rel_err >= 0.0) {
+                return Err(ArtifactError::Malformed(format!(
+                    "sum_rel_err {sum_rel_err}"
+                )));
+            }
+            histograms.push(VariantHistogram::from_raw(
+                samples,
+                since_move,
+                ratio,
+                sum_rel_err,
+            ));
+        }
+        if !d.done() {
+            return Err(ArtifactError::Malformed(
+                "trailing bytes in learned record".into(),
+            ));
+        }
+        if boundaries.len() != histograms.len() {
+            return Err(ArtifactError::Malformed(
+                "boundary/histogram count mismatch".into(),
+            ));
+        }
+        Ok(LearnedState {
+            boundaries,
+            histograms,
+        })
+    }
+
+    /// Whether this learned state can seed a table of `variants` entries
+    /// over the axis `[lo, hi]`: one entry per variant, tiling exactly.
+    pub fn fits(&self, variants: usize, lo: i64, hi: i64) -> bool {
+        self.boundaries.len() == variants
+            && self.histograms.len() == variants
+            && self.boundaries.first().map(|r| r.0) == Some(lo)
+            && self.boundaries.last().map(|r| r.1) == Some(hi)
+            && self.boundaries.iter().all(|r| r.0 <= r.1)
+            && self.boundaries.windows(2).all(|w| w[0].1 + 1 == w[1].0)
+    }
+
+    /// Serialize for shipping to a peer node (a self-contained artifact
+    /// file image; the peer imports with [`LearnedState::from_bytes`]).
+    pub fn to_bytes(&self, key: ArtifactKey) -> Vec<u8> {
+        encode_file(KIND_LEARNED, key, &[self.encode_record()])
+    }
+
+    /// Decode a peer's exported learned state, verifying magic, version,
+    /// key and checksums.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] the decoder can produce; never panics.
+    pub fn from_bytes(bytes: &[u8], key: ArtifactKey) -> Result<LearnedState> {
+        let records = decode_file(bytes, KIND_LEARNED, key)?;
+        let [payload] = records.as_slice() else {
+            return Err(ArtifactError::Malformed(format!(
+                "expected 1 record, found {}",
+                records.len()
+            )));
+        };
+        LearnedState::decode_record(payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File framing
+// ---------------------------------------------------------------------------
+
+/// `MAGIC | version | kind | key | n_records | (len | payload | fnv)*`.
+fn encode_file(kind: u8, key: ArtifactKey, records: &[Vec<u8>]) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(&MAGIC);
+    e.u32(FORMAT_VERSION);
+    e.u8(kind);
+    e.u64(key.content);
+    e.u64(key.device);
+    e.count(records.len());
+    for r in records {
+        e.u64(r.len() as u64);
+        e.buf.extend_from_slice(r);
+        e.u64(fnv1a64(r));
+    }
+    e.buf
+}
+
+fn decode_file(bytes: &[u8], kind: u8, key: ArtifactKey) -> Result<Vec<Vec<u8>>> {
+    let mut d = Dec::new(bytes);
+    if d.take(4).map_err(|_| ArtifactError::BadMagic)? != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let found = d.u32()?;
+    if found != FORMAT_VERSION {
+        return Err(ArtifactError::Version {
+            found,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let found_kind = d.u8()?;
+    if found_kind != kind {
+        return Err(ArtifactError::Malformed(format!("file kind {found_kind}")));
+    }
+    if (d.u64()?, d.u64()?) != (key.content, key.device) {
+        return Err(ArtifactError::KeyMismatch);
+    }
+    let n = d.count()?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = d.usize()?;
+        let payload = d.take(len)?.to_vec();
+        let sum = d.u64()?;
+        if fnv1a64(&payload) != sum {
+            return Err(ArtifactError::Checksum);
+        }
+        records.push(payload);
+    }
+    if !d.done() {
+        return Err(ArtifactError::Malformed(
+            "trailing bytes after records".into(),
+        ));
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of a store's telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArtifactCounters {
+    /// Loads satisfied from disk (plan or learned state).
+    pub hits: u64,
+    /// Loads that found no artifact (cold boot — the caller compiles or
+    /// learns from scratch and writes back).
+    pub misses: u64,
+    /// Artifacts found but refused: corrupt, truncated, checksum or
+    /// version mismatch, or structurally incompatible with the program.
+    /// Always degrades to a miss, never a crash.
+    pub rejects: u64,
+}
+
+/// A content-addressed, versioned on-disk artifact store.
+///
+/// One directory holds two file families, both named by
+/// `(content hash, device fingerprint)`:
+///
+/// - `<key>.plan` — [`PlanArtifact`]: bytecode + variant tables;
+/// - `<key>.kmu` — [`LearnedState`]: recalibrated boundaries + histograms.
+///
+/// All methods are infallible in the "never crash the runtime" sense:
+/// loads degrade to counted misses/rejects, and store operations report
+/// (but callers may ignore) I/O errors. `&ArtifactStore` is `Sync`;
+/// counters are relaxed atomics and file replacement is atomic
+/// (temp + rename).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejects: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// The store named by the `ADAPTIC_ARTIFACT_DIR` environment variable,
+    /// or `None` when unset/empty (persistence disabled).
+    pub fn from_env() -> Option<ArtifactStore> {
+        match std::env::var("ADAPTIC_ARTIFACT_DIR") {
+            Ok(dir) if !dir.is_empty() => Some(ArtifactStore::new(dir)),
+            _ => None,
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads satisfied from disk.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads that found nothing (cold).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts found but refused (corrupt/version/incompatible).
+    pub fn rejects(&self) -> u64 {
+        self.rejects.load(Ordering::Relaxed)
+    }
+
+    /// All three counters at once.
+    pub fn counters(&self) -> ArtifactCounters {
+        ArtifactCounters {
+            hits: self.hits(),
+            misses: self.misses(),
+            rejects: self.rejects(),
+        }
+    }
+
+    fn plan_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{}.plan", key.stem()))
+    }
+
+    fn learned_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{}.kmu", key.stem()))
+    }
+
+    /// Load-or-miss a file: absent files count a miss, unreadable or
+    /// undecodable files count a reject; only a fully validated decode
+    /// counts a hit.
+    fn load<T>(
+        &self,
+        path: &Path,
+        decode: impl FnOnce(&[u8]) -> Result<T>,
+        valid: impl FnOnce(&T) -> bool,
+    ) -> Option<T> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode(&bytes) {
+            Ok(v) if valid(&v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            _ => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Load the plan artifact for `key`, validated against a freshly
+    /// rebuilt structure of `segments` segments over the axis `[lo, hi]`.
+    /// Returns `None` (a counted miss or reject) on any problem.
+    pub fn load_plan(
+        &self,
+        key: ArtifactKey,
+        segments: usize,
+        lo: i64,
+        hi: i64,
+    ) -> Option<PlanArtifact> {
+        self.load(
+            &self.plan_path(key),
+            |bytes| {
+                let records = decode_file(bytes, KIND_PLAN, key)?;
+                let [code, table] = records.as_slice() else {
+                    return Err(ArtifactError::Malformed(format!(
+                        "expected 2 records, found {}",
+                        records.len()
+                    )));
+                };
+                PlanArtifact::decode_records(code, table)
+            },
+            |p| p.fits(segments, lo, hi),
+        )
+    }
+
+    /// Persist a plan artifact (atomic replace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the store's counters are untouched by
+    /// writes.
+    pub fn store_plan(&self, key: ArtifactKey, plan: &PlanArtifact) -> Result<()> {
+        let (code, table) = plan.encode_records();
+        self.write_atomic(
+            &self.plan_path(key),
+            &encode_file(KIND_PLAN, key, &[code, table]),
+        )
+    }
+
+    /// Load the learned KMU state for `key`, validated against a table of
+    /// `variants` entries over the axis `[lo, hi]`.
+    pub fn load_learned(
+        &self,
+        key: ArtifactKey,
+        variants: usize,
+        lo: i64,
+        hi: i64,
+    ) -> Option<LearnedState> {
+        self.load(
+            &self.learned_path(key),
+            |bytes| {
+                let records = decode_file(bytes, KIND_LEARNED, key)?;
+                let [payload] = records.as_slice() else {
+                    return Err(ArtifactError::Malformed(format!(
+                        "expected 1 record, found {}",
+                        records.len()
+                    )));
+                };
+                LearnedState::decode_record(payload)
+            },
+            |l| l.fits(variants, lo, hi),
+        )
+    }
+
+    /// Persist learned KMU state (atomic replace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn store_learned(&self, key: ArtifactKey, learned: &LearnedState) -> Result<()> {
+        self.write_atomic(
+            &self.learned_path(key),
+            &encode_file(KIND_LEARNED, key, &[learned.encode_record()]),
+        )
+    }
+
+    /// Write-temp + rename so readers never observe a partial file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, bytes)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamir::ir::Stmt;
+
+    fn key() -> ArtifactKey {
+        ArtifactKey {
+            content: 0x1122334455667788,
+            device: 0x99aabbccddeeff00,
+        }
+    }
+
+    fn learned() -> LearnedState {
+        LearnedState {
+            boundaries: vec![(1, 99), (100, 4096)],
+            histograms: vec![
+                VariantHistogram::from_raw(7, 3, 1.25, 0.5),
+                VariantHistogram::from_raw(2, 2, 0.8, 0.1),
+            ],
+        }
+    }
+
+    #[test]
+    fn learned_state_roundtrips_byte_for_byte() {
+        let l = learned();
+        let bytes = l.to_bytes(key());
+        let back = LearnedState::from_bytes(&bytes, key()).unwrap();
+        assert_eq!(back, l);
+        // Re-serialization is bit-identical: the codec has one canonical
+        // encoding per value.
+        assert_eq!(back.to_bytes(key()), bytes);
+    }
+
+    #[test]
+    fn learned_state_fits_checks_tiling() {
+        let l = learned();
+        assert!(l.fits(2, 1, 4096));
+        assert!(!l.fits(3, 1, 4096), "wrong variant count");
+        assert!(!l.fits(2, 1, 8192), "wrong hi endpoint");
+        assert!(!l.fits(2, 0, 4096), "wrong lo endpoint");
+        let gap = LearnedState {
+            boundaries: vec![(1, 98), (100, 4096)],
+            histograms: l.histograms.clone(),
+        };
+        assert!(!gap.fits(2, 1, 4096), "gap in tiling");
+    }
+
+    #[test]
+    fn decoder_rejects_wrong_magic_version_key_and_kind() {
+        let l = learned();
+        let good = l.to_bytes(key());
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            LearnedState::from_bytes(&bad, key()),
+            Err(ArtifactError::BadMagic)
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = bad[4].wrapping_add(1); // version field
+        assert!(matches!(
+            LearnedState::from_bytes(&bad, key()),
+            Err(ArtifactError::Version { .. })
+        ));
+
+        let other = ArtifactKey {
+            content: 1,
+            device: 2,
+        };
+        assert!(matches!(
+            LearnedState::from_bytes(&good, other),
+            Err(ArtifactError::KeyMismatch)
+        ));
+
+        // A learned file presented as a plan file is a kind mismatch.
+        assert!(decode_file(&good, KIND_PLAN, key()).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_and_bit_flips() {
+        let l = learned();
+        let good = l.to_bytes(key());
+        for cut in 0..good.len() {
+            assert!(
+                LearnedState::from_bytes(&good[..cut], key()).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Flip one bit in the payload region: the checksum must catch it
+        // (or a field validator must reject the mutated value).
+        for byte in 25..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x01;
+            assert!(
+                LearnedState::from_bytes(&bad, key()).is_err(),
+                "bit flip at byte {byte} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn store_counts_misses_rejects_and_hits() {
+        let dir = std::env::temp_dir().join(format!("adaptic_store_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new(&dir);
+        let l = learned();
+
+        assert!(store.load_learned(key(), 2, 1, 4096).is_none());
+        assert_eq!(store.counters().misses, 1);
+
+        store.store_learned(key(), &l).unwrap();
+        let back = store.load_learned(key(), 2, 1, 4096).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(store.counters().hits, 1);
+
+        // Structurally incompatible with the requesting table: reject.
+        assert!(store.load_learned(key(), 5, 1, 4096).is_none());
+        assert_eq!(store.counters().rejects, 1);
+
+        // Corrupt the file on disk: counted reject, never a panic.
+        let path = store.learned_path(key());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_learned(key(), 2, 1, 4096).is_none());
+        assert_eq!(store.counters().rejects, 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned test vectors: the content address must never drift
+        // between builds, or every fleet artifact silently invalidates.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"adaptic"), 0x9be5001f999a6eb3);
+    }
+
+    #[test]
+    fn bytecode_program_roundtrips() {
+        use streamir::graph::bindings;
+        let body = vec![
+            Stmt::Assign {
+                name: "acc".into(),
+                expr: streamir::ir::Expr::Float(0.0),
+            },
+            Stmt::For {
+                var: "i".into(),
+                start: streamir::ir::Expr::Int(0),
+                end: streamir::ir::Expr::var("N"),
+                body: vec![Stmt::Assign {
+                    name: "acc".into(),
+                    expr: streamir::ir::Expr::bin(
+                        BinOp::Add,
+                        streamir::ir::Expr::var("acc"),
+                        streamir::ir::Expr::Pop,
+                    ),
+                }],
+            },
+            Stmt::Push(streamir::ir::Expr::var("acc")),
+        ];
+        let prog = bytecode::compile_body(&body, &bindings(&[("N", 8)]), &[]).unwrap();
+        let mut e = Enc::default();
+        enc_program(&mut e, &prog);
+        let bytes = e.buf;
+        let mut d = Dec::new(&bytes);
+        let back = dec_program(&mut d).unwrap();
+        assert!(d.done());
+        assert_eq!(back, prog);
+        let mut e2 = Enc::default();
+        enc_program(&mut e2, &back);
+        assert_eq!(e2.buf, bytes, "re-serialization must be byte-identical");
+    }
+}

@@ -151,6 +151,68 @@ impl Program {
         &self.state_names
     }
 
+    /// Per-slot init kinds, parallel to [`Program::names`].
+    pub(crate) fn kinds(&self) -> &[SlotKind] {
+        &self.kinds
+    }
+
+    /// Slot names, parallel to [`Program::kinds`].
+    pub(crate) fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Reassemble a program from its raw parts (the artifact decoder).
+    /// Validates the structural invariants lowering guarantees — slot and
+    /// state indices in range, jump targets within `0..=ops.len()`, and
+    /// parallel slot tables — so a decoded artifact can never index out of
+    /// bounds at eval time.
+    pub(crate) fn from_raw(
+        ops: Vec<Op>,
+        kinds: Vec<SlotKind>,
+        names: Vec<String>,
+        state_names: Vec<String>,
+        max_stack: usize,
+    ) -> std::result::Result<Program, String> {
+        if kinds.len() != names.len() {
+            return Err(format!(
+                "slot kinds ({}) / names ({}) mismatch",
+                kinds.len(),
+                names.len()
+            ));
+        }
+        let n_slots = kinds.len();
+        let n_state = state_names.len();
+        let n_ops = ops.len();
+        let slot_ok = |s: u16| (s as usize) < n_slots;
+        let target_ok = |t: u32| (t as usize) <= n_ops;
+        for (pc, op) in ops.iter().enumerate() {
+            let ok = match *op {
+                Op::Load(s) | Op::Store(s) => slot_ok(s),
+                Op::StateLoad(id) | Op::StateStore(id) => (id as usize) < n_state,
+                Op::Jump(t) | Op::JumpIfFalse(t) => target_ok(t),
+                Op::ForInit { counter, end } => slot_ok(counter) && slot_ok(end),
+                Op::ForTest {
+                    counter,
+                    end,
+                    var,
+                    exit,
+                } => slot_ok(counter) && slot_ok(end) && slot_ok(var) && target_ok(exit),
+                Op::ForStep { counter, head } => slot_ok(counter) && target_ok(head),
+                _ => true,
+            };
+            if !ok {
+                return Err(format!("op {op:?} at pc {pc} indexes out of range"));
+            }
+        }
+        Ok(Program {
+            ops,
+            kinds,
+            names,
+            state_names,
+            max_stack,
+        })
+    }
+
     /// Slot index of a named local/param/preset, if the body mentions it.
     pub fn slot_of(&self, name: &str) -> Option<u16> {
         self.names.iter().position(|n| n == name).map(|i| i as u16)

@@ -24,12 +24,13 @@
 //! bit-for-bit), so a boundary move only moves *time*.
 
 use std::sync::atomic::Ordering;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use gpu_sim::{ExecMode, ExecPolicy, ShardedLaunchCache, StatsCache};
 use perfmodel::{recalibrated_boundary, Hysteresis};
 use streamir::error::{Error, Result};
 
+use crate::artifact::{ArtifactError, ArtifactStore, LearnedState};
 use crate::plan::CompiledProgram;
 use crate::runtime::{ExecutionReport, RunOptions, StateBinding};
 use crate::telemetry::{TelemetryCounters, TelemetrySnapshot};
@@ -103,7 +104,7 @@ impl Breaker {
 }
 
 /// Measured-cost history of one variant of the table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariantHistogram {
     /// Launches of this variant recorded so far.
     pub samples: u64,
@@ -113,6 +114,23 @@ pub struct VariantHistogram {
     pub ratio: f64,
     /// Running `Σ |measured - predicted| / predicted` for telemetry.
     sum_rel_err: f64,
+}
+
+impl VariantHistogram {
+    /// Reassemble a histogram from persisted fields (the artifact codec).
+    pub fn from_raw(samples: u64, since_move: u64, ratio: f64, sum_rel_err: f64) -> Self {
+        VariantHistogram {
+            samples,
+            since_move,
+            ratio,
+            sum_rel_err,
+        }
+    }
+
+    /// Running `Σ |measured - predicted| / predicted`.
+    pub fn sum_rel_err(&self) -> f64 {
+        self.sum_rel_err
+    }
 }
 
 impl Default for VariantHistogram {
@@ -182,6 +200,10 @@ pub struct KernelManager {
     /// Initial quarantine length in logical ticks (doubles while half-open
     /// probes keep failing).
     quarantine_window: u64,
+    /// Attached artifact store: learned boundaries/histograms are seeded
+    /// from it at attach time and written back by
+    /// [`KernelManager::persist_learned`]. `None` = persistence off.
+    store: Option<Arc<crate::artifact::ArtifactStore>>,
 }
 
 impl KernelManager {
@@ -204,6 +226,7 @@ impl KernelManager {
             min_samples: 4,
             quarantine_threshold: 3,
             quarantine_window: 8,
+            store: None,
             program,
         }
     }
@@ -302,6 +325,95 @@ impl KernelManager {
             }
         }
         self
+    }
+
+    /// Attach a persistent [`ArtifactStore`] and warm-start from it: if
+    /// the store holds learned state for this program on this device (and
+    /// it validates against the current variant table), boundaries and
+    /// histograms are seeded from it — the manager starts where the last
+    /// process left off instead of relearning from the planner's table.
+    /// A miss, a corrupt file or a version mismatch is a counted non-event
+    /// (see [`ArtifactStore`] telemetry) and the manager starts cold.
+    ///
+    /// Circuit-breaker/quarantine state is **never** loaded (or stored):
+    /// a reloaded process always starts with closed breakers.
+    pub fn with_artifacts(mut self, store: Arc<ArtifactStore>) -> KernelManager {
+        {
+            let mut st = self.lock_state();
+            let (lo, hi) = self.program.axis_range();
+            if let Some(learned) =
+                store.load_learned(self.program.artifact_key(), st.ranges.len(), lo, hi)
+            {
+                st.ranges = learned.boundaries;
+                st.hist = learned.histograms;
+            }
+        }
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached artifact store, if any.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.store.as_deref()
+    }
+
+    /// A copy of the current learned state — recalibrated boundaries plus
+    /// per-variant histograms — suitable for persisting or for shipping to
+    /// a peer node ([`LearnedState::to_bytes`]). Run-time quarantine state
+    /// is deliberately excluded.
+    pub fn export_learned(&self) -> LearnedState {
+        let st = self.lock_state();
+        LearnedState {
+            boundaries: st.ranges.clone(),
+            histograms: st.hist.clone(),
+        }
+    }
+
+    /// Adopt a peer's learned state: replaces boundaries and histograms
+    /// after validating that `learned` matches this program's variant
+    /// count and exactly tiles its axis, and that every histogram carries
+    /// finite, positive ratios. Breakers and the logical clock are
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Malformed`] when the state does not fit this
+    /// program; the manager's state is unchanged on error.
+    pub fn import_learned(&self, learned: &LearnedState) -> std::result::Result<(), ArtifactError> {
+        let (lo, hi) = self.program.axis_range();
+        let n = self.program.variants.len();
+        if !learned.fits(n, lo, hi) {
+            return Err(ArtifactError::Malformed(format!(
+                "learned state does not tile {n} variants over [{lo}, {hi}]"
+            )));
+        }
+        if let Some(h) = learned
+            .histograms
+            .iter()
+            .find(|h| !(h.ratio.is_finite() && h.ratio > 0.0 && h.sum_rel_err().is_finite()))
+        {
+            return Err(ArtifactError::Malformed(format!(
+                "non-finite histogram {h:?}"
+            )));
+        }
+        let mut st = self.lock_state();
+        st.ranges = learned.boundaries.clone();
+        st.hist = learned.histograms.clone();
+        Ok(())
+    }
+
+    /// Write the current learned state back to the attached store
+    /// (atomic replace); a no-op without one. Call at shutdown — or
+    /// periodically — so the next process warm-starts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's filesystem errors.
+    pub fn persist_learned(&self) -> std::result::Result<(), ArtifactError> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        store.store_learned(self.program.artifact_key(), &self.export_learned())
     }
 
     /// Lock the selector state, recovering from poison: state mutations
@@ -623,8 +735,16 @@ impl KernelManager {
     fn snapshot_locked(&self, st: &KmuState) -> TelemetrySnapshot {
         let samples: u64 = st.hist.iter().map(|h| h.samples).sum();
         let sum_err: f64 = st.hist.iter().map(|h| h.sum_rel_err).sum();
+        let artifacts = self
+            .store
+            .as_deref()
+            .map(ArtifactStore::counters)
+            .unwrap_or_default();
         let c = &self.counters;
         TelemetrySnapshot {
+            artifact_hits: artifacts.hits,
+            artifact_misses: artifacts.misses,
+            artifact_rejects: artifacts.rejects,
             launches: c.launches.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),

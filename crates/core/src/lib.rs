@@ -47,6 +47,7 @@
 //! ```
 
 pub mod analysis;
+pub mod artifact;
 pub mod bytecode;
 pub mod codegen;
 pub mod cost;
@@ -61,11 +62,12 @@ pub mod templates;
 pub mod warp;
 
 pub use analysis::{classify, ActorClass};
+pub use artifact::{ArtifactCounters, ArtifactError, ArtifactKey, ArtifactStore, LearnedState};
 pub use kmu::{KernelManager, VariantHistogram};
 pub use layout::{restructure, unrestructure, Layout};
 pub use plan::{
-    compile, compile_single, compile_with_options, CompileOptions, CompiledProgram, InputAxis,
-    OptTag, SegChoice, Variant,
+    compile, compile_single, compile_with_options, compile_with_store, content_hash,
+    CompileOptions, CompiledProgram, InputAxis, OptTag, SegChoice, Variant,
 };
 pub use runtime::{
     EvalBackend, ExecutionReport, KernelReport, RetryPolicy, RunOptions, StateBinding,

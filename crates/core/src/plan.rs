@@ -389,6 +389,10 @@ pub struct Variant {
 /// timing-only sweeps.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
+    /// [`content_hash`] of the (program, axis, options) this was compiled
+    /// from — one half of the program's [`artifact
+    /// key`](CompiledProgram::artifact_key).
+    pub(crate) content_hash: u64,
     pub(crate) program: Program,
     pub(crate) device: DeviceSpec,
     pub(crate) axis: InputAxis,
@@ -448,6 +452,33 @@ impl CompiledProgram {
     /// The declared input range `[lo, hi]` of the compiled axis.
     pub fn axis_range(&self) -> (i64, i64) {
         (self.axis.lo, self.axis.hi)
+    }
+
+    /// Stable [`content_hash`] of the compilation request.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// The content address of this program on its device — the key its
+    /// plan and learned KMU state live under in an
+    /// [`ArtifactStore`](crate::artifact::ArtifactStore).
+    pub fn artifact_key(&self) -> crate::artifact::ArtifactKey {
+        crate::artifact::ArtifactKey {
+            content: self.content_hash,
+            device: self.device.fingerprint(),
+        }
+    }
+
+    /// A copy of this program's plan-time tables — the exact payload
+    /// [`compile_with_store`] persists — for explicit
+    /// [`ArtifactStore::store_plan`](crate::artifact::ArtifactStore::store_plan)
+    /// calls and roundtrip tests.
+    pub fn export_plan(&self) -> crate::artifact::PlanArtifact {
+        crate::artifact::PlanArtifact::new(
+            self.programs.clone(),
+            self.edge_layouts.clone(),
+            self.variants.clone(),
+        )
     }
 
     /// The analytical model's predicted execution time (µs) of running
@@ -1310,8 +1341,107 @@ pub fn compile_with_options(
 ) -> Result<CompiledProgram> {
     let probe_binds = axis.bind(axis.probe_point());
     let (segments, structure_tags) = build_structure(program, &options, &probe_binds)?;
-    let seg_programs = compile_programs(program, &segments, &probe_binds)?;
-    let layouts = choose_layouts(&segments, options.memory);
+    let plan = plan_tables(
+        program,
+        device,
+        axis,
+        &options,
+        &segments,
+        &structure_tags,
+        &probe_binds,
+    )?;
+    Ok(assemble(program, device, axis, options, segments, plan))
+}
+
+/// Load-or-compile through a persistent [`ArtifactStore`].
+///
+/// The cheap structure pass (one probe-point flatten + classify) always
+/// runs — it rebuilds the segment list the persisted tables are validated
+/// against. On a store hit the expensive plan-time work — bytecode
+/// lowering of every segment body plus the probe/binary-search
+/// construction of the variant table — is skipped entirely and the
+/// persisted [`PlanArtifact`](crate::artifact::PlanArtifact) is spliced
+/// in. On a miss (including corrupt or version-mismatched files, which the
+/// store counts as rejects) the program is compiled normally and the fresh
+/// plan is written back atomically; write failures are swallowed — a
+/// read-only store degrades to cold compiles, never an error.
+///
+/// # Errors
+///
+/// Exactly the errors of [`compile_with_options`]; store problems are
+/// never surfaced as errors.
+pub fn compile_with_store(
+    program: &Program,
+    device: &DeviceSpec,
+    axis: &InputAxis,
+    options: CompileOptions,
+    store: &crate::artifact::ArtifactStore,
+) -> Result<CompiledProgram> {
+    let probe_binds = axis.bind(axis.probe_point());
+    let (segments, structure_tags) = build_structure(program, &options, &probe_binds)?;
+    let key = crate::artifact::ArtifactKey {
+        content: content_hash(program, axis, &options),
+        device: device.fingerprint(),
+    };
+    if let Some(plan) = store.load_plan(key, segments.len(), axis.lo, axis.hi) {
+        return Ok(assemble(program, device, axis, options, segments, plan));
+    }
+    let plan = plan_tables(
+        program,
+        device,
+        axis,
+        &options,
+        &segments,
+        &structure_tags,
+        &probe_binds,
+    )?;
+    let _ = store.store_plan(key, &plan);
+    Ok(assemble(program, device, axis, options, segments, plan))
+}
+
+/// Content address of a compilation request: a stable structural hash of
+/// (program AST, compile options, input axis). Two requests with the same
+/// hash produce the same plan on the same device, so the hash keys the
+/// artifact store (together with
+/// [`DeviceSpec::fingerprint`](gpu_sim::DeviceSpec::fingerprint)).
+///
+/// The axis carries two closures (`bind`, `items`) that cannot be hashed
+/// directly; their *behavior* is sampled at the range endpoints and the
+/// probe point instead. Axes that differ only between sample points can
+/// alias — acceptable, because the variant table is validated structurally
+/// against the freshly rebuilt segments on every load.
+pub fn content_hash(program: &Program, axis: &InputAxis, options: &CompileOptions) -> u64 {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{program:?}|{options:?}|axis {}=[{},{}]",
+        axis.name, axis.lo, axis.hi
+    );
+    for x in [axis.lo, axis.probe_point(), axis.hi] {
+        let _ = write!(s, "|@{x}:");
+        for (k, v) in axis.bind(x) {
+            let _ = write!(s, "{k}={v},");
+        }
+        let _ = write!(s, "items={}", axis.expected_iterations(x, 1));
+    }
+    crate::artifact::fnv1a64(s.as_bytes())
+}
+
+/// The expensive plan-time pass: lower every segment body to bytecode,
+/// choose edge layouts, and build the variant table by probing the axis.
+/// This is exactly what a warm boot skips.
+fn plan_tables(
+    program: &Program,
+    device: &DeviceSpec,
+    axis: &InputAxis,
+    options: &CompileOptions,
+    segments: &[Segment],
+    structure_tags: &[OptTag],
+    probe_binds: &Bindings,
+) -> Result<crate::artifact::PlanArtifact> {
+    let seg_programs = compile_programs(program, segments, probe_binds)?;
+    let layouts = choose_layouts(segments, options.memory);
 
     let fg = program.flatten()?;
     let decide_at = |x: i64, prev: Option<&[SegChoice]>| -> Result<Vec<SegChoice>> {
@@ -1319,7 +1449,7 @@ pub fn compile_with_options(
         let sched = rate_match(&fg, &binds)?;
         let iterations = axis.expected_iterations(x, sched.steady_input);
         Ok(decide(
-            &segments, device, &options, &layouts, &binds, &sched, iterations, prev,
+            segments, device, options, &layouts, &binds, &sched, iterations, prev,
         ))
     };
 
@@ -1366,7 +1496,7 @@ pub fn compile_with_options(
             variants.push(Variant {
                 lo: cur_lo,
                 hi: b - 1,
-                tags: variant_tags(&cur_sig, &layouts, &structure_tags, &segments),
+                tags: variant_tags(&cur_sig, &layouts, structure_tags, segments),
                 choices: cur_sig,
             });
             cur_lo = b;
@@ -1380,22 +1510,40 @@ pub fn compile_with_options(
     variants.push(Variant {
         lo: cur_lo,
         hi,
-        tags: variant_tags(&cur_sig, &layouts, &structure_tags, &segments),
+        tags: variant_tags(&cur_sig, &layouts, structure_tags, segments),
         choices: cur_sig,
     });
 
-    Ok(CompiledProgram {
+    Ok(crate::artifact::PlanArtifact::new(
+        seg_programs,
+        layouts,
+        variants,
+    ))
+}
+
+/// Splice plan-time tables (freshly computed or loaded from the artifact
+/// store) into the run-time [`CompiledProgram`] shell.
+fn assemble(
+    program: &Program,
+    device: &DeviceSpec,
+    axis: &InputAxis,
+    options: CompileOptions,
+    segments: Vec<Segment>,
+    plan: crate::artifact::PlanArtifact,
+) -> CompiledProgram {
+    CompiledProgram {
+        content_hash: content_hash(program, axis, &options),
         program: program.clone(),
         device: device.clone(),
         axis: axis.clone(),
         options,
         segments,
-        programs: seg_programs,
+        programs: plan.programs,
         frames: Arc::new(FramePool::new()),
         warp_frames: Arc::new(crate::warp::WarpFramePool::new()),
-        edge_layouts: layouts,
-        variants,
-    })
+        edge_layouts: plan.edge_layouts,
+        variants: plan.variants,
+    }
 }
 
 /// Compile for a single concrete binding (one-shot execution).

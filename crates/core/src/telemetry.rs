@@ -150,6 +150,14 @@ pub struct TelemetrySnapshot {
     pub degraded_runs: u64,
     /// Variants currently quarantined (circuit open), by index.
     pub quarantined_variants: Vec<usize>,
+    /// Artifact-store loads satisfied from disk (0 without a store).
+    pub artifact_hits: u64,
+    /// Artifact-store loads that found nothing (cold boots).
+    pub artifact_misses: u64,
+    /// Artifacts found but refused — corrupt, truncated, checksum or
+    /// version mismatch, or structurally incompatible; always degraded to
+    /// a miss, never a crash.
+    pub artifact_rejects: u64,
 }
 
 impl fmt::Display for TelemetrySnapshot {
@@ -179,6 +187,11 @@ impl fmt::Display for TelemetrySnapshot {
             self.half_open_probes,
             self.readmissions,
             self.degraded_runs
+        )?;
+        writeln!(
+            f,
+            "  artifacts: {} hits, {} misses, {} rejects",
+            self.artifact_hits, self.artifact_misses, self.artifact_rejects
         )?;
         for (i, ((lo, hi), n)) in self.boundaries.iter().zip(&self.selections).enumerate() {
             let mark = if self.quarantined_variants.contains(&i) {
@@ -230,6 +243,9 @@ mod tests {
             readmissions: 1,
             degraded_runs: 0,
             quarantined_variants: vec![1],
+            artifact_hits: 4,
+            artifact_misses: 2,
+            artifact_rejects: 1,
         };
         let s = snap.to_string();
         assert!(s.contains("7 launches"));
@@ -240,6 +256,7 @@ mod tests {
         assert!(s.contains("6 retries"));
         assert!(s.contains("3 fallbacks"));
         assert!(s.contains("1 quarantines"));
+        assert!(s.contains("4 hits, 2 misses, 1 rejects"));
         assert!(s.contains("variant 1: [100, 4096] selected 2x [quarantined]"));
     }
 

@@ -115,28 +115,70 @@ impl DeviceSpec {
     }
 
     /// Stable fingerprint over every architectural parameter, used to key
-    /// launch-statistics caches: two specs that could produce different
-    /// counters or timing must fingerprint differently.
+    /// launch-statistics caches *and persistent compilation artifacts*:
+    /// two specs that could produce different counters, timing, or plan
+    /// decisions must fingerprint differently, and the value must be
+    /// identical across processes, builds and Rust versions (on-disk
+    /// artifact keys outlive all three) — hence FNV-1a rather than the
+    /// unstable `DefaultHasher`.
     pub fn fingerprint(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.name.hash(&mut h);
-        self.sm_count.hash(&mut h);
-        self.warp_size.hash(&mut h);
-        self.max_threads_per_sm.hash(&mut h);
-        self.max_blocks_per_sm.hash(&mut h);
-        self.max_threads_per_block.hash(&mut h);
-        self.shared_words_per_sm.hash(&mut h);
-        self.shared_words_per_block.hash(&mut h);
-        self.shared_banks.hash(&mut h);
-        self.clock_ghz.to_bits().hash(&mut h);
-        self.mem_bandwidth_gbps.to_bits().hash(&mut h);
-        self.mem_latency_cycles.to_bits().hash(&mut h);
-        self.departure_delay_cycles.to_bits().hash(&mut h);
-        self.transaction_words.hash(&mut h);
-        self.issue_cycles_per_warp_inst.to_bits().hash(&mut h);
-        self.launch_overhead_us.to_bits().hash(&mut h);
-        h.finish()
+        // Exhaustive destructure: adding a DeviceSpec field without
+        // deciding how it fingerprints is a compile error, so a new
+        // perf-relevant field can never be silently omitted.
+        let DeviceSpec {
+            name,
+            sm_count,
+            warp_size,
+            max_threads_per_sm,
+            max_blocks_per_sm,
+            max_threads_per_block,
+            shared_words_per_sm,
+            shared_words_per_block,
+            shared_banks,
+            clock_ghz,
+            mem_bandwidth_gbps,
+            mem_latency_cycles,
+            departure_delay_cycles,
+            transaction_words,
+            issue_cycles_per_warp_inst,
+            launch_overhead_us,
+        } = self;
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            // Field separator so adjacent fields cannot alias by
+            // re-chunking the byte stream.
+            h ^= 0xff;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        eat(name.as_bytes());
+        for v in [
+            *sm_count,
+            *warp_size,
+            *max_threads_per_sm,
+            *max_blocks_per_sm,
+            *max_threads_per_block,
+            *shared_words_per_sm,
+            *shared_words_per_block,
+            *shared_banks,
+            *transaction_words,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        for v in [
+            *clock_ghz,
+            *mem_bandwidth_gbps,
+            *mem_latency_cycles,
+            *departure_delay_cycles,
+            *issue_cycles_per_warp_inst,
+            *launch_overhead_us,
+        ] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
     }
 
     /// Maximum concurrently-resident warps on one SM.
@@ -237,6 +279,152 @@ mod tests {
         assert_eq!(d.active_blocks_per_sm(1024, 0), 0); // >512 threads
         assert_eq!(d.active_blocks_per_sm(0, 0), 0);
         assert_eq!(d.active_blocks_per_sm(64, d.shared_words_per_block + 1), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_presets() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.fingerprint(), DeviceSpec::tesla_c2050().fingerprint());
+        assert_ne!(d.fingerprint(), DeviceSpec::gtx285().fingerprint());
+        assert_ne!(d.fingerprint(), DeviceSpec::gtx480().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_every_field() {
+        // Mutating any single perf-relevant field must change the
+        // fingerprint — persistent artifacts keyed by it would otherwise
+        // be replayed on a device they were not planned for.
+        let base = DeviceSpec::tesla_c2050();
+        let mutations: Vec<(&str, DeviceSpec)> = vec![
+            (
+                "name",
+                DeviceSpec {
+                    name: "Other".into(),
+                    ..base.clone()
+                },
+            ),
+            (
+                "sm_count",
+                DeviceSpec {
+                    sm_count: base.sm_count + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "warp_size",
+                DeviceSpec {
+                    warp_size: 64,
+                    ..base.clone()
+                },
+            ),
+            (
+                "max_threads_per_sm",
+                DeviceSpec {
+                    max_threads_per_sm: base.max_threads_per_sm + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "max_blocks_per_sm",
+                DeviceSpec {
+                    max_blocks_per_sm: base.max_blocks_per_sm + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "max_threads_per_block",
+                DeviceSpec {
+                    max_threads_per_block: base.max_threads_per_block + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "shared_words_per_sm",
+                DeviceSpec {
+                    shared_words_per_sm: base.shared_words_per_sm + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "shared_words_per_block",
+                DeviceSpec {
+                    shared_words_per_block: base.shared_words_per_block + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "shared_banks",
+                DeviceSpec {
+                    shared_banks: base.shared_banks + 1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "clock_ghz",
+                DeviceSpec {
+                    clock_ghz: base.clock_ghz + 0.1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "mem_bandwidth_gbps",
+                DeviceSpec {
+                    mem_bandwidth_gbps: base.mem_bandwidth_gbps + 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "mem_latency_cycles",
+                DeviceSpec {
+                    mem_latency_cycles: base.mem_latency_cycles + 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "departure_delay_cycles",
+                DeviceSpec {
+                    departure_delay_cycles: base.departure_delay_cycles + 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "transaction_words",
+                DeviceSpec {
+                    transaction_words: base.transaction_words * 2,
+                    ..base.clone()
+                },
+            ),
+            (
+                "issue_cycles_per_warp_inst",
+                DeviceSpec {
+                    issue_cycles_per_warp_inst: base.issue_cycles_per_warp_inst + 1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "launch_overhead_us",
+                DeviceSpec {
+                    launch_overhead_us: base.launch_overhead_us + 1.0,
+                    ..base.clone()
+                },
+            ),
+        ];
+        let mut fps = vec![("base", base.fingerprint())];
+        for (field, mutated) in &mutations {
+            assert_ne!(
+                mutated.fingerprint(),
+                base.fingerprint(),
+                "mutating {field} must change the fingerprint"
+            );
+            fps.push((field, mutated.fingerprint()));
+        }
+        // And the mutations are pairwise distinct (no accidental aliasing
+        // between adjacent fields).
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i].1, fps[j].1, "{} aliases {}", fps[i].0, fps[j].0);
+            }
+        }
     }
 
     #[test]

@@ -275,6 +275,80 @@ fn hard_fault_window_quarantines_then_readmits() {
     assert_eq!(snap.faults_injected, budget);
 }
 
+/// Persistence under fire: a fault-injected process that persists its
+/// learned state while a variant sits quarantined must NOT leak the
+/// quarantine into the store — the artifact carries boundaries and
+/// histograms only, and a reloaded process starts with every breaker
+/// closed while inheriting the learned boundaries.
+#[test]
+fn quarantine_state_never_leaks_into_the_store() {
+    let device = DeviceSpec::tesla_c2050();
+    let case = reduce_case();
+    let compiled = compiled_for(&case, &device);
+    assert!(compiled.variant_count() >= 2, "need a fallback target");
+    let dir = std::env::temp_dir().join(format!("adaptic_chaos_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = std::sync::Arc::new(adaptic_repro::adaptic::ArtifactStore::new(&dir));
+
+    // Long quarantine window so the breaker is still open at "shutdown".
+    let kmu = KernelManager::new(compiled.clone())
+        .with_quarantine(1, 1_000_000)
+        .with_artifacts(std::sync::Arc::clone(&store));
+    let x = kmu.telemetry().boundaries[0].0;
+    let input = data(x as usize, 7);
+
+    // Reject the primary's whole attempt budget: variant 0 quarantines and
+    // a neighbor serves the run.
+    let budget = u64::from(RetryPolicy::default().max_attempts);
+    let plan = FaultPlan::new(7)
+        .with_rate(1.0)
+        .with_kinds(vec![FaultKind::LaunchReject])
+        .with_window(0, budget);
+    kmu.run(
+        x,
+        &input,
+        &[],
+        RunOptions::serial(ExecMode::Full).with_faults(&plan),
+    )
+    .expect("the ladder must complete");
+    let snap = kmu.telemetry();
+    assert_eq!(snap.quarantines, 1, "the primary must be quarantined");
+    assert!(
+        !snap.quarantined_variants.is_empty(),
+        "breaker must still be open at persist time"
+    );
+
+    // Persist mid-quarantine, then "reboot".
+    kmu.persist_learned().expect("persist");
+    let boundaries = snap.boundaries.clone();
+    drop(kmu);
+
+    let reloaded = KernelManager::new(compiled).with_artifacts(std::sync::Arc::clone(&store));
+    let fresh = reloaded.telemetry();
+    assert!(
+        fresh.quarantined_variants.is_empty(),
+        "a reloaded process must start with closed breakers, got {:?}",
+        fresh.quarantined_variants
+    );
+    assert_eq!(fresh.quarantines, 0, "no quarantine history inherited");
+    assert_eq!(
+        fresh.boundaries, boundaries,
+        "learned boundaries must survive the restart"
+    );
+    assert_eq!(fresh.artifact_hits, 1, "the reload must be a store hit");
+
+    // And the reloaded manager runs the once-quarantined primary again.
+    let rep = reloaded
+        .run(x, &input, &[], RunOptions::serial(ExecMode::Full))
+        .expect("fault-free run after reload");
+    assert_eq!(
+        rep.variant_index, 0,
+        "primary selectable again after reboot"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
