@@ -750,6 +750,26 @@ impl PlanArtifact {
         self.variants.len()
     }
 
+    /// Exact on-disk size of this plan's artifact file in bytes (framing
+    /// included) — the per-device store footprint the fleet's variant-set
+    /// pruning bounds. Computed by encoding, never by touching the
+    /// filesystem.
+    pub fn byte_size(&self) -> usize {
+        let (code, table) = self.encode_records();
+        let key = ArtifactKey {
+            content: 0,
+            device: 0,
+        };
+        encode_file(KIND_PLAN, key, &[code, table]).len()
+    }
+
+    /// Size of the variant-table record alone in bytes — the "plan table"
+    /// share of [`byte_size`](Self::byte_size), which is what shrinks
+    /// under pruning while the shared bytecode record stays put.
+    pub fn table_bytes(&self) -> usize {
+        self.encode_records().1.len()
+    }
+
     fn encode_records(&self) -> (Vec<u8>, Vec<u8>) {
         // Record 1: bytecode programs + edge layouts.
         let mut e = Enc::default();

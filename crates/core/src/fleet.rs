@@ -1,0 +1,545 @@
+//! Heterogeneous fleet scheduling with cost-predicted placement.
+//!
+//! The paper compiles one program for one device; a rendering farm or a
+//! cloud tier runs the same program across a *fleet* of unlike devices —
+//! an iGPU next to an HPC part — where the right home for a launch depends
+//! on both the launch (tiny inputs waste a wide device's launch overhead,
+//! huge inputs starve on a narrow one) and the moment (the best device may
+//! already be buried in work). This module extends the kernel-management
+//! unit across devices: one [`KernelManager`] per device, each with its
+//! own recalibrating variant table, and a [`Fleet`] scheduler that places
+//! every launch on the node minimizing
+//!
+//! ```text
+//! corrected_cost(x)            // analytical model × measured/predicted EWMA
+//!   + queue.backlog_us()       // predicted work already waiting there
+//! ```
+//!
+//! — the same "model, corrected by measurement" signal the single-device
+//! KMU recalibrates boundaries with, reused as a placement oracle. Two
+//! baselines calibrate the benefit: round-robin (ignores everything) and
+//! static affinity (best *offline* model cost, ignoring both measured
+//! corrections and backlog).
+//!
+//! What is and is not shared across the fleet: nothing learned crosses
+//! devices. Each node's boundaries, histograms and breakers are keyed to
+//! its own device (a learned state's [`crate::ArtifactKey`] embeds the
+//! device fingerprint, so cross-device imports fail closed); only the
+//! telemetry *rollup* ([`TelemetrySnapshot::fleet_rollup`]) aggregates.
+//!
+//! The fleet is also where "few fit most" variant-set pruning
+//! ([`perfmodel::prune_variant_set`]) pays off: per-device variant tables
+//! multiply with fleet size, and [`Fleet::prune`] shrinks each node's
+//! table to the smallest subset within a stated overhead bound of the full
+//! table — bounding plan bytes, artifact footprint, and breaker surface
+//! fleet-wide.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gpu_sim::{DeviceQueue, DeviceSpec};
+use perfmodel::{prune_variant_set, PruneSelection};
+use streamir::error::{Error, Result};
+use streamir::graph::Program;
+
+use crate::kmu::KernelManager;
+use crate::plan::{compile, InputAxis};
+use crate::runtime::{ExecutionReport, RunOptions, StateBinding};
+use crate::telemetry::TelemetrySnapshot;
+
+/// How a [`Fleet`] chooses the device for each launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Minimize EWMA-corrected predicted cost **plus** the predicted
+    /// backlog already queued on the node — the adaptive policy.
+    CostPredicted,
+    /// Cycle through nodes in order, ignoring cost and backlog — the
+    /// "fair share" baseline.
+    RoundRobin,
+    /// Pin each launch to the node whose *offline* analytical model is
+    /// cheapest for that input, ignoring measured corrections and backlog
+    /// — what a static ahead-of-time placement would do.
+    StaticAffinity,
+}
+
+/// One device of the fleet: its kernel-management unit plus the
+/// outstanding-work ledger the scheduler reads.
+#[derive(Debug)]
+pub struct FleetNode {
+    name: String,
+    manager: KernelManager,
+    queue: DeviceQueue,
+}
+
+impl FleetNode {
+    /// Wrap an existing manager as a fleet node. The name is free-form
+    /// (defaults to the device's marketing name via [`Fleet::compile`]).
+    pub fn new(name: impl Into<String>, manager: KernelManager) -> FleetNode {
+        FleetNode {
+            name: name.into(),
+            manager,
+            queue: DeviceQueue::new(),
+        }
+    }
+
+    /// The node's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kernel-management unit.
+    pub fn manager(&self) -> &KernelManager {
+        &self.manager
+    }
+
+    /// The node's outstanding-work ledger.
+    pub fn queue(&self) -> &DeviceQueue {
+        &self.queue
+    }
+
+    /// Offline model cost for `x` on this node: the planner's uncorrected
+    /// prediction for the variant the *static* table picks. `None` when the
+    /// node cannot price `x`.
+    fn static_cost(&self, x: i64) -> Option<f64> {
+        let program = self.manager.program();
+        let (v, _) = program.try_variant_for(x).ok()?;
+        program.predicted_time_us(x, v)
+    }
+}
+
+/// Where one launch was placed and at what predicted price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Index of the chosen node in [`Fleet::nodes`].
+    pub node: usize,
+    /// EWMA-corrected predicted device time (µs) charged to the node's
+    /// backlog until the launch completes.
+    pub predicted_us: f64,
+}
+
+/// One node's outcome from a [`Fleet::prune`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneOutcome {
+    /// The node's name.
+    pub node: String,
+    /// Which variants survived and the overhead bound they achieve.
+    pub selection: PruneSelection,
+    /// Variant count before pruning.
+    pub full_variants: usize,
+    /// Full-table plan artifact size in bytes (encoded, framing included).
+    pub full_bytes: usize,
+    /// Pruned-table plan artifact size in bytes.
+    pub pruned_bytes: usize,
+}
+
+/// A set of heterogeneous devices fronted by one placement scheduler.
+#[derive(Debug)]
+pub struct Fleet {
+    nodes: Vec<FleetNode>,
+    rr_cursor: AtomicUsize,
+    shared_artifact_store: bool,
+}
+
+impl Fleet {
+    /// Assemble a fleet from prebuilt nodes. Set `shared_artifact_store`
+    /// when the nodes' managers share one [`crate::ArtifactStore`] — it
+    /// controls double-count avoidance in [`Fleet::telemetry`]
+    /// (store-wide artifact counters are taken once, not once per node).
+    pub fn new(nodes: Vec<FleetNode>, shared_artifact_store: bool) -> Fleet {
+        Fleet {
+            nodes,
+            rr_cursor: AtomicUsize::new(0),
+            shared_artifact_store,
+        }
+    }
+
+    /// Compile `program` over `axis` once per device and stand up one
+    /// node per device, named after it. Each node gets a private manager;
+    /// no artifact store is attached (use [`Fleet::new`] with
+    /// [`KernelManager::with_artifacts`] for warm-started fleets).
+    ///
+    /// # Errors
+    ///
+    /// The first device whose compilation fails aborts fleet construction.
+    pub fn compile(program: &Program, axis: &InputAxis, devices: &[DeviceSpec]) -> Result<Fleet> {
+        let nodes = devices
+            .iter()
+            .map(|d| {
+                let compiled = compile(program, d, axis)?;
+                Ok(FleetNode::new(d.name.clone(), KernelManager::new(compiled)))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Fleet::new(nodes, false))
+    }
+
+    /// The fleet's nodes, in placement-index order.
+    pub fn nodes(&self) -> &[FleetNode] {
+        &self.nodes
+    }
+
+    /// Decide where axis value `x` should run under `policy`, without
+    /// launching or charging anything. Nodes that cannot price `x` (input
+    /// outside their compiled range, empty table) are skipped under every
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyVariantTable`] for an empty fleet; when *no* node can
+    /// price `x`, the last node's selection error propagates.
+    pub fn place(&self, x: i64, policy: PlacementPolicy) -> Result<Placement> {
+        if self.nodes.is_empty() {
+            return Err(Error::EmptyVariantTable);
+        }
+        // Every policy charges the node's corrected cost to its backlog —
+        // the ledger tracks the scheduler's honest estimate even when the
+        // policy ignored it for the placement decision.
+        let mut priced: Vec<(usize, f64)> = Vec::with_capacity(self.nodes.len());
+        let mut last_err = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.manager.corrected_cost(x) {
+                Ok(c) => priced.push((i, c)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if priced.is_empty() {
+            return Err(last_err.unwrap_or(Error::EmptyVariantTable));
+        }
+        let (node, predicted_us) = match policy {
+            PlacementPolicy::CostPredicted => priced
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    let ka = a.1 + self.nodes[a.0].queue.backlog_us();
+                    let kb = b.1 + self.nodes[b.0].queue.backlog_us();
+                    ka.total_cmp(&kb)
+                })
+                .expect("priced is non-empty"),
+            PlacementPolicy::RoundRobin => {
+                let turn = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
+                priced[turn % priced.len()]
+            }
+            PlacementPolicy::StaticAffinity => priced
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    let ka = self.nodes[a.0].static_cost(x).unwrap_or(f64::INFINITY);
+                    let kb = self.nodes[b.0].static_cost(x).unwrap_or(f64::INFINITY);
+                    ka.total_cmp(&kb)
+                })
+                .expect("priced is non-empty"),
+        };
+        Ok(Placement { node, predicted_us })
+    }
+
+    /// Place one launch under `policy` **and charge the chosen node's
+    /// backlog** with the predicted cost. The launch is now outstanding:
+    /// subsequent placements see it as queued work, which is what lets
+    /// cost-predicted placement spread a burst of requests instead of
+    /// piling them all on the momentarily-cheapest device. Pair every
+    /// `admit` with exactly one [`Fleet::settle`].
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`Fleet::place`]; nothing is charged on error.
+    pub fn admit(&self, x: i64, policy: PlacementPolicy) -> Result<Placement> {
+        let placement = self.place(x, policy)?;
+        self.nodes[placement.node]
+            .queue
+            .enqueue(placement.predicted_us);
+        Ok(placement)
+    }
+
+    /// Run an admitted launch on its placed node (variant selection,
+    /// recalibration, resilience all apply) and settle its backlog ticket
+    /// against the measured time. Failed launches settle with zero busy
+    /// time — the ledger never leaks backlog.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the node's [`KernelManager::run`] returns; the ticket is
+    /// settled either way.
+    pub fn settle(
+        &self,
+        placement: Placement,
+        x: i64,
+        input: &[f32],
+        state: &[StateBinding],
+        opts: RunOptions<'_>,
+    ) -> Result<ExecutionReport> {
+        let node = &self.nodes[placement.node];
+        match node.manager.run(x, input, state, opts) {
+            Ok(report) => {
+                node.queue.complete(placement.predicted_us, report.time_us);
+                Ok(report)
+            }
+            Err(e) => {
+                node.queue.complete(placement.predicted_us, 0.0);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Fleet::admit`] + [`Fleet::settle`] back to back — the one-at-a-time
+    /// path for callers with no burst to pack.
+    ///
+    /// # Errors
+    ///
+    /// Placement errors ([`Fleet::place`]) and whatever the chosen node's
+    /// [`KernelManager::run`] returns.
+    pub fn dispatch(
+        &self,
+        x: i64,
+        input: &[f32],
+        state: &[StateBinding],
+        opts: RunOptions<'_>,
+        policy: PlacementPolicy,
+    ) -> Result<(Placement, ExecutionReport)> {
+        let placement = self.admit(x, policy)?;
+        let report = self.settle(placement, x, input, state, opts)?;
+        Ok((placement, report))
+    }
+
+    /// Fleet makespan: the busiest node's accumulated measured device time
+    /// (µs). With every node started at zero this is the simulated
+    /// wall-clock a fixed workload took — the figure throughput numbers
+    /// divide by.
+    pub fn makespan_us(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.queue.busy_us())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total measured device time across the fleet (µs) — makespan times
+    /// node count when perfectly balanced; the gap between the two is the
+    /// imbalance a placement policy left on the table.
+    pub fn total_busy_us(&self) -> f64 {
+        self.nodes.iter().map(|n| n.queue.busy_us()).sum()
+    }
+
+    /// One fleet-wide telemetry view: the latest snapshot of every node's
+    /// manager, rolled up with
+    /// [`TelemetrySnapshot::fleet_rollup`] under this fleet's
+    /// artifact-store sharing mode. `None` for an empty fleet.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let snaps: Vec<TelemetrySnapshot> =
+            self.nodes.iter().map(|n| n.manager.telemetry()).collect();
+        TelemetrySnapshot::fleet_rollup(&snaps, self.shared_artifact_store)
+    }
+
+    /// "Few fit most" pass: shrink every node's variant table to the
+    /// smallest subset whose predicted cost stays within `tolerance`
+    /// (fractional) of the full table at every one of `samples` axis
+    /// points. Cost curves are scaled by each variant's measured/predicted
+    /// EWMA ratio first, so a device whose measurements contradict the
+    /// model prunes against *corrected* curves.
+    ///
+    /// Nodes are rebuilt on their pruned programs with fresh managers:
+    /// learned boundaries/histograms are indexed by full-table variant
+    /// numbers and do not transfer (recalibration re-learns on the smaller
+    /// table). No artifact store is re-attached — a pruned table keeps its
+    /// parent's content hash, and persisting it would clobber the full
+    /// plan's entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::CompiledProgram::prune_to`] failures; the fleet
+    /// is unchanged on error.
+    pub fn prune(&mut self, samples: usize, tolerance: f64) -> Result<Vec<PruneOutcome>> {
+        let mut rebuilt = Vec::with_capacity(self.nodes.len());
+        let mut outcomes = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let program = node.manager.program();
+            let ratios: Vec<f64> = node
+                .manager
+                .export_learned()
+                .histograms
+                .iter()
+                .map(|h| h.ratio)
+                .collect();
+            let (_, costs) =
+                program.sample_cost_matrix(samples, |v| ratios.get(v).copied().unwrap_or(1.0));
+            let selection = prune_variant_set(&costs, tolerance);
+            let pruned = program.prune_to(&selection.kept)?;
+            outcomes.push(PruneOutcome {
+                node: node.name.clone(),
+                selection,
+                full_variants: program.variant_count(),
+                full_bytes: program.export_plan().byte_size(),
+                pruned_bytes: pruned.export_plan().byte_size(),
+            });
+            rebuilt.push(FleetNode::new(
+                node.name.clone(),
+                KernelManager::new(pruned),
+            ));
+        }
+        self.nodes = rebuilt;
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::ExecMode;
+    use streamir::parse::parse_program;
+
+    fn program() -> Program {
+        // Work scales with the axis (pop N): predictions genuinely differ
+        // across input sizes, which placement tests depend on.
+        parse_program(
+            r#"pipeline Sum(N) {
+                actor Sum(pop N, push 1) {
+                    acc = 0.0;
+                    for i in 0..N { acc = acc + pop(); }
+                    push(acc);
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn fleet() -> Fleet {
+        let axis = InputAxis::total_size("N", 1 << 6, 1 << 18);
+        Fleet::compile(
+            &program(),
+            &axis,
+            &[DeviceSpec::igpu_small(), DeviceSpec::hpc_wide()],
+        )
+        .unwrap()
+    }
+
+    fn opts() -> RunOptions<'static> {
+        RunOptions {
+            mode: ExecMode::SampledStats(2),
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn fleet_compiles_one_node_per_device() {
+        let f = fleet();
+        assert_eq!(f.nodes().len(), 2);
+        assert_eq!(f.nodes()[0].name(), "Iris iGPU-S");
+        assert_ne!(
+            f.nodes()[0].manager().program().artifact_key(),
+            f.nodes()[1].manager().program().artifact_key(),
+            "per-device plans must key separately"
+        );
+    }
+
+    #[test]
+    fn cost_predicted_placement_respects_device_strengths() {
+        let f = fleet();
+        // Tiny launch: the iGPU's 2µs launch overhead beats the HPC
+        // part's 12µs. Huge launch: 900 GB/s swamps 25.6.
+        let tiny = f.place(1 << 6, PlacementPolicy::CostPredicted).unwrap();
+        let huge = f.place(1 << 18, PlacementPolicy::CostPredicted).unwrap();
+        assert_eq!(f.nodes()[tiny.node].name(), "Iris iGPU-S");
+        assert_eq!(f.nodes()[huge.node].name(), "HPC Wide-80");
+        assert!(tiny.predicted_us > 0.0 && huge.predicted_us > 0.0);
+    }
+
+    #[test]
+    fn backlog_steers_placement_away_from_busy_nodes() {
+        let f = fleet();
+        let first = f.place(1 << 18, PlacementPolicy::CostPredicted).unwrap();
+        // Bury the preferred node in (predicted) work; the scheduler must
+        // divert the same launch elsewhere.
+        f.nodes()[first.node].queue().enqueue(1e9);
+        let diverted = f.place(1 << 18, PlacementPolicy::CostPredicted).unwrap();
+        assert_ne!(diverted.node, first.node);
+        // Static affinity ignores backlog and keeps pinning.
+        let pinned = f.place(1 << 18, PlacementPolicy::StaticAffinity).unwrap();
+        assert_eq!(pinned.node, first.node);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_dispatch_settles_queues() {
+        let f = fleet();
+        let input = vec![1.0f32; 1 << 10];
+        let mut seen = [0usize; 2];
+        for _ in 0..4 {
+            let (p, report) = f
+                .dispatch(1 << 10, &input, &[], opts(), PlacementPolicy::RoundRobin)
+                .unwrap();
+            assert!(report.time_us > 0.0);
+            seen[p.node] += 1;
+        }
+        assert_eq!(seen, [2, 2], "round robin must alternate");
+        for n in f.nodes() {
+            assert_eq!(n.queue().depth(), 0, "every ticket settled");
+            assert_eq!(n.queue().enqueued(), 2);
+            assert!(n.queue().busy_us() > 0.0);
+        }
+        assert!(f.makespan_us() > 0.0);
+        assert!(f.total_busy_us() >= f.makespan_us());
+    }
+
+    #[test]
+    fn admitted_burst_spreads_across_the_fleet() {
+        let f = fleet();
+        // A burst of identical launches admitted before any completes:
+        // backlog charging must spread them instead of piling every one
+        // onto the momentarily-cheapest node.
+        let placements: Vec<Placement> = (0..8)
+            .map(|_| f.admit(1 << 12, PlacementPolicy::CostPredicted).unwrap())
+            .collect();
+        let used: std::collections::BTreeSet<usize> = placements.iter().map(|p| p.node).collect();
+        assert!(
+            used.len() > 1,
+            "one node took the whole burst: {placements:?}"
+        );
+        let input = vec![1.0f32; 1 << 12];
+        for p in placements {
+            f.settle(p, 1 << 12, &input, &[], opts()).unwrap();
+        }
+        for n in f.nodes() {
+            assert_eq!(n.queue().depth(), 0, "every ticket settled");
+        }
+    }
+
+    #[test]
+    fn fleet_telemetry_rolls_up_across_nodes() {
+        let f = fleet();
+        let input = vec![1.0f32; 1 << 10];
+        for _ in 0..6 {
+            f.dispatch(1 << 10, &input, &[], opts(), PlacementPolicy::RoundRobin)
+                .unwrap();
+        }
+        let t = f.telemetry().unwrap();
+        assert_eq!(t.launches, 6, "3 per node, summed once each");
+        assert!(t.boundaries.is_empty(), "per-table state dropped");
+    }
+
+    #[test]
+    fn prune_shrinks_tables_within_bound() {
+        let mut f = fleet();
+        let before: Vec<usize> = f
+            .nodes()
+            .iter()
+            .map(|n| n.manager().program().variant_count())
+            .collect();
+        let outcomes = f.prune(32, 0.10).unwrap();
+        for (o, b) in outcomes.iter().zip(&before) {
+            assert_eq!(o.full_variants, *b);
+            assert!(o.selection.max_overhead <= 0.10 + 1e-9);
+            assert!(!o.selection.kept.is_empty());
+            assert!(o.pruned_bytes <= o.full_bytes);
+            if o.selection.kept.len() < o.full_variants {
+                assert!(o.pruned_bytes < o.full_bytes, "fewer variants, fewer bytes");
+            }
+        }
+        // The fleet still schedules and runs after the swap.
+        let input = vec![1.0f32; 1 << 10];
+        f.dispatch(1 << 10, &input, &[], opts(), PlacementPolicy::CostPredicted)
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_fleet_and_unpriceable_inputs_error() {
+        let f = Fleet::new(Vec::new(), false);
+        assert!(f.place(10, PlacementPolicy::CostPredicted).is_err());
+        let f = fleet();
+        assert!(f.place(i64::MAX, PlacementPolicy::CostPredicted).is_err());
+    }
+}

@@ -447,6 +447,27 @@ impl KernelManager {
         self.select_locked(&st, x)
     }
 
+    /// The manager's best current estimate of what running axis value `x`
+    /// here would cost, in µs: the analytical model's prediction for the
+    /// variant the *recalibrated* table selects, scaled by that variant's
+    /// measured/predicted EWMA ratio (1.0 until measurements arrive). This
+    /// is the per-device cost term a fleet scheduler compares across
+    /// heterogeneous devices — it sharpens online as histograms fill in,
+    /// without ever launching anything.
+    ///
+    /// # Errors
+    ///
+    /// The selection errors of [`KernelManager::select`].
+    pub fn corrected_cost(&self, x: i64) -> Result<f64> {
+        let (v, correction, skew) = {
+            let st = self.lock_state();
+            let v = self.select_locked(&st, x)?;
+            (v, st.hist[v].ratio, st.skew[v])
+        };
+        // Price outside the lock: predicted() flattens and rate-matches.
+        Ok(correction * skew * self.predicted(x, v))
+    }
+
     fn select_locked(&self, st: &KmuState, x: i64) -> Result<usize> {
         if st.ranges.is_empty() {
             return Err(Error::EmptyVariantTable);

@@ -52,6 +52,7 @@ pub mod bytecode;
 pub mod codegen;
 pub mod cost;
 pub mod exec_ir;
+pub mod fleet;
 pub mod kmu;
 pub mod layout;
 pub mod opt;
@@ -63,6 +64,7 @@ pub mod warp;
 
 pub use analysis::{classify, ActorClass};
 pub use artifact::{ArtifactCounters, ArtifactError, ArtifactKey, ArtifactStore, LearnedState};
+pub use fleet::{Fleet, FleetNode, Placement, PlacementPolicy, PruneOutcome};
 pub use kmu::{KernelManager, VariantHistogram};
 pub use layout::{restructure, unrestructure, Layout};
 pub use plan::{

@@ -160,6 +160,85 @@ pub struct TelemetrySnapshot {
     pub artifact_rejects: u64,
 }
 
+impl TelemetrySnapshot {
+    /// Fold `other` into `self`, producing the view one manager would have
+    /// reported had it done both managers' work.
+    ///
+    /// Scalars are summed; `mean_model_error` becomes the launch-weighted
+    /// mean; `selections` are summed element-wise (padded to the longer
+    /// table). `boundaries` and `quarantined_variants` are per-table state
+    /// with no cross-device meaning, so the merged snapshot drops them —
+    /// read those off the individual snapshots.
+    ///
+    /// `shared_artifact_store` controls the artifact counters. The
+    /// [`crate::ArtifactStore`] tallies hits/misses *store-wide*, so when
+    /// several managers share one store each snapshot already carries the
+    /// whole store's counts: summing would multiply every hit by the fleet
+    /// size. Pass `true` to take the max (one store, counted once), `false`
+    /// when each manager has a private store and the counts are disjoint.
+    ///
+    /// Feed this exactly one snapshot per manager — the *latest*. Snapshots
+    /// are cumulative, so merging two reports from the same manager
+    /// double-counts everything it did before the first.
+    pub fn merge(&mut self, other: &TelemetrySnapshot, shared_artifact_store: bool) {
+        let total = self.launches + other.launches;
+        if total > 0 {
+            self.mean_model_error = (self.mean_model_error * self.launches as f64
+                + other.mean_model_error * other.launches as f64)
+                / total as f64;
+        }
+        self.launches = total;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        if self.selections.len() < other.selections.len() {
+            self.selections.resize(other.selections.len(), 0);
+        }
+        for (s, o) in self.selections.iter_mut().zip(&other.selections) {
+            *s += o;
+        }
+        self.recalibration_moves += other.recalibration_moves;
+        self.retries += other.retries;
+        self.faults_observed += other.faults_observed;
+        self.faults_injected += other.faults_injected;
+        self.deadline_overruns += other.deadline_overruns;
+        self.fallbacks += other.fallbacks;
+        self.quarantines += other.quarantines;
+        self.half_open_probes += other.half_open_probes;
+        self.readmissions += other.readmissions;
+        self.degraded_runs += other.degraded_runs;
+        self.boundaries.clear();
+        self.quarantined_variants.clear();
+        if shared_artifact_store {
+            self.artifact_hits = self.artifact_hits.max(other.artifact_hits);
+            self.artifact_misses = self.artifact_misses.max(other.artifact_misses);
+            self.artifact_rejects = self.artifact_rejects.max(other.artifact_rejects);
+        } else {
+            self.artifact_hits += other.artifact_hits;
+            self.artifact_misses += other.artifact_misses;
+            self.artifact_rejects += other.artifact_rejects;
+        }
+    }
+
+    /// Roll one latest-snapshot-per-manager slice up into a single fleet
+    /// view. See [`merge`](Self::merge) for the `shared_artifact_store`
+    /// double-counting rule. Returns `None` for an empty slice.
+    pub fn fleet_rollup(
+        snaps: &[TelemetrySnapshot],
+        shared_artifact_store: bool,
+    ) -> Option<TelemetrySnapshot> {
+        let (first, rest) = snaps.split_first()?;
+        let mut acc = first.clone();
+        // Per-table state is meaningless fleet-wide even with one device.
+        acc.boundaries.clear();
+        acc.quarantined_variants.clear();
+        for s in rest {
+            acc.merge(s, shared_artifact_store);
+        }
+        Some(acc)
+    }
+}
+
 impl fmt::Display for TelemetrySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -258,6 +337,76 @@ mod tests {
         assert!(s.contains("1 quarantines"));
         assert!(s.contains("4 hits, 2 misses, 1 rejects"));
         assert!(s.contains("variant 1: [100, 4096] selected 2x [quarantined]"));
+    }
+
+    fn snap(launches: u64, hits: u64, selections: Vec<u64>) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            launches,
+            cache_hits: launches / 2,
+            cache_misses: launches - launches / 2,
+            cache_evictions: 0,
+            selections,
+            recalibration_moves: 1,
+            mean_model_error: 0.10,
+            boundaries: vec![(1, 100)],
+            retries: 1,
+            faults_observed: 1,
+            faults_injected: 1,
+            deadline_overruns: 0,
+            fallbacks: 0,
+            quarantines: 0,
+            half_open_probes: 0,
+            readmissions: 0,
+            degraded_runs: 0,
+            quarantined_variants: vec![0],
+            artifact_hits: hits,
+            artifact_misses: 1,
+            artifact_rejects: 0,
+        }
+    }
+
+    #[test]
+    fn rollup_sums_per_manager_counters() {
+        let a = snap(10, 3, vec![4, 6]);
+        let mut b = snap(30, 3, vec![30, 0, 0]);
+        b.mean_model_error = 0.30;
+        let fleet = TelemetrySnapshot::fleet_rollup(&[a, b], false).unwrap();
+        assert_eq!(fleet.launches, 40);
+        assert_eq!(fleet.cache_hits, 5 + 15);
+        assert_eq!(fleet.selections, vec![34, 6, 0]);
+        // Launch-weighted mean error: (10*0.10 + 30*0.30) / 40 = 0.25.
+        assert!((fleet.mean_model_error - 0.25).abs() < 1e-12);
+        // Private stores: artifact counts are disjoint and sum.
+        assert_eq!(fleet.artifact_hits, 6);
+        // Per-table state does not survive the rollup.
+        assert!(fleet.boundaries.is_empty());
+        assert!(fleet.quarantined_variants.is_empty());
+    }
+
+    #[test]
+    fn shared_store_hits_are_not_double_counted() {
+        // Three managers over ONE artifact store: each snapshot already
+        // carries the store-wide tally (here 7 hits), so the fleet view
+        // must report 7, not 21.
+        let snaps = vec![
+            snap(5, 7, vec![5]),
+            snap(5, 7, vec![5]),
+            snap(5, 7, vec![5]),
+        ];
+        let fleet = TelemetrySnapshot::fleet_rollup(&snaps, true).unwrap();
+        assert_eq!(fleet.artifact_hits, 7);
+        assert_eq!(fleet.artifact_misses, 1);
+        assert_eq!(
+            fleet.launches, 15,
+            "launch counters are per-manager and sum"
+        );
+        let summed = TelemetrySnapshot::fleet_rollup(&snaps, false).unwrap();
+        assert_eq!(summed.artifact_hits, 21, "private stores would sum");
+    }
+
+    #[test]
+    fn rollup_of_empty_slice_is_none() {
+        assert!(TelemetrySnapshot::fleet_rollup(&[], true).is_none());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod exec;
 pub mod faults;
 pub mod kernel;
 pub mod mem;
+pub mod queue;
 pub mod spec;
 
 pub use accounting::{BlockScratch, ScratchPool};
@@ -69,4 +70,5 @@ pub use exec::{
 pub use faults::{Fault, FaultInjector, FaultKind, FaultPlan, LaunchControl, LaunchError};
 pub use kernel::{BlockCounters, BlockCtx, Kernel, LaunchConfig, Site};
 pub use mem::{bank_conflict_degree, coalesce_transactions, BufId, GlobalMem};
+pub use queue::DeviceQueue;
 pub use spec::DeviceSpec;

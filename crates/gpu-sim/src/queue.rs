@@ -1,0 +1,192 @@
+//! Per-device work queues for fleet scheduling.
+//!
+//! A [`DeviceQueue`] tracks how much *predicted* work is already waiting on
+//! one simulated device — the backlog term a fleet scheduler adds to a
+//! launch's own predicted cost when deciding where to place it — plus the
+//! device's cumulative busy time, which is what fleet-makespan/throughput
+//! figures are computed from.
+//!
+//! The queue is deliberately a ledger, not an executor: launches still run
+//! through whatever engine the caller drives. `enqueue` charges the
+//! placement decision's cost estimate, `complete` settles it against the
+//! measured cost once the launch finishes. All state is atomic —
+//! schedulers race placement decisions against completions from worker
+//! threads, and a queue read is one relaxed load, never a lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Atomically add `delta` (which may be negative) to an `f64` stored as
+/// bits, clamping the result at zero. Backlog under-settlement (a launch
+/// measuring cheaper than estimated) must never drive the ledger negative.
+fn f64_add_clamped(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).max(0.0);
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(found) => cur = found,
+        }
+    }
+}
+
+/// Outstanding-work ledger of one device in a simulated fleet.
+#[derive(Debug, Default)]
+pub struct DeviceQueue {
+    /// Launches placed but not yet completed.
+    depth: AtomicUsize,
+    /// Predicted µs of work placed but not yet completed (f64 bits).
+    backlog_us: AtomicU64,
+    /// Measured µs of device time across completed launches (f64 bits).
+    busy_us: AtomicU64,
+    /// Launches ever placed on this queue.
+    enqueued: AtomicU64,
+    /// Launches completed (successfully or not — the ticket is settled
+    /// either way, or the backlog would leak on failures).
+    completed: AtomicU64,
+}
+
+impl DeviceQueue {
+    /// An empty queue.
+    pub fn new() -> DeviceQueue {
+        DeviceQueue::default()
+    }
+
+    /// Charge a placement decision: `predicted_us` of estimated work joins
+    /// the backlog. Non-finite or negative estimates are charged as zero —
+    /// a mispriced launch must not poison the ledger.
+    pub fn enqueue(&self, predicted_us: f64) {
+        let est = if predicted_us.is_finite() {
+            predicted_us.max(0.0)
+        } else {
+            0.0
+        };
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        f64_add_clamped(&self.backlog_us, est);
+    }
+
+    /// Settle a completed launch: remove its `predicted_us` estimate from
+    /// the backlog (the same value passed to [`enqueue`](Self::enqueue))
+    /// and account `measured_us` of real device time. Pass
+    /// `measured_us = 0.0` for a failed launch — the ticket is settled,
+    /// no busy time accrues.
+    pub fn complete(&self, predicted_us: f64, measured_us: f64) {
+        let est = if predicted_us.is_finite() {
+            predicted_us.max(0.0)
+        } else {
+            0.0
+        };
+        f64_add_clamped(&self.backlog_us, -est);
+        if measured_us.is_finite() && measured_us > 0.0 {
+            f64_add_clamped(&self.busy_us, measured_us);
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        // Depth saturates at zero: a stray double-complete must not wrap.
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Predicted µs of work currently waiting on this device.
+    pub fn backlog_us(&self) -> f64 {
+        f64::from_bits(self.backlog_us.load(Ordering::Relaxed))
+    }
+
+    /// Measured µs of device time consumed by completed launches — one
+    /// device's contribution to the fleet makespan.
+    pub fn busy_us(&self) -> f64 {
+        f64::from_bits(self.busy_us.load(Ordering::Relaxed))
+    }
+
+    /// Launches placed but not yet completed.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Launches ever placed on this queue.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Launches settled so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_complete_settles_the_ledger() {
+        let q = DeviceQueue::new();
+        q.enqueue(100.0);
+        q.enqueue(50.0);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.enqueued(), 2);
+        assert!((q.backlog_us() - 150.0).abs() < 1e-9);
+        assert_eq!(q.busy_us(), 0.0);
+
+        q.complete(100.0, 120.0);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.completed(), 1);
+        assert!((q.backlog_us() - 50.0).abs() < 1e-9);
+        assert!((q.busy_us() - 120.0).abs() < 1e-9);
+
+        // A failed launch settles its ticket without accruing busy time.
+        q.complete(50.0, 0.0);
+        assert_eq!(q.depth(), 0);
+        assert!((q.backlog_us()).abs() < 1e-9);
+        assert!((q.busy_us() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_never_goes_negative_or_wraps() {
+        let q = DeviceQueue::new();
+        q.enqueue(10.0);
+        // Over-settlement (estimate revised upward between enqueue and
+        // complete) clamps at zero instead of going negative.
+        q.complete(25.0, 5.0);
+        assert_eq!(q.backlog_us(), 0.0);
+        assert_eq!(q.depth(), 0);
+        // Double-complete saturates depth at zero.
+        q.complete(5.0, 1.0);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.completed(), 2);
+    }
+
+    #[test]
+    fn non_finite_estimates_are_inert() {
+        let q = DeviceQueue::new();
+        q.enqueue(f64::INFINITY);
+        q.enqueue(f64::NAN);
+        q.enqueue(-4.0);
+        assert_eq!(q.backlog_us(), 0.0);
+        assert_eq!(q.depth(), 3);
+        q.complete(f64::NAN, f64::NAN);
+        assert_eq!(q.busy_us(), 0.0);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn concurrent_traffic_balances() {
+        let q = DeviceQueue::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        q.enqueue(3.0);
+                        q.complete(3.0, 2.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.enqueued(), 4000);
+        assert_eq!(q.completed(), 4000);
+        assert!(q.backlog_us().abs() < 1e-6);
+        assert!((q.busy_us() - 8000.0).abs() < 1e-6);
+    }
+}

@@ -114,6 +114,68 @@ impl DeviceSpec {
         }
     }
 
+    /// Small integrated-GPU-class device: few SMs, narrow shared memory,
+    /// a fraction of the discrete parts' bandwidth — but the cheapest
+    /// launch overhead in the fleet (no PCIe hop). Wins tiny launches,
+    /// loses badly once a kernel becomes bandwidth-bound.
+    pub fn igpu_small() -> DeviceSpec {
+        DeviceSpec {
+            name: "Iris iGPU-S".into(),
+            sm_count: 6,
+            warp_size: 32,
+            max_threads_per_sm: 512,
+            max_blocks_per_sm: 4,
+            max_threads_per_block: 256,
+            shared_words_per_sm: 16 * 1024 / 4,
+            shared_words_per_block: 16 * 1024 / 4,
+            shared_banks: 16,
+            clock_ghz: 0.65,
+            mem_bandwidth_gbps: 25.6,
+            mem_latency_cycles: 800.0,
+            departure_delay_cycles: 24.0,
+            transaction_words: 16,
+            issue_cycles_per_warp_inst: 2.0,
+            launch_overhead_us: 2.0,
+        }
+    }
+
+    /// Wide HPC-class device (V100-era accelerator): many SMs, HBM-class
+    /// bandwidth, deep occupancy — and the dearest launch overhead in the
+    /// fleet. Wins large launches outright, wastes its width on small
+    /// ones.
+    pub fn hpc_wide() -> DeviceSpec {
+        DeviceSpec {
+            name: "HPC Wide-80".into(),
+            sm_count: 80,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            shared_words_per_sm: 96 * 1024 / 4,
+            shared_words_per_block: 96 * 1024 / 4,
+            shared_banks: 32,
+            clock_ghz: 1.53,
+            mem_bandwidth_gbps: 900.0,
+            mem_latency_cycles: 400.0,
+            departure_delay_cycles: 4.0,
+            transaction_words: 32,
+            issue_cycles_per_warp_inst: 1.0,
+            launch_overhead_us: 12.0,
+        }
+    }
+
+    /// Every built-in preset, from narrowest to widest — the simulated
+    /// heterogeneous fleet's default population.
+    pub fn presets() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::igpu_small(),
+            DeviceSpec::gtx285(),
+            DeviceSpec::tesla_c2050(),
+            DeviceSpec::gtx480(),
+            DeviceSpec::hpc_wide(),
+        ]
+    }
+
     /// Stable fingerprint over every architectural parameter, used to key
     /// launch-statistics caches *and persistent compilation artifacts*:
     /// two specs that could produce different counters, timing, or plan
@@ -233,11 +295,9 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for d in [
-            DeviceSpec::tesla_c2050(),
-            DeviceSpec::gtx285(),
-            DeviceSpec::gtx480(),
-        ] {
+        let presets = DeviceSpec::presets();
+        assert!(presets.len() >= 5, "fleet needs a heterogeneous population");
+        for d in presets {
             assert!(d.sm_count > 0);
             assert_eq!(d.warp_size, 32);
             assert!(d.max_threads_per_sm >= d.max_threads_per_block);
@@ -245,6 +305,30 @@ mod tests {
             assert!(d.transactions_per_cycle() > 0.0);
             assert!(d.launch_overhead_cycles() > 1000.0);
         }
+    }
+
+    #[test]
+    fn fleet_presets_span_the_perf_spectrum() {
+        // The fleet's scheduling signal only exists if the presets
+        // genuinely disagree: the iGPU must have the cheapest launch and
+        // the least bandwidth, the HPC part the widest everything.
+        let igpu = DeviceSpec::igpu_small();
+        let hpc = DeviceSpec::hpc_wide();
+        for d in DeviceSpec::presets() {
+            assert!(
+                igpu.launch_overhead_us <= d.launch_overhead_us,
+                "{}",
+                d.name
+            );
+            assert!(
+                igpu.mem_bandwidth_gbps <= d.mem_bandwidth_gbps,
+                "{}",
+                d.name
+            );
+            assert!(hpc.mem_bandwidth_gbps >= d.mem_bandwidth_gbps, "{}", d.name);
+            assert!(hpc.sm_count >= d.sm_count, "{}", d.name);
+        }
+        assert!(hpc.mem_bandwidth_gbps / igpu.mem_bandwidth_gbps > 10.0);
     }
 
     #[test]
@@ -285,16 +369,35 @@ mod tests {
     fn fingerprint_is_stable_and_distinguishes_presets() {
         let d = DeviceSpec::tesla_c2050();
         assert_eq!(d.fingerprint(), DeviceSpec::tesla_c2050().fingerprint());
-        assert_ne!(d.fingerprint(), DeviceSpec::gtx285().fingerprint());
-        assert_ne!(d.fingerprint(), DeviceSpec::gtx480().fingerprint());
+        // Every preset pair — including the new fleet members — must key
+        // distinct artifact-store entries.
+        let presets = DeviceSpec::presets();
+        for i in 0..presets.len() {
+            for j in i + 1..presets.len() {
+                assert_ne!(
+                    presets[i].fingerprint(),
+                    presets[j].fingerprint(),
+                    "{} aliases {}",
+                    presets[i].name,
+                    presets[j].name
+                );
+            }
+        }
     }
 
     #[test]
     fn fingerprint_covers_every_field() {
         // Mutating any single perf-relevant field must change the
         // fingerprint — persistent artifacts keyed by it would otherwise
-        // be replayed on a device they were not planned for.
-        let base = DeviceSpec::tesla_c2050();
+        // be replayed on a device they were not planned for. Run the
+        // 16-way single-field sweep from every preset base so a new
+        // preset cannot sit in a fingerprint blind spot.
+        for base in DeviceSpec::presets() {
+            fingerprint_covers_every_field_of(base);
+        }
+    }
+
+    fn fingerprint_covers_every_field_of(base: DeviceSpec) {
         let mutations: Vec<(&str, DeviceSpec)> = vec![
             (
                 "name",

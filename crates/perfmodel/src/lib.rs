@@ -38,9 +38,11 @@
 
 pub mod crossover;
 pub mod model;
+pub mod pruning;
 
 pub use crossover::{
     apply_boundary, find_crossover, partition_range, recalibrated_boundary, tiles_exactly,
     Hysteresis, RangeAssignment,
 };
 pub use model::{estimate, estimate_stats, KernelClass, LaunchProfile, TimingEstimate};
+pub use pruning::{coverage_curve, prune_variant_set, BudgetPoint, PruneSelection};

@@ -1,0 +1,306 @@
+//! "Few fit most" variant-set pruning.
+//!
+//! A per-device variant table earns its keep only where the variants
+//! actually disagree; most of the input axis is covered within a few
+//! percent of optimal by a small subset (the multi-versioning SGEMM
+//! observation: *A Few Fit Most*). This module selects that subset: given
+//! each variant's cost curve sampled over the axis, find the smallest set
+//! of variants whose pointwise-best cost stays within a tolerance of the
+//! full table's pointwise-best — bounding per-device code size,
+//! artifact-store footprint and circuit-breaker surface as devices
+//! multiply.
+//!
+//! Selection is greedy max-coverage: repeatedly admit the variant that
+//! covers the most still-uncovered sample points (ties broken by total
+//! cost reduction, then by lower index for determinism). Greedy is the
+//! classic O(log n)-approximation for set cover and is exact here in the
+//! common case where each variant dominates one contiguous band of the
+//! axis.
+
+/// Result of pruning one variant table against sampled cost curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneSelection {
+    /// Retained variants, ascending original indices. Never empty.
+    pub kept: Vec<usize>,
+    /// `max_i (best_kept(i) / best_full(i) - 1)` over the sample points —
+    /// the worst-case slowdown the pruned set admits, guaranteed
+    /// `<= tolerance`.
+    pub max_overhead: f64,
+    /// Mean of the same ratio over the sample points.
+    pub mean_overhead: f64,
+}
+
+/// Pointwise-best cost over `kept` at sample `i`.
+fn best_over(costs: &[Vec<f64>], kept: &[usize], i: usize) -> f64 {
+    kept.iter()
+        .map(|&v| costs[v][i])
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn overheads(costs: &[Vec<f64>], kept: &[usize], full_best: &[f64]) -> (f64, f64) {
+    let mut max_o = 0.0f64;
+    let mut sum_o = 0.0f64;
+    for (i, &fb) in full_best.iter().enumerate() {
+        let kb = best_over(costs, kept, i);
+        let o = if fb.is_finite() && fb > 0.0 {
+            (kb / fb - 1.0).max(0.0)
+        } else if kb.is_finite() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        max_o = max_o.max(o);
+        sum_o += o;
+    }
+    (max_o, sum_o / full_best.len().max(1) as f64)
+}
+
+/// Select the smallest variant subset whose pointwise-best cost stays
+/// within `tolerance` (fractional, e.g. `0.10` = 10%) of the full set's
+/// at every sample point.
+///
+/// `costs[v][i]` is the cost of variant `v` at sample point `i`; all rows
+/// must have equal length. `f64::INFINITY` marks a variant that cannot run
+/// at a point. The full set trivially satisfies the bound, so the greedy
+/// loop always terminates with a valid (possibly full) selection.
+///
+/// # Panics
+///
+/// Panics when `costs` is empty, rows are ragged, or there are no sample
+/// points.
+pub fn prune_variant_set(costs: &[Vec<f64>], tolerance: f64) -> PruneSelection {
+    assert!(!costs.is_empty(), "no variants to prune");
+    let points = costs[0].len();
+    assert!(points > 0, "no sample points");
+    assert!(
+        costs.iter().all(|row| row.len() == points),
+        "ragged cost matrix"
+    );
+    let tolerance = tolerance.max(0.0);
+    let nv = costs.len();
+    let all: Vec<usize> = (0..nv).collect();
+    let full_best: Vec<f64> = (0..points).map(|i| best_over(costs, &all, i)).collect();
+
+    // A point is covered by variant v when v's cost is within tolerance of
+    // the full-table best there.
+    let covered_by = |v: usize, i: usize| -> bool {
+        let fb = full_best[i];
+        if !fb.is_finite() {
+            return true; // nothing can run here; every subset agrees
+        }
+        costs[v][i] <= fb * (1.0 + tolerance)
+    };
+
+    let mut kept: Vec<usize> = Vec::new();
+    let mut uncovered: Vec<usize> = (0..points).collect();
+    while !uncovered.is_empty() {
+        let mut best_v = None;
+        let mut best_gain = 0usize;
+        let mut best_cost_sum = f64::INFINITY;
+        for v in (0..nv).filter(|v| !kept.contains(v)) {
+            let gain = uncovered.iter().filter(|&&i| covered_by(v, i)).count();
+            let cost_sum: f64 = uncovered
+                .iter()
+                .map(|&i| costs[v][i].min(1e30)) // cap ∞ so sums stay comparable
+                .sum();
+            if gain > best_gain || (gain == best_gain && gain > 0 && cost_sum < best_cost_sum) {
+                best_v = Some(v);
+                best_gain = gain;
+                best_cost_sum = cost_sum;
+            }
+        }
+        match best_v {
+            Some(v) => {
+                kept.push(v);
+                uncovered.retain(|&i| !covered_by(v, i));
+            }
+            None => {
+                // No single remaining variant covers any uncovered point —
+                // only possible when coverage needs the *combination*
+                // (cannot happen: the full-best at each point is one
+                // variant's cost, and that variant covers the point).
+                // Defensive: fall back to the full set.
+                kept = all.clone();
+                break;
+            }
+        }
+    }
+    kept.sort_unstable();
+    let (max_overhead, mean_overhead) = overheads(costs, &kept, &full_best);
+    PruneSelection {
+        kept,
+        max_overhead,
+        mean_overhead,
+    }
+}
+
+/// One point of the "few fit most" curve: the best achievable worst-case
+/// overhead at each variant budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPoint {
+    /// Number of variants admitted.
+    pub budget: usize,
+    /// Worst-case overhead vs the full table with that many variants.
+    pub max_overhead: f64,
+    /// Mean overhead at that budget.
+    pub mean_overhead: f64,
+    /// The variants admitted at this budget (ascending indices).
+    pub kept: Vec<usize>,
+}
+
+/// The paper-style coverage curve: for every budget `1..=V`, greedily
+/// admit the variant that most reduces total overhead and record the
+/// worst-case and mean overhead of the prefix. Budget `V` is always
+/// overhead 0 by construction.
+///
+/// # Panics
+///
+/// Same conditions as [`prune_variant_set`].
+pub fn coverage_curve(costs: &[Vec<f64>]) -> Vec<BudgetPoint> {
+    assert!(!costs.is_empty(), "no variants");
+    let points = costs[0].len();
+    assert!(points > 0, "no sample points");
+    assert!(
+        costs.iter().all(|row| row.len() == points),
+        "ragged cost matrix"
+    );
+    let nv = costs.len();
+    let all: Vec<usize> = (0..nv).collect();
+    let full_best: Vec<f64> = (0..points).map(|i| best_over(costs, &all, i)).collect();
+
+    let mut kept: Vec<usize> = Vec::new();
+    let mut curve = Vec::with_capacity(nv);
+    for budget in 1..=nv {
+        // Admit the variant minimizing the resulting total overhead
+        // (sum over points of best_kept/best_full), tie-break lower index.
+        let mut best_v = 0usize;
+        let mut best_total = f64::INFINITY;
+        for v in 0..nv {
+            if kept.contains(&v) {
+                continue;
+            }
+            let mut trial = kept.clone();
+            trial.push(v);
+            let total: f64 = full_best
+                .iter()
+                .enumerate()
+                .map(|(i, &fb)| {
+                    let kb = best_over(costs, &trial, i);
+                    if fb.is_finite() && fb > 0.0 && kb.is_finite() {
+                        kb / fb
+                    } else if kb.is_finite() || !fb.is_finite() {
+                        1.0
+                    } else {
+                        1e30
+                    }
+                })
+                .sum();
+            if total < best_total {
+                best_total = total;
+                best_v = v;
+            }
+        }
+        kept.push(best_v);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        let (max_overhead, mean_overhead) = overheads(costs, &sorted, &full_best);
+        curve.push(BudgetPoint {
+            budget,
+            max_overhead,
+            mean_overhead,
+            kept: sorted,
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three bands: v0 wins small, v1 middle, v2 large; v1 is nearly as
+    /// good as v0 everywhere small.
+    fn banded() -> Vec<Vec<f64>> {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 / 39.0 * 10.0).exp()).collect();
+        vec![
+            xs.iter().map(|&x| 1.0 + x).collect(), // v0: cheap start
+            xs.iter().map(|&x| 1.02 + 1.02 * x).collect(), // v1: v0 + 2%
+            xs.iter().map(|&x| 2000.0 + 0.01 * x).collect(), // v2: wins huge x
+        ]
+    }
+
+    #[test]
+    fn near_duplicate_variant_is_pruned() {
+        let costs = banded();
+        let sel = prune_variant_set(&costs, 0.10);
+        assert_eq!(sel.kept, vec![0, 2], "v1 is within 2% of v0 everywhere");
+        assert!(sel.max_overhead <= 0.10, "{}", sel.max_overhead);
+        assert!(sel.mean_overhead <= sel.max_overhead);
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_every_winner() {
+        let costs = banded();
+        let sel = prune_variant_set(&costs, 0.0);
+        // v1 never strictly wins, so even at zero tolerance it can go —
+        // but v0 and v2 are both pointwise winners and must stay.
+        assert!(sel.kept.contains(&0) && sel.kept.contains(&2));
+        assert!(sel.max_overhead <= 1e-12);
+    }
+
+    #[test]
+    fn huge_tolerance_collapses_to_one_variant() {
+        let costs = banded();
+        let sel = prune_variant_set(&costs, 1e9);
+        assert_eq!(sel.kept.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_points_do_not_wedge_the_solver() {
+        // v0 cannot run large points, v1 cannot run small ones.
+        let costs = vec![
+            vec![1.0, 1.0, f64::INFINITY, f64::INFINITY],
+            vec![f64::INFINITY, f64::INFINITY, 1.0, 1.0],
+        ];
+        let sel = prune_variant_set(&costs, 0.05);
+        assert_eq!(sel.kept, vec![0, 1]);
+        assert_eq!(sel.max_overhead, 0.0);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_ends_at_zero() {
+        let costs = banded();
+        let curve = coverage_curve(&costs);
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].max_overhead <= w[0].max_overhead + 1e-12,
+                "more budget must never hurt: {curve:?}"
+            );
+            assert_eq!(w[1].budget, w[0].budget + 1);
+            assert_eq!(w[1].kept.len(), w[1].budget);
+        }
+        assert!(curve.last().unwrap().max_overhead <= 1e-12);
+        // Budget 1 picks the best single variant — for these curves the
+        // low-x winner covers most mass, and overhead comes from the tail.
+        assert!(curve[0].max_overhead > 0.0);
+    }
+
+    #[test]
+    fn pruned_set_bound_matches_reported_overhead() {
+        let costs = banded();
+        for tol in [0.0, 0.02, 0.05, 0.5] {
+            let sel = prune_variant_set(&costs, tol);
+            // Re-derive the overhead independently.
+            let all: Vec<usize> = (0..costs.len()).collect();
+            let mut max_o = 0.0f64;
+            for i in 0..costs[0].len() {
+                let fb = best_over(&costs, &all, i);
+                let kb = best_over(&costs, &sel.kept, i);
+                max_o = max_o.max(kb / fb - 1.0);
+            }
+            assert!((max_o - sel.max_overhead).abs() < 1e-12);
+            assert!(sel.max_overhead <= tol + 1e-12, "tol {tol}: {sel:?}");
+        }
+    }
+}
