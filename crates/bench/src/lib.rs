@@ -7,6 +7,8 @@
 //! environment variable; `1` reproduces the paper's sizes at the cost of
 //! long simulation times).
 
+pub mod workloads;
+
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 

@@ -204,6 +204,10 @@ pub struct KernelManager {
     /// from it at attach time and written back by
     /// [`KernelManager::persist_learned`]. `None` = persistence off.
     store: Option<Arc<crate::artifact::ArtifactStore>>,
+    /// Declared rate window: the `[lo, hi]` firing-rate range this
+    /// manager's plan was conditioned on. `None` = static plan, no rate
+    /// observation.
+    rate_window: Option<(i64, i64)>,
 }
 
 impl KernelManager {
@@ -227,8 +231,25 @@ impl KernelManager {
             quarantine_threshold: 3,
             quarantine_window: 8,
             store: None,
+            rate_window: None,
             program,
         }
+    }
+
+    /// Declare the rate window this manager's plan was conditioned on.
+    /// Every [`run`](KernelManager::run) whose axis value falls outside
+    /// the window is tallied as a `rate_exits` telemetry event — the
+    /// signal a rate governor watches to decide when the region needs
+    /// re-planning. The window does not change selection or admission;
+    /// the compiled axis still decides what is runnable.
+    pub fn with_rate_window(mut self, lo: i64, hi: i64) -> KernelManager {
+        self.rate_window = Some((lo.min(hi), lo.max(hi)));
+        self
+    }
+
+    /// The declared rate window, if any.
+    pub fn rate_window(&self) -> Option<(i64, i64)> {
+        self.rate_window
     }
 
     /// Replace the circuit-breaker policy: `threshold` consecutive launch
@@ -251,6 +272,13 @@ impl KernelManager {
     pub fn with_hysteresis(mut self, hysteresis: Hysteresis) -> KernelManager {
         self.hysteresis = hysteresis;
         self
+    }
+
+    /// Replace the recalibration hysteresis thresholds in place (the
+    /// builder form consumes the manager, which an owner embedding one —
+    /// e.g. [`crate::DynamicRegion`] — cannot do).
+    pub fn set_hysteresis(&mut self, hysteresis: Hysteresis) {
+        self.hysteresis = hysteresis;
     }
 
     /// Replace the fresh-sample threshold that arms recalibration.
@@ -524,6 +552,11 @@ impl KernelManager {
         state: &[StateBinding],
         opts: RunOptions<'_>,
     ) -> Result<ExecutionReport> {
+        if let Some((lo, hi)) = self.rate_window {
+            if x < lo || x > hi {
+                self.counters.record_rate_exit();
+            }
+        }
         let primary = self.select(x)?;
         let cache: Option<&dyn StatsCache> = match opts.mode {
             ExecMode::SampledExec(_) => Some(&self.cache),
@@ -787,6 +820,8 @@ impl KernelManager {
             half_open_probes: c.half_open_probes.load(Ordering::Relaxed),
             readmissions: c.readmissions.load(Ordering::Relaxed),
             degraded_runs: c.degraded_runs.load(Ordering::Relaxed),
+            rate_exits: c.rate_exits.load(Ordering::Relaxed),
+            reschedules: c.reschedules.load(Ordering::Relaxed),
             quarantined_variants: st
                 .breakers
                 .iter()
@@ -845,6 +880,37 @@ mod tests {
         ));
         let kmu = KernelManager::new(empty);
         assert!(matches!(kmu.select(1024), Err(Error::EmptyVariantTable)));
+    }
+
+    #[test]
+    fn rate_window_exits_are_counted_but_do_not_gate() {
+        let kmu = KernelManager::new(compiled_sum()).with_rate_window(256, 4096);
+        assert_eq!(kmu.rate_window(), Some((256, 4096)));
+        let opts = RunOptions::serial(ExecMode::SampledStats(32));
+
+        // In-window run: no exit.
+        kmu.run(1024, &vec![1.0; 1024], &[], opts).unwrap();
+        assert_eq!(kmu.telemetry().rate_exits, 0);
+
+        // Outside the window but inside the compiled axis: counted as an
+        // exit, yet the run still completes (the axis gates, not the window).
+        kmu.run(8192, &vec![1.0; 8192], &[], opts).unwrap();
+        assert_eq!(kmu.telemetry().rate_exits, 1);
+
+        // Outside the compiled axis: counted, then rejected by selection.
+        assert!(matches!(
+            kmu.run(1 << 30, &[1.0; 4], &[], opts),
+            Err(Error::InputOutOfRange { .. })
+        ));
+        let snap = kmu.telemetry();
+        assert_eq!(snap.rate_exits, 2);
+        assert_eq!(snap.reschedules, 0);
+
+        // No declared window: nothing is ever counted.
+        let plain = KernelManager::new(compiled_sum());
+        assert_eq!(plain.rate_window(), None);
+        plain.run(8192, &vec![1.0; 8192], &[], opts).unwrap();
+        assert_eq!(plain.telemetry().rate_exits, 0);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod kmu;
 pub mod layout;
 pub mod opt;
 pub mod plan;
+pub mod resched;
 pub mod runtime;
 pub mod telemetry;
 pub mod templates;
@@ -70,6 +71,9 @@ pub use layout::{restructure, unrestructure, Layout};
 pub use plan::{
     compile, compile_single, compile_with_options, compile_with_store, content_hash,
     CompileOptions, CompiledProgram, InputAxis, OptTag, SegChoice, Variant,
+};
+pub use resched::{
+    DynamicPipeline, DynamicRegion, PipelineReport, RateEvent, RateGovernor, ReschedPolicy,
 };
 pub use runtime::{
     EvalBackend, ExecutionReport, KernelReport, RetryPolicy, RunOptions, StateBinding,

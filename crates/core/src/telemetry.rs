@@ -48,6 +48,12 @@ pub struct TelemetryCounters {
     /// Runs that exhausted every variant and completed on the serial
     /// degraded-but-correct last resort.
     pub degraded_runs: AtomicU64,
+    /// Launches whose input left the manager's declared rate window
+    /// (0 when no window is declared).
+    pub rate_exits: AtomicU64,
+    /// Region re-schedules: the rate governor replaced the plan (and its
+    /// manager) after a sustained rate exit.
+    pub reschedules: AtomicU64,
 }
 
 impl TelemetryCounters {
@@ -66,7 +72,14 @@ impl TelemetryCounters {
             half_open_probes: AtomicU64::new(0),
             readmissions: AtomicU64::new(0),
             degraded_runs: AtomicU64::new(0),
+            rate_exits: AtomicU64::new(0),
+            reschedules: AtomicU64::new(0),
         }
+    }
+
+    /// Record one launch request outside the declared rate window.
+    pub fn record_rate_exit(&self) {
+        self.rate_exits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one launch that selected `variant`.
@@ -148,6 +161,11 @@ pub struct TelemetrySnapshot {
     pub readmissions: u64,
     /// Runs completed on the serial degraded-but-correct last resort.
     pub degraded_runs: u64,
+    /// Launches whose input left the declared rate window (0 when no
+    /// window is declared).
+    pub rate_exits: u64,
+    /// Region re-schedules triggered by sustained rate exits.
+    pub reschedules: u64,
     /// Variants currently quarantined (circuit open), by index.
     pub quarantined_variants: Vec<usize>,
     /// Artifact-store loads satisfied from disk (0 without a store).
@@ -207,6 +225,8 @@ impl TelemetrySnapshot {
         self.half_open_probes += other.half_open_probes;
         self.readmissions += other.readmissions;
         self.degraded_runs += other.degraded_runs;
+        self.rate_exits += other.rate_exits;
+        self.reschedules += other.reschedules;
         self.boundaries.clear();
         self.quarantined_variants.clear();
         if shared_artifact_store {
@@ -272,6 +292,11 @@ impl fmt::Display for TelemetrySnapshot {
             "  artifacts: {} hits, {} misses, {} rejects",
             self.artifact_hits, self.artifact_misses, self.artifact_rejects
         )?;
+        writeln!(
+            f,
+            "  rates: {} window exits, {} reschedules",
+            self.rate_exits, self.reschedules
+        )?;
         for (i, ((lo, hi), n)) in self.boundaries.iter().zip(&self.selections).enumerate() {
             let mark = if self.quarantined_variants.contains(&i) {
                 " [quarantined]"
@@ -321,6 +346,8 @@ mod tests {
             half_open_probes: 1,
             readmissions: 1,
             degraded_runs: 0,
+            rate_exits: 11,
+            reschedules: 4,
             quarantined_variants: vec![1],
             artifact_hits: 4,
             artifact_misses: 2,
@@ -336,6 +363,7 @@ mod tests {
         assert!(s.contains("3 fallbacks"));
         assert!(s.contains("1 quarantines"));
         assert!(s.contains("4 hits, 2 misses, 1 rejects"));
+        assert!(s.contains("11 window exits, 4 reschedules"));
         assert!(s.contains("variant 1: [100, 4096] selected 2x [quarantined]"));
     }
 
@@ -358,6 +386,8 @@ mod tests {
             half_open_probes: 0,
             readmissions: 0,
             degraded_runs: 0,
+            rate_exits: 2,
+            reschedules: 1,
             quarantined_variants: vec![0],
             artifact_hits: hits,
             artifact_misses: 1,
@@ -378,6 +408,9 @@ mod tests {
         assert!((fleet.mean_model_error - 0.25).abs() < 1e-12);
         // Private stores: artifact counts are disjoint and sum.
         assert_eq!(fleet.artifact_hits, 6);
+        // Rate counters are plain per-manager tallies and sum.
+        assert_eq!(fleet.rate_exits, 4);
+        assert_eq!(fleet.reschedules, 2);
         // Per-table state does not survive the rollup.
         assert!(fleet.boundaries.is_empty());
         assert!(fleet.quarantined_variants.is_empty());

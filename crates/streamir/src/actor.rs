@@ -7,8 +7,10 @@
 //! read non-destructively is the *peek rate*; all three may be symbolic in
 //! the program parameters ([`RateExpr`]).
 
+use std::collections::BTreeMap;
+
 use crate::ir::{count_sites, Expr, Stmt};
-use crate::rates::RateExpr;
+use crate::rates::{RateExpr, RateInterval};
 
 /// A state variable owned by an actor.
 ///
@@ -68,6 +70,11 @@ pub struct ActorDef {
     pub state: Vec<StateVar>,
     /// The work method.
     pub work: WorkFn,
+    /// Declared runtime intervals for *dynamic* rate parameters. A
+    /// parameter appearing here is not fixed at plan time: the actor
+    /// promises only that its runtime value stays inside the interval.
+    /// Parameters absent from this map are static as before.
+    pub dyn_rates: BTreeMap<String, RateInterval>,
 }
 
 impl ActorDef {
@@ -77,7 +84,28 @@ impl ActorDef {
             name: name.to_string(),
             state: Vec::new(),
             work,
+            dyn_rates: BTreeMap::new(),
         }
+    }
+
+    /// Declare a rate parameter as dynamic over `interval`.
+    ///
+    /// The declaration is a promise about runtime traffic, not a rate in
+    /// itself: the parameter may (but need not) appear in this actor's
+    /// pop/push/peek rates. Re-declaring a parameter replaces its interval.
+    pub fn with_rate_interval(mut self, param: &str, interval: RateInterval) -> ActorDef {
+        self.dyn_rates.insert(param.to_string(), interval);
+        self
+    }
+
+    /// The declared interval of `param`, if this actor declares it dynamic.
+    pub fn rate_interval(&self, param: &str) -> Option<&RateInterval> {
+        self.dyn_rates.get(param)
+    }
+
+    /// True when the actor declares at least one dynamic rate parameter.
+    pub fn is_dynamic(&self) -> bool {
+        !self.dyn_rates.is_empty()
     }
 
     /// Add a state array of the given (symbolic) length.
@@ -194,6 +222,19 @@ mod tests {
         ));
         assert!(a.state_var("nope").is_none());
         assert_eq!(a.state_var("xs").unwrap().name(), "xs");
+    }
+
+    #[test]
+    fn rate_interval_declarations() {
+        let a = ActorDef::new("A", identity_work())
+            .with_rate_interval("N", RateInterval::new(4, 64).unwrap());
+        assert!(a.is_dynamic());
+        assert_eq!(a.rate_interval("N"), Some(&RateInterval { lo: 4, hi: 64 }));
+        assert_eq!(a.rate_interval("M"), None);
+        // Re-declaration replaces the interval.
+        let a = a.with_rate_interval("N", RateInterval::new(8, 16).unwrap());
+        assert_eq!(a.rate_interval("N"), Some(&RateInterval { lo: 8, hi: 16 }));
+        assert!(!ActorDef::new("B", identity_work()).is_dynamic());
     }
 
     #[test]

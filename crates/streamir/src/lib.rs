@@ -64,6 +64,9 @@ pub use actor::{ActorDef, ActorKind, StateVar, WorkFn};
 pub use error::{Error, Result};
 pub use graph::{FlatGraph, Joiner, Program, Splitter, StreamNode};
 pub use interp::Interpreter;
-pub use rates::RateExpr;
-pub use schedule::{Schedule, ScheduleEntry};
+pub use rates::{RateExpr, RateInterval};
+pub use schedule::{
+    merged_rate_intervals, partition_rate_regions, RateRegion, RegionPartition, Schedule,
+    ScheduleEntry,
+};
 pub use value::Value;

@@ -548,6 +548,7 @@ impl Parser {
                 peek,
                 body,
             },
+            dyn_rates: std::collections::BTreeMap::new(),
         })
     }
 

@@ -52,6 +52,71 @@ pub struct RateExpr {
 /// Parameter bindings used to evaluate symbolic rates.
 pub type Bindings = BTreeMap<String, i64>;
 
+/// The declared runtime interval of a *dynamic* rate parameter.
+///
+/// Static SDF fixes every rate at plan time; a dynamic-rate actor instead
+/// declares that a rate parameter ranges over `[lo, hi]` at runtime
+/// (Boutellier & Hautala-style dynamic data rates). The scheduler uses the
+/// declaration to carve the graph into rate-conditioned regions
+/// ([`crate::schedule::partition_rate_regions`]), and the runtime plans
+/// each region against a *window* inside this interval, re-planning when
+/// observed rates leave it.
+///
+/// Bounds are inclusive and must satisfy `1 <= lo <= hi`: a rate of zero
+/// has no steady state ([`crate::schedule::rate_match`] rejects it), so
+/// zero is not a declarable runtime rate either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RateInterval {
+    /// Smallest runtime value the parameter may take (inclusive, >= 1).
+    pub lo: i64,
+    /// Largest runtime value the parameter may take (inclusive).
+    pub hi: i64,
+}
+
+impl RateInterval {
+    /// A validated interval.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Semantic`] unless `1 <= lo <= hi`.
+    pub fn new(lo: i64, hi: i64) -> Result<RateInterval> {
+        if lo < 1 || hi < lo {
+            return Err(Error::Semantic(format!(
+                "rate interval [{lo}, {hi}] must satisfy 1 <= lo <= hi"
+            )));
+        }
+        Ok(RateInterval { lo, hi })
+    }
+
+    /// True when `x` lies inside the interval.
+    pub fn contains(&self, x: i64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// `x` clamped into the interval.
+    pub fn clamp(&self, x: i64) -> i64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// The intersection with `other`, or `None` when they are disjoint.
+    pub fn intersect(&self, other: &RateInterval) -> Option<RateInterval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(RateInterval { lo, hi })
+    }
+
+    /// Number of integer points covered.
+    pub fn span(&self) -> i64 {
+        self.hi - self.lo + 1
+    }
+}
+
+impl fmt::Display for RateInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
 impl RateExpr {
     /// The constant-zero rate.
     pub fn zero() -> Self {

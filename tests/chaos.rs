@@ -349,6 +349,129 @@ fn quarantine_state_never_leaks_into_the_store() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Faults hot *during* a re-schedule window: a regime-flip trace through a
+/// [`DynamicRegion`] with the chaos injector running the whole time, so
+/// faults land on in-window firings, clamped transients, and the firings
+/// that commit a plan swap. Invariants:
+///
+/// * every firing completes — the degradation ladder absorbs faults on
+///   the manager path, and the clamped path falls back to the same
+///   serial-degraded last resort rather than dropping the firing;
+/// * recovery stays bit-identical to the fault-free baseline of the plan
+///   and variant that served each firing (clamped firings against the
+///   clamped selection of the same plan);
+/// * accounting: `launches + clamped == firings` (nothing dropped or
+///   double-run), with faults observed and at least two re-plans.
+#[test]
+fn faults_during_a_reschedule_window_fall_down_the_ladder() {
+    use adaptic_repro::adaptic::{CompileOptions, DynamicRegion, ReschedPolicy, RunOptions};
+    use adaptic_repro::apps::programs;
+    use adaptic_repro::streamir::RateInterval;
+
+    let mut program = programs::sasum().program;
+    program
+        .actors
+        .iter_mut()
+        .find(|a| a.name == "Asum")
+        .unwrap()
+        .dyn_rates
+        .insert("N".into(), RateInterval::new(64, 8192).unwrap());
+    let policy = ReschedPolicy {
+        exit_streak: 2,
+        cooldown: 4,
+        spread: 4.0,
+        alpha: 0.5,
+    };
+    let frozen = Hysteresis {
+        min_rel_shift: f64::INFINITY,
+        min_abs_shift: i64::MAX,
+    };
+    // Tiny regime, flip to huge, flip back: each flip re-plans on the
+    // second consecutive exit, so the injector gets shots at both
+    // clamped transients and the commit firings.
+    let trace: Vec<i64> = [64, 96, 128, 8192, 4096, 6144, 2048, 96, 64, 128]
+        .iter()
+        .flat_map(|&x| [x, x])
+        .collect();
+    let device = DeviceSpec::tesla_c2050();
+
+    for seed in chaos_seeds() {
+        let input = data(8192, seed);
+        let mut region = DynamicRegion::new(
+            &program,
+            &device,
+            CompileOptions::default(),
+            policy,
+            trace[0],
+            None,
+        )
+        .expect("region plans")
+        .with_kmu_hysteresis(frozen);
+        let inj = KindTally::new(FaultPlan::new(seed).with_rate(0.35));
+
+        for (t, &x) in trace.iter().enumerate() {
+            let slice = &input[..x as usize];
+            let ctx = format!("drift-chaos seed={seed} firing={t} x={x}");
+            let rep = region
+                .run(
+                    x,
+                    slice,
+                    &[],
+                    RunOptions::serial(ExecMode::Full).with_faults(&inj),
+                )
+                .unwrap_or_else(|e| panic!("{ctx}: ladder failed to complete: {e}"));
+
+            // Fault-free baseline against the plan that served the
+            // firing. In-axis firings pin the variant that completed;
+            // out-of-axis firings repeat the clamped (unforced)
+            // selection, which frozen hysteresis keeps deterministic.
+            let plan = region.manager().program();
+            let (lo, hi) = plan.axis_range();
+            if x >= lo && x <= hi {
+                let baselines = variant_baselines(plan, x, slice, &[]);
+                assert_bit_identical(&ctx, &rep, &baselines);
+            } else {
+                let base = plan
+                    .run_opts(x, slice, &[], RunOptions::serial(ExecMode::Full), None)
+                    .unwrap_or_else(|e| panic!("{ctx}: clamped baseline failed: {e}"));
+                assert_eq!(
+                    rep.output.len(),
+                    base.output.len(),
+                    "{ctx}: clamped output cursor diverged after recovery"
+                );
+                for (i, (g, b)) in rep.output.iter().zip(&base.output).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        b.to_bits(),
+                        "{ctx}: clamped output[{i}] {g} vs {b} after recovery"
+                    );
+                }
+            }
+        }
+
+        let t = region.telemetry();
+        assert!(
+            region.reschedules() >= 2,
+            "seed={seed}: the flips must re-plan under fire (got {})",
+            region.reschedules()
+        );
+        assert!(
+            t.faults_observed > 0,
+            "seed={seed}: the schedule never actually injected"
+        );
+        assert_eq!(
+            t.launches + region.clamped_runs(),
+            trace.len() as u64,
+            "seed={seed}: firings dropped or double-run during re-scheduling"
+        );
+        assert_eq!(
+            t.reschedules,
+            region.reschedules(),
+            "seed={seed}: telemetry"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

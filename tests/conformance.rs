@@ -116,6 +116,140 @@ fn engines_are_bit_identical_across_families_devices_and_seeds() {
     }
 }
 
+/// Dynamic-rate conformance: the same regime-flip trace through a
+/// [`DynamicRegion`] per engine. Re-scheduling must be invisible to the
+/// engine choice — every firing (in-window, clamped, and the ones that
+/// trigger a re-plan) stays bit-identical across all six engines, and the
+/// governor trajectory (re-plan points, committed windows) is identical
+/// because it observes rates, not execution.
+#[test]
+fn dynamic_rate_regions_are_bit_identical_across_engines() {
+    use adaptic_repro::adaptic::{CompileOptions, DynamicRegion, ReschedPolicy};
+    use adaptic_repro::apps::programs;
+    use adaptic_repro::perfmodel::Hysteresis;
+    use adaptic_repro::streamir::RateInterval;
+
+    // Recalibration feeds on wall-clock measurements; frozen boundaries
+    // keep variant selection identical across the six engine passes.
+    let frozen = Hysteresis {
+        min_rel_shift: f64::INFINITY,
+        min_abs_shift: i64::MAX,
+    };
+
+    let mut program = programs::sasum().program;
+    let declared = RateInterval::new(64, 8192).unwrap();
+    program
+        .actors
+        .iter_mut()
+        .find(|a| a.name == "Asum")
+        .unwrap()
+        .dyn_rates
+        .insert("N".into(), declared);
+    let policy = ReschedPolicy {
+        exit_streak: 2,
+        cooldown: 4,
+        spread: 4.0,
+        alpha: 0.5,
+    };
+    // Two dwells per regime: tiny, huge, tiny — each flip re-plans after
+    // a 2-firing streak, so the trace exercises in-window serving,
+    // clamped transients and two plan swaps.
+    let trace: Vec<i64> = [64, 96, 128, 8192, 4096, 6144, 2048, 96, 64, 128]
+        .iter()
+        .flat_map(|&x| [x, x])
+        .collect();
+    let input = data(8192, 11);
+
+    struct EnginePass {
+        engine: String,
+        outs: Vec<Vec<f32>>,
+        resched: Vec<u64>,
+        variants: Vec<usize>,
+    }
+
+    for device in devices() {
+        let engines = engines();
+        let mut outputs: Vec<EnginePass> = Vec::new();
+        for (engine, opts) in &engines {
+            let mut region = DynamicRegion::new(
+                &program,
+                &device,
+                CompileOptions::default(),
+                policy,
+                trace[0],
+                None,
+            )
+            .unwrap_or_else(|e| panic!("device={} engine={engine}: {e}", device.name))
+            .with_kmu_hysteresis(frozen);
+            let mut outs = Vec::new();
+            let mut resched = Vec::new();
+            let mut variants = Vec::new();
+            for (t, &x) in trace.iter().enumerate() {
+                let rep = region
+                    .run(x, &input[..x as usize], &[], *opts)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "device={} engine={engine} firing {t} (x={x}): {e}",
+                            device.name
+                        )
+                    });
+                outs.push(rep.output);
+                variants.push(rep.variant_index);
+            }
+            resched.push(region.reschedules());
+            assert!(
+                region.reschedules() >= 2,
+                "device={} engine={engine}: the flips must re-plan (got {})",
+                device.name,
+                region.reschedules()
+            );
+            outputs.push(EnginePass {
+                engine: engine.clone(),
+                outs,
+                resched,
+                variants,
+            });
+        }
+
+        let base = &outputs[0];
+        let base_name = &base.engine;
+        for EnginePass {
+            engine,
+            outs,
+            resched,
+            variants,
+        } in &outputs[1..]
+        {
+            assert_eq!(
+                resched, &base.resched,
+                "device={}: governor trajectory diverged between {base_name} and {engine}",
+                device.name
+            );
+            assert_eq!(
+                variants, &base.variants,
+                "device={}: variant selection diverged between {base_name} and {engine}",
+                device.name
+            );
+            for (t, (got, base)) in outs.iter().zip(&base.outs).enumerate() {
+                assert_eq!(
+                    got.len(),
+                    base.len(),
+                    "device={} engine={engine} firing {t}: output cursor diverged",
+                    device.name
+                );
+                for (i, (g, b)) in got.iter().zip(base).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        b.to_bits(),
+                        "device={} engine={engine} firing {t}: output[{i}] {g} vs {b}",
+                        device.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn conformance_covers_every_template_family() {
     // The suite's coverage claim, pinned: if a new template family is

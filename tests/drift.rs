@@ -1,0 +1,469 @@
+//! Drift stress suite: phase-change workloads through the rate-conditioned
+//! re-scheduler, pinning its functional and hysteresis guarantees.
+//!
+//! Every workload shape from `adaptic_bench::workloads` (diurnal ramp,
+//! bursty mix, regime flips) is replayed through a [`DynamicRegion`] from
+//! a fixed seed (plus an optional `ADAPTIC_DRIFT_SEED` from the
+//! environment — the CI drift job sweeps three fixed seeds through it).
+//! The pinned invariants:
+//!
+//! * **Static-oracle equivalence** — every firing's output is
+//!   bit-identical to a plain, manager-free run of the same compiled plan
+//!   (forced to the variant that served in-window firings, clamped
+//!   selection for out-of-window ones): the governor, the plan swaps and
+//!   the clamped path add zero functional perturbation.
+//! * **Convergence** — after each regime flip the governor commits within
+//!   its hysteresis budget and the rest of the dwell runs exit-free.
+//! * **No thrash** — commits are at least `cooldown` observations apart,
+//!   so an oscillating trace bounds the number of re-plans.
+//! * **No quarantine false-positives** — a fault-free drift soak must
+//!   never trip the degradation ladder: no retries, fallbacks,
+//!   quarantines or degraded runs, and every firing is served exactly
+//!   once (`launches + clamped_runs == firings`).
+//!
+//! Property tests cover the two structural contracts: region partitions
+//! are valid covers with rate-consistent channels on random programs, and
+//! random observed-rate traces can never deadlock the governor or violate
+//! its hysteresis bounds.
+
+use adaptic_bench::workloads::{bursty, diurnal, regime_flip};
+use adaptic_repro::adaptic::{
+    CompileOptions, DynamicRegion, ExecMode, RateGovernor, ReschedPolicy, RunOptions,
+};
+use adaptic_repro::apps::programs;
+use adaptic_repro::gpu_sim::DeviceSpec;
+use adaptic_repro::streamir::graph::Program;
+use adaptic_repro::streamir::parse::parse_program;
+use adaptic_repro::streamir::schedule::{merged_rate_intervals, partition_rate_regions};
+use adaptic_repro::streamir::RateInterval;
+use proptest::prelude::*;
+
+/// Declared dynamic interval for the soak program (small enough for
+/// `ExecMode::Full` firings).
+const DECLARED: (i64, i64) = (64, 8192);
+
+/// The base fixed seed plus the CI-provided `ADAPTIC_DRIFT_SEED`, if any.
+fn drift_seeds() -> Vec<u64> {
+    let mut seeds = vec![0xD21F7];
+    if let Ok(raw) = std::env::var("ADAPTIC_DRIFT_SEED") {
+        let raw = raw.trim();
+        let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16)
+        } else {
+            raw.parse()
+        };
+        seeds.push(parsed.unwrap_or_else(|_| panic!("bad ADAPTIC_DRIFT_SEED: {raw:?}")));
+    }
+    seeds
+}
+
+/// The `sasum` reduction with its rate parameter declared dynamic.
+fn dynamic_sasum() -> Program {
+    let mut p = programs::sasum().program;
+    let interval = RateInterval::new(DECLARED.0, DECLARED.1).unwrap();
+    let asum = p.actors.iter_mut().find(|a| a.name == "Asum").unwrap();
+    asum.dyn_rates.insert("N".into(), interval);
+    p
+}
+
+fn soak_policy() -> ReschedPolicy {
+    ReschedPolicy {
+        exit_streak: 3,
+        cooldown: 8,
+        spread: 4.0,
+        alpha: 0.5,
+    }
+}
+
+/// Deterministic input stream, shared with the bench harness.
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    adaptic_bench::data(n, seed)
+}
+
+struct SoakOutcome {
+    /// Firing indices at which a re-plan committed.
+    reschedule_at: Vec<usize>,
+    /// Firing indices that exited the planned window.
+    exit_at: Vec<usize>,
+    reschedules: u64,
+    clamped: u64,
+    launches: u64,
+}
+
+/// Replay `trace` through a fresh region, checking the static oracle per
+/// firing and the no-false-positive ladder counters at the end.
+fn soak(trace: &[i64], ctx: &str) -> SoakOutcome {
+    let program = dynamic_sasum();
+    let device = DeviceSpec::tesla_c2050();
+    let mut region = DynamicRegion::new(
+        &program,
+        &device,
+        CompileOptions::default(),
+        soak_policy(),
+        trace[0],
+        None,
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: region fails to plan: {e}"));
+    let input = data(DECLARED.1 as usize, 7);
+    let opts = RunOptions::serial(ExecMode::Full);
+
+    let mut reschedule_at = Vec::new();
+    let mut exit_at = Vec::new();
+    for (t, &x) in trace.iter().enumerate() {
+        let slice = &input[..x as usize];
+        let (resched_before, exits_before) = (region.reschedules(), region.governor().exits());
+        let rep = region
+            .run(x, slice, &[], opts)
+            .unwrap_or_else(|e| panic!("{ctx} firing {t} (x={x}): {e}"));
+        if region.reschedules() > resched_before {
+            reschedule_at.push(t);
+        }
+        if region.governor().exits() > exits_before {
+            exit_at.push(t);
+        }
+
+        // Static oracle: the same compiled plan, manager-free. In-axis
+        // firings force the exact variant that served; out-of-axis
+        // firings repeat the clamped (unforced) selection.
+        let plan = region.manager().program();
+        let (lo, hi) = plan.axis_range();
+        let oracle_opts = if x >= lo && x <= hi {
+            opts.with_variant(rep.variant_index)
+        } else {
+            opts
+        };
+        let oracle = plan
+            .run_opts(x, slice, &[], oracle_opts, None)
+            .unwrap_or_else(|e| panic!("{ctx} firing {t} (x={x}): oracle failed: {e}"));
+        assert_eq!(
+            rep.output.len(),
+            oracle.output.len(),
+            "{ctx} firing {t} (x={x}): output cursor diverged from the static oracle"
+        );
+        for (i, (g, b)) in rep.output.iter().zip(&oracle.output).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                b.to_bits(),
+                "{ctx} firing {t} (x={x}): output[{i}] {g} vs oracle {b}"
+            );
+        }
+    }
+
+    // Fault-free soak: the ladder must not fire at all.
+    let t = region.telemetry();
+    assert_eq!(t.retries, 0, "{ctx}: spurious retries");
+    assert_eq!(t.fallbacks, 0, "{ctx}: spurious variant fallbacks");
+    assert_eq!(t.quarantines, 0, "{ctx}: quarantine false-positive");
+    assert_eq!(t.degraded_runs, 0, "{ctx}: spurious degraded runs");
+    assert!(
+        t.quarantined_variants.is_empty(),
+        "{ctx}: variants left quarantined: {:?}",
+        t.quarantined_variants
+    );
+    assert_eq!(t.faults_observed, 0, "{ctx}: phantom faults");
+    // Exactly-once serving: every firing went through the manager or the
+    // clamped path, never both, never neither.
+    assert_eq!(
+        t.launches + region.clamped_runs(),
+        trace.len() as u64,
+        "{ctx}: firings dropped or double-served"
+    );
+    assert_eq!(t.reschedules, region.reschedules(), "{ctx}: telemetry lies");
+    // The manager tallies exactly the firings *served* out-of-window (the
+    // plan axis equals the window, so those are the clamped serves); the
+    // governor additionally counts exits that triggered a re-plan and
+    // were then served inside the fresh window.
+    assert_eq!(t.rate_exits, region.clamped_runs(), "{ctx}: exit tally");
+    assert!(
+        region.governor().exits() >= region.clamped_runs(),
+        "{ctx}: governor exits below the clamped serves"
+    );
+
+    SoakOutcome {
+        reschedule_at,
+        exit_at,
+        reschedules: region.reschedules(),
+        clamped: region.clamped_runs(),
+        launches: t.launches,
+    }
+}
+
+#[test]
+fn regime_flips_converge_within_the_hysteresis_budget() {
+    const DWELL: usize = 16;
+    const FIRINGS: usize = 96;
+    let policy = soak_policy();
+    for seed in drift_seeds() {
+        let trace = regime_flip(FIRINGS, &[(64, 128), (2048, 8192)], DWELL, seed);
+        let ctx = format!("regime_flip seed={seed}");
+        let out = soak(&trace, &ctx);
+        assert!(
+            out.reschedules >= 1,
+            "{ctx}: the flips never triggered a re-plan"
+        );
+        // Convergence: exits only in the first `exit_streak` firings of a
+        // dwell segment — the governor commits on the firing that
+        // completes the streak, and the rest of the dwell is in-window.
+        for &t in &out.exit_at {
+            assert!(
+                t % DWELL < policy.exit_streak as usize,
+                "{ctx}: window exit at firing {t} after the segment should have converged \
+                 (exits at {:?}, reschedules at {:?})",
+                out.exit_at,
+                out.reschedule_at
+            );
+        }
+        // Every re-plan happens on the firing completing a streak.
+        for &t in &out.reschedule_at {
+            assert_eq!(
+                t % DWELL,
+                policy.exit_streak as usize - 1,
+                "{ctx}: re-plan at firing {t} not aligned with a sustained exit"
+            );
+        }
+        assert_eq!(
+            out.clamped,
+            out.exit_at.len() as u64 - out.reschedule_at.len() as u64,
+            "{ctx}: clamped-serve accounting (exit firings minus replanned-then-served)"
+        );
+        assert_eq!(out.launches + out.clamped, FIRINGS as u64);
+    }
+}
+
+#[test]
+fn diurnal_ramp_does_not_thrash() {
+    const FIRINGS: usize = 96;
+    let policy = soak_policy();
+    for seed in drift_seeds() {
+        let trace = diurnal(FIRINGS, DECLARED.0, DECLARED.1, 32, 0.2, seed);
+        let ctx = format!("diurnal seed={seed}");
+        let out = soak(&trace, &ctx);
+        // Hysteresis bound: commits are at least `cooldown` observations
+        // apart, so a smooth ramp cannot re-plan more often than that.
+        let max_replans = FIRINGS as u64 / policy.cooldown + 1;
+        assert!(
+            out.reschedules <= max_replans,
+            "{ctx}: {} re-plans exceed the hysteresis bound {max_replans}",
+            out.reschedules
+        );
+        for pair in out.reschedule_at.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= policy.cooldown as usize,
+                "{ctx}: re-plans at {} and {} violate the cooldown",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn bursty_traffic_is_absorbed_without_thrash() {
+    const FIRINGS: usize = 96;
+    let policy = soak_policy();
+    for seed in drift_seeds() {
+        // Bursts strictly shorter than the exit streak: hysteresis must
+        // absorb them on the clamped path without a single re-plan. The
+        // generator opens every period with its burst, so drop the leading
+        // one — the region must start planned on the base regime.
+        let burst_len = policy.exit_streak as usize - 1;
+        let full = bursty(
+            FIRINGS + burst_len,
+            (64, 256),
+            (2048, 8192),
+            24,
+            burst_len,
+            seed,
+        );
+        let trace = &full[burst_len..];
+        let ctx = format!("bursty seed={seed}");
+        let out = soak(trace, &ctx);
+        assert_eq!(
+            out.reschedules, 0,
+            "{ctx}: sub-streak bursts re-planned (at {:?})",
+            out.reschedule_at
+        );
+        assert_eq!(
+            out.clamped,
+            out.exit_at.len() as u64,
+            "{ctx}: every burst firing must be served clamped"
+        );
+        assert_eq!(
+            out.exit_at.len(),
+            burst_len * (FIRINGS / 24),
+            "{ctx}: burst firings must all exit the base window"
+        );
+        assert_eq!(out.launches + out.clamped, FIRINGS as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------
+
+/// Rate-expression menu for random actors; `1`-based entries are static,
+/// the parameterised ones can be declared dynamic.
+fn rate_expr(sel: u8) -> &'static str {
+    match sel % 5 {
+        0 => "1",
+        1 => "2",
+        2 => "N",
+        3 => "M",
+        _ => "2*N",
+    }
+}
+
+/// A random linear pipeline over params `N`, `M`, with `decl` controlling
+/// which params are declared dynamic (interval always containing 64, so
+/// merged intersections stay non-empty).
+fn random_program(shape: &[(u8, u8)], decl: &[(bool, u8, u8)]) -> Program {
+    let mut src = String::from("pipeline Rand(N, M) {\n");
+    for (i, (p, q)) in shape.iter().enumerate() {
+        let (pop, push) = (rate_expr(*p), rate_expr(*q));
+        src.push_str(&format!(
+            "actor A{i}(pop {pop}, push {push}) {{\n\
+             acc = 0.0;\n\
+             for i in 0..{pop} {{ acc = acc + pop(); }}\n\
+             for j in 0..{push} {{ push(acc); }}\n\
+             }}\n"
+        ));
+    }
+    src.push('}');
+    let mut program = parse_program(&src).unwrap_or_else(|e| panic!("{src}\nfails: {e}"));
+    // Declare dynamic intervals on the actors that use each param; all
+    // intervals contain 64 so their intersection is non-empty.
+    for (param, (on, lo_n, hi_n)) in ["N", "M"].iter().zip(decl) {
+        if !*on {
+            continue;
+        }
+        let lo = 64 >> (lo_n % 4);
+        let hi = 64 << (hi_n % 6);
+        for a in program.actors.iter_mut() {
+            let uses = [&a.work.pop, &a.work.push, &a.work.peek]
+                .iter()
+                .any(|r| r.params().contains(param));
+            if uses {
+                a.dyn_rates
+                    .insert((*param).to_string(), RateInterval::new(lo, hi).unwrap());
+            }
+        }
+    }
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random programs with random dynamic-rate declarations always
+    /// partition into a valid cover with rate-consistent channels.
+    #[test]
+    fn region_partition_is_a_valid_cover(
+        shape in proptest::collection::vec((0u8..5, 0u8..5), 1..7),
+        decl in proptest::collection::vec((any::<bool>(), 0u8..8, 0u8..8), 2..=2),
+    ) {
+        let program = random_program(&shape, &decl);
+        let graph = program.flatten().unwrap();
+        let dynamic = merged_rate_intervals(&program).unwrap();
+        let partition = partition_rate_regions(&program, &graph).unwrap();
+
+        prop_assert!(partition.is_cover(&graph), "not a cover");
+        prop_assert!(partition.channels_consistent(&graph), "channel rates inconsistent");
+        prop_assert_eq!(&partition.dynamic, &dynamic);
+        // Dynamic declarations either vanish (no actor uses the param) or
+        // surface in at least one region.
+        for (param, interval) in &dynamic {
+            let covered = partition
+                .regions
+                .iter()
+                .any(|r| r.intervals.get(param) == Some(interval));
+            prop_assert!(covered, "declared param {} in no region", param);
+        }
+        // A program with no declarations is one static region.
+        if dynamic.is_empty() {
+            prop_assert_eq!(partition.regions.len(), 1);
+            prop_assert!(partition.regions[0].is_static());
+        }
+    }
+
+    /// Random observed-rate traces can never deadlock the governor or
+    /// violate its hysteresis bounds: proposals only after a sustained
+    /// exit streak, commits at least `cooldown` observations apart, and
+    /// every window inside the declared interval.
+    #[test]
+    fn governor_never_violates_hysteresis_bounds(
+        lo_exp in 0u32..8,
+        span_exp in 1u32..10,
+        exit_streak in 1u32..5,
+        cooldown in 0u64..12,
+        spread in 1.0f64..8.0,
+        trace in proptest::collection::vec(1i64..1_000_000, 1..200),
+    ) {
+        let lo = 1i64 << lo_exp;
+        let declared = RateInterval::new(lo, lo << span_exp).unwrap();
+        let policy = ReschedPolicy { exit_streak, cooldown, spread, alpha: 0.5 };
+        let mut g = RateGovernor::new(declared, trace[0], policy);
+
+        let mut streak = 0u32;
+        let mut streak_mean = 0.0f64;
+        let mut since_commit = u64::MAX;
+        let mut commits = 0u64;
+        for (i, &rate) in trace.iter().enumerate() {
+            let window = g.window();
+            prop_assert!(window.lo >= declared.lo && window.hi <= declared.hi,
+                "window {} escapes declared {}", window, declared);
+            let expect_exit = !window.contains(rate);
+            let ev = g.observe(rate);
+            since_commit = since_commit.saturating_add(1);
+            prop_assert_eq!(ev.exited, expect_exit, "exit flag wrong at obs {}", i);
+            if ev.exited {
+                streak_mean = if streak == 0 {
+                    rate as f64
+                } else {
+                    0.5 * rate as f64 + 0.5 * streak_mean
+                };
+                streak += 1;
+            } else {
+                streak = 0;
+            }
+
+            if let Some(w) = ev.proposal {
+                prop_assert!(streak >= exit_streak.max(1),
+                    "proposal after streak {} < {}", streak, exit_streak);
+                prop_assert!(since_commit >= cooldown,
+                    "proposal {} observations after a commit (cooldown {})",
+                    since_commit, cooldown);
+                prop_assert!(w.lo >= declared.lo && w.hi <= declared.hi && w.lo <= w.hi,
+                    "proposed window {} invalid", w);
+                prop_assert!(w != window, "proposed the current window");
+                g.commit(w);
+                commits += 1;
+                since_commit = 0;
+                streak = 0;
+                prop_assert_eq!(g.window(), w, "commit did not install the window");
+            } else if ev.exited && streak >= exit_streak.max(1) && since_commit >= cooldown {
+                // An armed governor may only stay silent when quantization
+                // maps the exit mean back onto the current window.
+                prop_assert_eq!(g.window_for(streak_mean), window,
+                    "armed governor silent although the window would move");
+            }
+        }
+        prop_assert_eq!(g.commits(), commits);
+        prop_assert_eq!(g.observations(), trace.len() as u64);
+
+        // No deadlock the other way: under a sustained shift the governor
+        // converges to the shifted rate's quantized window in bounded
+        // time, whatever state the random trace left it in.
+        let far = declared.hi.saturating_mul(2);
+        let target = g.window_for(far as f64);
+        for _ in 0..256 {
+            if g.window() == target {
+                break;
+            }
+            if let Some(w) = g.observe(far).proposal {
+                g.commit(w);
+            }
+        }
+        prop_assert_eq!(g.window(), target,
+            "sustained shift did not converge within 256 observations");
+    }
+}
