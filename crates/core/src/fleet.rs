@@ -35,6 +35,7 @@
 //! fleet-wide.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use gpu_sim::{DeviceQueue, DeviceSpec};
 use perfmodel::{prune_variant_set, PruneSelection};
@@ -67,17 +68,32 @@ pub enum PlacementPolicy {
 pub struct FleetNode {
     name: String,
     manager: KernelManager,
-    queue: DeviceQueue,
+    queue: Arc<DeviceQueue>,
 }
 
 impl FleetNode {
     /// Wrap an existing manager as a fleet node. The name is free-form
     /// (defaults to the device's marketing name via [`Fleet::compile`]).
     pub fn new(name: impl Into<String>, manager: KernelManager) -> FleetNode {
+        FleetNode::with_queue(name, manager, Arc::new(DeviceQueue::new()))
+    }
+
+    /// Wrap a manager as a node over an externally owned backlog ledger.
+    /// Several nodes (across several fleets) sharing one [`DeviceQueue`]
+    /// model independent schedulers contending for the *same physical
+    /// device*: each fleet's placement sees work every other fleet has
+    /// admitted there. The serving plane uses this to give each tenant a
+    /// private fleet (isolated managers, breakers, learned state) over
+    /// shared hardware.
+    pub fn with_queue(
+        name: impl Into<String>,
+        manager: KernelManager,
+        queue: Arc<DeviceQueue>,
+    ) -> FleetNode {
         FleetNode {
             name: name.into(),
             manager,
-            queue: DeviceQueue::new(),
+            queue,
         }
     }
 
@@ -96,6 +112,12 @@ impl FleetNode {
         &self.queue
     }
 
+    /// A shareable handle to the node's ledger, for building another
+    /// node over the same physical device (see [`FleetNode::with_queue`]).
+    pub fn queue_handle(&self) -> Arc<DeviceQueue> {
+        Arc::clone(&self.queue)
+    }
+
     /// Offline model cost for `x` on this node: the planner's uncorrected
     /// prediction for the variant the *static* table picks. `None` when the
     /// node cannot price `x`.
@@ -104,6 +126,18 @@ impl FleetNode {
         let (v, _) = program.try_variant_for(x).ok()?;
         program.predicted_time_us(x, v)
     }
+}
+
+/// One unit of work for [`Fleet::dispatch_concurrent`]: an axis value plus
+/// the borrowed input/state it runs over.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetJob<'a> {
+    /// Input-axis value (e.g. total input size) the launch is priced by.
+    pub x: i64,
+    /// Input stream, at least as long as the program's per-firing pop.
+    pub input: &'a [f32],
+    /// Stateful-actor bindings, usually empty.
+    pub state: &'a [StateBinding],
 }
 
 /// Where one launch was placed and at what predicted price.
@@ -296,6 +330,67 @@ impl Fleet {
         let placement = self.admit(x, policy)?;
         let report = self.settle(placement, x, input, state, opts)?;
         Ok((placement, report))
+    }
+
+    /// Admit a whole burst, then settle it with **one worker thread per
+    /// node**, each draining its node's share in admission order. Admission
+    /// happens up front on the caller's thread so every placement sees the
+    /// backlog the earlier jobs charged (the same burst-spreading behaviour
+    /// as serial [`Fleet::admit`]); settlement is truly concurrent across
+    /// nodes, the way distinct devices really overlap.
+    ///
+    /// Returns one result per job, in job order: `Err` is either that job's
+    /// admission error (nothing was charged) or its node's
+    /// [`KernelManager::run`] failure (ticket settled regardless). A
+    /// poisoned result slot — a settle worker panicking mid-job — also
+    /// settles as the panic unwinds past [`Fleet::settle`]'s completion
+    /// handling only if the panic happened inside the manager; panics
+    /// propagate out of this call either way.
+    pub fn dispatch_concurrent(
+        &self,
+        jobs: &[FleetJob<'_>],
+        opts: RunOptions<'_>,
+        policy: PlacementPolicy,
+    ) -> Vec<Result<(Placement, ExecutionReport)>> {
+        let placements: Vec<Result<Placement>> =
+            jobs.iter().map(|j| self.admit(j.x, policy)).collect();
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, p) in placements.iter().enumerate() {
+            if let Ok(p) = p {
+                per_node[p.node].push(i);
+            }
+        }
+        type Slot = Mutex<Option<Result<(Placement, ExecutionReport)>>>;
+        let slots: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for mine in &per_node {
+                if mine.is_empty() {
+                    continue;
+                }
+                let (placements, slots) = (&placements, &slots);
+                scope.spawn(move || {
+                    for &i in mine {
+                        let p = placements[i].as_ref().copied().expect("grouped as Ok");
+                        let job = &jobs[i];
+                        let out = self
+                            .settle(p, job.x, job.input, job.state, opts)
+                            .map(|report| (p, report));
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
+                    }
+                });
+            }
+        });
+        placements
+            .into_iter()
+            .zip(slots)
+            .map(|(admitted, slot)| match admitted {
+                Err(e) => Err(e),
+                Ok(_) => slot
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .expect("admitted job settled by its node worker"),
+            })
+            .collect()
     }
 
     /// Fleet makespan: the busiest node's accumulated measured device time
@@ -533,6 +628,74 @@ mod tests {
         let input = vec![1.0f32; 1 << 10];
         f.dispatch(1 << 10, &input, &[], opts(), PlacementPolicy::CostPredicted)
             .unwrap();
+    }
+
+    #[test]
+    fn dispatch_concurrent_settles_every_job_across_nodes() {
+        let f = fleet();
+        let input = vec![1.0f32; 1 << 14];
+        // Mixed sizes so both devices win some placements.
+        let xs: Vec<i64> = (0..12)
+            .map(|i| if i % 2 == 0 { 1 << 7 } else { 1 << 14 })
+            .collect();
+        let jobs: Vec<FleetJob<'_>> = xs
+            .iter()
+            .map(|&x| FleetJob {
+                x,
+                input: &input[..x as usize],
+                state: &[],
+            })
+            .collect();
+        let results = f.dispatch_concurrent(&jobs, opts(), PlacementPolicy::CostPredicted);
+        assert_eq!(results.len(), jobs.len());
+        let mut used = std::collections::BTreeSet::new();
+        for (r, &x) in results.iter().zip(&xs) {
+            let (p, report) = r.as_ref().expect("job settles");
+            used.insert(p.node);
+            let expected: f32 = x as f32;
+            assert!((report.output[0] - expected).abs() <= expected * 1e-5);
+        }
+        assert!(used.len() > 1, "burst must use more than one node");
+        for n in f.nodes() {
+            assert_eq!(n.queue().depth(), 0, "every ticket settled");
+        }
+        // Admission errors come back in-slot, without poisoning the rest.
+        let bad = [FleetJob {
+            x: i64::MAX,
+            input: &input,
+            state: &[],
+        }];
+        let r = f.dispatch_concurrent(&bad, opts(), PlacementPolicy::CostPredicted);
+        assert!(r[0].is_err());
+        assert_eq!(
+            f.nodes()[0].queue().depth() + f.nodes()[1].queue().depth(),
+            0
+        );
+    }
+
+    #[test]
+    fn shared_queues_make_backlog_visible_across_fleets() {
+        // Two fleets (think: two tenants) over the SAME two physical
+        // devices. Work admitted by fleet A must steer fleet B's
+        // cost-predicted placement away from the busy device.
+        let a = fleet();
+        let axis = InputAxis::total_size("N", 1 << 6, 1 << 18);
+        let devices = [DeviceSpec::igpu_small(), DeviceSpec::hpc_wide()];
+        let nodes = devices
+            .iter()
+            .zip(a.nodes())
+            .map(|(d, an)| {
+                let compiled = compile(&program(), d, &axis).unwrap();
+                FleetNode::with_queue(&d.name, KernelManager::new(compiled), an.queue_handle())
+            })
+            .collect();
+        let b = Fleet::new(nodes, false);
+        let preferred = b.place(1 << 18, PlacementPolicy::CostPredicted).unwrap();
+        // Fleet A buries the preferred device in admitted work…
+        a.nodes()[preferred.node].queue().enqueue(1e9);
+        // …and fleet B, which never touched its own queue, sees it.
+        let diverted = b.place(1 << 18, PlacementPolicy::CostPredicted).unwrap();
+        assert_ne!(diverted.node, preferred.node);
     }
 
     #[test]

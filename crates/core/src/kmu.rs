@@ -581,7 +581,22 @@ impl KernelManager {
             (tick, candidates)
         };
 
+        // The retry policy's wall-clock budget bounds the whole ladder:
+        // after at least one attempt, a spent budget stops the walk down
+        // the fallback variants (and the degraded resort) with the last
+        // failure instead of retrying past the caller's deadline.
+        let ladder_started = std::time::Instant::now();
+        let budget_us = opts.retry.deadline_us;
+        let budget_spent =
+            || budget_us > 0 && ladder_started.elapsed().as_micros() as u64 >= budget_us;
+        let mut last_err: Option<Error> = None;
         for (v, probe) in candidates {
+            if let Some(e) = last_err.take_if(|_| budget_spent()) {
+                self.counters
+                    .deadline_overruns
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
             if probe {
                 self.counters
                     .half_open_probes
@@ -620,7 +635,16 @@ impl KernelManager {
                     if opened {
                         self.counters.quarantines.fetch_add(1, Ordering::Relaxed);
                     }
+                    last_err = Some(e);
                 }
+            }
+        }
+        if let Some(e) = last_err {
+            if budget_spent() {
+                self.counters
+                    .deadline_overruns
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
             }
         }
 
@@ -829,6 +853,9 @@ impl KernelManager {
                 .filter(|(_, b)| b.is_open(st.clock))
                 .map(|(i, _)| i)
                 .collect(),
+            // Serving-plane counters live above the manager; a serving
+            // front-end fills them per tenant.
+            ..TelemetrySnapshot::default()
         }
     }
 }

@@ -65,7 +65,7 @@ pub mod warp;
 
 pub use analysis::{classify, ActorClass};
 pub use artifact::{ArtifactCounters, ArtifactError, ArtifactKey, ArtifactStore, LearnedState};
-pub use fleet::{Fleet, FleetNode, Placement, PlacementPolicy, PruneOutcome};
+pub use fleet::{Fleet, FleetJob, FleetNode, Placement, PlacementPolicy, PruneOutcome};
 pub use kmu::{KernelManager, VariantHistogram};
 pub use layout::{restructure, unrestructure, Layout};
 pub use plan::{

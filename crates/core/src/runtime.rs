@@ -80,7 +80,13 @@ pub struct RetryPolicy {
     pub backoff_base_us: u64,
     /// Upper bound on a single backoff sleep.
     pub backoff_cap_us: u64,
-    /// Per-launch wall-clock budget; 0 disables the deadline watchdog.
+    /// Wall-clock budget for the whole resilient run; 0 disables the
+    /// deadline watchdog. A single in-flight attempt gets this as its
+    /// simulated launch deadline, and once the budget has elapsed no
+    /// further retries are issued — neither within a launch's attempt
+    /// loop nor down the manager's variant-fallback ladder. The first
+    /// attempt always runs, so a zero-remaining budget degrades to
+    /// one try, not zero.
     pub deadline_us: u64,
 }
 
@@ -923,6 +929,7 @@ fn run_kernel(
     out: &mut Vec<KernelReport>,
 ) -> Result<()> {
     let retry = env.opts.retry;
+    let started = std::time::Instant::now();
     let ctl = LaunchControl {
         faults: env.opts.faults,
         deadline: (retry.deadline_us > 0)
@@ -960,15 +967,31 @@ fn run_kernel(
                 if matches!(e, LaunchError::DeadlineExceeded { .. }) {
                     env.deadline_overruns.set(env.deadline_overruns.get() + 1);
                 }
-                if attempt >= retry.max_attempts.max(1) {
+                // The wall-clock budget bounds retrying, not the first
+                // try: once it is spent, escalate with the last cause.
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                let over_budget = retry.deadline_us > 0 && elapsed_us >= retry.deadline_us;
+                if over_budget {
+                    env.deadline_overruns.set(env.deadline_overruns.get() + 1);
+                }
+                if attempt >= retry.max_attempts.max(1) || over_budget {
+                    let cause = if over_budget {
+                        format!("{e} (retry budget {}us exhausted)", retry.deadline_us)
+                    } else {
+                        e.to_string()
+                    };
                     return Err(Error::LaunchFailed {
                         kernel: kernel.name().to_string(),
                         attempts: attempt,
-                        cause: e.to_string(),
+                        cause,
                     });
                 }
                 env.retries.set(env.retries.get() + 1);
-                let backoff = retry.backoff_us(attempt);
+                let mut backoff = retry.backoff_us(attempt);
+                if retry.deadline_us > 0 {
+                    // Never sleep past the budget's expiry.
+                    backoff = backoff.min(retry.deadline_us.saturating_sub(elapsed_us));
+                }
                 if backoff > 0 {
                     std::thread::sleep(std::time::Duration::from_micros(backoff));
                 }

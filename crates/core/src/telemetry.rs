@@ -123,7 +123,13 @@ impl TelemetryCounters {
 /// A point-in-time copy of everything the kernel-management unit knows
 /// about its own behaviour. Attached to [`crate::ExecutionReport`]s
 /// produced through [`crate::KernelManager::run`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The `admitted`/`rejected_*`/`shed_deadline`/`coalesced` counters are
+/// serving-plane tallies: a [`KernelManager`](crate::KernelManager) always
+/// reports them as zero, and a serving front-end (the `adaptic-serve`
+/// crate) fills them per tenant before rolling tenants up with
+/// [`TelemetrySnapshot::fleet_rollup`].
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetrySnapshot {
     /// Completed launches through the manager so far.
     pub launches: u64,
@@ -176,6 +182,23 @@ pub struct TelemetrySnapshot {
     /// version mismatch, or structurally incompatible; always degraded to
     /// a miss, never a crash.
     pub artifact_rejects: u64,
+    /// Requests a serving front-end admitted past quota + queue checks
+    /// (0 outside a serving plane).
+    pub admitted: u64,
+    /// Requests rejected at admission: token-bucket quota exhausted.
+    pub rejected_quota: u64,
+    /// Requests rejected at admission: bounded queue full after shedding.
+    pub rejected_queue_full: u64,
+    /// Requests rejected at admission: predicted cost plus backlog already
+    /// exceeded the deadline budget.
+    pub rejected_deadline: u64,
+    /// Admitted requests shed from the queue because their deadline passed
+    /// before dispatch (includes requests shed by a draining shutdown).
+    pub shed_deadline: u64,
+    /// Admitted requests served by coalescing onto another tenant's
+    /// identical in-flight launch instead of launching again. The launch
+    /// itself is counted once, in `launches`, by the leader's manager.
+    pub coalesced: u64,
 }
 
 impl TelemetrySnapshot {
@@ -227,6 +250,12 @@ impl TelemetrySnapshot {
         self.degraded_runs += other.degraded_runs;
         self.rate_exits += other.rate_exits;
         self.reschedules += other.reschedules;
+        self.admitted += other.admitted;
+        self.rejected_quota += other.rejected_quota;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_deadline += other.rejected_deadline;
+        self.shed_deadline += other.shed_deadline;
+        self.coalesced += other.coalesced;
         self.boundaries.clear();
         self.quarantined_variants.clear();
         if shared_artifact_store {
@@ -297,6 +326,16 @@ impl fmt::Display for TelemetrySnapshot {
             "  rates: {} window exits, {} reschedules",
             self.rate_exits, self.reschedules
         )?;
+        writeln!(
+            f,
+            "  serving: {} admitted, rejected {}q/{}f/{}d, {} shed, {} coalesced",
+            self.admitted,
+            self.rejected_quota,
+            self.rejected_queue_full,
+            self.rejected_deadline,
+            self.shed_deadline,
+            self.coalesced
+        )?;
         for (i, ((lo, hi), n)) in self.boundaries.iter().zip(&self.selections).enumerate() {
             let mark = if self.quarantined_variants.contains(&i) {
                 " [quarantined]"
@@ -352,6 +391,12 @@ mod tests {
             artifact_hits: 4,
             artifact_misses: 2,
             artifact_rejects: 1,
+            admitted: 14,
+            rejected_quota: 5,
+            rejected_queue_full: 6,
+            rejected_deadline: 7,
+            shed_deadline: 8,
+            coalesced: 2,
         };
         let s = snap.to_string();
         assert!(s.contains("7 launches"));
@@ -364,6 +409,7 @@ mod tests {
         assert!(s.contains("1 quarantines"));
         assert!(s.contains("4 hits, 2 misses, 1 rejects"));
         assert!(s.contains("11 window exits, 4 reschedules"));
+        assert!(s.contains("14 admitted, rejected 5q/6f/7d, 8 shed, 2 coalesced"));
         assert!(s.contains("variant 1: [100, 4096] selected 2x [quarantined]"));
     }
 
@@ -392,6 +438,9 @@ mod tests {
             artifact_hits: hits,
             artifact_misses: 1,
             artifact_rejects: 0,
+            admitted: launches,
+            coalesced: 1,
+            ..TelemetrySnapshot::default()
         }
     }
 
@@ -440,6 +489,95 @@ mod tests {
     #[test]
     fn rollup_of_empty_slice_is_none() {
         assert!(TelemetrySnapshot::fleet_rollup(&[], true).is_none());
+    }
+
+    #[test]
+    fn merging_a_default_snapshot_is_identity() {
+        // An idle manager/tenant contributes a default snapshot; folding it
+        // in must not perturb any counter — in particular the
+        // launch-weighted mean_model_error must not be dragged toward zero
+        // by a zero-launch peer, and shared-store max() must not drop hits.
+        let base = snap(12, 9, vec![7, 5]);
+        // The weighted mean round-trips through (m*n + 0)/n — compare it
+        // with a tolerance and everything else exactly.
+        let normalize = |mut s: TelemetrySnapshot| {
+            assert!((s.mean_model_error - base.mean_model_error).abs() < 1e-12);
+            s.mean_model_error = base.mean_model_error;
+            s
+        };
+        for shared in [false, true] {
+            let mut merged = base.clone();
+            merged.merge(&TelemetrySnapshot::default(), shared);
+            let mut expect = base.clone();
+            // Per-table state is dropped by every merge, by design.
+            expect.boundaries.clear();
+            expect.quarantined_variants.clear();
+            assert_eq!(normalize(merged), expect, "shared={shared}");
+        }
+        // The empty side absorbing a real snapshot is the same view.
+        let mut from_empty = TelemetrySnapshot::default();
+        from_empty.merge(&base, false);
+        let mut expect = base.clone();
+        expect.boundaries.clear();
+        expect.quarantined_variants.clear();
+        assert_eq!(normalize(from_empty), expect);
+        // Two defaults stay default (no NaN from the 0-launch mean).
+        let mut both = TelemetrySnapshot::default();
+        both.merge(&TelemetrySnapshot::default(), true);
+        assert_eq!(both, TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn coalesced_launch_bills_tenants_without_double_counting_launches() {
+        // Tenant A led a single-flight launch (its manager counted it);
+        // tenant B coalesced onto it — billed via `coalesced`/`admitted`,
+        // with NO launch of its own. The fleet rollup must show exactly one
+        // launch and both admissions.
+        let mut leader = TelemetrySnapshot {
+            launches: 1,
+            selections: vec![1],
+            admitted: 1,
+            ..TelemetrySnapshot::default()
+        };
+        leader.mean_model_error = 0.2;
+        let follower = TelemetrySnapshot {
+            admitted: 1,
+            coalesced: 1,
+            ..TelemetrySnapshot::default()
+        };
+        let fleet = TelemetrySnapshot::fleet_rollup(&[leader, follower], false).unwrap();
+        assert_eq!(fleet.launches, 1, "the coalesced launch ran once");
+        assert_eq!(fleet.admitted, 2, "both tenants were billed");
+        assert_eq!(fleet.coalesced, 1);
+        // The zero-launch follower must not dilute the model-error mean.
+        assert!((fleet.mean_model_error - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_counters_sum_in_rollup() {
+        let mk = |admitted, q, f, d, shed, co| TelemetrySnapshot {
+            admitted,
+            rejected_quota: q,
+            rejected_queue_full: f,
+            rejected_deadline: d,
+            shed_deadline: shed,
+            coalesced: co,
+            ..TelemetrySnapshot::default()
+        };
+        let fleet =
+            TelemetrySnapshot::fleet_rollup(&[mk(4, 1, 2, 3, 1, 1), mk(6, 0, 1, 0, 2, 0)], false)
+                .unwrap();
+        assert_eq!(
+            (
+                fleet.admitted,
+                fleet.rejected_quota,
+                fleet.rejected_queue_full,
+                fleet.rejected_deadline,
+                fleet.shed_deadline,
+                fleet.coalesced
+            ),
+            (10, 1, 3, 3, 3, 1)
+        );
     }
 
     #[test]

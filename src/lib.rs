@@ -7,6 +7,7 @@
 pub use adaptic;
 pub use adaptic_apps as apps;
 pub use adaptic_baselines as baselines;
+pub use adaptic_serve as serve;
 pub use gpu_sim;
 pub use perfmodel;
 pub use streamir;

@@ -498,3 +498,197 @@ proptest! {
         }
     }
 }
+
+/// Serving-plane storm: a misbehaving tenant (quota-busting arrival rate
+/// plus 100% fault injection on every request it lands) shares devices
+/// with a well-behaved tenant. The plane must confine the blast radius:
+///
+/// * **No quarantine bleed** — the storm trips only its own breakers;
+///   the well-behaved tenant's telemetry shows zero quarantines and
+///   zero observed faults.
+/// * **Exactly-once accounting** — per tenant, every admitted request
+///   resolves to exactly one of completed/failed/shed, and the fleet
+///   rollup sums tenant tallies without double-counting.
+/// * **Bounded interference** — the well-behaved tenant's closed-loop
+///   p99 latency under the storm stays within 25% of its solo baseline
+///   (plus a small absolute floor so scheduler jitter on a loaded CI
+///   host cannot fail the isolation claim; genuine bleed — storm
+///   ladders monopolising the workers — costs far more than the floor).
+#[test]
+fn tenant_storm_cannot_bleed_across_the_serving_plane() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use adaptic_repro::adaptic::InputAxis;
+    use adaptic_repro::apps::programs;
+    use adaptic_repro::serve::{Outcome, Request, Server, ServerConfig, TenantPolicy};
+
+    let seed = *chaos_seeds().last().unwrap();
+    let program = programs::sasum().program;
+    let axis = InputAxis::total_size("N", 256, 1 << 14);
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        global_queue_cap: 512,
+        ..ServerConfig::default()
+    });
+
+    // Well-behaved: effectively unmetered, heavier fair-share weight.
+    // Storm: a trickle quota (so the quota-busting loop is mostly turned
+    // away at the door), hair-trigger breakers, and a retry budget so
+    // each hopeless all-faults ladder dies in bounded wall-clock time.
+    server
+        .register_tenant(
+            "well",
+            &program,
+            &axis,
+            TenantPolicy::default()
+                .with_weight(4.0)
+                .with_quota(100_000.0, 0.0),
+        )
+        .expect("well tenant registers");
+    server
+        .register_tenant(
+            "storm",
+            &program,
+            &axis,
+            TenantPolicy::default()
+                .with_quota(2.0, 10.0)
+                .with_retry(RetryPolicy {
+                    max_attempts: 2,
+                    backoff_base_us: 10,
+                    backoff_cap_us: 50,
+                    deadline_us: 1_000,
+                })
+                .with_quarantine(2, 64),
+        )
+        .expect("storm tenant registers");
+
+    let x = 4096i64;
+    let input = Arc::new(data(x as usize, seed));
+    let run_well = |n: usize| -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                let t0 = server.now_us();
+                let ticket = server
+                    .submit("well", Request::new(x, Arc::clone(&input)))
+                    .unwrap_or_else(|r| panic!("well request {i} rejected: {r:?}"));
+                match ticket.wait() {
+                    Outcome::Completed(c) => c.finished_at_us.saturating_sub(t0),
+                    other => panic!("well request {i} did not complete: {other:?}"),
+                }
+            })
+            .collect()
+    };
+    fn p99(lat: &mut [u64]) -> u64 {
+        lat.sort_unstable();
+        lat[(lat.len() * 99).div_ceil(100) - 1]
+    }
+
+    // Phase A: solo baseline for the well-behaved tenant. 300 samples,
+    // so the p99 tolerates three scheduler-jitter outliers per phase.
+    let mut solo = run_well(300);
+
+    // Phase B: the same closed loop while the storm hammers the plane.
+    // The storm injects `LaunchReject` only: with `RUST_BACKTRACE` set, a
+    // `MidBlockPanic` storm would spend more CPU symbolising panic
+    // backtraces than serving, drowning the latency signal this phase
+    // measures. The rest of the suite covers the full fault taxonomy.
+    let plan: Arc<dyn FaultInjector + Send + Sync> = Arc::new(
+        FaultPlan::new(seed)
+            .with_rate(1.0)
+            .with_kinds(vec![FaultKind::LaunchReject]),
+    );
+    let p99_solo = p99(&mut solo).max(1);
+    let bound = (p99_solo + p99_solo / 4).max(p99_solo + 3_000);
+    let stop = AtomicBool::new(false);
+    let mut p99_storm = u64::MAX;
+    let mut well_phases = 1u64; // phase A already ran
+    std::thread::scope(|scope| {
+        let storm = scope.spawn(|| {
+            let mut tickets = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(t) = server.submit(
+                    "storm",
+                    Request::new(x, Arc::clone(&input)).with_faults(Arc::clone(&plan)),
+                ) {
+                    tickets.push(t);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            tickets
+        });
+        // A genuine cross-tenant bleed is systematic — it shows up in
+        // every repetition — while a one-core host preempting the
+        // measurement loop is transient. Take the best of up to three
+        // storm-phase measurements so scheduler jitter cannot flake the
+        // isolation assertion without masking a real regression.
+        for _ in 0..3 {
+            well_phases += 1;
+            let mut stormy = run_well(300);
+            p99_storm = p99_storm.min(p99(&mut stormy));
+            if p99_storm <= bound {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        // Resolve every storm ticket so the counters are settled before
+        // the assertions read them.
+        for t in storm.join().unwrap() {
+            let _ = t.wait();
+        }
+    });
+
+    let well = server.tenant_telemetry("well").expect("well telemetry");
+    let storm = server.tenant_telemetry("storm").expect("storm telemetry");
+
+    // No cross-tenant bleed: the storm trips only its own breakers.
+    assert_eq!(well.quarantines, 0, "well-behaved breakers must not trip");
+    assert_eq!(well.faults_observed, 0, "no fault may leak across tenants");
+    assert!(
+        storm.faults_observed > 0,
+        "the storm never actually injected"
+    );
+    assert!(
+        storm.quarantines > 0,
+        "100% faults must trip the storm's own breakers"
+    );
+    assert!(
+        storm.rejected_quota > 0,
+        "the quota-busting loop must be turned away at the bucket"
+    );
+
+    // Exactly-once accounting per admitted request, per tenant.
+    let (well_done, well_failed, well_shed) = server
+        .counters("well", |c| (c.completed(), c.failed(), c.shed()))
+        .expect("well counters");
+    let expected = 300 * well_phases;
+    assert_eq!(well.admitted, expected, "closed-loop phases of 300 each");
+    assert_eq!((well_done, well_failed, well_shed), (expected, 0, 0));
+    let (storm_admitted, storm_done, storm_failed, storm_shed) = server
+        .counters("storm", |c| {
+            (c.admitted(), c.completed(), c.failed(), c.shed())
+        })
+        .expect("storm counters");
+    assert!(storm_admitted > 0, "the storm must land at least its burst");
+    assert!(
+        storm_failed > 0,
+        "all-faults requests must surface as failures"
+    );
+    assert_eq!(
+        storm_admitted,
+        storm_done + storm_failed + storm_shed,
+        "every admitted storm request resolves exactly once"
+    );
+
+    // The rollup sums tenant tallies without double-counting.
+    let roll = server.rollup().expect("rollup");
+    assert_eq!(roll.admitted, well.admitted + storm.admitted);
+    assert_eq!(roll.quarantines, storm.quarantines);
+    assert_eq!(roll.rejected_quota, storm.rejected_quota);
+
+    // Bounded interference on the well-behaved tenant's p99.
+    assert!(
+        p99_storm <= bound,
+        "storm moved well-behaved p99 {p99_solo}us -> {p99_storm}us (bound {bound}us)"
+    );
+}
